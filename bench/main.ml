@@ -1,0 +1,170 @@
+(* Benchmark harness.
+
+   With no arguments: reproduce every table and figure of the paper's
+   evaluation (see DESIGN.md's per-experiment index), then run the
+   Bechamel microbenchmark suite over the library's hot operations.
+
+   With arguments: run only the named experiments, e.g.
+     dune exec bench/main.exe fig6 fig8
+   Recognized extra flags: --scale F (resize workloads), --seed N,
+   --micro (microbenchmarks only). *)
+
+let parse_args () =
+  let ids = ref [] and scale = ref 1.0 and seed = ref 42 and micro = ref false in
+  let rec go = function
+    | [] -> ()
+    | "--scale" :: v :: rest ->
+        scale := float_of_string v;
+        go rest
+    | "--seed" :: v :: rest ->
+        seed := int_of_string v;
+        go rest
+    | "--micro" :: rest ->
+        micro := true;
+        go rest
+    | id :: rest ->
+        if not (List.mem id Exp_figures.ids) then begin
+          Printf.eprintf "unknown experiment %s (known: %s)\n" id
+            (String.concat " " Exp_figures.ids);
+          exit 1
+        end;
+        ids := id :: !ids;
+        go rest
+  in
+  go (List.tl (Array.to_list Sys.argv));
+  (List.rev !ids, !scale, !seed, !micro)
+
+let run_figures ids scale seed =
+  let t0 = Unix.gettimeofday () in
+  Printf.printf
+    "PEP reproduction: %d benchmarks, scale %.2f, seed %d\n%!"
+    (List.length Suite.names) scale seed;
+  let caches =
+    List.map Exp_cache.create (Exp_harness.suite_envs ~scale ~seed ())
+  in
+  List.iter (fun id -> Exp_figures.print (Exp_figures.by_id id caches)) ids;
+  Printf.printf "\n[figures done in %.1fs]\n%!" (Unix.gettimeofday () -. t0)
+
+(* ------------------------- microbenchmarks ------------------------- *)
+
+open Bechamel
+open Toolkit
+
+let micro_tests () =
+  (* a mid-sized method with loops and branches as the common subject *)
+  let program = Workload.program ~size:4 (Suite.find "jython") in
+  let exec = Program.find program "exec" in
+  let cfg = To_cfg.cfg exec in
+  let dag = Dag.build Dag.Loop_header cfg in
+  let numbering = Numbering.ball_larus dag in
+  let plan = Instrument.of_numbering numbering in
+  let n_paths = Numbering.n_paths numbering in
+  let freq (e : Dag.edge) = (e.Dag.idx * 37) land 255 in
+  let profile_pair =
+    let actual = Edge_profile.create_table ~n_methods:1 in
+    let estimated = Edge_profile.create_table ~n_methods:1 in
+    for br = 0 to 63 do
+      Edge_profile.add actual.(0) br ~taken:true ((br * 13) land 1023);
+      Edge_profile.add actual.(0) br ~taken:false ((br * 7) land 511);
+      Edge_profile.add estimated.(0) br ~taken:true ((br * 11) land 1023);
+      Edge_profile.add estimated.(0) br ~taken:false ((br * 5) land 511)
+    done;
+    (actual, estimated)
+  in
+  let tiny_program =
+    Compile.program ~name:"tiny" ~main:"main"
+      [
+        Ast.mdef "main" ~params:[]
+          Ast.
+            [
+              set "s" (i 0);
+              for_ "k" (i 0) (i 100)
+                [
+                  if_ (eq (band (v "k") (i 3)) (i 0))
+                    [ set "s" (add (v "s") (v "k")) ]
+                    [ set "s" (add (v "s") (i 1)) ];
+                ];
+              ret (v "s");
+            ];
+      ]
+  in
+  let sampler = Sampling.create (Sampling.pep ~samples:64 ~stride:17) in
+  [
+    (* fig6/fig7 machinery: instrumentation plan construction per compile *)
+    Test.make ~name:"pass/dag-build"
+      (Staged.stage (fun () -> ignore (Dag.build Dag.Loop_header cfg)));
+    Test.make ~name:"pass/ball-larus-numbering"
+      (Staged.stage (fun () -> ignore (Numbering.ball_larus dag)));
+    Test.make ~name:"pass/smart-numbering"
+      (Staged.stage (fun () -> ignore (Numbering.smart ~freq dag)));
+    Test.make ~name:"pass/instrument-plan"
+      (Staged.stage (fun () -> ignore (Instrument.of_numbering numbering)));
+    (* fig8/fig9 machinery: what a sample costs the runtime *)
+    Test.make ~name:"sample/reconstruct-path"
+      (Staged.stage (fun () ->
+           ignore (Reconstruct.cfg_edges numbering (n_paths / 2))));
+    Test.make ~name:"sample/sampler-step"
+      (Staged.stage (fun () ->
+           if not (Sampling.active sampler) then Sampling.activate sampler;
+           ignore (Sampling.step sampler)));
+    Test.make ~name:"sample/static-ops"
+      (Staged.stage (fun () -> ignore (Instrument.static_ops plan)));
+    (* the substrate itself *)
+    Test.make ~name:"vm/interp-100-iter-loop"
+      (Staged.stage (fun () ->
+           let st = Machine.create ~seed:1 tiny_program in
+           ignore (Interp.run Interp.no_hooks st)));
+    Test.make ~name:"vm/prng-next"
+      (let prng = Prng.create ~seed:9 in
+       Staged.stage (fun () -> ignore (Prng.next prng)));
+    (* fig10/fig11 machinery: layout computation per opt-compile *)
+    Test.make ~name:"opt/layout-compute"
+      (let prof = (fst profile_pair).(0) in
+       Staged.stage (fun () -> ignore (Layout.compute cfg prof)));
+    (* accuracy metrics over a 64-branch profile *)
+    Test.make ~name:"metric/relative-overlap"
+      (let actual, estimated = profile_pair in
+       Staged.stage (fun () ->
+           ignore (Accuracy.relative_overlap ~actual ~estimated)));
+    Test.make ~name:"metric/absolute-overlap"
+      (let actual, estimated = profile_pair in
+       Staged.stage (fun () ->
+           ignore (Accuracy.absolute_overlap ~actual ~estimated)));
+  ]
+
+let run_micro () =
+  Printf.printf "\n=== microbenchmarks (Bechamel, ns/run) ===\n%!";
+  let tests = Test.make_grouped ~name:"pep" (micro_tests ()) in
+  let cfg =
+    Benchmark.cfg ~limit:2000 ~quota:(Time.second 0.4) ~kde:None ()
+  in
+  let raw = Benchmark.all cfg [ Instance.monotonic_clock ] tests in
+  let ols =
+    Analyze.ols ~bootstrap:0 ~r_square:true ~predictors:[| Measure.run |]
+  in
+  let results = Analyze.all ols Instance.monotonic_clock raw in
+  let rows =
+    Hashtbl.fold
+      (fun name ols acc ->
+        let estimate =
+          match Analyze.OLS.estimates ols with
+          | Some (e :: _) -> e
+          | Some [] | None -> nan
+        in
+        let r2 = Option.value ~default:nan (Analyze.OLS.r_square ols) in
+        (name, estimate, r2) :: acc)
+      results []
+  in
+  List.iter
+    (fun (name, estimate, r2) ->
+      Printf.printf "%-32s %12.1f ns/run   r²=%.4f\n" name estimate r2)
+    (List.sort compare rows)
+
+let () =
+  let ids, scale, seed, micro_only = parse_args () in
+  if micro_only then run_micro ()
+  else if ids <> [] then run_figures ids scale seed
+  else begin
+    run_figures Exp_figures.ids scale seed;
+    run_micro ()
+  end

@@ -1,0 +1,363 @@
+(* pepsim — command-line front end for the PEP reproduction.
+
+   Subcommands:
+     run          parse a textual program and profile it with PEP
+     workload     run one suite benchmark under a profiling configuration
+     experiments  regenerate the paper's tables and figures
+     list         enumerate workloads and experiment ids *)
+
+open Cmdliner
+
+let sampling_conv =
+  let parse s =
+    let fail () = Error (`Msg (Printf.sprintf "bad sampling spec %S" s)) in
+    match String.lowercase_ascii s with
+    | "none" | "instr-only" -> Ok Sampling.never
+    | "timer" -> Ok Sampling.timer_based
+    | spec -> (
+        (* pep:SAMPLES:STRIDE or ag:SAMPLES:STRIDE *)
+        match String.split_on_char ':' spec with
+        | [ "pep"; a; b ] -> (
+            match (int_of_string_opt a, int_of_string_opt b) with
+            | Some samples, Some stride when samples > 0 && stride > 0 ->
+                Ok (Sampling.pep ~samples ~stride)
+            | _ -> fail ())
+        | [ "ag"; a; b ] -> (
+            match (int_of_string_opt a, int_of_string_opt b) with
+            | Some samples, Some stride when samples > 0 && stride > 0 ->
+                Ok (Sampling.arnold_grove ~samples ~stride)
+            | _ -> fail ())
+        | _ -> fail ())
+  in
+  let print ppf c = Fmt.string ppf (Sampling.name c) in
+  Arg.conv (parse, print)
+
+let sampling_arg =
+  let doc =
+    "Sampling configuration: $(b,pep:SAMPLES:STRIDE), $(b,ag:SAMPLES:STRIDE), \
+     $(b,timer), or $(b,instr-only)."
+  in
+  Arg.(
+    value
+    & opt sampling_conv (Sampling.pep ~samples:64 ~stride:17)
+    & info [ "sampling" ] ~docv:"SPEC" ~doc)
+
+let seed_arg =
+  Arg.(value & opt int 42 & info [ "seed" ] ~docv:"N" ~doc:"Workload PRNG seed.")
+
+let print_profiles program (pep : Pep.t) =
+  Program.iter_methods
+    (fun m (meth : Method.t) ->
+      let paths = pep.Pep.paths.(m) in
+      if not (Path_profile.is_empty paths) then begin
+        Printf.printf "\n%s: %d distinct paths, %d samples\n" meth.Method.name
+          (Path_profile.n_distinct paths)
+          (Path_profile.total paths);
+        let entries =
+          List.sort
+            (fun (a : Path_profile.entry) b -> compare b.count a.count)
+            (Path_profile.entries paths)
+        in
+        List.iteri
+          (fun rank (e : Path_profile.entry) ->
+            if rank < 8 then
+              Printf.printf "  path %-5d %8d samples  %d branches\n" e.path_id
+                e.count e.n_branches)
+          entries;
+        List.iter
+          (fun br ->
+            match Edge_profile.bias pep.Pep.edges.(m) br with
+            | Some bias -> Printf.printf "  branch %-3d %5.1f%% taken\n" br (100. *. bias)
+            | None -> ())
+          (Edge_profile.branch_ids pep.Pep.edges.(m))
+      end)
+    program
+
+(* --- run ----------------------------------------------------------- *)
+
+let run_cmd =
+  let file_arg =
+    Arg.(
+      required
+      & pos 0 (some file) None
+      & info [] ~docv:"FILE" ~doc:"Program in the pepsim textual format.")
+  in
+  let action file sampling seed =
+    let src = In_channel.with_open_text file In_channel.input_all in
+    match Parse.program src with
+    | exception Parse.Error msg ->
+        Printf.eprintf "%s: %s\n" file msg;
+        exit 1
+    | ast -> (
+        match Compile.pdef ast with
+        | exception Compile.Error msg ->
+            Printf.eprintf "%s: %s\n" file msg;
+            exit 1
+        | program ->
+            Verify.program program;
+            let st = Machine.create ~seed program in
+            let pep = Pep.create ~sampling st in
+            let result =
+              Interp.run (Interp.compose (Tick.hooks ()) pep.Pep.hooks) st
+            in
+            Printf.printf "result: %d  (%.2f Mcycles, %d samples)\n" result
+              (float_of_int st.Machine.cycles /. 1e6)
+              (Pep.n_samples pep);
+            print_profiles program pep)
+  in
+  Cmd.v
+    (Cmd.info "run" ~doc:"Profile a textual program with PEP")
+    Term.(const action $ file_arg $ sampling_arg $ seed_arg)
+
+(* --- workload ------------------------------------------------------ *)
+
+let workload_cmd =
+  let name_arg =
+    Arg.(
+      required
+      & pos 0 (some string) None
+      & info [] ~docv:"NAME" ~doc:"Benchmark name (see $(b,pepsim list)).")
+  in
+  let size_arg =
+    Arg.(
+      value
+      & opt (some int) None
+      & info [ "size" ] ~docv:"N" ~doc:"Workload size (default per benchmark).")
+  in
+  let action name size sampling seed =
+    match Suite.find name with
+    | exception Not_found ->
+        Printf.eprintf "unknown workload %s; try `pepsim list`\n" name;
+        exit 1
+    | w ->
+        let size = Option.value ~default:w.Workload.default_size size in
+        let env = Exp_harness.make_env ~size ~seed w in
+        let cache = Exp_cache.create env in
+        let base = Exp_cache.base cache in
+        let run =
+          Exp_cache.run cache ~key:"cli"
+            (Exp_harness.Pep_profiled
+               { sampling; zero = `Hottest; numbering = `Smart })
+        in
+        Printf.printf
+          "%s (size %d): base %.2f Mcycles, %s %.2f Mcycles (%+.2f%%)\n" name
+          size
+          (float_of_int base.Exp_harness.meas.iter2 /. 1e6)
+          (Sampling.name sampling)
+          (float_of_int run.Exp_harness.meas.iter2 /. 1e6)
+          (Exp_report.overhead ~base:base.Exp_harness.meas.iter2
+             run.Exp_harness.meas.iter2);
+        Option.iter (print_profiles env.Exp_harness.program) run.Exp_harness.pep
+  in
+  Cmd.v
+    (Cmd.info "workload" ~doc:"Run a suite benchmark under PEP")
+    Term.(const action $ name_arg $ size_arg $ sampling_arg $ seed_arg)
+
+(* --- experiments --------------------------------------------------- *)
+
+let experiments_cmd =
+  let only_arg =
+    Arg.(
+      value & opt_all string []
+      & info [ "only" ] ~docv:"ID"
+          ~doc:"Run only this experiment (repeatable); default: all.")
+  in
+  let scale_arg =
+    Arg.(
+      value & opt float 1.0
+      & info [ "scale" ] ~docv:"F" ~doc:"Scale workload sizes by F.")
+  in
+  let action only scale seed =
+    let ids = if only = [] then Exp_figures.ids else only in
+    List.iter
+      (fun id ->
+        if not (List.mem id Exp_figures.ids) then begin
+          Printf.eprintf "unknown experiment %s; try `pepsim list`\n" id;
+          exit 1
+        end)
+      ids;
+    Printf.printf "preparing %d benchmarks (scale %.2f)...\n%!"
+      (List.length Suite.names) scale;
+    let caches =
+      List.map Exp_cache.create (Exp_harness.suite_envs ~scale ~seed ())
+    in
+    List.iter
+      (fun id -> Exp_figures.print (Exp_figures.by_id id caches))
+      ids
+  in
+  Cmd.v
+    (Cmd.info "experiments"
+       ~doc:"Regenerate the paper's tables and figures")
+    Term.(const action $ only_arg $ scale_arg $ seed_arg)
+
+(* --- disasm -------------------------------------------------------- *)
+
+let load_program_arg source =
+  (* SOURCE is a workload name or a path to a textual program *)
+  match Suite.find source with
+  | w -> Workload.program ~size:2 w
+  | exception Not_found ->
+      if Sys.file_exists source && not (Sys.is_directory source) then begin
+        match
+          let src = In_channel.with_open_text source In_channel.input_all in
+          Compile.pdef (Parse.program src)
+        with
+        | p -> p
+        | exception Parse.Error msg | exception Compile.Error msg ->
+            Printf.eprintf "%s: %s\n" source msg;
+            exit 1
+        | exception Sys_error msg ->
+            Printf.eprintf "%s\n" msg;
+            exit 1
+      end
+      else begin
+        Printf.eprintf "%s: neither a workload nor a file\n" source;
+        exit 1
+      end
+
+let disasm_cmd =
+  let source_arg =
+    Arg.(
+      required
+      & pos 0 (some string) None
+      & info [] ~docv:"SOURCE" ~doc:"Workload name or program file.")
+  in
+  let method_arg =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "method" ] ~docv:"NAME" ~doc:"Only this method.")
+  in
+  let mode_arg =
+    Arg.(
+      value
+      & opt (enum [ ("header", Dag.Loop_header); ("back-edge", Dag.Back_edge) ])
+          Dag.Loop_header
+      & info [ "mode" ] ~docv:"MODE"
+          ~doc:"Truncation mode: $(b,header) (PEP) or $(b,back-edge) (BLPP).")
+  in
+  let action source method_filter mode =
+    let program = load_program_arg source in
+    Verify.program program;
+    Program.iter_methods
+      (fun _ (m : Method.t) ->
+        if method_filter = None || method_filter = Some m.Method.name then begin
+          Fmt.pr "%a@." Method.pp m;
+          let cfg = To_cfg.cfg m in
+          Fmt.pr "%a@." Cfg.pp cfg;
+          let loops = Loops.compute cfg in
+          Fmt.pr "loop headers: %a@."
+            Fmt.(list ~sep:comma int)
+            (Loops.headers loops);
+          if not m.Method.uninterruptible then begin
+            match Numbering.ball_larus (Dag.build mode cfg) with
+            | numbering ->
+                Fmt.pr "%a@." Dag.pp (Numbering.dag numbering);
+                Fmt.pr "%a@." Numbering.pp numbering;
+                let plan = Instrument.of_numbering numbering in
+                Fmt.pr "static instrumentation ops: %d@.@."
+                  (Instrument.static_ops plan)
+            | exception Numbering.Too_many_paths { n_paths; _ } ->
+                Fmt.pr "paths: %d (over the profiling limit)@.@." n_paths
+          end
+          else Fmt.pr "uninterruptible: not instrumented@.@."
+        end)
+      program
+  in
+  Cmd.v
+    (Cmd.info "disasm"
+       ~doc:"Show bytecode, CFG, truncated DAG, numbering and plan")
+    Term.(const action $ source_arg $ method_arg $ mode_arg)
+
+(* --- profiles ------------------------------------------------------ *)
+
+let profiles_cmd =
+  let name_arg =
+    Arg.(
+      required
+      & pos 0 (some string) None
+      & info [] ~docv:"NAME" ~doc:"Benchmark name.")
+  in
+  let out_arg =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "out" ] ~docv:"PREFIX"
+          ~doc:
+            "Write $(i,PREFIX).paths, $(i,PREFIX).edges and \
+             $(i,PREFIX).advice instead of printing a summary.")
+  in
+  let size_arg =
+    Arg.(
+      value
+      & opt (some int) None
+      & info [ "size" ] ~docv:"N" ~doc:"Workload size.")
+  in
+  let action name out size sampling seed =
+    match Suite.find name with
+    | exception Not_found ->
+        Printf.eprintf "unknown workload %s\n" name;
+        exit 1
+    | w ->
+        let env = Exp_harness.make_env ?size ~seed w in
+        let run =
+          Exp_harness.replay env
+            (Exp_harness.Pep_profiled
+               { sampling; zero = `Hottest; numbering = `Smart })
+        in
+        let pep = Option.get run.Exp_harness.pep in
+        let write path lines =
+          Out_channel.with_open_text path (fun oc ->
+              List.iter
+                (fun l ->
+                  Out_channel.output_string oc l;
+                  Out_channel.output_char oc '\n')
+                lines);
+          Printf.printf "wrote %s\n" path
+        in
+        (match out with
+        | Some prefix ->
+            write (prefix ^ ".paths") (Path_profile.to_lines pep.Pep.paths);
+            write (prefix ^ ".edges") (Edge_profile.to_lines pep.Pep.edges);
+            write (prefix ^ ".advice") (Advice.to_lines env.advice)
+        | None ->
+            Printf.printf
+              "%s: %d path samples over %d distinct paths; %d branch \
+               executions observed\n"
+              name
+              (Path_profile.table_total pep.Pep.paths)
+              (Array.fold_left
+                 (fun acc p -> acc + Path_profile.n_distinct p)
+                 0 pep.Pep.paths)
+              (Edge_profile.table_total pep.Pep.edges))
+  in
+  Cmd.v
+    (Cmd.info "profiles"
+       ~doc:"Collect PEP profiles for a benchmark; optionally save them")
+    Term.(const action $ name_arg $ out_arg $ size_arg $ sampling_arg $ seed_arg)
+
+(* --- list ---------------------------------------------------------- *)
+
+let list_cmd =
+  let action () =
+    Printf.printf "workloads:\n";
+    List.iter
+      (fun (w : Workload.t) ->
+        Printf.printf "  %-10s (default size %5d)  %s\n" w.name w.default_size
+          w.description)
+      Suite.all;
+    Printf.printf "\nexperiments:\n  %s\n" (String.concat " " Exp_figures.ids)
+  in
+  Cmd.v
+    (Cmd.info "list" ~doc:"List workloads and experiment ids")
+    Term.(const action $ const ())
+
+let () =
+  let info =
+    Cmd.info "pepsim" ~version:"1.0.0"
+      ~doc:"Continuous path and edge profiling (PEP) simulator"
+  in
+  exit
+    (Cmd.eval
+       (Cmd.group info
+          [ run_cmd; workload_cmd; experiments_cmd; disasm_cmd; profiles_cmd; list_cmd ]))

@@ -1,0 +1,32 @@
+(** A programmable hardware path profiler (paper §2.4, ref [28]).
+
+    Models Vaswani et al.'s design: the processor computes path numbers
+    itself and updates a fixed-size on-chip {e hot path table} at every
+    path end with no software cost; accuracy is limited only by table
+    capacity.  The table is direct-mapped on a hash of (method, path id);
+    on a miss the resident entry's count decays and is evicted when it
+    reaches zero (the standard frequent-items policy), so hot paths
+    survive collisions with cold ones.
+
+    Runtime cost charged: none (it is hardware) — the comparator isolates
+    the accuracy question "how large must the table be?", which the paper
+    cites as >90% accuracy for sufficiently large tables. *)
+
+type t
+
+(** [create ~table_size ~number machine] with [table_size] a power of
+    two. *)
+val create :
+  table_size:int ->
+  number:(int -> Dag.t -> Numbering.t) ->
+  Machine.t ->
+  t
+
+val hooks : t -> Interp.hooks
+val plans : t -> Profile_hooks.plans
+
+(** Snapshot of the surviving table entries as a path profile. *)
+val to_path_profile : t -> Path_profile.table
+
+(** Path ends seen / table misses that evicted an entry. *)
+val stats : t -> int * int

@@ -1,0 +1,70 @@
+type t = {
+  dag : Dag.t;
+  values : int array; (* per edge idx *)
+  num_paths : int array; (* per node *)
+}
+
+exception Too_many_paths of { method_name : string; n_paths : int; limit : int }
+
+let default_limit = 1 lsl 30
+
+(* Fig. 2 / Fig. 4: walk nodes in reverse topological order; for each node
+   assign successive prefix sums of successor path counts to its out-edges
+   in [order]. *)
+let number ?(limit = default_limit) ~order dag =
+  let n_nodes = Dag.n_nodes dag in
+  let num_paths = Array.make n_nodes 0 in
+  let values = Array.make (Dag.n_edges dag) 0 in
+  let topo = Dag.topo dag in
+  let exit_node = Dag.exit_node dag in
+  for i = Array.length topo - 1 downto 0 do
+    let v = topo.(i) in
+    if v = exit_node then num_paths.(v) <- 1
+    else begin
+      let edges = order v (Dag.out_edges dag v) in
+      List.iter
+        (fun (e : Dag.edge) ->
+          values.(e.idx) <- num_paths.(v);
+          num_paths.(v) <- num_paths.(v) + num_paths.(e.edst))
+        edges;
+      if num_paths.(v) > limit then
+        raise
+          (Too_many_paths
+             {
+               method_name = Cfg.name (Dag.cfg dag);
+               n_paths = num_paths.(v);
+               limit;
+             })
+    end
+  done;
+  { dag; values; num_paths }
+
+let ball_larus ?limit dag = number ?limit ~order:(fun _ edges -> edges) dag
+
+let smart ?limit ?(zero = `Hottest) ~freq dag =
+  (* Stable sort so equal frequencies keep insertion order. *)
+  let order _ edges =
+    let keyed = List.map (fun e -> (freq e, e)) edges in
+    let cmp (fa, _) (fb, _) =
+      match zero with `Hottest -> compare fb fa | `Coldest -> compare fa fb
+    in
+    List.map snd (List.stable_sort cmp keyed)
+  in
+  number ?limit ~order dag
+
+let dag t = t.dag
+let n_paths t = t.num_paths.(Dag.entry_node t.dag)
+let value t (e : Dag.edge) = t.values.(e.idx)
+let num_paths_from t v = t.num_paths.(v)
+
+let n_nonzero t =
+  Array.fold_left (fun acc v -> if v <> 0 then acc + 1 else acc) 0 t.values
+
+let pp ppf t =
+  Fmt.pf ppf "@[<v>numbering %s: %d paths@," (Cfg.name (Dag.cfg t.dag)) (n_paths t);
+  Dag.iter_edges
+    (fun e ->
+      if t.values.(e.idx) <> 0 then
+        Fmt.pf ppf "  n%d->n%d += %d@," e.esrc e.edst t.values.(e.idx))
+    t.dag;
+  Fmt.pf ppf "@]"

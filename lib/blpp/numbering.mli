@@ -1,0 +1,45 @@
+(** Ball-Larus path numbering over a truncated DAG.
+
+    Assigns an integer value to every DAG edge such that the sum of edge
+    values along each entry-to-exit path is a unique number in
+    [0, n_paths).  {!ball_larus} is the paper's Figure 2; {!smart} is
+    PPP's smart path numbering (Figure 4), which orders each node's
+    outgoing edges by execution frequency so that the chosen arm — the
+    hottest by default — receives value 0 and needs no instrumentation.
+
+    The numbering has the interval property used by {!Reconstruct}: the
+    paths through edge [e = v -> w] are exactly those whose remaining
+    number at [v] lies in [value e, value e + num_paths_from w). *)
+
+type t
+
+exception Too_many_paths of { method_name : string; n_paths : int; limit : int }
+
+(** Methods whose path count exceeds [limit] (default [2^30]) raise
+    {!Too_many_paths}; callers treat such methods as unprofilable. *)
+val ball_larus : ?limit:int -> Dag.t -> t
+
+(** [smart ~freq dag] numbers with each node's out-edges visited in
+    decreasing [freq] order ([`Hottest] zero, the default), or increasing
+    order ([`Coldest] zero — the paper's §3.4 ablation that instead
+    instruments hot edges).  Ties fall back to insertion order, so a
+    constant [freq] degrades to {!ball_larus}. *)
+val smart :
+  ?limit:int ->
+  ?zero:[ `Hottest | `Coldest ] ->
+  freq:(Dag.edge -> int) ->
+  Dag.t ->
+  t
+
+val dag : t -> Dag.t
+val n_paths : t -> int
+val value : t -> Dag.edge -> int
+
+(** Number of entry-to-exit DAG paths starting at a node. *)
+val num_paths_from : t -> Dag.node -> int
+
+(** Number of DAG edges with a nonzero value — the adds the
+    instrumentation must place. *)
+val n_nonzero : t -> int
+
+val pp : t Fmt.t

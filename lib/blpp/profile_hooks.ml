@@ -1,0 +1,128 @@
+type plans = Instrument.t option array
+
+let plan_for ~mode ~number st midx =
+  let cm = Machine.cmeth st midx in
+  if cm.Machine.meth.Method.uninterruptible then None
+  else
+    let sampleable b = cm.Machine.yieldpoint.(b) in
+    match number midx (Dag.build ~sampleable mode cm.Machine.cfg) with
+    | numbering -> Some (Instrument.of_numbering numbering)
+    | exception Numbering.Too_many_paths _ -> None
+    | exception Dag.Unsupported _ -> None
+
+let make_plans ~mode ~number st =
+  Array.init (Array.length st.Machine.methods) (plan_for ~mode ~number st)
+
+(* Each hook layer keeps its own per-invocation path register, indexed by
+   the machine's live call depth.  Layers therefore compose: PEP and a
+   perfect profiler can instrument the same run without clobbering each
+   other's register (a real system would allocate distinct registers or
+   stack slots per instrumentation). *)
+let path_hooks ?on_register ~(plans : plans) ~count_cost ~on_path_end () =
+  let regs = ref (Array.make 1024 0) in
+  let slot (st : Machine.t) =
+    let depth = st.depth in
+    if depth >= Array.length !regs then begin
+      let bigger = Array.make (2 * depth) 0 in
+      Array.blit !regs 0 bigger 0 (Array.length !regs);
+      regs := bigger
+    end;
+    depth
+  in
+  let charge_count st =
+    let cost = (st : Machine.t).cost in
+    match count_cost with
+    | `Hash -> Machine.add_cycles st cost.Cost_model.count_update
+    | `Array -> Machine.add_cycles st cost.Cost_model.count_array
+    | `None -> ()
+  in
+  let on_entry st (frame : Interp.frame) =
+    match plans.(frame.fmeth) with
+    | None -> ()
+    | Some _ ->
+        !regs.(slot st) <- 0;
+        Machine.add_cycles st st.Machine.cost.Cost_model.r_update
+  in
+  let on_edge st (frame : Interp.frame) ~src ~idx ~dst:_ =
+    match plans.(frame.fmeth) with
+    | None -> ()
+    (* a frame compiled before its method was replaced by a smaller body
+       can deliver block ids beyond the new plan; ignore such events *)
+    | Some plan when src >= Array.length plan.Instrument.edge_steps -> ()
+    | Some plan -> (
+        match plan.Instrument.edge_steps.(src).(idx) with
+        | None -> ()
+        | Some { add; count; reset } ->
+            let cost = st.Machine.cost in
+            let d = slot st in
+            if add <> 0 then begin
+              !regs.(d) <- !regs.(d) + add;
+              Machine.add_cycles st cost.Cost_model.r_update
+            end;
+            if count then begin
+              charge_count st;
+              on_path_end st frame ~path_id:!regs.(d)
+            end;
+            if reset >= 0 then begin
+              !regs.(d) <- reset;
+              Machine.add_cycles st cost.Cost_model.r_update
+            end)
+  in
+  let on_yieldpoint st (frame : Interp.frame) blk =
+    match plans.(frame.fmeth) with
+    | None -> ()
+    | Some plan when blk >= Array.length plan.Instrument.path_end -> ()
+    | Some plan -> (
+        (* the yieldpoint passes the current register to the handler
+           (paper §4.3) even when the block is not a path end — partial
+           samples use it (§3.2) *)
+        (match on_register with
+        | Some f -> f st frame blk ~r:!regs.(slot st)
+        | None -> ());
+        match plan.Instrument.path_end.(blk) with
+        | None -> ()
+        | Some { badd; breset } ->
+            let cost = st.Machine.cost in
+            let d = slot st in
+            if badd <> 0 then begin
+              !regs.(d) <- !regs.(d) + badd;
+              Machine.add_cycles st cost.Cost_model.r_update
+            end;
+            charge_count st;
+            on_path_end st frame ~path_id:!regs.(d);
+            if breset >= 0 then begin
+              !regs.(d) <- breset;
+              Machine.add_cycles st cost.Cost_model.r_update
+            end)
+  in
+  {
+    Interp.on_entry = Some on_entry;
+    on_exit = None;
+    on_edge = Some on_edge;
+    on_yieldpoint = Some on_yieldpoint;
+  }
+
+let edge_count_hooks ?(charge = true) st ~(table : Edge_profile.table) =
+  let branch_of =
+    Array.map
+      (fun (cm : Machine.cmeth) ->
+        Array.init (Cfg.n_blocks cm.cfg) (fun b ->
+            match Cfg.terminator cm.cfg b with
+            | Cfg.Branch { branch; _ } -> branch
+            | Cfg.Return | Cfg.Jump _ -> -1))
+      st.Machine.methods
+  in
+  let on_edge st (frame : Interp.frame) ~src ~idx ~dst:_ =
+    let br = branch_of.(frame.fmeth).(src) in
+    if br >= 0 then begin
+      Edge_profile.incr table.(frame.fmeth) br ~taken:(idx = 0);
+      if charge then
+        Machine.add_cycles st st.Machine.cost.Cost_model.edge_count
+    end
+  in
+  {
+    Interp.on_entry = None;
+    on_exit = None;
+    on_edge = Some on_edge;
+    on_yieldpoint = None;
+  }

@@ -1,0 +1,53 @@
+(** Interpreter hooks that execute instrumentation plans.
+
+    The hook layer applies a per-method {!Instrument.t} against the live
+    machine: it maintains the frame's path register, charges the cost
+    model for every executed instrumentation operation, and calls the
+    caller's [on_path_end] at every path-end point with the completed
+    path number.  Both the perfect profilers ({!Profiler}) and PEP's
+    sampler build on this. *)
+
+type plans = Instrument.t option array
+
+(** Build the plan of one method: truncate in [mode] (sample points
+    follow the machine's yieldpoint placement, so loop headers whose
+    yieldpoint was suppressed — inlined uninterruptible loops — are cut
+    silently, paper §4.3), number with [number], place instrumentation.
+    [None] for uninterruptible methods (no yieldpoints at all), methods
+    whose path count exceeds the numbering limit, and graphs loop-header
+    truncation cannot handle. *)
+val plan_for :
+  mode:Dag.mode ->
+  number:(int -> Dag.t -> Numbering.t) ->
+  Machine.t ->
+  int ->
+  Instrument.t option
+
+val make_plans :
+  mode:Dag.mode -> number:(int -> Dag.t -> Numbering.t) -> Machine.t -> plans
+
+(** [count_cost] is charged at every path-count/path-end point:
+    [`Hash] for the paper's perfect profiler (inserted hash call),
+    [`Array] for classic BLPP's array-indexed counter, [`None] for PEP,
+    which charges sampling costs itself in [on_path_end].
+
+    [on_register] is invoked at {e every} yieldpoint of a planned method
+    with the live path-register value, before any path-end processing —
+    the "pass r to the yieldpoint handler" of paper §4.3.  Mid-path
+    values identify the partially taken path
+    ({!Reconstruct.partial_dag_path}, paper §3.2). *)
+val path_hooks :
+  ?on_register:
+    (Machine.t -> Interp.frame -> Cfg.block_id -> r:int -> unit) ->
+  plans:plans ->
+  count_cost:[ `Hash | `Array | `None ] ->
+  on_path_end:(Machine.t -> Interp.frame -> path_id:int -> unit) ->
+  unit ->
+  Interp.hooks
+
+(** Hooks of baseline-style edge instrumentation: bump the taken or
+    not-taken counter of every executed conditional branch, charging
+    [edge_count] cycles each ([charge] false turns the cost off, e.g.
+    when modelling hardware-collected profiles). *)
+val edge_count_hooks :
+  ?charge:bool -> Machine.t -> table:Edge_profile.table -> Interp.hooks

@@ -1,0 +1,81 @@
+let dag_path numbering path_id =
+  let dag = Numbering.dag numbering in
+  let n = Numbering.n_paths numbering in
+  if path_id < 0 || path_id >= n then
+    invalid_arg
+      (Fmt.str "Reconstruct.dag_path: id %d outside [0, %d)" path_id n);
+  let exit_node = Dag.exit_node dag in
+  let rec walk node rem acc =
+    if node = exit_node then List.rev acc
+    else begin
+      let e =
+        List.find
+          (fun (e : Dag.edge) ->
+            let v = Numbering.value numbering e in
+            rem >= v && rem < v + Numbering.num_paths_from numbering e.edst)
+          (Dag.out_edges dag node)
+      in
+      walk e.edst (rem - Numbering.value numbering e) (e :: acc)
+    end
+  in
+  walk (Dag.entry_node dag) path_id []
+
+let cfg_edges numbering path_id =
+  List.filter_map
+    (fun (e : Dag.edge) ->
+      match e.origin with
+      | Dag.Real ce -> Some ce
+      | Dag.From_entry _ | Dag.To_exit _ -> None)
+    (dag_path numbering path_id)
+
+let n_branches numbering path_id =
+  List.length
+    (List.filter
+       (fun (e : Cfg.edge) ->
+         match e.attr with
+         | Cfg.Taken _ | Cfg.Not_taken _ -> true
+         | Cfg.Seq -> false)
+       (cfg_edges numbering path_id))
+
+let id_of_dag_path numbering edges =
+  List.fold_left (fun acc e -> acc + Numbering.value numbering e) 0 edges
+
+(* A partial sum at node [w] is a prefix of some complete path, so it is
+   bounded by [num_paths_from w); the interval argument that makes full
+   reconstruction greedy therefore applies step by step to prefixes too. *)
+let partial_dag_path numbering ~stop_node partial_sum =
+  let dag = Numbering.dag numbering in
+  let fail () =
+    invalid_arg
+      (Fmt.str "Reconstruct.partial_dag_path: sum %d cannot reach node %d"
+         partial_sum stop_node)
+  in
+  let rec walk node rem acc =
+    if node = stop_node then begin
+      if rem <> 0 then fail ();
+      List.rev acc
+    end
+    else
+      match
+        List.find_opt
+          (fun (e : Dag.edge) ->
+            let v = Numbering.value numbering e in
+            rem >= v && rem < v + Numbering.num_paths_from numbering e.edst)
+          (Dag.out_edges dag node)
+      with
+      | Some e -> walk e.edst (rem - Numbering.value numbering e) (e :: acc)
+      | None -> fail ()
+  in
+  if partial_sum < 0 then fail ();
+  walk (Dag.entry_node dag) partial_sum []
+
+let real_edges dag_edges =
+  List.filter_map
+    (fun (e : Dag.edge) ->
+      match e.origin with
+      | Dag.Real ce -> Some ce
+      | Dag.From_entry _ | Dag.To_exit _ -> None)
+    dag_edges
+
+let partial_cfg_edges numbering ~stop_node partial_sum =
+  real_edges (partial_dag_path numbering ~stop_node partial_sum)

@@ -1,0 +1,38 @@
+(** Greedy reconstruction of a path from its Ball-Larus path number
+    (paper §3.3): walk the DAG from its entry, at each node following the
+    unique out-edge whose value interval contains the remaining number.
+
+    Works for both {!Numbering.ball_larus} and {!Numbering.smart}, whose
+    out-edge values are prefix sums in some order and therefore partition
+    the node's number range. *)
+
+(** Full DAG path, dummy edges included.
+    @raise Invalid_argument if the id is outside [0, n_paths). *)
+val dag_path : Numbering.t -> int -> Dag.edge list
+
+(** The path's real CFG edges, in path order (dummies dropped). *)
+val cfg_edges : Numbering.t -> int -> Cfg.edge list
+
+(** Number of conditional-branch edges on the path — the path's length in
+    branches, [b_p] of the branch-flow metric. *)
+val n_branches : Numbering.t -> int -> int
+
+(** [id_of_dag_path numbering edges] is the inverse of {!dag_path}: the
+    sum of the path's edge values. *)
+val id_of_dag_path : Numbering.t -> Dag.edge list -> int
+
+(** Partial-path reconstruction (paper §3.2): in a system without
+    thread-switching points, a sample can land mid-path, delivering the
+    partial sum accumulated so far and the sampled program point.  The
+    same greedy walk recovers the partially taken path: at each node take
+    the out-edge with the largest value not exceeding the remainder,
+    stopping at [stop_node].
+
+    @raise Invalid_argument if [partial_sum] cannot reach [stop_node]
+    (the pair did not come from a real execution of this numbering). *)
+val partial_dag_path :
+  Numbering.t -> stop_node:Dag.node -> int -> Dag.edge list
+
+(** Real CFG edges of the partial path. *)
+val partial_cfg_edges :
+  Numbering.t -> stop_node:Dag.node -> int -> Cfg.edge list

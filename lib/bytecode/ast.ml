@@ -1,0 +1,83 @@
+type expr =
+  | Int of int
+  | Var of string
+  | Global of int
+  | Heap of expr
+  | Bin of Instr.binop * expr * expr
+  | Rel of Instr.cmp * expr * expr
+  | Not of expr
+  | Neg of expr
+  | Call of string * expr list
+  | Rand of int
+
+type stmt =
+  | Set of string * expr
+  | Set_global of int * expr
+  | Set_heap of expr * expr
+  | If of expr * stmt list * stmt list
+  | While of expr * stmt list
+  | Do_while of stmt list * expr
+  | For of string * expr * expr * stmt list
+  | Switch of expr * (int * stmt list) list * stmt list
+  | Break
+  | Continue
+  | Expr of expr
+  | Return of expr
+
+type mdef = {
+  mname : string;
+  params : string list;
+  muninterruptible : bool;
+  body : stmt list;
+}
+
+let i k = Int k
+let v name = Var name
+let g idx = Global idx
+let h e = Heap e
+let add a b = Bin (Instr.Add, a, b)
+let sub a b = Bin (Instr.Sub, a, b)
+let mul a b = Bin (Instr.Mul, a, b)
+let div a b = Bin (Instr.Div, a, b)
+let rem a b = Bin (Instr.Rem, a, b)
+let band a b = Bin (Instr.And, a, b)
+let bor a b = Bin (Instr.Or, a, b)
+let bxor a b = Bin (Instr.Xor, a, b)
+let shl a b = Bin (Instr.Shl, a, b)
+let shr a b = Bin (Instr.Shr, a, b)
+let eq a b = Rel (Instr.Eq, a, b)
+let ne a b = Rel (Instr.Ne, a, b)
+let lt a b = Rel (Instr.Lt, a, b)
+let le a b = Rel (Instr.Le, a, b)
+let gt a b = Rel (Instr.Gt, a, b)
+let ge a b = Rel (Instr.Ge, a, b)
+let not_ e = Not e
+let neg e = Neg e
+let call name args = Call (name, args)
+let rnd n = Rand n
+let set name e = Set (name, e)
+let gset idx e = Set_global (idx, e)
+let hset idx e = Set_heap (idx, e)
+let if_ c t e = If (c, t, e)
+let while_ c body = While (c, body)
+let dowhile body c = Do_while (body, c)
+let for_ name lo hi body = For (name, lo, hi, body)
+let switch e cases default = Switch (e, cases, default)
+let break_ = Break
+let continue_ = Continue
+let expr e = Expr e
+let ret e = Return e
+
+type pdef = {
+  pname : string;
+  globals : int;
+  heap : int;
+  pmain : string;
+  methods : mdef list;
+}
+
+let mdef ?(uninterruptible = false) mname ~params body =
+  { mname; params; muninterruptible = uninterruptible; body }
+
+let pdef ?(globals = 16) ?(heap = 4096) ?(main = "main") pname methods =
+  { pname; globals; heap; pmain = main; methods }

@@ -1,0 +1,94 @@
+(** Structured surface language for writing workloads.
+
+    Programs are written as an AST (directly in OCaml or via {!Parse}) and
+    lowered to bytecode by {!Compile}.  Variables are named; locals are
+    zero-initialized.  [For (v, lo, hi, body)] iterates [v] from [lo] while
+    [v < hi], incrementing by one after each iteration ([Continue] jumps to
+    the increment, as in Java).  [Switch] dispatches on integer cases with
+    a default. *)
+
+type expr =
+  | Int of int
+  | Var of string
+  | Global of int  (** global scalar [G\[i\]] *)
+  | Heap of expr  (** heap cell [H\[e\]] *)
+  | Bin of Instr.binop * expr * expr
+  | Rel of Instr.cmp * expr * expr
+  | Not of expr
+  | Neg of expr
+  | Call of string * expr list
+  | Rand of int  (** deterministic pseudo-random in [0, n) *)
+
+type stmt =
+  | Set of string * expr
+  | Set_global of int * expr
+  | Set_heap of expr * expr  (** [H\[e1\] := e2] *)
+  | If of expr * stmt list * stmt list
+  | While of expr * stmt list
+  | Do_while of stmt list * expr
+  | For of string * expr * expr * stmt list
+  | Switch of expr * (int * stmt list) list * stmt list
+  | Break
+  | Continue
+  | Expr of expr  (** evaluate for effect, discard the value *)
+  | Return of expr
+
+type mdef = {
+  mname : string;
+  params : string list;
+  muninterruptible : bool;
+  body : stmt list;
+}
+
+type pdef = {
+  pname : string;
+  globals : int;
+  heap : int;
+  pmain : string;
+  methods : mdef list;
+}
+
+(** Convenience constructors, designed to be [open]ed in workload code. *)
+
+val i : int -> expr
+val v : string -> expr
+val g : int -> expr
+val h : expr -> expr
+val add : expr -> expr -> expr
+val sub : expr -> expr -> expr
+val mul : expr -> expr -> expr
+val div : expr -> expr -> expr
+val rem : expr -> expr -> expr
+val band : expr -> expr -> expr
+val bor : expr -> expr -> expr
+val bxor : expr -> expr -> expr
+val shl : expr -> expr -> expr
+val shr : expr -> expr -> expr
+val eq : expr -> expr -> expr
+val ne : expr -> expr -> expr
+val lt : expr -> expr -> expr
+val le : expr -> expr -> expr
+val gt : expr -> expr -> expr
+val ge : expr -> expr -> expr
+val not_ : expr -> expr
+val neg : expr -> expr
+val call : string -> expr list -> expr
+val rnd : int -> expr
+val set : string -> expr -> stmt
+val gset : int -> expr -> stmt
+val hset : expr -> expr -> stmt
+val if_ : expr -> stmt list -> stmt list -> stmt
+val while_ : expr -> stmt list -> stmt
+val dowhile : stmt list -> expr -> stmt
+val for_ : string -> expr -> expr -> stmt list -> stmt
+val switch : expr -> (int * stmt list) list -> stmt list -> stmt
+val break_ : stmt
+val continue_ : stmt
+val expr : expr -> stmt
+val ret : expr -> stmt
+
+val mdef :
+  ?uninterruptible:bool -> string -> params:string list -> stmt list -> mdef
+
+val pdef :
+  ?globals:int -> ?heap:int -> ?main:string -> string -> mdef list -> pdef

@@ -1,0 +1,304 @@
+exception Error of string
+
+let error fmt = Fmt.kstr (fun s -> raise (Error s)) fmt
+
+type blk = { mutable body_rev : Instr.t list; mutable term : Method.term option }
+type loop_frame = { continue_to : int; break_to : int }
+
+type ctx = {
+  mname : string;
+  blocks : (int, blk) Hashtbl.t;
+  mutable n_blocks : int;
+  mutable n_branches : int;
+  slots : (string, int) Hashtbl.t;
+  mutable n_slots : int;
+  exit_block : int;
+  mutable loop_stack : loop_frame list;
+}
+
+let new_block ctx =
+  let id = ctx.n_blocks in
+  ctx.n_blocks <- id + 1;
+  Hashtbl.replace ctx.blocks id { body_rev = []; term = None };
+  id
+
+let blk ctx id = Hashtbl.find ctx.blocks id
+let emit ctx id ins = (blk ctx id).body_rev <- ins :: (blk ctx id).body_rev
+
+let set_term ctx id term =
+  let b = blk ctx id in
+  assert (b.term = None);
+  b.term <- Some term
+
+let fresh_branch ctx =
+  let id = ctx.n_branches in
+  ctx.n_branches <- id + 1;
+  id
+
+let slot_of ctx name =
+  match Hashtbl.find_opt ctx.slots name with
+  | Some s -> s
+  | None ->
+      let s = ctx.n_slots in
+      ctx.n_slots <- s + 1;
+      Hashtbl.replace ctx.slots name s;
+      s
+
+let rec eval ctx cur (e : Ast.expr) =
+  match e with
+  | Int k -> emit ctx cur (Instr.Const k)
+  | Var n -> emit ctx cur (Instr.Load (slot_of ctx n))
+  | Global ix -> emit ctx cur (Instr.GLoad ix)
+  | Heap idx ->
+      eval ctx cur idx;
+      emit ctx cur Instr.AGet
+  | Bin (op, a, b) ->
+      eval ctx cur a;
+      eval ctx cur b;
+      emit ctx cur (Instr.Binop op)
+  | Rel (c, a, b) ->
+      eval ctx cur a;
+      eval ctx cur b;
+      emit ctx cur (Instr.Cmp c)
+  | Not e ->
+      eval ctx cur e;
+      emit ctx cur Instr.Not
+  | Neg e ->
+      eval ctx cur e;
+      emit ctx cur Instr.Neg
+  | Call (callee, args) ->
+      List.iter (eval ctx cur) args;
+      emit ctx cur (Instr.Call (callee, List.length args))
+  | Rand n ->
+      if n <= 0 then error "%s: rand %d needs a positive bound" ctx.mname n;
+      emit ctx cur (Instr.Rand n)
+
+(* Compile a statement into the open block [cur]; return the block where
+   control continues, or [None] if the statement terminated control flow. *)
+let rec stmt ctx cur (s : Ast.stmt) =
+  match s with
+  | Set (n, e) ->
+      eval ctx cur e;
+      emit ctx cur (Instr.Store (slot_of ctx n));
+      Some cur
+  | Set_global (ix, e) ->
+      eval ctx cur e;
+      emit ctx cur (Instr.GStore ix);
+      Some cur
+  | Set_heap (idx, value) ->
+      eval ctx cur idx;
+      eval ctx cur value;
+      emit ctx cur Instr.ASet;
+      Some cur
+  | Expr e ->
+      eval ctx cur e;
+      emit ctx cur Instr.Pop;
+      Some cur
+  | Return e ->
+      eval ctx cur e;
+      set_term ctx cur (Jmp ctx.exit_block);
+      None
+  | Break -> (
+      match ctx.loop_stack with
+      | [] -> error "%s: break outside a loop" ctx.mname
+      | f :: _ ->
+          set_term ctx cur (Jmp f.break_to);
+          None)
+  | Continue -> (
+      match ctx.loop_stack with
+      | [] -> error "%s: continue outside a loop" ctx.mname
+      | f :: _ ->
+          set_term ctx cur (Jmp f.continue_to);
+          None)
+  | If (c, thens, elses) -> (
+      eval ctx cur c;
+      let tb = new_block ctx and eb = new_block ctx in
+      set_term ctx cur
+        (Br { branch = fresh_branch ctx; on_true = tb; on_false = eb });
+      let tend = stmts ctx tb thens and eend = stmts ctx eb elses in
+      match (tend, eend) with
+      | None, None -> None
+      | _ ->
+          let join = new_block ctx in
+          Option.iter (fun b -> set_term ctx b (Jmp join)) tend;
+          Option.iter (fun b -> set_term ctx b (Jmp join)) eend;
+          Some join)
+  | While (c, body) ->
+      let header = new_block ctx in
+      set_term ctx cur (Jmp header);
+      let body_b = new_block ctx and after = new_block ctx in
+      eval ctx header c;
+      set_term ctx header
+        (Br { branch = fresh_branch ctx; on_true = body_b; on_false = after });
+      ctx.loop_stack <- { continue_to = header; break_to = after } :: ctx.loop_stack;
+      let bend = stmts ctx body_b body in
+      ctx.loop_stack <- List.tl ctx.loop_stack;
+      Option.iter (fun b -> set_term ctx b (Jmp header)) bend;
+      Some after
+  | Do_while (body, c) ->
+      let body_b = new_block ctx in
+      set_term ctx cur (Jmp body_b);
+      let cond_b = new_block ctx and after = new_block ctx in
+      ctx.loop_stack <- { continue_to = cond_b; break_to = after } :: ctx.loop_stack;
+      let bend = stmts ctx body_b body in
+      ctx.loop_stack <- List.tl ctx.loop_stack;
+      Option.iter (fun b -> set_term ctx b (Jmp cond_b)) bend;
+      eval ctx cond_b c;
+      set_term ctx cond_b
+        (Br { branch = fresh_branch ctx; on_true = body_b; on_false = after });
+      Some after
+  | For (name, lo, hi, body) ->
+      let slot = slot_of ctx name in
+      eval ctx cur lo;
+      emit ctx cur (Instr.Store slot);
+      let header = new_block ctx in
+      set_term ctx cur (Jmp header);
+      let body_b = new_block ctx
+      and update = new_block ctx
+      and after = new_block ctx in
+      eval ctx header (Rel (Instr.Lt, Var name, hi));
+      set_term ctx header
+        (Br { branch = fresh_branch ctx; on_true = body_b; on_false = after });
+      ctx.loop_stack <- { continue_to = update; break_to = after } :: ctx.loop_stack;
+      let bend = stmts ctx body_b body in
+      ctx.loop_stack <- List.tl ctx.loop_stack;
+      Option.iter (fun b -> set_term ctx b (Jmp update)) bend;
+      emit ctx update (Instr.Inc (slot, 1));
+      set_term ctx update (Jmp header);
+      Some after
+  | Switch (e, cases, default) ->
+      let scratch = slot_of ctx (Fmt.str "$sw%d" ctx.n_branches) in
+      eval ctx cur e;
+      emit ctx cur (Instr.Store scratch);
+      let open_ends = ref [] in
+      let chain =
+        List.fold_left
+          (fun chain (k, body) ->
+            emit ctx chain (Instr.Load scratch);
+            emit ctx chain (Instr.Const k);
+            emit ctx chain (Instr.Cmp Instr.Eq);
+            let case_b = new_block ctx and next_b = new_block ctx in
+            set_term ctx chain
+              (Br { branch = fresh_branch ctx; on_true = case_b; on_false = next_b });
+            (match stmts ctx case_b body with
+            | Some b -> open_ends := b :: !open_ends
+            | None -> ());
+            next_b)
+          cur cases
+      in
+      (match stmts ctx chain default with
+      | Some b -> open_ends := b :: !open_ends
+      | None -> ());
+      if !open_ends = [] then None
+      else begin
+        let join = new_block ctx in
+        List.iter (fun b -> set_term ctx b (Jmp join)) !open_ends;
+        Some join
+      end
+
+and stmts ctx cur = function
+  | [] -> Some cur
+  | s :: rest -> (
+      match stmt ctx cur s with
+      | Some next -> stmts ctx next rest
+      | None -> None (* drop unreachable statements *))
+
+let term_successors : Method.term -> int list = function
+  | Ret -> []
+  | Jmp b -> [ b ]
+  | Br { on_true; on_false; _ } -> [ on_true; on_false ]
+
+(* Drop blocks unreachable from the entry (e.g. a do-while condition whose
+   body always breaks) and renumber densely. *)
+let prune ~mname ~entry ~exit_ (blocks : Method.block array) =
+  let n = Array.length blocks in
+  let seen = Array.make n false in
+  let rec go b =
+    if not seen.(b) then begin
+      seen.(b) <- true;
+      List.iter go (term_successors blocks.(b).term)
+    end
+  in
+  go entry;
+  if not seen.(exit_) then
+    error "%s: method cannot reach its exit (infinite loop with no break?)" mname;
+  let remap = Array.make n (-1) in
+  let next = ref 0 in
+  for b = 0 to n - 1 do
+    if seen.(b) then begin
+      remap.(b) <- !next;
+      incr next
+    end
+  done;
+  let retarget (t : Method.term) : Method.term =
+    match t with
+    | Ret -> Ret
+    | Jmp b -> Jmp remap.(b)
+    | Br { branch; on_true; on_false } ->
+        Br { branch; on_true = remap.(on_true); on_false = remap.(on_false) }
+  in
+  let kept = ref [] in
+  for b = n - 1 downto 0 do
+    if seen.(b) then
+      kept := { blocks.(b) with term = retarget blocks.(b).term } :: !kept
+  done;
+  (Array.of_list !kept, remap.(entry), remap.(exit_))
+
+let method_ (def : Ast.mdef) =
+  let ctx =
+    {
+      mname = def.mname;
+      blocks = Hashtbl.create 32;
+      n_blocks = 0;
+      n_branches = 0;
+      slots = Hashtbl.create 16;
+      n_slots = 0;
+      exit_block = 1;
+      loop_stack = [];
+    }
+  in
+  let entry = new_block ctx in
+  let exit_ = new_block ctx in
+  assert (entry = 0 && exit_ = ctx.exit_block);
+  set_term ctx exit_ Method.Ret;
+  List.iter
+    (fun p ->
+      if Hashtbl.mem ctx.slots p then
+        error "%s: duplicate parameter %s" def.mname p;
+      ignore (slot_of ctx p))
+    def.params;
+  let start = new_block ctx in
+  set_term ctx entry (Jmp start);
+  (match stmts ctx start def.body with
+  | Some last ->
+      emit ctx last (Instr.Const 0);
+      set_term ctx last (Jmp exit_)
+  | None -> ());
+  let blocks =
+    Array.init ctx.n_blocks (fun id ->
+        let b = blk ctx id in
+        match b.term with
+        | Some term ->
+            { Method.body = Array.of_list (List.rev b.body_rev); term }
+        | None ->
+            (* only unreachable blocks may be left open; give them a
+               harmless terminator, pruning will drop them *)
+            { Method.body = Array.of_list (List.rev b.body_rev); term = Jmp id })
+  in
+  let blocks, entry, exit_ = prune ~mname:def.mname ~entry ~exit_ blocks in
+  {
+    Method.name = def.mname;
+    nparams = List.length def.params;
+    nlocals = ctx.n_slots;
+    blocks;
+    entry;
+    exit_;
+    uninterruptible = def.muninterruptible;
+  }
+
+let program ~name ?(n_globals = 16) ?(heap_size = 4096) ~main defs =
+  Program.create ~name ~n_globals ~heap_size ~main (List.map method_ defs)
+
+let pdef (d : Ast.pdef) =
+  program ~name:d.pname ~n_globals:d.globals ~heap_size:d.heap ~main:d.pmain
+    d.methods

@@ -1,0 +1,31 @@
+(** Lowering from the structured {!Ast} to bytecode {!Method}s.
+
+    The generated method always has a dedicated entry block (id 0, never a
+    branch target) and a single exit block (id 1) holding the only [Ret] —
+    the shape {!To_cfg} requires.  Falling off the end of a method body
+    returns 0.  Each conditional construct receives a fresh bytecode branch
+    id, in source order.  [Switch] is lowered to an if-chain on a scratch
+    local (cases do not fall through).  Unreachable statements after
+    [Return]/[Break]/[Continue] are dropped, and unreachable blocks are
+    pruned. *)
+
+exception Error of string
+
+(** @raise Error on [Break]/[Continue] outside a loop, [Rand n] with
+    [n <= 0], duplicate parameter names, or a method that provably cannot
+    reach its exit (e.g. an infinite loop with no break). *)
+val method_ : Ast.mdef -> Method.t
+
+(** Compile and link a whole program.
+    @raise Error as {!method_}.
+    @raise Program.Link_error on unresolved or ill-arity calls. *)
+val program :
+  name:string ->
+  ?n_globals:int ->
+  ?heap_size:int ->
+  main:string ->
+  Ast.mdef list ->
+  Program.t
+
+(** [pdef d] compiles a whole program definition. *)
+val pdef : Ast.pdef -> Program.t

@@ -1,0 +1,94 @@
+type binop = Add | Sub | Mul | Div | Rem | And | Or | Xor | Shl | Shr
+type cmp = Eq | Ne | Lt | Le | Gt | Ge
+
+type t =
+  | Const of int
+  | Load of int
+  | Store of int
+  | Inc of int * int
+  | Binop of binop
+  | Cmp of cmp
+  | Neg
+  | Not
+  | Dup
+  | Pop
+  | GLoad of int
+  | GStore of int
+  | AGet
+  | ASet
+  | Call of string * int
+  | Rand of int
+
+let stack_effect = function
+  | Const _ | Load _ | GLoad _ | Rand _ -> (0, 1)
+  | Store _ | GStore _ | Pop -> (1, 0)
+  | Inc _ -> (0, 0)
+  | Binop _ | Cmp _ -> (2, 1)
+  | Neg | Not | AGet -> (1, 1)
+  | Dup -> (1, 2)
+  | ASet -> (2, 0)
+  | Call (_, argc) -> (argc, 1)
+
+let eval_binop op a b =
+  match op with
+  | Add -> a + b
+  | Sub -> a - b
+  | Mul -> a * b
+  | Div -> if b = 0 then 0 else a / b
+  | Rem -> if b = 0 then 0 else a mod b
+  | And -> a land b
+  | Or -> a lor b
+  | Xor -> a lxor b
+  | Shl -> a lsl (b land 63)
+  | Shr -> a asr (b land 63)
+
+let eval_cmp c a b =
+  match c with
+  | Eq -> a = b
+  | Ne -> a <> b
+  | Lt -> a < b
+  | Le -> a <= b
+  | Gt -> a > b
+  | Ge -> a >= b
+
+let pp_binop ppf op =
+  Fmt.string ppf
+    (match op with
+    | Add -> "add"
+    | Sub -> "sub"
+    | Mul -> "mul"
+    | Div -> "div"
+    | Rem -> "rem"
+    | And -> "and"
+    | Or -> "or"
+    | Xor -> "xor"
+    | Shl -> "shl"
+    | Shr -> "shr")
+
+let pp_cmp ppf c =
+  Fmt.string ppf
+    (match c with
+    | Eq -> "eq"
+    | Ne -> "ne"
+    | Lt -> "lt"
+    | Le -> "le"
+    | Gt -> "gt"
+    | Ge -> "ge")
+
+let pp ppf = function
+  | Const k -> Fmt.pf ppf "const %d" k
+  | Load l -> Fmt.pf ppf "load %d" l
+  | Store l -> Fmt.pf ppf "store %d" l
+  | Inc (l, k) -> Fmt.pf ppf "inc %d %d" l k
+  | Binop op -> pp_binop ppf op
+  | Cmp c -> Fmt.pf ppf "cmp.%a" pp_cmp c
+  | Neg -> Fmt.string ppf "neg"
+  | Not -> Fmt.string ppf "not"
+  | Dup -> Fmt.string ppf "dup"
+  | Pop -> Fmt.string ppf "pop"
+  | GLoad g -> Fmt.pf ppf "gload %d" g
+  | GStore g -> Fmt.pf ppf "gstore %d" g
+  | AGet -> Fmt.string ppf "aget"
+  | ASet -> Fmt.string ppf "aset"
+  | Call (m, argc) -> Fmt.pf ppf "call %s/%d" m argc
+  | Rand n -> Fmt.pf ppf "rand %d" n

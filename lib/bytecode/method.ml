@@ -1,0 +1,47 @@
+type term =
+  | Ret
+  | Jmp of int
+  | Br of { branch : Cfg.branch_id; on_true : int; on_false : int }
+
+type block = { body : Instr.t array; term : term }
+
+type t = {
+  name : string;
+  nparams : int;
+  nlocals : int;
+  blocks : block array;
+  entry : int;
+  exit_ : int;
+  uninterruptible : bool;
+}
+
+let branch_ids t =
+  let ids =
+    Array.fold_left
+      (fun acc b ->
+        match b.term with Br { branch; _ } -> branch :: acc | Ret | Jmp _ -> acc)
+      [] t.blocks
+  in
+  List.sort_uniq compare ids
+
+let n_branches t = List.length (branch_ids t)
+let size t = Array.fold_left (fun n b -> n + Array.length b.body) 0 t.blocks
+
+let pp_term ppf = function
+  | Ret -> Fmt.string ppf "ret"
+  | Jmp b -> Fmt.pf ppf "jmp B%d" b
+  | Br { branch; on_true; on_false } ->
+      Fmt.pf ppf "br%d B%d B%d" branch on_true on_false
+
+let pp ppf t =
+  Fmt.pf ppf "@[<v>method %s params=%d locals=%d%s@," t.name t.nparams t.nlocals
+    (if t.uninterruptible then " uninterruptible" else "");
+  Array.iteri
+    (fun i b ->
+      Fmt.pf ppf "  B%d:%s%s@," i
+        (if i = t.entry then " (entry)" else "")
+        (if i = t.exit_ then " (exit)" else "");
+      Array.iter (fun ins -> Fmt.pf ppf "    %a@," Instr.pp ins) b.body;
+      Fmt.pf ppf "    %a@," pp_term b.term)
+    t.blocks;
+  Fmt.pf ppf "@]"

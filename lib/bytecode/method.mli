@@ -1,0 +1,38 @@
+(** Bytecode methods.
+
+    A method body is an array of basic blocks, each ending in a terminator.
+    Block ids are array indices.  Well-formed methods (as produced by
+    {!Compile} and checked by {!Verify}) have a dedicated entry block that
+    is never a branch target and a single exit block holding the only
+    [Ret]; {!To_cfg} relies on this shape. *)
+
+type term =
+  | Ret  (** pop the return value; only in the exit block *)
+  | Jmp of int
+  | Br of { branch : Cfg.branch_id; on_true : int; on_false : int }
+      (** pop the condition; nonzero takes [on_true] *)
+
+type block = { body : Instr.t array; term : term }
+
+type t = {
+  name : string;
+  nparams : int;
+  nlocals : int;  (** total locals including parameters (slots 0..nparams-1) *)
+  blocks : block array;
+  entry : int;
+  exit_ : int;
+  uninterruptible : bool;
+      (** no yieldpoints anywhere in the method (paper §4.3) *)
+}
+
+(** Number of conditional branches ([Br] terminators count one each;
+    duplicated branches sharing a branch id count once). *)
+val n_branches : t -> int
+
+(** All branch ids, deduplicated, increasing. *)
+val branch_ids : t -> Cfg.branch_id list
+
+(** Static instruction count (bodies only). *)
+val size : t -> int
+
+val pp : t Fmt.t

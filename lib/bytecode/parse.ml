@@ -1,0 +1,486 @@
+exception Error of string
+
+type token =
+  | INT of int
+  | IDENT of string
+  | KW of string
+  | PUNCT of string
+  | EOF
+
+let keywords =
+  [
+    "program"; "globals"; "heap"; "main"; "method"; "uninterruptible"; "if";
+    "else"; "while"; "do"; "for"; "switch"; "case"; "default"; "break";
+    "continue"; "return"; "rand"; "g"; "h";
+  ]
+
+type lexer = {
+  src : string;
+  mutable pos : int;
+  mutable line : int;
+  mutable col : int;
+  mutable tok : token;
+  mutable tok_line : int;
+  mutable tok_col : int;
+}
+
+let fail lx fmt =
+  Fmt.kstr (fun msg -> raise (Error (Fmt.str "%d:%d: %s" lx.tok_line lx.tok_col msg))) fmt
+
+let peek_char lx = if lx.pos >= String.length lx.src then '\000' else lx.src.[lx.pos]
+let peek2_char lx =
+  if lx.pos + 1 >= String.length lx.src then '\000' else lx.src.[lx.pos + 1]
+
+let advance_char lx =
+  if peek_char lx = '\n' then begin
+    lx.line <- lx.line + 1;
+    lx.col <- 1
+  end
+  else lx.col <- lx.col + 1;
+  lx.pos <- lx.pos + 1
+
+let rec skip_ws lx =
+  match peek_char lx with
+  | ' ' | '\t' | '\r' | '\n' ->
+      advance_char lx;
+      skip_ws lx
+  | '/' when peek2_char lx = '/' ->
+      while peek_char lx <> '\n' && peek_char lx <> '\000' do
+        advance_char lx
+      done;
+      skip_ws lx
+  | '/' when peek2_char lx = '*' ->
+      advance_char lx;
+      advance_char lx;
+      let rec close () =
+        match peek_char lx with
+        | '\000' -> fail lx "unterminated block comment"
+        | '*' when peek2_char lx = '/' ->
+            advance_char lx;
+            advance_char lx
+        | _ ->
+            advance_char lx;
+            close ()
+      in
+      close ();
+      skip_ws lx
+  | _ -> ()
+
+let is_ident_char c =
+  (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') || (c >= '0' && c <= '9')
+  || c = '_' || c = '$'
+
+let is_digit c = c >= '0' && c <= '9'
+
+let scan lx =
+  skip_ws lx;
+  lx.tok_line <- lx.line;
+  lx.tok_col <- lx.col;
+  let c = peek_char lx in
+  if c = '\000' then lx.tok <- EOF
+  else if is_digit c then begin
+    let start = lx.pos in
+    while is_digit (peek_char lx) do
+      advance_char lx
+    done;
+    lx.tok <- INT (int_of_string (String.sub lx.src start (lx.pos - start)))
+  end
+  else if is_ident_char c && not (is_digit c) then begin
+    let start = lx.pos in
+    while is_ident_char (peek_char lx) do
+      advance_char lx
+    done;
+    let word = String.sub lx.src start (lx.pos - start) in
+    lx.tok <- (if List.mem word keywords then KW word else IDENT word)
+  end
+  else begin
+    let two = Fmt.str "%c%c" c (peek2_char lx) in
+    let punct2 = [ "=="; "!="; "<="; ">="; "<<"; ">>" ] in
+    if List.mem two punct2 then begin
+      advance_char lx;
+      advance_char lx;
+      lx.tok <- PUNCT two
+    end
+    else
+      match c with
+      | '(' | ')' | '{' | '}' | '[' | ']' | ';' | ',' | ':' | '=' | '+' | '-'
+      | '*' | '/' | '%' | '&' | '|' | '^' | '<' | '>' | '!' ->
+          advance_char lx;
+          lx.tok <- PUNCT (String.make 1 c)
+      | _ -> fail lx "unexpected character %C" c
+  end
+
+let make_lexer src =
+  let lx =
+    { src; pos = 0; line = 1; col = 1; tok = EOF; tok_line = 1; tok_col = 1 }
+  in
+  scan lx;
+  lx
+
+let describe = function
+  | INT k -> Fmt.str "integer %d" k
+  | IDENT s -> Fmt.str "identifier %s" s
+  | KW s -> Fmt.str "keyword %s" s
+  | PUNCT s -> Fmt.str "%S" s
+  | EOF -> "end of input"
+
+let eat_punct lx p =
+  match lx.tok with
+  | PUNCT q when q = p -> scan lx
+  | t -> fail lx "expected %S, found %s" p (describe t)
+
+let eat_kw lx k =
+  match lx.tok with
+  | KW q when q = k -> scan lx
+  | t -> fail lx "expected %s, found %s" k (describe t)
+
+let eat_ident lx =
+  match lx.tok with
+  | IDENT s ->
+      scan lx;
+      s
+  | t -> fail lx "expected identifier, found %s" (describe t)
+
+let eat_int lx =
+  match lx.tok with
+  | INT k ->
+      scan lx;
+      k
+  | t -> fail lx "expected integer, found %s" (describe t)
+
+(* --- expressions, precedence-climbing (levels shared with Pretty) --- *)
+
+let binop_of = function
+  | "|" -> Some Instr.Or
+  | "^" -> Some Instr.Xor
+  | "&" -> Some Instr.And
+  | "<<" -> Some Instr.Shl
+  | ">>" -> Some Instr.Shr
+  | "+" -> Some Instr.Add
+  | "-" -> Some Instr.Sub
+  | "*" -> Some Instr.Mul
+  | "/" -> Some Instr.Div
+  | "%" -> Some Instr.Rem
+  | _ -> None
+
+let cmp_of = function
+  | "==" -> Some Instr.Eq
+  | "!=" -> Some Instr.Ne
+  | "<" -> Some Instr.Lt
+  | "<=" -> Some Instr.Le
+  | ">" -> Some Instr.Gt
+  | ">=" -> Some Instr.Ge
+  | _ -> None
+
+let level_of_punct p =
+  match p with
+  | "|" | "^" -> Some 1
+  | "&" -> Some 2
+  | "==" | "!=" | "<" | "<=" | ">" | ">=" -> Some 3
+  | "<<" | ">>" -> Some 4
+  | "+" | "-" -> Some 5
+  | "*" | "/" | "%" -> Some 6
+  | _ -> None
+
+let rec parse_expr lx level : Ast.expr =
+  if level >= 7 then parse_unary lx
+  else
+    let lhs = ref (parse_expr lx (level + 1)) in
+    let continue = ref true in
+    while !continue do
+      match lx.tok with
+      | PUNCT p when level_of_punct p = Some level ->
+          scan lx;
+          let rhs = parse_expr lx (level + 1) in
+          lhs :=
+            (match (binop_of p, cmp_of p) with
+            | Some op, _ -> Ast.Bin (op, !lhs, rhs)
+            | None, Some c -> Ast.Rel (c, !lhs, rhs)
+            | None, None -> assert false)
+      | _ -> continue := false
+    done;
+    !lhs
+
+and parse_unary lx : Ast.expr =
+  match lx.tok with
+  | PUNCT "!" ->
+      scan lx;
+      Ast.Not (parse_unary lx)
+  | PUNCT "-" ->
+      scan lx;
+      Ast.Neg (parse_unary lx)
+  | _ -> parse_primary lx
+
+and parse_primary lx : Ast.expr =
+  match lx.tok with
+  | INT k ->
+      scan lx;
+      Ast.Int k
+  | PUNCT "(" ->
+      scan lx;
+      let e = parse_expr lx 1 in
+      eat_punct lx ")";
+      e
+  | KW "g" ->
+      scan lx;
+      eat_punct lx "[";
+      let ix = eat_int lx in
+      eat_punct lx "]";
+      Ast.Global ix
+  | KW "h" ->
+      scan lx;
+      eat_punct lx "[";
+      let e = parse_expr lx 1 in
+      eat_punct lx "]";
+      Ast.Heap e
+  | KW "rand" ->
+      scan lx;
+      eat_punct lx "(";
+      let n = eat_int lx in
+      eat_punct lx ")";
+      Ast.Rand n
+  | IDENT name -> (
+      scan lx;
+      match lx.tok with
+      | PUNCT "(" ->
+          scan lx;
+          let args = parse_args lx in
+          Ast.Call (name, args)
+      | _ -> Ast.Var name)
+  | t -> fail lx "expected expression, found %s" (describe t)
+
+and parse_args lx =
+  match lx.tok with
+  | PUNCT ")" ->
+      scan lx;
+      []
+  | _ ->
+      let rec more acc =
+        let acc = parse_expr lx 1 :: acc in
+        match lx.tok with
+        | PUNCT "," ->
+            scan lx;
+            more acc
+        | _ ->
+            eat_punct lx ")";
+            List.rev acc
+      in
+      more []
+
+(* --- statements --- *)
+
+let rec parse_stmt lx : Ast.stmt =
+  match lx.tok with
+  | KW "if" ->
+      scan lx;
+      eat_punct lx "(";
+      let c = parse_expr lx 1 in
+      eat_punct lx ")";
+      let thens = parse_body lx in
+      let elses =
+        match lx.tok with
+        | KW "else" ->
+            scan lx;
+            parse_body lx
+        | _ -> []
+      in
+      Ast.If (c, thens, elses)
+  | KW "while" ->
+      scan lx;
+      eat_punct lx "(";
+      let c = parse_expr lx 1 in
+      eat_punct lx ")";
+      Ast.While (c, parse_body lx)
+  | KW "do" ->
+      scan lx;
+      let body = parse_body lx in
+      eat_kw lx "while";
+      eat_punct lx "(";
+      let c = parse_expr lx 1 in
+      eat_punct lx ")";
+      eat_punct lx ";";
+      Ast.Do_while (body, c)
+  | KW "for" ->
+      scan lx;
+      eat_punct lx "(";
+      let name = eat_ident lx in
+      eat_punct lx "=";
+      let lo = parse_expr lx 1 in
+      eat_punct lx ";";
+      let name2 = eat_ident lx in
+      if name2 <> name then
+        fail lx "for-loop condition must test %s, found %s" name name2;
+      eat_punct lx "<";
+      let hi = parse_expr lx 1 in
+      eat_punct lx ")";
+      Ast.For (name, lo, hi, parse_body lx)
+  | KW "switch" ->
+      scan lx;
+      eat_punct lx "(";
+      let e = parse_expr lx 1 in
+      eat_punct lx ")";
+      eat_punct lx "{";
+      let cases = ref [] in
+      while lx.tok = KW "case" do
+        scan lx;
+        let k = eat_int lx in
+        eat_punct lx ":";
+        cases := (k, parse_body lx) :: !cases
+      done;
+      eat_kw lx "default";
+      eat_punct lx ":";
+      let default = parse_body lx in
+      eat_punct lx "}";
+      Ast.Switch (e, List.rev !cases, default)
+  | KW "break" ->
+      scan lx;
+      eat_punct lx ";";
+      Ast.Break
+  | KW "continue" ->
+      scan lx;
+      eat_punct lx ";";
+      Ast.Continue
+  | KW "return" ->
+      scan lx;
+      let e = parse_expr lx 1 in
+      eat_punct lx ";";
+      Ast.Return e
+  | KW "g" ->
+      scan lx;
+      eat_punct lx "[";
+      let ix = eat_int lx in
+      eat_punct lx "]";
+      eat_punct lx "=";
+      let e = parse_expr lx 1 in
+      eat_punct lx ";";
+      Ast.Set_global (ix, e)
+  | KW "h" ->
+      scan lx;
+      eat_punct lx "[";
+      let idx = parse_expr lx 1 in
+      eat_punct lx "]";
+      eat_punct lx "=";
+      let e = parse_expr lx 1 in
+      eat_punct lx ";";
+      Ast.Set_heap (idx, e)
+  | IDENT name -> (
+      scan lx;
+      match lx.tok with
+      | PUNCT "=" ->
+          scan lx;
+          let e = parse_expr lx 1 in
+          eat_punct lx ";";
+          Ast.Set (name, e)
+      | PUNCT "(" ->
+          scan lx;
+          let args = parse_args lx in
+          eat_punct lx ";";
+          Ast.Expr (Ast.Call (name, args))
+      | t -> fail lx "expected '=' or '(' after %s, found %s" name (describe t))
+  | t -> fail lx "expected statement, found %s" (describe t)
+
+and parse_body lx : Ast.stmt list =
+  eat_punct lx "{";
+  let rec go acc =
+    match lx.tok with
+    | PUNCT "}" ->
+        scan lx;
+        List.rev acc
+    | _ -> go (parse_stmt lx :: acc)
+  in
+  go []
+
+let parse_mdef lx : Ast.mdef =
+  let uninterruptible =
+    match lx.tok with
+    | KW "uninterruptible" ->
+        scan lx;
+        true
+    | _ -> false
+  in
+  eat_kw lx "method";
+  let name =
+    match lx.tok with
+    | IDENT s ->
+        scan lx;
+        s
+    | KW "main" ->
+        scan lx;
+        "main"
+    | t -> fail lx "expected method name, found %s" (describe t)
+  in
+  eat_punct lx "(";
+  let params =
+    match lx.tok with
+    | PUNCT ")" ->
+        scan lx;
+        []
+    | _ ->
+        let rec more acc =
+          let acc = eat_ident lx :: acc in
+          match lx.tok with
+          | PUNCT "," ->
+              scan lx;
+              more acc
+          | _ ->
+              eat_punct lx ")";
+              List.rev acc
+        in
+        more []
+  in
+  let body = parse_body lx in
+  { Ast.mname = name; params; muninterruptible = uninterruptible; body }
+
+let parse_program lx : Ast.pdef =
+  eat_kw lx "program";
+  let pname = eat_ident lx in
+  eat_punct lx "{";
+  let globals = ref 16 and heap = ref 4096 and pmain = ref "main" in
+  let rec directives () =
+    match lx.tok with
+    | KW "globals" ->
+        scan lx;
+        globals := eat_int lx;
+        eat_punct lx ";";
+        directives ()
+    | KW "heap" ->
+        scan lx;
+        heap := eat_int lx;
+        eat_punct lx ";";
+        directives ()
+    | KW "main" ->
+        scan lx;
+        pmain := eat_ident lx;
+        eat_punct lx ";";
+        directives ()
+    | _ -> ()
+  in
+  directives ();
+  let rec methods acc =
+    match lx.tok with
+    | PUNCT "}" ->
+        scan lx;
+        List.rev acc
+    | _ -> methods (parse_mdef lx :: acc)
+  in
+  let methods = methods [] in
+  (match lx.tok with
+  | EOF -> ()
+  | t -> fail lx "trailing input: %s" (describe t));
+  {
+    Ast.pname;
+    globals = !globals;
+    heap = !heap;
+    pmain = !pmain;
+    methods;
+  }
+
+let program src = parse_program (make_lexer src)
+
+let expr src =
+  let lx = make_lexer src in
+  let e = parse_expr lx 1 in
+  (match lx.tok with
+  | EOF -> ()
+  | t -> fail lx "trailing input: %s" (describe t));
+  e

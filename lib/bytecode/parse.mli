@@ -1,0 +1,16 @@
+(** Parser for the textual program format produced by {!Pretty}.
+
+    The grammar is C-like; see {!Pretty} for the shape.  [g], [h] and
+    [rand] are reserved words ([g\[i\]] global scalar, [h\[e\]] heap cell,
+    [rand(n)] PRNG draw) and cannot name variables or methods.  Line
+    comments [//] and block comments [/* */] are supported. *)
+
+exception Error of string
+(** Carries a ["line:col: message"] description. *)
+
+(** @raise Error on any lexical or syntax error. *)
+val program : string -> Ast.pdef
+
+(** Parse a single expression (testing convenience).
+    @raise Error as {!program}. *)
+val expr : string -> Ast.expr

@@ -1,0 +1,108 @@
+(* Precedence levels, shared contract with Parse:
+   1 bor/bxor | 2 band | 3 comparisons | 4 shifts | 5 add/sub | 6 mul/div/rem
+   7 unary | 8 primary *)
+
+let binop_level : Instr.binop -> int = function
+  | Or | Xor -> 1
+  | And -> 2
+  | Shl | Shr -> 4
+  | Add | Sub -> 5
+  | Mul | Div | Rem -> 6
+
+let binop_symbol : Instr.binop -> string = function
+  | Or -> "|"
+  | Xor -> "^"
+  | And -> "&"
+  | Shl -> "<<"
+  | Shr -> ">>"
+  | Add -> "+"
+  | Sub -> "-"
+  | Mul -> "*"
+  | Div -> "/"
+  | Rem -> "%"
+
+let cmp_symbol : Instr.cmp -> string = function
+  | Eq -> "=="
+  | Ne -> "!="
+  | Lt -> "<"
+  | Le -> "<="
+  | Gt -> ">"
+  | Ge -> ">="
+
+let rec pp_prec level ppf (e : Ast.expr) =
+  match e with
+  | Int k ->
+      if k < 0 then Fmt.pf ppf "(0 - %d)" (-k) else Fmt.int ppf k
+  | Var n -> Fmt.string ppf n
+  | Global ix -> Fmt.pf ppf "g[%d]" ix
+  | Heap idx -> Fmt.pf ppf "h[%a]" (pp_prec 0) idx
+  | Bin (op, a, b) ->
+      let l = binop_level op in
+      let body ppf () =
+        Fmt.pf ppf "%a %s %a" (pp_prec l) a (binop_symbol op) (pp_prec (l + 1)) b
+      in
+      if l < level then Fmt.pf ppf "(%a)" body () else body ppf ()
+  | Rel (c, a, b) ->
+      let l = 3 in
+      let body ppf () =
+        Fmt.pf ppf "%a %s %a" (pp_prec (l + 1)) a (cmp_symbol c)
+          (pp_prec (l + 1)) b
+      in
+      if l < level then Fmt.pf ppf "(%a)" body () else body ppf ()
+  | Not e -> Fmt.pf ppf "!%a" (pp_prec 7) e
+  | Neg e -> Fmt.pf ppf "-%a" (pp_prec 7) e
+  | Call (name, args) ->
+      Fmt.pf ppf "%s(%a)" name (Fmt.list ~sep:Fmt.comma (pp_prec 0)) args
+  | Rand n -> Fmt.pf ppf "rand(%d)" n
+
+let pp_expr = pp_prec 0
+
+let rec pp_stmt ppf (s : Ast.stmt) =
+  match s with
+  | Set (n, e) -> Fmt.pf ppf "@[<h>%s = %a;@]" n pp_expr e
+  | Set_global (ix, e) -> Fmt.pf ppf "@[<h>g[%d] = %a;@]" ix pp_expr e
+  | Set_heap (idx, value) ->
+      Fmt.pf ppf "@[<h>h[%a] = %a;@]" pp_expr idx pp_expr value
+  | If (c, thens, []) ->
+      Fmt.pf ppf "@[<v>if (%a) %a@]" pp_expr c pp_body thens
+  | If (c, thens, elses) ->
+      Fmt.pf ppf "@[<v>if (%a) %a else %a@]" pp_expr c pp_body thens pp_body
+        elses
+  | While (c, body) -> Fmt.pf ppf "@[<v>while (%a) %a@]" pp_expr c pp_body body
+  | Do_while (body, c) ->
+      Fmt.pf ppf "@[<v>do %a while (%a);@]" pp_body body pp_expr c
+  | For (n, lo, hi, body) ->
+      Fmt.pf ppf "@[<v>for (%s = %a; %s < %a) %a@]" n pp_expr lo n pp_expr hi
+        pp_body body
+  | Switch (e, cases, default) ->
+      Fmt.pf ppf "@[<v>switch (%a) {@;<1 2>@[<v>" pp_expr e;
+      List.iter
+        (fun (k, body) -> Fmt.pf ppf "case %d: %a@ " k pp_body body)
+        cases;
+      Fmt.pf ppf "default: %a@]@ }@]" pp_body default
+  | Break -> Fmt.string ppf "break;"
+  | Continue -> Fmt.string ppf "continue;"
+  | Expr e -> Fmt.pf ppf "@[<h>%a;@]" pp_expr e
+  | Return e -> Fmt.pf ppf "@[<h>return %a;@]" pp_expr e
+
+and pp_body ppf = function
+  | [] -> Fmt.string ppf "{ }"
+  | body ->
+      Fmt.pf ppf "{@;<1 2>@[<v>%a@]@ }" (Fmt.list ~sep:Fmt.cut pp_stmt) body
+
+let pp_mdef ppf (m : Ast.mdef) =
+  Fmt.pf ppf "@[<v>%smethod %s(%a) %a@]"
+    (if m.muninterruptible then "uninterruptible " else "")
+    m.mname
+    (Fmt.list ~sep:Fmt.comma Fmt.string)
+    m.params pp_body m.body
+
+let pp_pdef ppf (p : Ast.pdef) =
+  Fmt.pf ppf "@[<v>program %s {@;<1 2>@[<v>globals %d;@ heap %d;@ " p.pname
+    p.globals p.heap;
+  if p.pmain <> "main" then Fmt.pf ppf "main %s;@ " p.pmain;
+  Fmt.pf ppf "%a@]@ }@]@."
+    (Fmt.list ~sep:(fun ppf () -> Fmt.pf ppf "@ @ ") pp_mdef)
+    p.methods
+
+let to_string p = Fmt.str "%a" pp_pdef p

@@ -1,0 +1,15 @@
+(** Textual form of {!Ast} programs, the inverse of {!Parse}.
+
+    [Parse.program (to_string p)] yields an AST equal to [p] (modulo
+    redundant parentheses, which the printer never emits), provided the
+    program stays within the concrete syntax: expression statements
+    ([Ast.Expr]) must be calls — the grammar has no statement form for a
+    bare arithmetic expression — and negative integer literals print as
+    [(0 - k)], which parses back as a subtraction rather than a literal
+    (the two evaluate identically). *)
+
+val pp_expr : Ast.expr Fmt.t
+val pp_stmt : Ast.stmt Fmt.t
+val pp_mdef : Ast.mdef Fmt.t
+val pp_pdef : Ast.pdef Fmt.t
+val to_string : Ast.pdef -> string

@@ -1,0 +1,68 @@
+type t = {
+  name : string;
+  n_globals : int;
+  heap_size : int;
+  methods : Method.t array;
+  main : string;
+}
+
+exception Link_error of string
+
+let link_error fmt = Fmt.kstr (fun s -> raise (Link_error s)) fmt
+
+let create ~name ~n_globals ~heap_size ~main methods =
+  if heap_size <= 0 then link_error "%s: heap_size must be positive" name;
+  let tbl = Hashtbl.create 16 in
+  List.iter
+    (fun (m : Method.t) ->
+      if Hashtbl.mem tbl m.name then link_error "%s: duplicate method %s" name m.name;
+      Hashtbl.replace tbl m.name m)
+    methods;
+  (match Hashtbl.find_opt tbl main with
+  | None -> link_error "%s: main method %s not defined" name main
+  | Some m ->
+      if m.nparams <> 0 then
+        link_error "%s: main method %s must take no parameters" name main);
+  List.iter
+    (fun (m : Method.t) ->
+      Array.iter
+        (fun (b : Method.block) ->
+          Array.iter
+            (function
+              | Instr.Call (callee, argc) -> (
+                  match Hashtbl.find_opt tbl callee with
+                  | None ->
+                      link_error "%s: %s calls undefined method %s" name m.name
+                        callee
+                  | Some c ->
+                      if c.nparams <> argc then
+                        link_error "%s: %s calls %s with %d args (wants %d)"
+                          name m.name callee argc c.nparams)
+              | _ -> ())
+            b.body)
+        m.blocks)
+    methods;
+  { name; n_globals; heap_size; methods = Array.of_list methods; main }
+
+let find t name =
+  match Array.find_opt (fun (m : Method.t) -> m.name = name) t.methods with
+  | Some m -> m
+  | None -> raise Not_found
+
+let index t name =
+  let rec go i =
+    if i >= Array.length t.methods then raise Not_found
+    else if t.methods.(i).Method.name = name then i
+    else go (i + 1)
+  in
+  go 0
+
+let method_of_index t i = t.methods.(i)
+let n_methods t = Array.length t.methods
+let iter_methods f t = Array.iteri f t.methods
+
+let pp ppf t =
+  Fmt.pf ppf "@[<v>program %s globals=%d heap=%d main=%s@,@," t.name t.n_globals
+    t.heap_size t.main;
+  Array.iter (fun m -> Fmt.pf ppf "%a@," Method.pp m) t.methods;
+  Fmt.pf ppf "@]"

@@ -1,0 +1,33 @@
+(** Whole programs: a set of methods plus global state sizes. *)
+
+type t = {
+  name : string;
+  n_globals : int;  (** size of the global scalar area *)
+  heap_size : int;  (** size of the global heap array; must be > 0 *)
+  methods : Method.t array;
+  main : string;  (** entry method; takes no parameters *)
+}
+
+exception Link_error of string
+
+(** [create ~name ~n_globals ~heap_size ~main methods] checks that method
+    names are unique, [main] exists with zero parameters, and every [Call]
+    resolves with the right arity.
+    @raise Link_error otherwise. *)
+val create :
+  name:string ->
+  n_globals:int ->
+  heap_size:int ->
+  main:string ->
+  Method.t list ->
+  t
+
+val find : t -> string -> Method.t
+
+(** Dense method index used by runtime tables. *)
+val index : t -> string -> int
+
+val method_of_index : t -> int -> Method.t
+val n_methods : t -> int
+val iter_methods : (int -> Method.t -> unit) -> t -> unit
+val pp : t Fmt.t

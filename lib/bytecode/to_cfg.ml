@@ -1,0 +1,12 @@
+let cfg (m : Method.t) =
+  let terms =
+    Array.map
+      (fun (b : Method.block) ->
+        match b.term with
+        | Method.Ret -> Cfg.Return
+        | Method.Jmp d -> Cfg.Jump d
+        | Method.Br { branch; on_true; on_false } ->
+            Cfg.Branch { branch; taken = on_true; not_taken = on_false })
+      m.blocks
+  in
+  Cfg.create ~name:m.name ~entry:m.entry ~exit_:m.exit_ terms

@@ -1,0 +1,10 @@
+(** Control-flow graph of a bytecode method.
+
+    Block ids coincide with the method's block indices, and CFG branch ids
+    are the method's bytecode branch ids, so profiles keyed by
+    {!Cfg.branch_id} are directly comparable across compilations of the
+    same method (paper §4.3). *)
+
+(** @raise Cfg.Malformed if the method breaks CFG well-formedness (e.g. a
+    loop that never reaches the exit). *)
+val cfg : Method.t -> Cfg.t

@@ -1,0 +1,71 @@
+exception Error of string
+
+let error fmt = Fmt.kstr (fun s -> raise (Error s)) fmt
+
+let check_instr (p : Program.t) (m : Method.t) depth ins =
+  let pops, pushes = Instr.stack_effect ins in
+  if depth < pops then
+    error "%s: stack underflow at %a (depth %d)" m.name Instr.pp ins depth;
+  (match ins with
+  | Instr.Load l | Instr.Store l | Instr.Inc (l, _) ->
+      if l < 0 || l >= m.nlocals then
+        error "%s: local %d out of range (nlocals %d)" m.name l m.nlocals
+  | Instr.GLoad g | Instr.GStore g ->
+      if g < 0 || g >= p.n_globals then
+        error "%s: global %d out of range (n_globals %d)" m.name g p.n_globals
+  | Instr.Rand n -> if n <= 0 then error "%s: rand bound %d" m.name n
+  | Instr.Const _ | Instr.Binop _ | Instr.Cmp _ | Instr.Neg | Instr.Not
+  | Instr.Dup | Instr.Pop | Instr.AGet | Instr.ASet | Instr.Call _ ->
+      ());
+  depth - pops + pushes
+
+let block_depths (p : Program.t) (m : Method.t) =
+  let n = Array.length m.blocks in
+  let check_block_id b =
+    if b < 0 || b >= n then error "%s: block id %d out of range" m.name b
+  in
+  check_block_id m.entry;
+  check_block_id m.exit_;
+  let depths = Array.make n (-1) in
+  let worklist = Queue.create () in
+  let set_depth b d =
+    check_block_id b;
+    if depths.(b) = -1 then begin
+      depths.(b) <- d;
+      Queue.add b worklist
+    end
+    else if depths.(b) <> d then
+      error "%s: block %d entered with inconsistent stack depths %d and %d"
+        m.name b depths.(b) d
+  in
+  set_depth m.entry 0;
+  while not (Queue.is_empty worklist) do
+    let bid = Queue.pop worklist in
+    let blk = m.blocks.(bid) in
+    let depth = Array.fold_left (check_instr p m) depths.(bid) blk.body in
+    match blk.term with
+    | Method.Ret ->
+        if bid <> m.exit_ then error "%s: ret outside exit block %d" m.name bid;
+        if depth <> 1 then
+          error "%s: exit block reached with stack depth %d (want 1)" m.name depth
+    | Method.Jmp d -> set_depth d depth
+    | Method.Br { on_true; on_false; _ } ->
+        if depth < 1 then error "%s: branch in block %d with empty stack" m.name bid;
+        if on_true = on_false then
+          error "%s: block %d branches to %d on both arms" m.name bid on_true;
+        set_depth on_true (depth - 1);
+        set_depth on_false (depth - 1)
+  done;
+  Array.iteri
+    (fun b d -> if d = -1 then error "%s: block %d unreachable" m.name b)
+    depths;
+  depths
+
+let program p =
+  Program.iter_methods (fun _ m -> ignore (block_depths p m)) p;
+  (* CFG construction enforces the single-exit / reaches-exit shape. *)
+  Program.iter_methods
+    (fun _ m ->
+      try ignore (To_cfg.cfg m)
+      with Cfg.Malformed msg -> error "cfg: %s" msg)
+    p

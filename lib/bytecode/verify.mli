@@ -1,0 +1,16 @@
+(** Bytecode verifier.
+
+    Checks, per method: block and local indices in range, globals in range
+    for the program, a consistent operand-stack depth at every block entry
+    (computed by forward dataflow; join points must agree), depth 1 at the
+    exit block ([Ret] pops the return value), condition available for every
+    [Br], and no stack underflow anywhere.  {!Compile} output always
+    verifies; the verifier guards hand-written and parsed bytecode. *)
+
+exception Error of string
+
+(** Stack depth at entry to each block of a verified method. *)
+val block_depths : Program.t -> Method.t -> int array
+
+(** @raise Error on the first violated invariant. *)
+val program : Program.t -> unit

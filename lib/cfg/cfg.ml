@@ -1,0 +1,164 @@
+type block_id = int
+type branch_id = int
+
+type terminator =
+  | Return
+  | Jump of block_id
+  | Branch of { branch : branch_id; taken : block_id; not_taken : block_id }
+
+type edge_attr = Seq | Taken of branch_id | Not_taken of branch_id
+type edge = { src : block_id; dst : block_id; attr : edge_attr }
+
+type t = {
+  name : string;
+  entry : block_id;
+  exit_ : block_id;
+  terms : terminator array;
+  preds : edge list array; (* computed once at creation *)
+}
+
+exception Malformed of string
+
+let malformed fmt = Fmt.kstr (fun s -> raise (Malformed s)) fmt
+let name t = t.name
+let entry t = t.entry
+let exit_ t = t.exit_
+let n_blocks t = Array.length t.terms
+
+let terminator t b =
+  assert (b >= 0 && b < n_blocks t);
+  t.terms.(b)
+
+let successors_of_terms terms src =
+  match terms.(src) with
+  | Return -> []
+  | Jump dst -> [ { src; dst; attr = Seq } ]
+  | Branch { branch; taken; not_taken } ->
+      [
+        { src; dst = taken; attr = Taken branch };
+        { src; dst = not_taken; attr = Not_taken branch };
+      ]
+
+let successors t b = successors_of_terms t.terms b
+let predecessors t b = t.preds.(b)
+
+let iter_blocks f t =
+  for b = 0 to n_blocks t - 1 do
+    f b
+  done
+
+let iter_edges f t = iter_blocks (fun b -> List.iter f (successors t b)) t
+
+let fold_edges f init t =
+  let acc = ref init in
+  iter_edges (fun e -> acc := f !acc e) t;
+  !acc
+
+let edges t = List.rev (fold_edges (fun acc e -> e :: acc) [] t)
+let n_edges t = fold_edges (fun n _ -> n + 1) 0 t
+
+let branch_ids t =
+  let ids =
+    fold_edges
+      (fun acc e ->
+        match e.attr with Taken b -> b :: acc | Not_taken _ | Seq -> acc)
+      [] t
+  in
+  List.sort_uniq compare ids
+
+let equal_edge a b = a.src = b.src && a.dst = b.dst
+
+let compare_edge a b =
+  match compare a.src b.src with 0 -> compare a.dst b.dst | c -> c
+
+(* Depth-first reachability over an adjacency function. *)
+let reachable_from n succs start =
+  let seen = Array.make n false in
+  let rec go b =
+    if not seen.(b) then begin
+      seen.(b) <- true;
+      List.iter go (succs b)
+    end
+  in
+  go start;
+  seen
+
+let validate ~name ~entry ~exit_ terms =
+  let n = Array.length terms in
+  let check_target src dst =
+    if dst < 0 || dst >= n then
+      malformed "%s: block %d targets out-of-range block %d" name src dst
+  in
+  if n = 0 then malformed "%s: empty graph" name;
+  if entry < 0 || entry >= n then malformed "%s: entry %d out of range" name entry;
+  if exit_ < 0 || exit_ >= n then malformed "%s: exit %d out of range" name exit_;
+  Array.iteri
+    (fun src term ->
+      match term with
+      | Return ->
+          if src <> exit_ then
+            malformed "%s: block %d returns but exit is %d" name src exit_
+      | Jump dst -> check_target src dst
+      | Branch { taken; not_taken; _ } ->
+          check_target src taken;
+          check_target src not_taken;
+          if taken = not_taken then
+            malformed "%s: block %d branches to %d on both arms" name src taken)
+    terms;
+  (match terms.(exit_) with
+  | Return -> ()
+  | Jump _ | Branch _ -> malformed "%s: exit block %d does not return" name exit_);
+  let succ b = List.map (fun e -> e.dst) (successors_of_terms terms b) in
+  let from_entry = reachable_from n succ entry in
+  Array.iteri
+    (fun b r ->
+      if not r then malformed "%s: block %d unreachable from entry" name b)
+    from_entry;
+  (* Every block must reach the exit, otherwise path numbering is undefined
+     (NumPaths would be zero along an executable prefix). *)
+  let preds = Array.make n [] in
+  Array.iteri
+    (fun src _ ->
+      List.iter
+        (fun e -> preds.(e.dst) <- e.src :: preds.(e.dst))
+        (successors_of_terms terms src))
+    terms;
+  let to_exit = reachable_from n (fun b -> preds.(b)) exit_ in
+  Array.iteri
+    (fun b r ->
+      if not r then malformed "%s: block %d cannot reach exit" name b)
+    to_exit
+
+let create ~name ~entry ~exit_ terms =
+  let terms = Array.copy terms in
+  validate ~name ~entry ~exit_ terms;
+  let n = Array.length terms in
+  let preds = Array.make n [] in
+  Array.iteri
+    (fun src _ ->
+      List.iter
+        (fun e -> preds.(e.dst) <- e :: preds.(e.dst))
+        (successors_of_terms terms src))
+    terms;
+  (* Keep predecessor lists in increasing source order for determinism. *)
+  let preds = Array.map (fun l -> List.sort compare_edge l) preds in
+  { name; entry; exit_; terms; preds }
+
+let pp_attr ppf = function
+  | Seq -> Fmt.string ppf "seq"
+  | Taken b -> Fmt.pf ppf "taken(br%d)" b
+  | Not_taken b -> Fmt.pf ppf "fall(br%d)" b
+
+let pp_edge ppf e = Fmt.pf ppf "%d->%d[%a]" e.src e.dst pp_attr e.attr
+
+let pp ppf t =
+  Fmt.pf ppf "@[<v>cfg %s entry=%d exit=%d@," t.name t.entry t.exit_;
+  iter_blocks
+    (fun b ->
+      match t.terms.(b) with
+      | Return -> Fmt.pf ppf "  B%d: return@," b
+      | Jump d -> Fmt.pf ppf "  B%d: jump B%d@," b d
+      | Branch { branch; taken; not_taken } ->
+          Fmt.pf ppf "  B%d: br%d ? B%d : B%d@," b branch taken not_taken)
+    t;
+  Fmt.pf ppf "@]"

@@ -1,0 +1,75 @@
+(** Control-flow graphs.
+
+    A CFG is a fixed array of basic blocks identified by dense integer ids.
+    Every block ends in a terminator: an unconditional jump, a two-way
+    conditional branch, or a return.  Multiway dispatch is lowered to branch
+    trees before a CFG is built, so a block never has more than two
+    successors and there is at most one edge between any ordered pair of
+    blocks.
+
+    A well-formed CFG has a single entry block and a single exit block; the
+    exit block is the only block terminated by [Return], and every block is
+    both reachable from the entry and able to reach the exit.  [create]
+    enforces these invariants. *)
+
+type block_id = int
+
+(** Identifies a source-level (bytecode) conditional branch.  Several CFG
+    branches may share a branch id after inlining or duplication; edge
+    profiles accumulate per branch id. *)
+type branch_id = int
+
+type terminator =
+  | Return
+  | Jump of block_id
+  | Branch of { branch : branch_id; taken : block_id; not_taken : block_id }
+
+(** How an edge leaves its source block.  [Seq] edges come from [Jump]
+    terminators; [Taken]/[Not_taken] record the conditional-branch arm. *)
+type edge_attr = Seq | Taken of branch_id | Not_taken of branch_id
+
+type edge = { src : block_id; dst : block_id; attr : edge_attr }
+
+type t
+
+exception Malformed of string
+
+(** [create ~name ~entry ~exit_ terms] builds and validates a CFG.  The
+    block ids are [0 .. Array.length terms - 1].
+    @raise Malformed if the graph breaks a well-formedness invariant:
+    a target out of range, a [Return] outside the exit block, a
+    conditional branch whose arms coincide, an unreachable block, or a
+    block that cannot reach the exit. *)
+val create :
+  name:string -> entry:block_id -> exit_:block_id -> terminator array -> t
+
+val name : t -> string
+val entry : t -> block_id
+val exit_ : t -> block_id
+val n_blocks : t -> int
+val terminator : t -> block_id -> terminator
+
+(** Successor edges in a fixed order: a branch yields its [Taken] edge
+    first, then [Not_taken]. *)
+val successors : t -> block_id -> edge list
+
+val predecessors : t -> block_id -> edge list
+
+(** All edges, grouped by source block in increasing id order. *)
+val edges : t -> edge list
+
+val n_edges : t -> int
+val iter_blocks : (block_id -> unit) -> t -> unit
+val iter_edges : (edge -> unit) -> t -> unit
+val fold_edges : ('a -> edge -> 'a) -> 'a -> t -> 'a
+
+(** Branch ids appearing in the graph, deduplicated, increasing. *)
+val branch_ids : t -> branch_id list
+
+val equal_edge : edge -> edge -> bool
+
+(** Total order on edges by [(src, dst)]; suitable for [Map]/sorting. *)
+val compare_edge : edge -> edge -> int
+
+val pp_edge : edge Fmt.t
+val pp : t Fmt.t

@@ -1,0 +1,219 @@
+type mode = Back_edge | Loop_header
+type node = int
+
+type origin =
+  | Real of Cfg.edge
+  | From_entry of Cfg.block_id
+  | To_exit of Cfg.block_id
+
+type edge = { idx : int; esrc : node; edst : node; origin : origin }
+type truncation = Split_header of Cfg.block_id | Cut_edge of Cfg.edge
+
+type t = {
+  cfg : Cfg.t;
+  mode : mode;
+  loops : Loops.t;
+  n_nodes : int;
+  in_node : node array; (* block -> node holding its incoming edges *)
+  out_node : node array; (* block -> node holding its outgoing edges *)
+  node_block : Cfg.block_id array;
+  edges : edge array;
+  out_adj : edge list array;
+  in_adj : edge list array;
+  truncs : truncation list;
+  from_entry_by_node : (node, edge) Hashtbl.t;
+  to_exit_by_node : (node, edge) Hashtbl.t;
+  topo : node array;
+}
+
+exception Unsupported of string
+
+let edge_mem e cut = List.exists (fun c -> Cfg.equal_edge c e) cut
+
+(* Node at which a new path starts when control re-enters block [v] through
+   a truncation: after the yieldpoint for a split header, at the block start
+   otherwise.  If [v] happens to be both, the header's restart point wins
+   (a path cannot usefully start at a split header's in-node, whose only
+   outgoing edge is the dummy to exit). *)
+let restart_node ~out_node v = out_node.(v)
+
+let compute_topo ~n_nodes ~out_adj ~entry =
+  let state = Array.make n_nodes `White in
+  let post = ref [] in
+  let rec visit stack =
+    match stack with
+    | [] -> ()
+    | (v, []) :: rest ->
+        state.(v) <- `Black;
+        post := v :: !post;
+        visit rest
+    | (v, e :: es) :: rest -> (
+        match state.(e.edst) with
+        | `White ->
+            state.(e.edst) <- `Grey;
+            visit ((e.edst, out_adj.(e.edst)) :: (v, es) :: rest)
+        | `Grey -> invalid_arg "Dag.compute_topo: cycle after truncation"
+        | `Black -> visit ((v, es) :: rest))
+  in
+  state.(entry) <- `Grey;
+  visit [ (entry, out_adj.(entry)) ];
+  Array.of_list !post
+
+let build ?(sampleable = fun _ -> true) mode cfg =
+  let loops = Loops.compute cfg in
+  let n_blocks = Cfg.n_blocks cfg in
+  let splits =
+    match mode with
+    | Back_edge -> []
+    | Loop_header -> List.filter sampleable (Loops.headers loops)
+  in
+  (match mode with
+  | Loop_header when List.mem (Cfg.entry cfg) splits ->
+      raise
+        (Unsupported
+           (Fmt.str "%s: entry block is a loop header" (Cfg.name cfg)))
+  | Back_edge | Loop_header -> ());
+  let cut =
+    match mode with
+    | Back_edge -> Loops.back_edges loops @ Loops.irreducible_edges loops
+    | Loop_header ->
+        (* back edges into headers without a sample point are cut like
+           irreducible edges: the path restarts, nothing can be stored *)
+        List.filter
+          (fun (e : Cfg.edge) -> not (sampleable e.dst))
+          (Loops.back_edges loops)
+        @ Loops.irreducible_edges loops
+  in
+  (* Node ids: block b keeps id b (its in-node); each split header gets a
+     fresh out-node. *)
+  let in_node = Array.init n_blocks Fun.id in
+  let out_node = Array.init n_blocks Fun.id in
+  let node_block = ref (Array.init n_blocks Fun.id) in
+  let next = ref n_blocks in
+  List.iter
+    (fun h ->
+      out_node.(h) <- !next;
+      node_block := Array.append !node_block [| h |];
+      incr next)
+    splits;
+  let n_nodes = !next in
+  let node_block = !node_block in
+  let entry = in_node.(Cfg.entry cfg) in
+  let exit_node = in_node.(Cfg.exit_ cfg) in
+  (* Truncation records and the dummy endpoints they require. *)
+  let truncs =
+    List.map (fun h -> Split_header h) splits
+    @ List.map (fun e -> Cut_edge e) cut
+  in
+  let from_entry_targets =
+    (* node at which the restarted path begins, deduplicated *)
+    List.sort_uniq compare
+      (List.map
+         (function
+           | Split_header h -> restart_node ~out_node h
+           | Cut_edge e -> restart_node ~out_node Cfg.(e.dst))
+         truncs)
+  in
+  let to_exit_sources =
+    List.sort_uniq compare
+      (List.map
+         (function
+           | Split_header h -> in_node.(h)
+           | Cut_edge e -> out_node.(Cfg.(e.src)))
+         truncs)
+  in
+  let edges = ref [] in
+  let n_edges = ref 0 in
+  let add esrc edst origin =
+    let e = { idx = !n_edges; esrc; edst; origin } in
+    incr n_edges;
+    edges := e :: !edges;
+    e
+  in
+  Cfg.iter_edges
+    (fun e ->
+      if not (edge_mem e cut) then
+        ignore (add out_node.(e.src) in_node.(e.dst) (Real e)))
+    cfg;
+  let from_entry_by_node = Hashtbl.create 8 in
+  List.iter
+    (fun nd ->
+      let e = add entry nd (From_entry node_block.(nd)) in
+      Hashtbl.replace from_entry_by_node nd e)
+    from_entry_targets;
+  let to_exit_by_node = Hashtbl.create 8 in
+  List.iter
+    (fun nd ->
+      let e = add nd exit_node (To_exit node_block.(nd)) in
+      Hashtbl.replace to_exit_by_node nd e)
+    to_exit_sources;
+  let edges_arr = Array.make !n_edges (List.hd !edges) in
+  List.iter (fun e -> edges_arr.(e.idx) <- e) !edges;
+  let out_adj = Array.make n_nodes [] in
+  let in_adj = Array.make n_nodes [] in
+  for i = !n_edges - 1 downto 0 do
+    let e = edges_arr.(i) in
+    out_adj.(e.esrc) <- e :: out_adj.(e.esrc);
+    in_adj.(e.edst) <- e :: in_adj.(e.edst)
+  done;
+  let topo = compute_topo ~n_nodes ~out_adj ~entry in
+  {
+    cfg;
+    mode;
+    loops;
+    n_nodes;
+    in_node;
+    out_node;
+    node_block;
+    edges = edges_arr;
+    out_adj;
+    in_adj;
+    truncs;
+    from_entry_by_node;
+    to_exit_by_node;
+    topo;
+  }
+
+let cfg t = t.cfg
+let mode t = t.mode
+let loops t = t.loops
+let n_nodes t = t.n_nodes
+let n_edges t = Array.length t.edges
+let entry_node t = t.in_node.(Cfg.entry t.cfg)
+let exit_node t = t.in_node.(Cfg.exit_ t.cfg)
+let in_node t b = t.in_node.(b)
+let out_node t b = t.out_node.(b)
+let node_block t nd = t.node_block.(nd)
+let out_edges t nd = t.out_adj.(nd)
+let in_edges t nd = t.in_adj.(nd)
+let edge t i = t.edges.(i)
+let iter_edges f t = Array.iter f t.edges
+let truncations t = t.truncs
+let from_entry_edge t b = Hashtbl.find t.from_entry_by_node (restart_node ~out_node:t.out_node b)
+let to_exit_edge t b = Hashtbl.find t.to_exit_by_node t.in_node.(b)
+
+let dummy_edges t trunc =
+  let to_exit_node, from_entry_node =
+    match trunc with
+    | Split_header h -> (t.in_node.(h), restart_node ~out_node:t.out_node h)
+    | Cut_edge e ->
+        (t.out_node.(Cfg.(e.src)), restart_node ~out_node:t.out_node Cfg.(e.dst))
+  in
+  ( Hashtbl.find t.to_exit_by_node to_exit_node,
+    Hashtbl.find t.from_entry_by_node from_entry_node )
+
+let topo t = Array.copy t.topo
+
+let pp_origin ppf = function
+  | Real e -> Fmt.pf ppf "real:%a" Cfg.pp_edge e
+  | From_entry b -> Fmt.pf ppf "dummy:entry->B%d" b
+  | To_exit b -> Fmt.pf ppf "dummy:B%d->exit" b
+
+let pp ppf t =
+  Fmt.pf ppf "@[<v>dag(%s) %s nodes=%d@,"
+    (match t.mode with Back_edge -> "back-edge" | Loop_header -> "loop-header")
+    (Cfg.name t.cfg) t.n_nodes;
+  Array.iter
+    (fun e -> Fmt.pf ppf "  n%d -> n%d  (%a)@," e.esrc e.edst pp_origin e.origin)
+    t.edges;
+  Fmt.pf ppf "@]"

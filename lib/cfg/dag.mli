@@ -1,0 +1,98 @@
+(** Acyclic path-numbering graphs derived from a CFG.
+
+    Ball-Larus path profiling enumerates the acyclic paths of a routine by
+    truncating its loops; this module performs the truncation in the two
+    flavours the paper uses:
+
+    - [Back_edge] (classic BLPP, paper §3.1, Figure 1): every back edge
+      [w -> v] is removed and replaced by two dummy edges, [entry -> v] and
+      [w -> exit].  Paths end (and restart) on back edges.
+
+    - [Loop_header] (PEP, paper §3.2, Figure 3): every loop header [v] is
+      split just after its yieldpoint into [v_in] (receiving all of [v]'s
+      predecessors, including back edges) and [v_out] (keeping [v]'s
+      successors), the [v_in -> v_out] link is truncated and replaced by
+      dummy edges [entry -> v_out] and [v_in -> exit].  Paths end at loop
+      headers, where Jikes-style yieldpoints live.
+
+    Irreducible retreating edges (rare; never produced by the structured
+    builder) are truncated back-edge-style in both modes so the result is
+    acyclic; in [Loop_header] mode they carry no sample opportunity, which
+    mirrors the paper's uninterruptible-loop-header accuracy caveat.
+
+    Dummy edges are shared: one [From_entry] edge per distinct truncation
+    target and one [To_exit] edge per distinct truncation source. *)
+
+type mode = Back_edge | Loop_header
+type node = int
+
+type origin =
+  | Real of Cfg.edge  (** an original CFG edge *)
+  | From_entry of Cfg.block_id  (** dummy from entry to this block's start node *)
+  | To_exit of Cfg.block_id  (** dummy from this block's end node to exit *)
+
+type edge = { idx : int; esrc : node; edst : node; origin : origin }
+
+(** Where a truncation happened; instrumentation attaches the
+    end-path/start-path actions here. *)
+type truncation =
+  | Split_header of Cfg.block_id  (** [Loop_header] mode: sampled at the header yieldpoint *)
+  | Cut_edge of Cfg.edge
+      (** cut back/irreducible/unsampleable edge: actions run on edge
+          traversal, with no sample opportunity in [Loop_header] mode *)
+
+type t
+
+exception Unsupported of string
+
+(** [build ?sampleable mode cfg] truncates [cfg].  In [Loop_header] mode
+    only headers for which [sampleable] holds (default: all) are split
+    with a sample point; back edges targeting unsampleable headers — loop
+    headers that carry no yieldpoint, e.g. loops inlined from
+    uninterruptible methods (paper §4.3) — are cut silently, like
+    irreducible edges.
+    @raise Unsupported in [Loop_header] mode when the entry block is itself
+    a sampleable loop header (the bytecode layer always emits a dedicated
+    entry block, so this cannot arise from compiled programs). *)
+val build : ?sampleable:(Cfg.block_id -> bool) -> mode -> Cfg.t -> t
+
+val cfg : t -> Cfg.t
+val mode : t -> mode
+val loops : t -> Loops.t
+val n_nodes : t -> int
+val n_edges : t -> int
+val entry_node : t -> node
+val exit_node : t -> node
+
+(** Node holding [b]'s incoming CFG edges ([v_in] for a split header). *)
+val in_node : t -> Cfg.block_id -> node
+
+(** Node holding [b]'s outgoing CFG edges ([v_out] for a split header). *)
+val out_node : t -> Cfg.block_id -> node
+
+(** The block a node belongs to. *)
+val node_block : t -> node -> Cfg.block_id
+
+val out_edges : t -> node -> edge list
+val in_edges : t -> node -> edge list
+val edge : t -> int -> edge
+val iter_edges : (edge -> unit) -> t -> unit
+val truncations : t -> truncation list
+
+(** The shared dummy edge [entry -> start-node of b].
+    @raise Not_found if [b] is not a truncation target. *)
+val from_entry_edge : t -> Cfg.block_id -> edge
+
+(** The shared dummy edge [end-node of b -> exit].
+    @raise Not_found if [b] is not a truncation source. *)
+val to_exit_edge : t -> Cfg.block_id -> edge
+
+(** [dummy_edges t trunc] is the [(to_exit, from_entry)] dummy pair whose
+    path-number values the truncation's end-path/start-path instrumentation
+    must use. *)
+val dummy_edges : t -> truncation -> edge * edge
+
+(** Nodes in a topological order, entry first, exit last. *)
+val topo : t -> node array
+
+val pp : t Fmt.t

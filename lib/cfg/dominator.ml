@@ -1,0 +1,53 @@
+(* Cooper, Harvey & Kennedy, "A Simple, Fast Dominance Algorithm". *)
+
+type t = { idoms : int array }
+
+let compute cfg =
+  let n = Cfg.n_blocks cfg in
+  let rpo = Order.reverse_postorder cfg in
+  let rpo_index = Array.make n (-1) in
+  Array.iteri (fun i b -> rpo_index.(b) <- i) rpo;
+  let idoms = Array.make n (-1) in
+  let entry = Cfg.entry cfg in
+  idoms.(entry) <- entry;
+  (* Walk up the (partial) dominator tree to the common ancestor, comparing
+     by reverse-postorder index. *)
+  let rec intersect a b =
+    if a = b then a
+    else if rpo_index.(a) > rpo_index.(b) then intersect idoms.(a) b
+    else intersect a idoms.(b)
+  in
+  let changed = ref true in
+  while !changed do
+    changed := false;
+    Array.iter
+      (fun b ->
+        if b <> entry then begin
+          let new_idom =
+            List.fold_left
+              (fun acc (e : Cfg.edge) ->
+                if idoms.(e.src) = -1 then acc
+                else match acc with None -> Some e.src | Some a -> Some (intersect a e.src))
+              None (Cfg.predecessors cfg b)
+          in
+          match new_idom with
+          | None -> ()
+          | Some d ->
+              if idoms.(b) <> d then begin
+                idoms.(b) <- d;
+                changed := true
+              end
+        end)
+      rpo
+  done;
+  { idoms }
+
+let idom t b = t.idoms.(b)
+
+let dominates t a b =
+  let rec up x = if x = a then true else if x = t.idoms.(x) then false else up t.idoms.(x) in
+  up b
+
+let dominator_chain t b =
+  let rec up acc x = if x = t.idoms.(x) then x :: acc else up (x :: acc) t.idoms.(x) in
+  up [] b

@@ -1,0 +1,19 @@
+(** Dominator analysis (Cooper-Harvey-Kennedy iterative algorithm).
+
+    Since {!Cfg.create} guarantees every block is reachable from the entry,
+    every block has an immediate dominator; the entry dominates itself. *)
+
+type t
+
+val compute : Cfg.t -> t
+
+(** Immediate dominator.  [idom t (Cfg.entry cfg) = Cfg.entry cfg]. *)
+val idom : t -> Cfg.block_id -> Cfg.block_id
+
+(** [dominates t a b] is true iff [a] dominates [b] (reflexive). *)
+val dominates : t -> Cfg.block_id -> Cfg.block_id -> bool
+
+(** Blocks strictly dominated by nobody except the chain up to the entry,
+    listed root-first: the dominator-tree path from the entry to [b],
+    inclusive. *)
+val dominator_chain : t -> Cfg.block_id -> Cfg.block_id list

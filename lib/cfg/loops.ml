@@ -1,0 +1,77 @@
+type t = {
+  cfg : Cfg.t;
+  dom : Dominator.t;
+  back : Cfg.edge list;
+  irreducible : Cfg.edge list;
+  header_set : bool array;
+  depth : int array;
+}
+
+let natural_loop_blocks cfg (e : Cfg.edge) =
+  (* Walk predecessors from the back edge's source until the header. *)
+  let header = e.dst in
+  let n = Cfg.n_blocks cfg in
+  let inside = Array.make n false in
+  inside.(header) <- true;
+  let rec add b =
+    if not inside.(b) then begin
+      inside.(b) <- true;
+      List.iter (fun (p : Cfg.edge) -> add p.src) (Cfg.predecessors cfg b)
+    end
+  in
+  add e.src;
+  inside
+
+let compute cfg =
+  let dom = Dominator.compute cfg in
+  let retreating = Order.retreating_edges cfg in
+  let back, irreducible =
+    List.partition (fun (e : Cfg.edge) -> Dominator.dominates dom e.dst e.src) retreating
+  in
+  let n = Cfg.n_blocks cfg in
+  let header_set = Array.make n false in
+  List.iter (fun (e : Cfg.edge) -> header_set.(e.dst) <- true) back;
+  (* Back edges sharing a header define one loop: union their bodies so a
+     loop with several continue edges is counted once in nesting depth. *)
+  let depth = Array.make n 0 in
+  let by_header = Hashtbl.create 8 in
+  List.iter
+    (fun (e : Cfg.edge) ->
+      let prev = Option.value ~default:[] (Hashtbl.find_opt by_header e.dst) in
+      Hashtbl.replace by_header e.dst (e :: prev))
+    back;
+  Hashtbl.iter
+    (fun _header es ->
+      let inside = Array.make n false in
+      List.iter
+        (fun e ->
+          let one = natural_loop_blocks cfg e in
+          Array.iteri (fun b ins -> if ins then inside.(b) <- true) one)
+        es;
+      Array.iteri (fun b ins -> if ins then depth.(b) <- depth.(b) + 1) inside)
+    by_header;
+  { cfg; dom; back; irreducible; header_set; depth }
+
+let is_reducible t = t.irreducible = []
+let back_edges t = t.back
+let irreducible_edges t = t.irreducible
+
+let headers t =
+  let acc = ref [] in
+  for b = Cfg.n_blocks t.cfg - 1 downto 0 do
+    if t.header_set.(b) then acc := b :: !acc
+  done;
+  !acc
+
+let is_header t b = t.header_set.(b)
+
+let natural_loop t e =
+  assert (Dominator.dominates t.dom Cfg.(e.dst) Cfg.(e.src));
+  let inside = natural_loop_blocks t.cfg e in
+  let acc = ref [] in
+  for b = Cfg.n_blocks t.cfg - 1 downto 0 do
+    if inside.(b) then acc := b :: !acc
+  done;
+  !acc
+
+let nesting_depth t b = t.depth.(b)

@@ -1,0 +1,31 @@
+(** Loop structure of a CFG.
+
+    A {e back edge} is an edge [u -> v] where [v] dominates [u]; [v] is the
+    loop header of the natural loop of that edge.  A graph is {e reducible}
+    when every DFS retreating edge is a back edge; structured programs
+    always are.  For irreducible graphs the retreating edges that are not
+    back edges are reported separately — path profiling truncates them like
+    back edges so the derived DAG is acyclic, but their targets are not
+    considered loop headers (no yieldpoint is implied there). *)
+
+type t
+
+val compute : Cfg.t -> t
+val is_reducible : t -> bool
+
+(** Dominator-based back edges, in deterministic order. *)
+val back_edges : t -> Cfg.edge list
+
+(** Retreating edges that are not back edges (empty iff reducible). *)
+val irreducible_edges : t -> Cfg.edge list
+
+(** Targets of back edges, deduplicated, increasing. *)
+val headers : t -> Cfg.block_id list
+
+val is_header : t -> Cfg.block_id -> bool
+
+(** Blocks of the natural loop of a back edge (header included). *)
+val natural_loop : t -> Cfg.edge -> Cfg.block_id list
+
+(** Number of natural loops containing the block (0 outside any loop). *)
+val nesting_depth : t -> Cfg.block_id -> int

@@ -1,0 +1,56 @@
+(* Iterative depth-first search recording preorder, postorder and
+   retreating edges in one pass. *)
+type dfs = {
+  preorder : Cfg.block_id array;
+  postorder : Cfg.block_id array;
+  retreating : Cfg.edge list;
+}
+
+let run_dfs t =
+  let n = Cfg.n_blocks t in
+  let state = Array.make n `White in
+  let preorder = ref [] and postorder = ref [] and retreating = ref [] in
+  (* Explicit stack of (block, remaining successor edges). *)
+  let rec visit stack =
+    match stack with
+    | [] -> ()
+    | (b, []) :: rest ->
+        state.(b) <- `Black;
+        postorder := b :: !postorder;
+        visit rest
+    | (b, e :: es) :: rest -> (
+        let stack = (b, es) :: rest in
+        match state.(Cfg.(e.dst)) with
+        | `White ->
+            state.(e.dst) <- `Grey;
+            preorder := e.dst :: !preorder;
+            visit ((e.dst, Cfg.successors t e.dst) :: stack)
+        | `Grey ->
+            retreating := e :: !retreating;
+            visit stack
+        | `Black -> visit stack)
+  in
+  let entry = Cfg.entry t in
+  state.(entry) <- `Grey;
+  preorder := [ entry ];
+  visit [ (entry, Cfg.successors t entry) ];
+  {
+    preorder = Array.of_list (List.rev !preorder);
+    postorder = Array.of_list (List.rev !postorder);
+    retreating = List.rev !retreating;
+  }
+
+let dfs_preorder t = (run_dfs t).preorder
+
+let reverse_postorder t =
+  let post = (run_dfs t).postorder in
+  let n = Array.length post in
+  Array.init n (fun i -> post.(n - 1 - i))
+
+let postorder_index t =
+  let post = (run_dfs t).postorder in
+  let idx = Array.make (Cfg.n_blocks t) (-1) in
+  Array.iteri (fun i b -> idx.(b) <- i) post;
+  idx
+
+let retreating_edges t = (run_dfs t).retreating

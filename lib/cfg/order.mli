@@ -1,0 +1,19 @@
+(** Traversal orders over a CFG.
+
+    All orders are deterministic: successors are visited in the fixed order
+    exposed by {!Cfg.successors} (taken arm before not-taken arm). *)
+
+(** Blocks in depth-first preorder from the entry. *)
+val dfs_preorder : Cfg.t -> Cfg.block_id array
+
+(** Blocks in reverse postorder from the entry (a topological order when
+    the graph is acyclic). *)
+val reverse_postorder : Cfg.t -> Cfg.block_id array
+
+(** [postorder_index t] maps each block to its index in postorder. *)
+val postorder_index : Cfg.t -> int array
+
+(** Edges [u -> v] such that [v] is on the DFS stack when the edge is
+    traversed ("retreating" edges).  For reducible graphs these are exactly
+    the natural-loop back edges. *)
+val retreating_edges : Cfg.t -> Cfg.edge list

@@ -1,0 +1,100 @@
+type t = {
+  hooks : Interp.hooks;
+  paths : Path_profile.table;
+  edges : Edge_profile.table;
+  plans : Profile_hooks.plans;
+  sampler : Sampling.t;
+}
+
+let smart_number_profile ?(zero = `Hottest) (profile : Edge_profile.t) dag =
+  let freq (e : Dag.edge) =
+    match e.origin with
+    | Dag.Real { attr = Cfg.Taken br; _ } -> (
+        match Edge_profile.counter profile br with
+        | Some c -> c.Edge_profile.taken
+        | None -> 0)
+    | Dag.Real { attr = Cfg.Not_taken br; _ } -> (
+        match Edge_profile.counter profile br with
+        | Some c -> c.Edge_profile.not_taken
+        | None -> 0)
+    | Dag.Real { attr = Cfg.Seq; _ } | Dag.From_entry _ | Dag.To_exit _ -> 0
+  in
+  Numbering.smart ~zero ~freq dag
+
+let smart_number ?zero (profile : Edge_profile.table) midx dag =
+  smart_number_profile ?zero profile.(midx) dag
+
+let branch_count edges =
+  List.length
+    (List.filter
+       (fun (ce : Cfg.edge) ->
+         match ce.attr with
+         | Cfg.Taken _ | Cfg.Not_taken _ -> true
+         | Cfg.Seq -> false)
+       edges)
+
+let create ?(eager = true) ?(number = fun _ dag -> Numbering.ball_larus dag)
+    ~sampling st =
+  let n_methods = Array.length st.Machine.methods in
+  let plans =
+    if eager then Profile_hooks.make_plans ~mode:Dag.Loop_header ~number st
+    else Array.make n_methods None
+  in
+  let paths = Path_profile.create_table ~n_methods in
+  let edges = Edge_profile.create_table ~n_methods in
+  let sampler = Sampling.create sampling in
+  let update_edges meth path_edges =
+    List.iter
+      (fun (ce : Cfg.edge) ->
+        match ce.attr with
+        | Cfg.Taken br -> Edge_profile.incr edges.(meth) br ~taken:true
+        | Cfg.Not_taken br -> Edge_profile.incr edges.(meth) br ~taken:false
+        | Cfg.Seq -> ())
+      path_edges
+  in
+  let take_sample (st : Machine.t) meth path_id =
+    Machine.add_cycles st st.cost.Cost_model.sample_handler;
+    let plan = Option.get plans.(meth) in
+    (* A frame compiled before this method's plan was (re)installed can
+       deliver a stale register value once; drop such samples. *)
+    if path_id >= 0 && path_id < Numbering.n_paths plan.Instrument.numbering
+    then begin
+      let entry = Path_profile.entry paths.(meth) path_id in
+      entry.count <- entry.count + 1;
+      match entry.edges with
+      | Some path_edges -> update_edges meth path_edges
+      | None ->
+          (* first sample of this path: reconstruct it from the P-DAG *)
+          let path_edges =
+            Reconstruct.cfg_edges plan.Instrument.numbering path_id
+          in
+          Machine.add_cycles st
+            (st.cost.Cost_model.reconstruct_per_edge
+            * (List.length path_edges + 1));
+          entry.edges <- Some path_edges;
+          entry.n_branches <- branch_count path_edges;
+          update_edges meth path_edges
+    end
+  in
+  let on_path_end (st : Machine.t) (frame : Interp.frame) ~path_id =
+    if st.tick_pending then begin
+      st.tick_pending <- false;
+      Sampling.activate sampler
+    end;
+    if Sampling.active sampler then
+      match Sampling.step sampler with
+      | `Skip -> Machine.add_cycles st st.cost.Cost_model.stride_step
+      | `Take -> take_sample st frame.fmeth path_id
+  in
+  let hooks = Profile_hooks.path_hooks ~plans ~count_cost:`None ~on_path_end () in
+  { hooks; paths; edges; plans; sampler }
+
+let n_samples t =
+  let taken, _, _ = Sampling.stats t.sampler in
+  taken
+
+let n_instrumented t =
+  ( Array.fold_left
+      (fun acc p -> match p with Some _ -> acc + 1 | None -> acc)
+      0 t.plans,
+    Array.length t.plans )

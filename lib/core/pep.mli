@@ -1,0 +1,62 @@
+(** PEP — continuous hybrid path and edge profiling (the paper's
+    contribution).
+
+    PEP runs the cheap half of Ball-Larus instrumentation all the time:
+    the path register is maintained on every executed edge and reset at
+    every path start, but nothing is ever stored.  At a path-end
+    yieldpoint (loop header or method exit) the yieldpoint handler
+    receives the completed path number; when a sampling burst is active
+    ({!Sampling}), the handler increments the path's frequency, expands
+    the path to its CFG edges (memoized after the first sample, paper
+    §4.3), and bumps the taken/not-taken counter of every branch on the
+    path — yielding both a path profile and an edge profile.
+
+    Instrumentation placement is profile-guided (paper §3.4): with
+    {!smart_number} the smart path numbering assigns 0 to each block's
+    hottest outgoing edge, so hot arms carry no [r += v] at all. *)
+
+type t = {
+  hooks : Interp.hooks;
+      (** compose after a {!Tick} driver, which supplies the tick token *)
+  paths : Path_profile.table;
+  edges : Edge_profile.table;
+  plans : Profile_hooks.plans;
+  sampler : Sampling.t;
+}
+
+(** [create ?eager ?number ~sampling machine].  [number] picks the
+    per-method path numbering (default Ball-Larus); use {!smart_number}
+    to enable profile-guided placement.  [eager:false] starts with no
+    method instrumented — an adaptive VM installs plans into [plans] as
+    it opt-compiles methods (clearing the method's slot in [paths] when
+    it re-instruments, since path ids change with the numbering). *)
+val create :
+  ?eager:bool ->
+  ?number:(int -> Dag.t -> Numbering.t) ->
+  sampling:Sampling.config ->
+  Machine.t ->
+  t
+
+(** Smart path numbering driven by an existing edge profile: a DAG
+    edge's frequency is its branch arm's counter (0 for jumps, dummies,
+    and never-seen branches).  [zero] selects the ablation axis:
+    [`Hottest] (default, PPP's choice) leaves hot arms uninstrumented;
+    [`Coldest] deliberately instruments hot arms (paper §3.4 reports
+    this costs about 1.4% extra). *)
+val smart_number :
+  ?zero:[ `Hottest | `Coldest ] ->
+  Edge_profile.table ->
+  int ->
+  Dag.t ->
+  Numbering.t
+
+(** As {!smart_number}, for a single method's profile. *)
+val smart_number_profile :
+  ?zero:[ `Hottest | `Coldest ] -> Edge_profile.t -> Dag.t -> Numbering.t
+
+(** Samples taken so far. *)
+val n_samples : t -> int
+
+(** Paths this configuration can profile / total methods (methods with
+    too many paths or no yieldpoints are skipped). *)
+val n_instrumented : t -> int * int

@@ -1,0 +1,48 @@
+type t = {
+  env : Exp_harness.env;
+  runs : (string, Exp_harness.run) Hashtbl.t;
+  mutable perfect_edge_table : Edge_profile.table option;
+}
+
+let create env = { env; runs = Hashtbl.create 16; perfect_edge_table = None }
+let env t = t.env
+
+let run t ?opt_profile ?inline ?unroll ~key profiling =
+  match Hashtbl.find_opt t.runs key with
+  | Some r -> r
+  | None ->
+      let r = Exp_harness.replay ?opt_profile ?inline ?unroll t.env profiling in
+      Hashtbl.replace t.runs key r;
+      r
+
+let base t = run t ~key:"base" Exp_harness.Base
+
+let pep t ~samples ~stride =
+  run t
+    ~key:(Fmt.str "pep-%d-%d" samples stride)
+    (Exp_harness.Pep_profiled
+       {
+         sampling = Sampling.pep ~samples ~stride;
+         zero = `Hottest;
+         numbering = `Smart;
+       })
+
+let instr_only t =
+  run t ~key:"instr-only"
+    (Exp_harness.Pep_profiled
+       { sampling = Sampling.never; zero = `Hottest; numbering = `Smart })
+
+let perfect_path t = run t ~key:"perfect-path" Exp_harness.Perfect_path
+
+let perfect_edges_of_paths t =
+  match t.perfect_edge_table with
+  | Some table -> table
+  | None ->
+      let p = Option.get (perfect_path t).Exp_harness.ppaths in
+      let table =
+        Profiler.edges_of_paths
+          ~n_methods:(Program.n_methods t.env.program)
+          p.Profiler.plans p.Profiler.table
+      in
+      t.perfect_edge_table <- Some table;
+      table

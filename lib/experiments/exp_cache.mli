@@ -1,0 +1,33 @@
+(** Memoized experiment runs.
+
+    Several figures share configurations (the PEP(64,17) replay run feeds
+    Fig. 6 overhead, Fig. 8 path accuracy and Fig. 9 edge accuracy); the
+    cache executes each distinct configuration once per benchmark. *)
+
+type t
+
+val create : Exp_harness.env -> t
+val env : t -> Exp_harness.env
+
+(** Run (or recall) a configuration.  [key] identifies the configuration
+    — callers must use distinct keys for distinct
+    [profiling]/[opt_profile] combinations. *)
+val run :
+  t ->
+  ?opt_profile:Driver.opt_profile_source ->
+  ?inline:bool ->
+  ?unroll:bool ->
+  key:string ->
+  Exp_harness.profiling ->
+  Exp_harness.run
+
+(** The shared convenience runs. *)
+
+val base : t -> Exp_harness.run
+val pep : t -> samples:int -> stride:int -> Exp_harness.run
+val instr_only : t -> Exp_harness.run
+val perfect_path : t -> Exp_harness.run
+
+(** Ground-truth edge profile derived from the perfect path profile
+    (computed once). *)
+val perfect_edges_of_paths : t -> Edge_profile.table

@@ -1,0 +1,195 @@
+type env = {
+  workload : Workload.t;
+  program : Program.t;
+  advice : Advice.t;
+  size : int;
+  seed : int;
+}
+
+let make_env ?size ~seed workload =
+  let size = Option.value ~default:workload.Workload.default_size size in
+  let program = Workload.program ~size workload in
+  Verify.program program;
+  let st = Machine.create ~seed program in
+  let driver = Driver.create Driver.default_options st in
+  ignore (Driver.run driver);
+  ignore (Driver.run driver);
+  { workload; program; advice = Driver.advice driver; size; seed }
+
+let suite_envs ?(scale = 1.0) ~seed () =
+  List.map
+    (fun (w : Workload.t) ->
+      let size =
+        max 1 (int_of_float (float_of_int w.default_size *. scale))
+      in
+      make_env ~size ~seed w)
+    Suite.all
+
+type measurement = { iter1 : int; iter2 : int; compile : int; checksum : int }
+
+type profiling =
+  | Base
+  | Pep_profiled of {
+      sampling : Sampling.config;
+      zero : [ `Hottest | `Coldest ];
+      numbering : [ `Smart | `Ball_larus ];
+    }
+  | Perfect_path
+  | Perfect_edge
+  | Classic_blpp
+  | Instr_back_edge
+
+type run = {
+  meas : measurement;
+  pep : Pep.t option;
+  ppaths : Profiler.path_profiler option;
+  pedges : Profiler.edge_profiler option;
+  driver : Driver.t;
+}
+
+let advice_number env midx dag = Pep.smart_number env.advice.Advice.profile midx dag
+
+(* Restrict a profiler's plans to the methods the advice opt-compiles, so
+   every configuration profiles the same method set PEP does. *)
+let mask_plans env (plans : Profile_hooks.plans) =
+  Array.iteri
+    (fun m level -> if level < 0 then plans.(m) <- None)
+    env.advice.Advice.levels
+
+let replay ?(opt_profile = Driver.From_baseline) ?(inline = false)
+    ?(unroll = false) env profiling =
+  let st = Machine.create ~seed:env.seed env.program in
+  let pep_opts, extra =
+    match profiling with
+    | Base -> (None, None)
+    | Pep_profiled { sampling; zero; numbering } ->
+        (Some { Driver.sampling; zero; numbering }, None)
+    | Perfect_path ->
+        let p = Profiler.perfect_path ~number:(advice_number env) st in
+        mask_plans env p.Profiler.plans;
+        (None, Some (`Path p))
+    | Perfect_edge ->
+        let p = Profiler.perfect_edge st in
+        (None, Some (`Edge p))
+    | Classic_blpp ->
+        let p = Profiler.classic_blpp ~number:(advice_number env) st in
+        mask_plans env p.Profiler.plans;
+        (None, Some (`Path p))
+    | Instr_back_edge ->
+        let plans =
+          Profile_hooks.make_plans ~mode:Dag.Back_edge
+            ~number:(advice_number env) st
+        in
+        mask_plans env plans;
+        let hooks =
+          Profile_hooks.path_hooks ~plans ~count_cost:`None
+            ~on_path_end:(fun _ _ ~path_id:_ -> ())
+            ()
+        in
+        (None, Some (`Hooks hooks))
+  in
+  let extra_hooks =
+    match extra with
+    | None -> None
+    | Some (`Path (p : Profiler.path_profiler)) -> Some p.hooks
+    | Some (`Edge (p : Profiler.edge_profiler)) -> Some p.ehooks
+    | Some (`Hooks h) -> Some h
+  in
+  let opts =
+    { Driver.mode = Replay env.advice; opt_profile; pep = pep_opts; inline; unroll }
+  in
+  let driver = Driver.create ?extra_hooks opts st in
+  let iter1, c1 = Driver.run driver in
+  let iter2, c2 = Driver.run driver in
+  (* the two iterations see different PRNG draws, so combine both results
+     into the cross-configuration checksum *)
+  {
+    meas =
+      {
+        iter1;
+        iter2;
+        compile = Driver.compile_cycles driver;
+        checksum = c1 lxor (c2 * 1_000_003);
+      };
+    pep = Driver.pep driver;
+    ppaths =
+      (match extra with Some (`Path p) -> Some p | Some (`Edge _) | Some (`Hooks _) | None -> None);
+    pedges =
+      (match extra with Some (`Edge p) -> Some p | Some (`Path _) | Some (`Hooks _) | None -> None);
+    driver;
+  }
+
+(* Replay with body transformations enabled, PEP(64,17) and a perfect
+   path profiler observing the same (transformed) code: the profiler must
+   be built after the driver has compiled the methods, or it would
+   instrument the original bodies. *)
+let replay_transformed_with_truth ?(inline = true) ?(unroll = false) env =
+  let st = Machine.create ~seed:env.seed env.program in
+  let opts =
+    {
+      Driver.mode = Replay env.advice;
+      opt_profile = Driver.From_baseline;
+      pep =
+        Some
+          {
+            Driver.sampling = Sampling.pep ~samples:64 ~stride:17;
+            zero = `Hottest;
+            numbering = `Smart;
+          };
+      inline;
+      unroll;
+    }
+  in
+  let driver = Driver.create opts st in
+  Driver.precompile driver;
+  let truth = Profiler.perfect_path ~number:(advice_number env) st in
+  mask_plans env truth.Profiler.plans;
+  Driver.add_hooks driver truth.Profiler.hooks;
+  ignore (Driver.run driver);
+  ignore (Driver.run driver);
+  (driver, Option.get (Driver.pep driver), truth)
+
+let adaptive_total ?(pep = false) ~trial env =
+  (* The adaptive system needs enough timer ticks for promotion decisions
+     to stabilize (the paper's runs see ~550); compress the tick period so
+     the tick:execution ratio stays comparable at simulation scale. *)
+  let cost =
+    {
+      Cost_model.default with
+      Cost_model.tick_period = Cost_model.default.Cost_model.tick_period / 4;
+    }
+  in
+  let period = cost.Cost_model.tick_period in
+  (* pseudo-uniform, distinct timer phases across trials *)
+  let tick_offset = 1 + (trial * 10007 * 977) mod period in
+  let st = Machine.create ~cost ~tick_offset ~seed:env.seed env.program in
+  let opts =
+    if pep then
+      {
+        Driver.mode = Adaptive { thresholds = Driver.default_thresholds };
+        opt_profile = Driver.From_pep;
+        pep =
+          Some
+            {
+              Driver.sampling = Sampling.pep ~samples:64 ~stride:17;
+              zero = `Hottest;
+              numbering = `Smart;
+            };
+        inline = false;
+        unroll = false;
+      }
+    else Driver.default_options
+  in
+  let driver = Driver.create opts st in
+  let a, _ = Driver.run driver in
+  let b, _ = Driver.run driver in
+  a + b
+
+let check_consistent = function
+  | [] -> ()
+  | first :: rest ->
+      List.iter
+        (fun r ->
+          if r.meas.checksum <> first.meas.checksum then
+            failwith "profiling configuration changed application behaviour")
+        rest

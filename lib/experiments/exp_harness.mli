@@ -1,0 +1,93 @@
+(** Experiment harness: prepares benchmarks and executes the paper's two
+    methodologies (paper §5).
+
+    An {!env} fixes a workload, its compiled program and the advice file
+    produced by a preparatory adaptive run.  {!replay} then performs
+    deterministic replay-compilation runs under a chosen profiling
+    configuration: two iterations of the application, the first carrying
+    compilation (paper Fig. 7), the second execution only (Fig. 6).
+    Because time is virtual and the workload PRNG is seeded, the
+    application's dynamic behaviour — and its checksum — is identical
+    across profiling configurations; only the profiling work differs. *)
+
+type env = {
+  workload : Workload.t;
+  program : Program.t;
+  advice : Advice.t;
+  size : int;
+  seed : int;
+}
+
+(** Compile the workload and produce advice from a two-iteration adaptive
+    warmup run. *)
+val make_env : ?size:int -> seed:int -> Workload.t -> env
+
+(** Envs for the whole suite; [scale] multiplies every workload's default
+    size (use a small scale in tests). *)
+val suite_envs : ?scale:float -> seed:int -> unit -> env list
+
+type measurement = {
+  iter1 : int;  (** first-iteration cycles, compilation included *)
+  iter2 : int;  (** second-iteration cycles, application only *)
+  compile : int;  (** cycles spent compiling *)
+  checksum : int;
+}
+
+type profiling =
+  | Base  (** no profiling beyond the always-present tick driver *)
+  | Pep_profiled of {
+      sampling : Sampling.config;
+      zero : [ `Hottest | `Coldest ];
+      numbering : [ `Smart | `Ball_larus ];
+    }
+  | Perfect_path  (** §5.1 instrumentation-based path profiling *)
+  | Perfect_edge  (** §5.1 instrumentation-based edge profiling *)
+  | Classic_blpp  (** §2.2 Ball-Larus with counts on back edges *)
+  | Instr_back_edge
+      (** r-maintenance only under back-edge truncation — the §3.2
+          path-ending ablation *)
+
+type run = {
+  meas : measurement;
+  pep : Pep.t option;
+  ppaths : Profiler.path_profiler option;
+  pedges : Profiler.edge_profiler option;
+  driver : Driver.t;
+}
+
+(** One replay experiment.  [opt_profile] selects what drives the
+    optimizing compiler (default: the advice's one-time profile);
+    [inline] enables the optimizer's inliner. *)
+val replay :
+  ?opt_profile:Driver.opt_profile_source ->
+  ?inline:bool ->
+  ?unroll:bool ->
+  env ->
+  profiling ->
+  run
+
+(** Replay with body transformations (default: inlining only),
+    PEP(64,17), and a perfect path profiler over the same transformed
+    code (built after {!Driver.precompile}); the two profiles share
+    numbering and are directly comparable. *)
+val replay_transformed_with_truth :
+  ?inline:bool -> ?unroll:bool -> env -> Driver.t * Pep.t * Profiler.path_profiler
+
+(** Smart numbering keyed to the advice's one-time profile — the
+    numbering every replay configuration shares, so path ids from
+    different runs are comparable. *)
+val advice_number : env -> int -> Dag.t -> Numbering.t
+
+(** Null out plans of methods the advice leaves at baseline, so a custom
+    profiler covers the same method set PEP does. *)
+val mask_plans : env -> Profile_hooks.plans -> unit
+
+(** Total cycles (two iterations, compilation included) of one adaptive
+    trial; [trial] perturbs the timer phase, modelling the paper's
+    run-to-run variation.  [pep] adds PEP(64,17) collecting profiles and
+    driving optimization (paper Fig. 11). *)
+val adaptive_total : ?pep:bool -> trial:int -> env -> int
+
+(** @raise Failure if the runs' checksums disagree (a profiling
+    configuration perturbed application behaviour — a harness bug). *)
+val check_consistent : run list -> unit

@@ -1,0 +1,52 @@
+let table ~header rows =
+  let all = header :: rows in
+  let n_cols = List.fold_left (fun acc r -> max acc (List.length r)) 0 all in
+  let widths = Array.make n_cols 0 in
+  List.iter
+    (fun row ->
+      List.iteri
+        (fun c cell -> widths.(c) <- max widths.(c) (String.length cell))
+        row)
+    all;
+  let print_row row =
+    List.iteri
+      (fun c cell ->
+        if c > 0 then print_string "  ";
+        let pad = widths.(c) - String.length cell in
+        (* left-align the first column, right-align numbers *)
+        if c = 0 then print_string (cell ^ String.make pad ' ')
+        else print_string (String.make pad ' ' ^ cell))
+      row;
+    print_newline ()
+  in
+  print_row header;
+  print_row
+    (List.init (List.length header) (fun c ->
+         String.make widths.(c) '-'));
+  List.iter print_row rows
+
+let section title =
+  Printf.printf "\n=== %s ===\n" title
+
+let mean = function
+  | [] -> 0.
+  | xs -> List.fold_left ( +. ) 0. xs /. float_of_int (List.length xs)
+
+let geomean = function
+  | [] -> 0.
+  | xs ->
+      exp
+        (List.fold_left (fun acc x -> acc +. log (Float.max x 1e-12)) 0. xs
+        /. float_of_int (List.length xs))
+
+let median = function
+  | [] -> 0.
+  | xs ->
+      let sorted = List.sort compare xs in
+      let n = List.length sorted in
+      let nth = List.nth sorted in
+      if n mod 2 = 1 then nth (n / 2)
+      else (nth ((n / 2) - 1) +. nth (n / 2)) /. 2.
+
+let pct x = Printf.sprintf "%+.2f%%" x
+let overhead ~base x = 100. *. ((float_of_int x /. float_of_int base) -. 1.)

@@ -1,0 +1,19 @@
+(** Formatting helpers for experiment output: aligned text tables and the
+    summary statistics the paper reports. *)
+
+(** Print a table with a header row, aligning columns. *)
+val table : header:string list -> string list list -> unit
+
+val section : string -> unit
+
+(** Arithmetic mean; 0 on empty input. *)
+val mean : float list -> float
+
+val geomean : float list -> float
+val median : float list -> float
+
+(** ["+1.23%"] style overhead formatting. *)
+val pct : float -> string
+
+(** Overhead of [x] relative to [base], in percent. *)
+val overhead : base:int -> int -> float

@@ -1,0 +1,33 @@
+(** Profile accuracy metrics from the paper's evaluation.
+
+    - {!wall_path_accuracy} (paper §6.3): Wall weight-matching with the
+      branch-flow metric.  A path's flow is its frequency times its length
+      in branches; actual hot paths are those above a flow threshold
+      (default 0.125% of total flow); accuracy is the fraction of actual
+      hot-path flow found among the top-[|H_actual|] estimated paths.
+
+    - {!relative_overlap} (paper §6.4): per-branch taken-bias agreement,
+      weighted by actual branch frequency.  Branches the estimate never
+      saw count with a neutral 0.5 bias.
+
+    - {!absolute_overlap} (paper §6.4 "absolute overlap"): agreement of
+      normalized edge frequencies across the whole program,
+      [sum (min w_actual w_estimated)] over (branch, arm) pairs. *)
+
+(** [wall_path_accuracy ~n_branches ~actual ~estimated] where
+    [n_branches ~meth ~path_id] resolves a path's length in branches
+    (use the profiler's P-DAG reconstruction).  Returns a value in
+    [0, 1]; 1.0 when there are no hot paths. *)
+val wall_path_accuracy :
+  ?threshold:float ->
+  n_branches:(meth:int -> path_id:int -> int) ->
+  actual:Path_profile.table ->
+  estimated:Path_profile.table ->
+  unit ->
+  float
+
+val relative_overlap :
+  actual:Edge_profile.table -> estimated:Edge_profile.table -> float
+
+val absolute_overlap :
+  actual:Edge_profile.table -> estimated:Edge_profile.table -> float

@@ -1,0 +1,105 @@
+type counter = { mutable taken : int; mutable not_taken : int }
+type t = (Cfg.branch_id, counter) Hashtbl.t
+
+let create () : t = Hashtbl.create 16
+
+let counter_for t branch =
+  match Hashtbl.find_opt t branch with
+  | Some c -> c
+  | None ->
+      let c = { taken = 0; not_taken = 0 } in
+      Hashtbl.replace t branch c;
+      c
+
+let add t branch ~taken n =
+  let c = counter_for t branch in
+  if taken then c.taken <- c.taken + n else c.not_taken <- c.not_taken + n
+
+let incr t branch ~taken = add t branch ~taken 1
+let counter t branch = Hashtbl.find_opt t branch
+
+let freq t branch =
+  match Hashtbl.find_opt t branch with
+  | Some c -> c.taken + c.not_taken
+  | None -> 0
+
+let bias t branch =
+  match Hashtbl.find_opt t branch with
+  | Some c when c.taken + c.not_taken > 0 ->
+      Some (float_of_int c.taken /. float_of_int (c.taken + c.not_taken))
+  | Some _ | None -> None
+
+let branch_ids t = List.sort compare (Hashtbl.fold (fun b _ acc -> b :: acc) t [])
+let total t = Hashtbl.fold (fun _ c acc -> acc + c.taken + c.not_taken) t 0
+let is_empty t = total t = 0
+
+let copy t =
+  let dst = create () in
+  Hashtbl.iter
+    (fun b (c : counter) ->
+      Hashtbl.replace dst b { taken = c.taken; not_taken = c.not_taken })
+    t;
+  dst
+
+let clear t = Hashtbl.reset t
+
+let flip t =
+  let dst = create () in
+  Hashtbl.iter
+    (fun b (c : counter) ->
+      Hashtbl.replace dst b { taken = c.not_taken; not_taken = c.taken })
+    t;
+  dst
+
+type table = t array
+
+let create_table ~n_methods = Array.init n_methods (fun _ -> create ())
+let copy_table tbl = Array.map copy tbl
+let flip_table tbl = Array.map flip tbl
+let table_total tbl = Array.fold_left (fun acc t -> acc + total t) 0 tbl
+
+let to_lines tbl =
+  let lines = ref [] in
+  Array.iteri
+    (fun mi t ->
+      List.iter
+        (fun b ->
+          match Hashtbl.find_opt t b with
+          | Some c ->
+              lines := Fmt.str "%d %d %d %d" mi b c.taken c.not_taken :: !lines
+          | None -> ())
+        (branch_ids t))
+    tbl;
+  List.rev !lines
+
+let of_lines ~n_methods lines =
+  let tbl = create_table ~n_methods in
+  List.iter
+    (fun line ->
+      if String.trim line <> "" then
+        match String.split_on_char ' ' (String.trim line) with
+        | [ mi; b; tk; nt ] -> (
+            match
+              ( int_of_string_opt mi,
+                int_of_string_opt b,
+                int_of_string_opt tk,
+                int_of_string_opt nt )
+            with
+            | Some mi, Some b, Some tk, Some nt
+              when mi >= 0 && mi < n_methods && tk >= 0 && nt >= 0 ->
+                add tbl.(mi) b ~taken:true tk;
+                add tbl.(mi) b ~taken:false nt
+            | _ -> failwith ("Edge_profile.of_lines: bad line: " ^ line))
+        | _ -> failwith ("Edge_profile.of_lines: bad line: " ^ line))
+    lines;
+  tbl
+
+let pp ppf t =
+  Fmt.pf ppf "@[<v>";
+  List.iter
+    (fun b ->
+      match Hashtbl.find_opt t b with
+      | Some c -> Fmt.pf ppf "br%d: taken=%d not-taken=%d@," b c.taken c.not_taken
+      | None -> ())
+    (branch_ids t);
+  Fmt.pf ppf "@]"

@@ -1,0 +1,47 @@
+(** Edge profiles: taken/not-taken counters per bytecode branch.
+
+    This is the profile shape Jikes RVM's baseline compiler collects and
+    its optimizing compiler consumes (paper §4.2): one pair of counters
+    per bytecode-level conditional branch.  A per-program profile is a
+    {!table} indexed by dense method index. *)
+
+type counter = { mutable taken : int; mutable not_taken : int }
+
+(** Per-method edge profile. *)
+type t
+
+val create : unit -> t
+val incr : t -> Cfg.branch_id -> taken:bool -> unit
+val add : t -> Cfg.branch_id -> taken:bool -> int -> unit
+val counter : t -> Cfg.branch_id -> counter option
+
+(** Executions of the branch (taken + not-taken); 0 when never seen. *)
+val freq : t -> Cfg.branch_id -> int
+
+(** Fraction of executions that took the branch; [None] when never seen. *)
+val bias : t -> Cfg.branch_id -> float option
+
+val branch_ids : t -> Cfg.branch_id list
+val total : t -> int
+val is_empty : t -> bool
+val copy : t -> t
+val clear : t -> unit
+
+(** Swap every taken/not-taken pair (the "flipped" profile of paper §6.5). *)
+val flip : t -> t
+
+(** Per-program profile, one slot per method. *)
+type table = t array
+
+val create_table : n_methods:int -> table
+val copy_table : table -> table
+val flip_table : table -> table
+val table_total : table -> int
+
+(** One line per branch: ["<method-index> <branch> <taken> <not-taken>"].
+    [of_lines] is its inverse.
+    @raise Failure on malformed input. *)
+val to_lines : table -> string list
+
+val of_lines : n_methods:int -> string list -> table
+val pp : t Fmt.t

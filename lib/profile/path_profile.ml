@@ -1,0 +1,80 @@
+type entry = {
+  path_id : int;
+  mutable count : int;
+  mutable edges : Cfg.edge list option;
+  mutable n_branches : int;
+}
+
+type t = (int, entry) Hashtbl.t
+
+let create () : t = Hashtbl.create 32
+
+let entry t path_id =
+  match Hashtbl.find_opt t path_id with
+  | Some e -> e
+  | None ->
+      let e = { path_id; count = 0; edges = None; n_branches = -1 } in
+      Hashtbl.replace t path_id e;
+      e
+
+let add t path_id n =
+  let e = entry t path_id in
+  e.count <- e.count + n
+
+let incr t path_id = add t path_id 1
+let find t path_id = Hashtbl.find_opt t path_id
+
+let entries t =
+  List.sort
+    (fun a b -> compare a.path_id b.path_id)
+    (Hashtbl.fold (fun _ e acc -> e :: acc) t [])
+
+let total t = Hashtbl.fold (fun _ e acc -> acc + e.count) t 0
+let n_distinct t = Hashtbl.length t
+let is_empty t = Hashtbl.length t = 0
+let clear t = Hashtbl.reset t
+let iter f t = Hashtbl.iter (fun _ e -> f e) t
+
+type table = t array
+
+let create_table ~n_methods = Array.init n_methods (fun _ -> create ())
+let table_total tbl = Array.fold_left (fun acc t -> acc + total t) 0 tbl
+
+let to_lines tbl =
+  let lines = ref [] in
+  Array.iteri
+    (fun mi t ->
+      List.iter
+        (fun e ->
+          if e.count > 0 then
+            lines := Fmt.str "%d %d %d" mi e.path_id e.count :: !lines)
+        (entries t))
+    tbl;
+  List.rev !lines
+
+let of_lines ~n_methods lines =
+  let tbl = create_table ~n_methods in
+  List.iter
+    (fun line ->
+      if String.trim line <> "" then
+        match String.split_on_char ' ' (String.trim line) with
+        | [ mi; pid; count ] -> (
+            match
+              ( int_of_string_opt mi,
+                int_of_string_opt pid,
+                int_of_string_opt count )
+            with
+            | Some mi, Some pid, Some count
+              when mi >= 0 && mi < n_methods && count > 0 ->
+                add tbl.(mi) pid count
+            | _ -> failwith ("Path_profile.of_lines: bad line: " ^ line))
+        | _ -> failwith ("Path_profile.of_lines: bad line: " ^ line))
+    lines;
+  tbl
+
+let pp ppf t =
+  Fmt.pf ppf "@[<v>";
+  List.iter
+    (fun e -> Fmt.pf ppf "path %d: count=%d branches=%d@," e.path_id e.count e.n_branches)
+    (entries t);
+  Fmt.pf ppf "@]"

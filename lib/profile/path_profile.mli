@@ -1,0 +1,51 @@
+(** Path profiles: per-method frequency tables keyed by Ball-Larus path
+    number.
+
+    Each entry memoizes, once known, the path's constituent CFG edges and
+    its length in branches ([b_p] of the branch-flow metric, paper §6.3).
+    PEP's sampler fills the memo the first time a path is sampled and
+    reuses it afterwards (paper §4.3). *)
+
+type entry = {
+  path_id : int;
+  mutable count : int;
+  mutable edges : Cfg.edge list option;  (** memoized expansion *)
+  mutable n_branches : int;
+      (** branch edges on the path; -1 until the expansion is memoized *)
+}
+
+(** Per-method path profile. *)
+type t
+
+val create : unit -> t
+val incr : t -> int -> unit
+val add : t -> int -> int -> unit
+val find : t -> int -> entry option
+
+(** Entry, created with count 0 if absent. *)
+val entry : t -> int -> entry
+
+val entries : t -> entry list
+
+(** Total path executions recorded. *)
+val total : t -> int
+
+val n_distinct : t -> int
+val is_empty : t -> bool
+val clear : t -> unit
+val iter : (entry -> unit) -> t -> unit
+
+(** Per-program profile, one slot per method. *)
+type table = t array
+
+val create_table : n_methods:int -> table
+val table_total : table -> int
+
+(** One line per path: ["<method-index> <path-id> <count>"] (memoized
+    expansions are not serialized; they are re-derivable from the
+    P-DAG).  [of_lines] is the inverse.
+    @raise Failure on malformed input. *)
+val to_lines : table -> string list
+
+val of_lines : n_methods:int -> string list -> table
+val pp : t Fmt.t

@@ -1,0 +1,59 @@
+type t = {
+  block_dispatch : int;
+  arith : int;
+  memory : int;
+  call : int;
+  rand : int;
+  yieldpoint_poll : int;
+  r_update : int;
+  count_update : int;
+  count_array : int;
+  edge_count : int;
+  tick_handler : int;
+  sample_handler : int;
+  stride_step : int;
+  reconstruct_per_edge : int;
+  taken_branch_penalty : int;
+  mispredict_penalty : int;
+  tick_period : int;
+  baseline_slowdown : int;
+  opt_speedup_percent : int array;
+  compile_cost_baseline : int;
+  compile_cost_opt : int array;
+  pep_pass_cost : int;
+}
+
+let default =
+  {
+    block_dispatch = 10;
+    arith = 10;
+    memory = 30;
+    call = 100;
+    rand = 20;
+    yieldpoint_poll = 3;
+    r_update = 2;
+    count_update = 280;
+    count_array = 90;
+    edge_count = 12;
+    tick_handler = 100;
+    sample_handler = 25;
+    stride_step = 18;
+    reconstruct_per_edge = 20;
+    taken_branch_penalty = 8;
+    mispredict_penalty = 25;
+    tick_period = 1_000_000;
+    baseline_slowdown = 5;
+    opt_speedup_percent = [| 100; 92; 85 |];
+    compile_cost_baseline = 50;
+    compile_cost_opt = [| 500; 1500; 4000 |];
+    pep_pass_cost = 3000;
+  }
+
+let instr_cost t (ins : Instr.t) =
+  match ins with
+  | Const _ | Load _ | Store _ | Inc _ | Binop _ | Cmp _ | Neg | Not | Dup
+  | Pop ->
+      t.arith
+  | GLoad _ | GStore _ | AGet | ASet -> t.memory
+  | Call _ -> t.call
+  | Rand _ -> t.rand

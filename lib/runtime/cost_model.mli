@@ -1,0 +1,47 @@
+(** Virtual-cycle cost model.
+
+    All "time" in the reproduction is virtual cycles accumulated while
+    interpreting bytecode.  The absolute values are arbitrary; what
+    reproduces the paper's overhead ordering is the ratios:
+
+    - a path-register update is a register add (cheap, ~1 cycle);
+    - a path-table update ([count\[r\]++], a hash call) is tens of cycles —
+      this gap is the observation PEP is built on (paper §3.2);
+    - an edge taken/not-taken counter update is a load-inc-store;
+    - the yieldpoint poll (flag test) is in the base system already;
+    - taking a sample costs a handler invocation;
+    - unoptimized (baseline-compiled) code runs several times slower than
+      optimized code, which is why one-time baseline edge instrumentation
+      is tolerable (paper §4.2). *)
+
+type t = {
+  block_dispatch : int;  (** per executed basic block *)
+  arith : int;  (** simple stack/ALU instruction *)
+  memory : int;  (** global/heap access *)
+  call : int;  (** call/return linkage *)
+  rand : int;  (** PRNG draw *)
+  yieldpoint_poll : int;  (** flag test at every yieldpoint (base too) *)
+  r_update : int;  (** r = c or r += c *)
+  count_update : int;  (** path-table hash-call update (paper's perfect profiler) *)
+  count_array : int;  (** array-indexed [count\[r\]++] (classic BLPP) *)
+  edge_count : int;  (** taken/not-taken counter increment *)
+  tick_handler : int;  (** yieldpoint-handler entry when the flag is set *)
+  sample_handler : int;  (** storing one path sample *)
+  stride_step : int;  (** skipping a sample opportunity while striding *)
+  reconstruct_per_edge : int;  (** first-time path-to-edges expansion *)
+  taken_branch_penalty : int;  (** layout: control transfer that is not the fallthrough *)
+  mispredict_penalty : int;  (** layout: hot-direction speculation was wrong *)
+  tick_period : int;  (** virtual cycles between timer interrupts *)
+  baseline_slowdown : int;  (** cost multiplier for baseline-compiled code *)
+  opt_speedup_percent : int array;
+      (** per opt level 0..2: percent cost of baseline-normalized-1
+          optimized code, e.g. [| 100; 90; 85 |] *)
+  compile_cost_baseline : int;  (** per bytecode instruction *)
+  compile_cost_opt : int array;  (** per bytecode instruction, per opt level *)
+  pep_pass_cost : int;  (** extra compile cost per block for the PEP pass *)
+}
+
+val default : t
+
+(** Base cost of one instruction under this model (no instrumentation). *)
+val instr_cost : t -> Instr.t -> int

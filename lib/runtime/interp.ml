@@ -1,0 +1,170 @@
+type frame = { fmeth : int; fparent : int; mutable r : int }
+
+type hooks = {
+  on_entry : (Machine.t -> frame -> unit) option;
+  on_exit : (Machine.t -> frame -> unit) option;
+  on_edge : (Machine.t -> frame -> src:int -> idx:int -> dst:int -> unit) option;
+  on_yieldpoint : (Machine.t -> frame -> Cfg.block_id -> unit) option;
+}
+
+let no_hooks = { on_entry = None; on_exit = None; on_edge = None; on_yieldpoint = None }
+
+let compose_opt a b =
+  match (a, b) with
+  | None, f | f, None -> f
+  | Some f, Some g ->
+      Some
+        (fun st frame ->
+          f st frame;
+          g st frame)
+
+let compose_opt_edge a b =
+  match (a, b) with
+  | None, f | f, None -> f
+  | Some f, Some g ->
+      Some
+        (fun st frame ~src ~idx ~dst ->
+          f st frame ~src ~idx ~dst;
+          g st frame ~src ~idx ~dst)
+
+let compose_opt_yp a b =
+  match (a, b) with
+  | None, f | f, None -> f
+  | Some f, Some g ->
+      Some
+        (fun st frame blk ->
+          f st frame blk;
+          g st frame blk)
+
+let compose a b =
+  {
+    on_entry = compose_opt a.on_entry b.on_entry;
+    on_exit = compose_opt a.on_exit b.on_exit;
+    on_edge = compose_opt_edge a.on_edge b.on_edge;
+    on_yieldpoint = compose_opt_yp a.on_yieldpoint b.on_yieldpoint;
+  }
+
+exception Runtime_error of string
+
+let max_depth = 100_000
+
+let heap_index heap i =
+  let n = Array.length heap in
+  let m = i mod n in
+  if m < 0 then m + n else m
+
+let rec exec_method hooks (st : Machine.t) ~parent midx (args : int array) =
+  if st.depth >= max_depth then raise (Runtime_error "call stack overflow");
+  st.depth <- st.depth + 1;
+  let frame = { fmeth = midx; fparent = parent; r = 0 } in
+  (* on_entry runs before the compiled form is fetched: a lazy compiler
+     hook may install or replace the method body and this invocation will
+     execute the fresh code, as in a JIT compiling at first invocation *)
+  (match hooks.on_entry with Some f -> f st frame | None -> ());
+  let cm = st.methods.(midx) in
+  let m = cm.meth in
+  let locals = Array.make (max 1 m.nlocals) 0 in
+  Array.blit args 0 locals 0 (Array.length args);
+  let stack = Array.make (cm.max_stack + 1) 0 in
+  let sp = ref 0 in
+  let enter_block b =
+    st.cycles <- st.cycles + cm.block_cost.(b);
+    if cm.yieldpoint.(b) then begin
+      st.cycles <- st.cycles + st.cost.Cost_model.yieldpoint_poll;
+      if st.cycles >= st.next_tick then st.yield_flag <- true;
+      match hooks.on_yieldpoint with Some f -> f st frame b | None -> ()
+    end
+  in
+  let take_edge ~src ~idx ~dst =
+    st.cycles <- st.cycles + cm.edge_extra.(src).(idx);
+    match hooks.on_edge with
+    | Some f -> f st frame ~src ~idx ~dst
+    | None -> ()
+  in
+  let exec_instr (ins : Instr.t) =
+    match ins with
+    | Const k ->
+        stack.(!sp) <- k;
+        incr sp
+    | Load l ->
+        stack.(!sp) <- locals.(l);
+        incr sp
+    | Store l ->
+        decr sp;
+        locals.(l) <- stack.(!sp)
+    | Inc (l, k) -> locals.(l) <- locals.(l) + k
+    | Binop op ->
+        decr sp;
+        let b = stack.(!sp) in
+        stack.(!sp - 1) <- Instr.eval_binop op stack.(!sp - 1) b
+    | Cmp c ->
+        decr sp;
+        let b = stack.(!sp) in
+        stack.(!sp - 1) <- (if Instr.eval_cmp c stack.(!sp - 1) b then 1 else 0)
+    | Neg -> stack.(!sp - 1) <- -stack.(!sp - 1)
+    | Not -> stack.(!sp - 1) <- (if stack.(!sp - 1) = 0 then 1 else 0)
+    | Dup ->
+        stack.(!sp) <- stack.(!sp - 1);
+        incr sp
+    | Pop -> decr sp
+    | GLoad g ->
+        stack.(!sp) <- st.globals.(g);
+        incr sp
+    | GStore g ->
+        decr sp;
+        st.globals.(g) <- stack.(!sp)
+    | AGet -> stack.(!sp - 1) <- st.heap.(heap_index st.heap stack.(!sp - 1))
+    | ASet ->
+        sp := !sp - 2;
+        st.heap.(heap_index st.heap stack.(!sp)) <- stack.(!sp + 1)
+    | Call (_, argc) ->
+        (* the callee index is resolved once per call site below *)
+        ignore argc;
+        assert false
+    | Rand n ->
+        stack.(!sp) <- Prng.below st.prng n;
+        incr sp
+  in
+  let cur = ref m.entry in
+  enter_block !cur;
+  let result = ref 0 in
+  let running = ref true in
+  while !running do
+    let blk = m.blocks.(!cur) in
+    let body = blk.body in
+    for i = 0 to Array.length body - 1 do
+      match body.(i) with
+      | Instr.Call (callee, argc) ->
+          let cidx = Machine.index st callee in
+          sp := !sp - argc;
+          let args = Array.sub stack !sp argc in
+          let v = exec_method hooks st ~parent:midx cidx args in
+          stack.(!sp) <- v;
+          incr sp
+      | ins -> exec_instr ins
+    done;
+    match blk.term with
+    | Method.Ret ->
+        decr sp;
+        result := stack.(!sp);
+        running := false
+    | Method.Jmp d ->
+        take_edge ~src:!cur ~idx:0 ~dst:d;
+        cur := d;
+        enter_block d
+    | Method.Br { on_true; on_false; _ } ->
+        decr sp;
+        let cond = stack.(!sp) <> 0 in
+        let dst = if cond then on_true else on_false in
+        take_edge ~src:!cur ~idx:(if cond then 0 else 1) ~dst;
+        cur := dst;
+        enter_block dst
+  done;
+  (match hooks.on_exit with Some f -> f st frame | None -> ());
+  st.depth <- st.depth - 1;
+  !result
+
+let call hooks st name args =
+  exec_method hooks st ~parent:(-1) (Program.index st.program name) args
+
+let run hooks st = call hooks st st.program.Program.main [||]

@@ -1,0 +1,23 @@
+type t = { mutable s : int64 }
+
+let create ~seed =
+  (* avoid the all-zero state xorshift cannot leave *)
+  let s =
+    if seed = 0 then 0x9E3779B97F4A7C15L else Int64.of_int seed
+  in
+  { s }
+
+let next t =
+  let open Int64 in
+  let x = t.s in
+  let x = logxor x (shift_left x 13) in
+  let x = logxor x (shift_right_logical x 7) in
+  let x = logxor x (shift_left x 17) in
+  t.s <- x;
+  to_int (shift_right_logical (mul x 0x2545F4914F6CDD1DL) 2)
+
+let below t bound =
+  assert (bound > 0);
+  next t mod bound
+
+let copy t = { s = t.s }

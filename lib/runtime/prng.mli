@@ -1,0 +1,18 @@
+(** Deterministic pseudo-random number generator (xorshift64-star).
+
+    Workload programs draw branch-deciding values through the [Rand]
+    instruction; because the stream depends only on the seed and the
+    number of draws, every profiling configuration of the same program
+    executes the identical dynamic instruction sequence. *)
+
+type t
+
+val create : seed:int -> t
+
+(** Next raw 62-bit non-negative value. *)
+val next : t -> int
+
+(** Uniform draw in [0, bound); [bound] must be positive. *)
+val below : t -> int -> int
+
+val copy : t -> t

@@ -1,0 +1,35 @@
+type t = { levels : int array; profile : Edge_profile.table; dcg : Dcg.t }
+
+let n_opt t =
+  Array.fold_left (fun acc l -> if l >= 0 then acc + 1 else acc) 0 t.levels
+
+let to_lines t =
+  let level_lines =
+    Array.to_list (Array.mapi (fun i l -> Fmt.str "level %d %d" i l) t.levels)
+  in
+  let profile_lines =
+    List.map (fun l -> "edge " ^ l) (Edge_profile.to_lines t.profile)
+  in
+  let dcg_lines = List.map (fun l -> "dcg " ^ l) (Dcg.to_lines t.dcg) in
+  level_lines @ profile_lines @ dcg_lines
+
+let of_lines ~n_methods lines =
+  let levels = Array.make n_methods (-1) in
+  let edge_lines = ref [] in
+  let dcg_lines = ref [] in
+  List.iter
+    (fun line ->
+      let line = String.trim line in
+      if line <> "" then
+        match String.split_on_char ' ' line with
+        | "level" :: mi :: l :: [] -> (
+            match (int_of_string_opt mi, int_of_string_opt l) with
+            | Some mi, Some l when mi >= 0 && mi < n_methods -> levels.(mi) <- l
+            | _ -> failwith ("Advice.of_lines: bad line: " ^ line))
+        | "edge" :: rest -> edge_lines := String.concat " " rest :: !edge_lines
+        | "dcg" :: rest -> dcg_lines := String.concat " " rest :: !dcg_lines
+        | _ -> failwith ("Advice.of_lines: bad line: " ^ line))
+    lines;
+  let profile = Edge_profile.of_lines ~n_methods (List.rev !edge_lines) in
+  let dcg = Dcg.of_lines (List.rev !dcg_lines) in
+  { levels; profile; dcg }

@@ -1,0 +1,25 @@
+(** Replay-compilation advice files (paper §5).
+
+    An advice file records, from a previous well-performing adaptive run,
+    (1) the final optimization level of every method and (2) the edge
+    profile produced by baseline-compiled code.  Replay compilation
+    applies the advice deterministically: each method is compiled to its
+    advised level at first invocation, eliminating the timer-dependent
+    variation of the adaptive system.  (The paper's advice also carries
+    the dynamic call graph, which only feeds inlining decisions Jikes
+    makes; our optimizer has no inliner-equivalent decision to replay,
+    so it is omitted — see DESIGN.md.) *)
+
+type t = {
+  levels : int array;  (** per method: -1 = leave at baseline, else 0..2 *)
+  profile : Edge_profile.table;  (** one-time baseline edge profile *)
+  dcg : Dcg.t;  (** sampled dynamic call graph *)
+}
+
+val n_opt : t -> int
+
+(** Textual round-trip, for writing advice next to benchmark results. *)
+val to_lines : t -> string list
+
+(** @raise Failure on malformed input. *)
+val of_lines : n_methods:int -> string list -> t

@@ -1,0 +1,34 @@
+(** Sampled dynamic call graph (paper §4.1: Jikes RVM's yieldpoint
+    handler "examines the stack ... and updates the dynamic call graph").
+
+    On each timer tick the adaptive system records the (caller, callee)
+    pair of the executing frame; the resulting weighted call graph drives
+    inlining decisions and travels in the advice file, like Jikes RVM's
+    dynamic call graph does. *)
+
+type t
+
+val create : unit -> t
+
+(** [record t ~caller ~callee] adds one sample; [caller] is -1 when the
+    callee is the root invocation. *)
+val record : t -> caller:int -> callee:int -> unit
+
+val weight : t -> caller:int -> callee:int -> int
+
+(** Total samples accumulated for calls from [caller] to [callee]...
+    summed over all callers. *)
+val callee_weight : t -> callee:int -> int
+
+(** All sampled edges as [(caller, callee, weight)], sorted by weight
+    descending (ties by ids). *)
+val edges : t -> (int * int * int) list
+
+val total : t -> int
+val copy : t -> t
+
+(** One line per edge: ["<caller> <callee> <weight>"].
+    @raise Failure on malformed input to [of_lines]. *)
+val to_lines : t -> string list
+
+val of_lines : string list -> t

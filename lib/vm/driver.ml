@@ -1,0 +1,312 @@
+type opt_profile_source =
+  | From_baseline
+  | Fixed of Edge_profile.table
+  | From_pep
+
+type pep_opts = {
+  sampling : Sampling.config;
+  zero : [ `Hottest | `Coldest ];
+  numbering : [ `Smart | `Ball_larus ];
+}
+
+type mode = Adaptive of { thresholds : int array } | Replay of Advice.t
+type options = {
+  mode : mode;
+  opt_profile : opt_profile_source;
+  pep : pep_opts option;
+  inline : bool;  (* inline small/hot callees *)
+  unroll : bool;  (* unroll small innermost loops at opt levels >= 1 *)
+}
+
+let default_thresholds = [| 3; 12; 40 |]
+
+let default_options =
+  {
+    mode = Adaptive { thresholds = default_thresholds };
+    opt_profile = From_baseline;
+    pep = None;
+    inline = false;
+    unroll = false;
+  }
+
+(* Trivial inlining takes any tiny callee; profile-guided inlining takes
+   mid-size callees the sampled call graph has seen at this caller. *)
+let trivial_inline_size = 25
+let guided_inline_size = 60
+
+type compile_state = Uncompiled | Baseline | Opt of int
+
+type t = {
+  st : Machine.t;
+  opts : options;
+  states : compile_state array;
+  baseline_profile : Edge_profile.table;
+  baseline_active : bool array;
+  samples : int array;
+  dcg : Dcg.t;
+  pep_state : Pep.t option;
+  mutable compile_cycles : int;
+  mutable recompilations : int;
+  mutable inlined_sites : int;
+  mutable unrolled_loops : int;
+  mutable hooks : Interp.hooks;
+}
+
+let charge_compile d cycles =
+  d.compile_cycles <- d.compile_cycles + cycles;
+  Machine.add_cycles d.st cycles
+
+(* Compile-cost unit: bytecode instructions plus one per block for the
+   terminator. *)
+let method_units (m : Method.t) = Method.size m + Array.length m.blocks
+
+let compile_baseline d midx =
+  let cm = Machine.cmeth d.st midx in
+  let cost = d.st.Machine.cost in
+  if cm.meth.Method.uninterruptible then begin
+    (* uninterruptible methods model VM-internal code: precompiled at full
+       speed, never instrumented, never recompiled *)
+    Machine.set_speed d.st midx ~percent:100;
+    Machine.clear_edge_extra d.st midx;
+    d.baseline_active.(midx) <- false
+  end
+  else begin
+    charge_compile d
+      (method_units cm.meth * cost.Cost_model.compile_cost_baseline);
+    Machine.set_speed d.st midx
+      ~percent:(100 * cost.Cost_model.baseline_slowdown);
+    Machine.clear_edge_extra d.st midx;
+    d.baseline_active.(midx) <- true
+  end;
+  d.states.(midx) <- Baseline
+
+let opt_profile_for d midx : Edge_profile.t =
+  match d.opts.opt_profile with
+  | From_baseline -> (
+      (* in replay mode the one-time profile comes with the advice, since
+         replayed methods skip the baseline-profiling phase *)
+      match d.opts.mode with
+      | Replay advice -> advice.Advice.profile.(midx)
+      | Adaptive _ -> d.baseline_profile.(midx))
+  | Fixed table -> table.(midx)
+  | From_pep -> (
+      match d.pep_state with
+      | Some p when not (Edge_profile.is_empty p.Pep.edges.(midx)) ->
+          p.Pep.edges.(midx)
+      | Some _ | None -> d.baseline_profile.(midx))
+
+let dcg_for d =
+  match d.opts.mode with Replay advice -> advice.Advice.dcg | Adaptive _ -> d.dcg
+
+(* Body transformations applied by the optimizing compiler.  Always
+   expanded from the pristine bytecode: recompiling an already-transformed
+   body would compound copies at every promotion. *)
+let apply_transforms d midx ~level =
+  let top_level = Array.length d.st.Machine.cost.Cost_model.compile_cost_opt - 1 in
+  if d.opts.inline || (d.opts.unroll && level >= 1) then begin
+    let pristine = Program.method_of_index d.st.Machine.program midx in
+    let meth, no_yieldpoint, inlined_sites =
+      if d.opts.inline then begin
+        let dcg = dcg_for d in
+        (* trivial inlining at every opt level; profile-guided
+           (call-graph driven) inlining of larger callees at the top *)
+        let should_inline (callee : Method.t) =
+          Method.size callee <= trivial_inline_size
+          || level >= top_level
+             && Method.size callee <= guided_inline_size
+             && Dcg.weight dcg ~caller:midx
+                  ~callee:(Machine.index d.st callee.Method.name)
+                >= 2
+        in
+        let r = Inline.expand d.st.Machine.program pristine ~should_inline in
+        ( r.Inline.meth,
+          r.Inline.no_yieldpoint,
+          List.fold_left (fun acc (_, n) -> acc + n) 0 r.Inline.inlined )
+      end
+      else (pristine, Array.make (Array.length pristine.Method.blocks) false, 0)
+    in
+    let meth, no_yieldpoint, unrolled =
+      if d.opts.unroll && level >= 1 then begin
+        let r = Unroll.expand ~no_yieldpoint meth in
+        (r.Unroll.meth, r.Unroll.no_yieldpoint, r.Unroll.unrolled)
+      end
+      else (meth, no_yieldpoint, 0)
+    in
+    if inlined_sites > 0 || unrolled > 0 then begin
+      d.inlined_sites <- d.inlined_sites + inlined_sites;
+      d.unrolled_loops <- d.unrolled_loops + unrolled;
+      Machine.recompile d.st midx ~no_yieldpoint meth
+    end
+  end
+
+let compile_opt d midx ~level =
+  apply_transforms d midx ~level;
+  let cm = Machine.cmeth d.st midx in
+  let cost = d.st.Machine.cost in
+  let pep_pass_units =
+    match d.opts.pep with
+    | Some _ -> Array.length cm.meth.Method.blocks * cost.Cost_model.pep_pass_cost
+    | None -> 0
+  in
+  charge_compile d
+    ((method_units cm.meth * cost.Cost_model.compile_cost_opt.(level))
+    + pep_pass_units);
+  Machine.set_speed d.st midx ~percent:cost.Cost_model.opt_speedup_percent.(level);
+  d.baseline_active.(midx) <- false;
+  let profile = opt_profile_for d midx in
+  Layout.apply d.st midx (Layout.compute cm.cfg profile);
+  (match (d.pep_state, d.opts.pep) with
+  | Some p, Some popts ->
+      let number _ dag =
+        match popts.numbering with
+        | `Smart -> Pep.smart_number_profile ~zero:popts.zero profile dag
+        | `Ball_larus -> Numbering.ball_larus dag
+      in
+      p.Pep.plans.(midx) <-
+        Profile_hooks.plan_for ~mode:Dag.Loop_header ~number d.st midx;
+      (* path ids change with the numbering; drop stale entries *)
+      Path_profile.clear p.Pep.paths.(midx)
+  | _ -> ());
+  (match d.states.(midx) with
+  | Opt _ -> d.recompilations <- d.recompilations + 1
+  | Uncompiled | Baseline -> ());
+  d.states.(midx) <- Opt level
+
+let ensure_compiled d midx =
+  match d.states.(midx) with
+  | Baseline | Opt _ -> ()
+  | Uncompiled -> (
+      match d.opts.mode with
+      | Adaptive _ -> compile_baseline d midx
+      | Replay advice ->
+          let level = advice.Advice.levels.(midx) in
+          if level < 0 then compile_baseline d midx
+          else begin
+            compile_baseline d midx;
+            compile_opt d midx ~level
+          end)
+
+let consider_promotion d midx =
+  match d.opts.mode with
+  | Replay _ -> ()
+  | Adaptive { thresholds } ->
+      let next_level =
+        match d.states.(midx) with
+        | Uncompiled | Baseline -> 0
+        | Opt l -> l + 1
+      in
+      if
+        next_level < Array.length thresholds
+        && d.samples.(midx) >= thresholds.(next_level)
+        && not (Machine.cmeth d.st midx).meth.Method.uninterruptible
+      then compile_opt d midx ~level:next_level
+
+let create ?extra_hooks opts st =
+  let n_methods = Array.length st.Machine.methods in
+  let pep_state =
+    match opts.pep with
+    | Some popts -> Some (Pep.create ~eager:false ~sampling:popts.sampling st)
+    | None -> None
+  in
+  let d =
+    {
+      st;
+      opts;
+      states = Array.make n_methods Uncompiled;
+      baseline_profile = Edge_profile.create_table ~n_methods;
+      baseline_active = Array.make n_methods false;
+      samples = Array.make n_methods 0;
+      dcg = Dcg.create ();
+      pep_state;
+      compile_cycles = 0;
+      recompilations = 0;
+      inlined_sites = 0;
+      unrolled_loops = 0;
+      hooks = Interp.no_hooks;
+    }
+  in
+  let tick_hooks =
+    Tick.hooks
+      ~on_tick:(fun _st (frame : Interp.frame) ->
+        d.samples.(frame.fmeth) <- d.samples.(frame.fmeth) + 1;
+        Dcg.record d.dcg ~caller:frame.fparent ~callee:frame.fmeth;
+        consider_promotion d frame.fmeth)
+      ()
+  in
+  let lazy_compile =
+    {
+      Interp.no_hooks with
+      on_entry = Some (fun _st (frame : Interp.frame) -> ensure_compiled d frame.fmeth);
+    }
+  in
+  let branch_of =
+    Array.map
+      (fun (cm : Machine.cmeth) ->
+        Array.init (Cfg.n_blocks cm.cfg) (fun b ->
+            match Cfg.terminator cm.cfg b with
+            | Cfg.Branch { branch; _ } -> branch
+            | Cfg.Return | Cfg.Jump _ -> -1))
+      st.Machine.methods
+  in
+  let baseline_edge =
+    {
+      Interp.no_hooks with
+      on_edge =
+        Some
+          (fun st (frame : Interp.frame) ~src ~idx ~dst:_ ->
+            if d.baseline_active.(frame.fmeth) then begin
+              let br = branch_of.(frame.fmeth).(src) in
+              if br >= 0 then begin
+                Edge_profile.incr d.baseline_profile.(frame.fmeth) br
+                  ~taken:(idx = 0);
+                Machine.add_cycles st st.Machine.cost.Cost_model.edge_count
+              end
+            end);
+    }
+  in
+  let hooks = Interp.compose tick_hooks lazy_compile in
+  let hooks = Interp.compose hooks baseline_edge in
+  let hooks =
+    match pep_state with
+    | Some p -> Interp.compose hooks p.Pep.hooks
+    | None -> hooks
+  in
+  let hooks =
+    match extra_hooks with
+    | Some h -> Interp.compose hooks h
+    | None -> hooks
+  in
+  d.hooks <- hooks;
+  d
+
+let run d =
+  let before = d.st.Machine.cycles in
+  let result = Interp.run d.hooks d.st in
+  (d.st.Machine.cycles - before, result)
+
+let machine d = d.st
+let pep d = d.pep_state
+let compile_cycles d = d.compile_cycles
+let recompilations d = d.recompilations
+let baseline_profile d = d.baseline_profile
+
+let advice d =
+  let levels =
+    Array.map
+      (function Uncompiled | Baseline -> -1 | Opt l -> l)
+      d.states
+  in
+  {
+    Advice.levels;
+    profile = Edge_profile.copy_table d.baseline_profile;
+    dcg = Dcg.copy d.dcg;
+  }
+
+let method_samples d = Array.copy d.samples
+let dcg d = d.dcg
+let inlined_sites d = d.inlined_sites
+let unrolled_loops d = d.unrolled_loops
+let add_hooks d h = d.hooks <- Interp.compose d.hooks h
+
+let precompile d =
+  Program.iter_methods (fun midx _ -> ensure_compiled d midx) d.st.Machine.program

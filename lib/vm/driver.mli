@@ -1,0 +1,109 @@
+(** The adaptive virtual machine (paper §4.1-§4.3, §5).
+
+    The driver models Jikes RVM's two-compiler adaptive system over the
+    simulated machine:
+
+    - Methods are compiled lazily.  The {e baseline} compiler runs at
+      first invocation: cheap to compile, slow code, and it carries the
+      one-time edge instrumentation of paper §4.2.
+    - Timer ticks sample the executing method ({!Tick}); when a method's
+      samples cross a threshold it is recompiled by the {e optimizing}
+      compiler at the next level (0..2): expensive to compile, faster
+      code, profile-guided layout and speculation ({!Layout}), no edge
+      instrumentation — and, when configured, PEP instrumentation with
+      smart path numbering driven by the same edge profile the optimizer
+      used (paper §4.3).
+    - {e Replay} mode applies an {!Advice} deterministically: each method
+      is compiled to its advised level at first invocation.
+
+    Run the application once per "iteration" with {!run}; replay
+    methodology measures the first iteration for compile+execution
+    overhead (paper Fig. 7) and the second for execution alone
+    (Fig. 6). *)
+
+type opt_profile_source =
+  | From_baseline  (** the one-time profile collected by baseline code *)
+  | Fixed of Edge_profile.table  (** e.g. a perfect or flipped profile *)
+  | From_pep
+      (** PEP's continuous profile when it has data for the method,
+          falling back to the one-time profile (paper §6.5, Fig. 11) *)
+
+type pep_opts = {
+  sampling : Sampling.config;
+  zero : [ `Hottest | `Coldest ];  (** smart-numbering ablation axis *)
+  numbering : [ `Smart | `Ball_larus ];
+}
+
+type mode =
+  | Adaptive of { thresholds : int array }
+      (** samples needed to reach opt level 0, 1, 2 *)
+  | Replay of Advice.t
+
+type options = {
+  mode : mode;
+  opt_profile : opt_profile_source;
+  pep : pep_opts option;
+  inline : bool;
+      (** inline tiny callees at every opt level, and mid-size callees
+          the sampled call graph has seen at the caller at the top
+          level; inlined uninterruptible loops lose their header
+          yieldpoints (paper §4.3) *)
+  unroll : bool;
+      (** unroll small innermost loops at opt levels >= 1; duplicated
+          branches share their bytecode branch ids *)
+}
+
+val default_thresholds : int array
+
+(** Adaptive mode with default thresholds, one-time profile, no PEP. *)
+val default_options : options
+
+type t
+
+(** [create ?extra_hooks options machine].  [extra_hooks] (e.g. a perfect
+    profiler's) are composed after the driver's own. *)
+val create : ?extra_hooks:Interp.hooks -> options -> Machine.t -> t
+
+(** Execute one iteration of the application (its main method); returns
+    the virtual cycles consumed by this iteration (including any
+    compilation it triggered) and main's result, a workload checksum
+    that must not depend on the profiling configuration. *)
+val run : t -> int * int
+
+val machine : t -> Machine.t
+val pep : t -> Pep.t option
+
+(** Cycles spent compiling so far. *)
+val compile_cycles : t -> int
+
+(** Methods recompiled by the optimizing compiler so far. *)
+val recompilations : t -> int
+
+(** The one-time edge profile collected by baseline-compiled code. *)
+val baseline_profile : t -> Edge_profile.table
+
+(** Advice capturing this run's final compilation decisions; meaningful
+    after at least one {!run} in adaptive mode. *)
+val advice : t -> Advice.t
+
+(** Per-method timer samples (method sampling of paper §4.1). *)
+val method_samples : t -> int array
+
+(** The dynamic call graph sampled at timer ticks (paper §4.1). *)
+val dcg : t -> Dcg.t
+
+(** Force-compile every method now (per advice in replay mode, baseline
+    in adaptive mode), charging compilation as usual.  Lets callers
+    build profiling hooks against post-compilation method bodies — e.g.
+    a perfect profiler over inlined code. *)
+val precompile : t -> unit
+
+(** Call sites expanded by the inliner so far. *)
+val inlined_sites : t -> int
+
+(** Loops unrolled so far. *)
+val unrolled_loops : t -> int
+
+(** Compose more hooks after the driver's own (for hooks that must be
+    built after {!precompile}). *)
+val add_hooks : t -> Interp.hooks -> unit

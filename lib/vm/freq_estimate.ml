@@ -1,0 +1,34 @@
+let arm_prob profile (e : Cfg.edge) =
+  match e.attr with
+  | Cfg.Seq -> 1.0
+  | Cfg.Taken br | Cfg.Not_taken br -> (
+      let bias = Option.value ~default:0.5 (Edge_profile.bias profile br) in
+      match e.attr with
+      | Cfg.Taken _ -> bias
+      | Cfg.Not_taken _ -> 1.0 -. bias
+      | Cfg.Seq -> assert false)
+
+let cap = 1e12
+
+let block_freqs ?(iterations = 12) cfg profile =
+  let n = Cfg.n_blocks cfg in
+  let freq = Array.make n 0.0 in
+  freq.(Cfg.entry cfg) <- 1.0;
+  let order = Order.reverse_postorder cfg in
+  for _ = 1 to iterations do
+    Array.iter
+      (fun b ->
+        if b <> Cfg.entry cfg then begin
+          let f =
+            List.fold_left
+              (fun acc (e : Cfg.edge) ->
+                acc +. (freq.(e.src) *. arm_prob profile e))
+              0.0 (Cfg.predecessors cfg b)
+          in
+          freq.(b) <- Float.min cap f
+        end)
+      order
+  done;
+  freq
+
+let edge_freq freqs profile (e : Cfg.edge) = freqs.(e.src) *. arm_prob profile e

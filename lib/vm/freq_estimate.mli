@@ -1,0 +1,18 @@
+(** Static block-frequency estimation from an edge profile.
+
+    Propagates relative execution frequency from the entry through the
+    CFG, splitting at conditional branches according to the profile's
+    taken bias (0.5 for branches the profile never saw).  Loops are
+    handled by bounded fixed-point iteration, so a hot loop's blocks end
+    up with weight roughly proportional to their trip count.  The
+    optimizer uses these weights to seed Pettis-Hansen chain formation
+    for jump edges, whose frequency an arm-counter profile does not
+    record directly. *)
+
+(** Relative frequency per block; entry has frequency 1 before loop
+    feedback.  All values are finite and non-negative. *)
+val block_freqs : ?iterations:int -> Cfg.t -> Edge_profile.t -> float array
+
+(** Frequency of one edge under the same estimate: source frequency
+    times the arm probability (1 for jumps). *)
+val edge_freq : float array -> Edge_profile.t -> Cfg.edge -> float

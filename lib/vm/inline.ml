@@ -1,0 +1,175 @@
+type result = {
+  meth : Method.t;
+  no_yieldpoint : bool array;
+  inlined : (string * int) list;
+}
+
+let small_enough ~limit (m : Method.t) = Method.size m <= limit
+
+(* During construction, caller terminators still reference original caller
+   block ids; they are retargeted once every piece has its final id. *)
+type pending_term = Lit of Method.term | Orig of Method.term
+
+type blk = {
+  mutable body_rev : Instr.t list;
+  mutable term : pending_term option;
+  no_yp : bool;
+}
+
+let expand program (caller : Method.t) ~should_inline =
+  let blocks : (int, blk) Hashtbl.t = Hashtbl.create 64 in
+  let n_new = ref 0 in
+  let new_block ~no_yp =
+    let id = !n_new in
+    incr n_new;
+    Hashtbl.replace blocks id { body_rev = []; term = None; no_yp };
+    id
+  in
+  let blk id = Hashtbl.find blocks id in
+  let emit id ins = (blk id).body_rev <- ins :: (blk id).body_rev in
+  let set_term id t = (blk id).term <- Some t in
+  (* locals: one fresh region per distinct callee, shared by its copies
+     (copies never execute concurrently within a frame) *)
+  let next_local = ref caller.nlocals in
+  let local_base : (string, int) Hashtbl.t = Hashtbl.create 8 in
+  let base_for (callee : Method.t) =
+    match Hashtbl.find_opt local_base callee.name with
+    | Some b -> b
+    | None ->
+        let b = !next_local in
+        next_local := b + callee.nlocals;
+        Hashtbl.replace local_base callee.name b;
+        b
+  in
+  (* branches: one fresh id per (callee, original branch), shared by all
+     copies, so duplicated branches keep accumulating in one counter pair *)
+  let next_branch =
+    ref (1 + List.fold_left max (-1) (Method.branch_ids caller))
+  in
+  let branch_map : (string * Cfg.branch_id, Cfg.branch_id) Hashtbl.t =
+    Hashtbl.create 16
+  in
+  let branch_for callee_name b =
+    match Hashtbl.find_opt branch_map (callee_name, b) with
+    | Some fresh -> fresh
+    | None ->
+        let fresh = !next_branch in
+        incr next_branch;
+        Hashtbl.replace branch_map (callee_name, b) fresh;
+        fresh
+  in
+  let inlined_counts : (string, int) Hashtbl.t = Hashtbl.create 8 in
+  let splice piece (callee : Method.t) argc =
+    let base = base_for callee in
+    for j = argc - 1 downto 0 do
+      emit piece (Instr.Store (base + j))
+    done;
+    (* a real invocation gets fresh zeroed locals; the shared inlined
+       slots must be re-zeroed at every site *)
+    for j = argc to callee.nlocals - 1 do
+      emit piece (Instr.Const 0);
+      emit piece (Instr.Store (base + j))
+    done;
+    let no_yp = callee.uninterruptible in
+    let copy_ids =
+      Array.init (Array.length callee.blocks) (fun _ -> new_block ~no_yp)
+    in
+    let ret_piece = new_block ~no_yp:false in
+    set_term piece (Lit (Jmp copy_ids.(callee.entry)));
+    Array.iteri
+      (fun cb (cblk : Method.block) ->
+        let id = copy_ids.(cb) in
+        Array.iter
+          (fun (ins : Instr.t) ->
+            emit id
+              (match ins with
+              | Load l -> Load (base + l)
+              | Store l -> Store (base + l)
+              | Inc (l, k) -> Inc (base + l, k)
+              | Const _ | Binop _ | Cmp _ | Neg | Not | Dup | Pop | GLoad _
+              | GStore _ | AGet | ASet | Call _ | Rand _ ->
+                  ins))
+          cblk.body;
+        set_term id
+          (match cblk.term with
+          | Method.Ret -> Lit (Jmp ret_piece)
+          | Method.Jmp d -> Lit (Jmp copy_ids.(d))
+          | Method.Br { branch; on_true; on_false } ->
+              Lit
+                (Br
+                   {
+                     branch = branch_for callee.name branch;
+                     on_true = copy_ids.(on_true);
+                     on_false = copy_ids.(on_false);
+                   })))
+      callee.blocks;
+    Hashtbl.replace inlined_counts callee.name
+      (1 + Option.value ~default:0 (Hashtbl.find_opt inlined_counts callee.name));
+    ret_piece
+  in
+  let first_piece = Array.make (Array.length caller.blocks) (-1) in
+  Array.iteri
+    (fun b (cblk : Method.block) ->
+      let piece = ref (new_block ~no_yp:false) in
+      first_piece.(b) <- !piece;
+      Array.iter
+        (fun (ins : Instr.t) ->
+          match ins with
+          | Instr.Call (cname, argc) when cname <> caller.name -> (
+              match Program.find program cname with
+              | callee when should_inline callee ->
+                  piece := splice !piece callee argc
+              | _ -> emit !piece ins
+              | exception Not_found -> emit !piece ins)
+          | _ -> emit !piece ins)
+        cblk.body;
+      set_term !piece (Orig cblk.term))
+    caller.blocks;
+  if Hashtbl.length inlined_counts = 0 then
+    {
+      meth = caller;
+      no_yieldpoint = Array.make (Array.length caller.blocks) false;
+      inlined = [];
+    }
+  else begin
+    let retarget : Method.term -> Method.term = function
+      | Method.Ret -> Method.Ret
+      | Method.Jmp d -> Method.Jmp first_piece.(d)
+      | Method.Br { branch; on_true; on_false } ->
+          Method.Br
+            {
+              branch;
+              on_true = first_piece.(on_true);
+              on_false = first_piece.(on_false);
+            }
+    in
+    let no_yieldpoint = Array.make !n_new false in
+    let final =
+      Array.init !n_new (fun id ->
+          let b = blk id in
+          no_yieldpoint.(id) <- b.no_yp;
+          let term =
+            match b.term with
+            | Some (Lit t) -> t
+            | Some (Orig t) -> retarget t
+            | None -> assert false
+          in
+          { Method.body = Array.of_list (List.rev b.body_rev); term })
+    in
+    let meth =
+      {
+        caller with
+        Method.nlocals = !next_local;
+        blocks = final;
+        entry = first_piece.(caller.entry);
+        exit_ = first_piece.(caller.exit_);
+      }
+    in
+    {
+      meth;
+      no_yieldpoint;
+      inlined =
+        List.sort compare
+          (Hashtbl.fold (fun name n acc -> (name, n) :: acc) inlined_counts []);
+    }
+  end

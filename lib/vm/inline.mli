@@ -1,0 +1,36 @@
+(** Method inlining — the optimizing-compiler transformation behind two
+    of the paper's §4.3 observations:
+
+    - several IR branches may map to the same bytecode-level branch:
+      every copy of an inlined callee shares one set of fresh branch ids
+      (per callee), so their executions accumulate in the same
+      taken/not-taken counters, exactly like Jikes RVM's bytecode-branch
+      mapping;
+    - inlining an uninterruptible method that contains a loop produces a
+      loop header without a yieldpoint: the result marks such blocks in
+      [no_yieldpoint], and path profiling then loses paths ending there.
+
+    Mechanics: each inlinable call site receives its own copy of the
+    callee's blocks (correct under the stack-depth discipline); the
+    callee's locals are remapped to a fresh region shared by all copies
+    of that callee; its [Ret] becomes a jump back to the split caller
+    block with the return value on the stack.  One level only — calls
+    remaining inside an inlined body stay calls. *)
+
+type result = {
+  meth : Method.t;
+  no_yieldpoint : bool array;
+      (** per block of [meth]: copied from an uninterruptible callee *)
+  inlined : (string * int) list;  (** callee name, call sites expanded *)
+}
+
+(** [expand program meth ~should_inline] inlines every call site in
+    [meth] whose callee satisfies [should_inline] (self-calls are never
+    inlined).  Returns [meth] unchanged (shared, not copied) when nothing
+    was inlined. *)
+val expand :
+  Program.t -> Method.t -> should_inline:(Method.t -> bool) -> result
+
+(** Default size-based policy: callee's instruction count at most
+    [limit]. *)
+val small_enough : limit:int -> Method.t -> bool

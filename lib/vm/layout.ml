@@ -1,0 +1,101 @@
+type t = { cfg : Cfg.t; pos : int array; predict_taken : bool array }
+
+let predictions cfg profile =
+  Array.init (Cfg.n_blocks cfg) (fun b ->
+      match Cfg.terminator cfg b with
+      | Cfg.Branch { branch; _ } ->
+          (match Edge_profile.bias profile branch with
+          | Some bias -> bias > 0.5
+          | None -> false)
+      | Cfg.Return | Cfg.Jump _ -> false)
+
+(* Pettis-Hansen bottom-up positioning: repeatedly fuse the heaviest edge
+   whose source is still a chain tail and destination a chain head. *)
+let compute cfg profile =
+  let n = Cfg.n_blocks cfg in
+  let freqs = Freq_estimate.block_freqs cfg profile in
+  let weighted =
+    List.map (fun e -> (Freq_estimate.edge_freq freqs profile e, e)) (Cfg.edges cfg)
+  in
+  let sorted =
+    List.sort
+      (fun (wa, ea) (wb, eb) ->
+        match compare wb wa with 0 -> Cfg.compare_edge ea eb | c -> c)
+      weighted
+  in
+  let next = Array.make n (-1) and prev = Array.make n (-1) in
+  let rec head_of b = if prev.(b) = -1 then b else head_of prev.(b) in
+  List.iter
+    (fun (_, (e : Cfg.edge)) ->
+      if
+        e.src <> e.dst
+        && next.(e.src) = -1
+        && prev.(e.dst) = -1
+        && head_of e.src <> head_of e.dst
+      then begin
+        next.(e.src) <- e.dst;
+        prev.(e.dst) <- e.src
+      end)
+    sorted;
+  let chain_blocks h =
+    let rec go acc b = if b = -1 then List.rev acc else go (b :: acc) next.(b) in
+    go [] h
+  in
+  let heads = ref [] in
+  for b = n - 1 downto 0 do
+    if prev.(b) = -1 then heads := b :: !heads
+  done;
+  let weight h =
+    List.fold_left (fun acc b -> acc +. freqs.(b)) 0.0 (chain_blocks h)
+  in
+  let entry_head = head_of (Cfg.entry cfg) in
+  let rest = List.filter (fun h -> h <> entry_head) !heads in
+  let rest =
+    List.sort
+      (fun a b ->
+        match compare (weight b) (weight a) with 0 -> compare a b | c -> c)
+      rest
+  in
+  let pos = Array.make n 0 in
+  let counter = ref 0 in
+  List.iter
+    (fun h ->
+      List.iter
+        (fun b ->
+          pos.(b) <- !counter;
+          incr counter)
+        (chain_blocks h))
+    (entry_head :: rest);
+  { cfg; pos; predict_taken = predictions cfg profile }
+
+let natural cfg =
+  {
+    cfg;
+    pos = Array.init (Cfg.n_blocks cfg) Fun.id;
+    predict_taken = Array.make (Cfg.n_blocks cfg) false;
+  }
+
+let positions t = Array.copy t.pos
+
+let apply st meth t =
+  let cm = Machine.cmeth st meth in
+  let cost = st.Machine.cost in
+  Cfg.iter_blocks
+    (fun b ->
+      List.iter
+        (fun (e : Cfg.edge) ->
+          let idx = Instrument.succ_index e.attr in
+          let extra = ref 0 in
+          if t.pos.(e.dst) <> t.pos.(b) + 1 then
+            extra := !extra + cost.Cost_model.taken_branch_penalty;
+          (match e.attr with
+          | Cfg.Taken _ ->
+              if not t.predict_taken.(b) then
+                extra := !extra + cost.Cost_model.mispredict_penalty
+          | Cfg.Not_taken _ ->
+              if t.predict_taken.(b) then
+                extra := !extra + cost.Cost_model.mispredict_penalty
+          | Cfg.Seq -> ());
+          cm.Machine.edge_extra.(b).(idx) <- !extra)
+        (Cfg.successors t.cfg b))
+    t.cfg

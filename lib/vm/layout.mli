@@ -1,0 +1,30 @@
+(** Profile-guided code layout and branch-direction speculation — the
+    edge-profile consumers of the paper's §4.2 (Pettis-Hansen code
+    reordering plus bias-sensitive optimization).
+
+    The model charges, per traversed edge:
+    - [taken_branch_penalty] when the destination is not the next block
+      in the chosen layout (a taken branch / unconditional jump), and
+    - [mispredict_penalty] when a conditional branch goes against the
+      direction the compiler speculated on.
+
+    Both decisions are driven by the edge profile given at compile time,
+    so a representative profile removes the penalties from hot edges and
+    a flipped profile concentrates them there (paper §6.5). *)
+
+type t
+
+(** Pettis-Hansen bottom-up chaining on profile-estimated edge weights;
+    speculation follows each branch's profiled majority direction
+    (not-taken when unknown). *)
+val compute : Cfg.t -> Edge_profile.t -> t
+
+(** Unoptimized layout: blocks in id order, every branch speculated
+    not-taken. *)
+val natural : Cfg.t -> t
+
+(** Position of each block in the layout. *)
+val positions : t -> int array
+
+(** Install the layout's penalties into the method's [edge_extra]. *)
+val apply : Machine.t -> int -> t -> unit

@@ -1,0 +1,133 @@
+(* Simple array-backed max-heap on (weight, node, path-id-so-far). *)
+module Heap = struct
+  type elt = { w : float; node : Dag.node; id : int }
+  type t = { mutable a : elt array; mutable n : int }
+
+  let dummy = { w = 0.; node = 0; id = 0 }
+  let create () = { a = Array.make 256 dummy; n = 0 }
+
+  let push h e =
+    if h.n = Array.length h.a then begin
+      let bigger = Array.make (2 * h.n) dummy in
+      Array.blit h.a 0 bigger 0 h.n;
+      h.a <- bigger
+    end;
+    let i = ref h.n in
+    h.n <- h.n + 1;
+    h.a.(!i) <- e;
+    while !i > 0 && h.a.((!i - 1) / 2).w < h.a.(!i).w do
+      let p = (!i - 1) / 2 in
+      let tmp = h.a.(p) in
+      h.a.(p) <- h.a.(!i);
+      h.a.(!i) <- tmp;
+      i := p
+    done
+
+  let pop h =
+    if h.n = 0 then None
+    else begin
+      let top = h.a.(0) in
+      h.n <- h.n - 1;
+      h.a.(0) <- h.a.(h.n);
+      let i = ref 0 in
+      let continue = ref true in
+      while !continue do
+        let l = (2 * !i) + 1 and r = (2 * !i) + 2 in
+        let largest = ref !i in
+        if l < h.n && h.a.(l).w > h.a.(!largest).w then largest := l;
+        if r < h.n && h.a.(r).w > h.a.(!largest).w then largest := r;
+        if !largest = !i then continue := false
+        else begin
+          let tmp = h.a.(!largest) in
+          h.a.(!largest) <- h.a.(!i);
+          h.a.(!i) <- tmp;
+          i := !largest
+        end
+      done;
+      Some top
+    end
+end
+
+let epsilon = 1e-6
+let max_expansions = 200_000
+
+(* Raw weight of a DAG edge under the block-frequency estimate: how much
+   flow the edge profile suggests passes along it. *)
+let edge_weight freqs profile (e : Dag.edge) =
+  match e.origin with
+  | Dag.Real ce -> Float.max epsilon (Freq_estimate.edge_freq freqs profile ce)
+  | Dag.From_entry v ->
+      (* paths restart at v as often as v executes (minus its first entry) *)
+      Float.max epsilon freqs.(v)
+  | Dag.To_exit w -> Float.max epsilon (0.1 *. freqs.(w))
+
+let top_paths ~k numbering profile =
+  let dag = Numbering.dag numbering in
+  let cfg = Dag.cfg dag in
+  let freqs = Freq_estimate.block_freqs cfg profile in
+  (* per-node transition probabilities *)
+  let prob =
+    let n_edges = Dag.n_edges dag in
+    let p = Array.make n_edges 0. in
+    for node = 0 to Dag.n_nodes dag - 1 do
+      let out = Dag.out_edges dag node in
+      let total =
+        List.fold_left (fun acc e -> acc +. edge_weight freqs profile e) 0. out
+      in
+      if total > 0. then
+        List.iter
+          (fun (e : Dag.edge) ->
+            p.(e.idx) <- edge_weight freqs profile e /. total)
+          out
+    done;
+    p
+  in
+  let exit_node = Dag.exit_node dag in
+  let heap = Heap.create () in
+  Heap.push heap { Heap.w = 1.0; node = Dag.entry_node dag; id = 0 };
+  let found = ref [] and n_found = ref 0 and expansions = ref 0 in
+  let continue = ref true in
+  while !continue && !n_found < k && !expansions < max_expansions do
+    match Heap.pop heap with
+    | None -> continue := false
+    | Some { w; node; id } ->
+        incr expansions;
+        if node = exit_node then begin
+          found := (id, w) :: !found;
+          incr n_found
+        end
+        else
+          List.iter
+            (fun (e : Dag.edge) ->
+              let w' = w *. prob.(e.idx) in
+              if w' > 0. then
+                Heap.push heap
+                  {
+                    Heap.w = w';
+                    node = e.edst;
+                    id = id + Numbering.value numbering e;
+                  })
+            (Dag.out_edges dag node)
+  done;
+  (* best-first pops exit states in decreasing weight order already *)
+  List.rev !found
+
+let table ~k ~(plans : Profile_hooks.plans) (profile : Edge_profile.table) =
+  let n_methods = Array.length plans in
+  let out = Path_profile.create_table ~n_methods in
+  Array.iteri
+    (fun m plan ->
+      match plan with
+      | None -> ()
+      | Some (p : Instrument.t) ->
+          let paths = top_paths ~k p.numbering profile.(m) in
+          let wmax =
+            List.fold_left (fun acc (_, w) -> Float.max acc w) epsilon paths
+          in
+          List.iter
+            (fun (id, w) ->
+              Path_profile.add out.(m) id
+                (1 + int_of_float (1e9 *. w /. wmax)))
+            paths)
+    plans;
+  out

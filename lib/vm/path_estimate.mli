@@ -1,0 +1,26 @@
+(** Estimating hot paths from an edge profile alone — the question of
+    Ball, Mataga and Sagiv's "Edge Profiling versus Path Profiling: The
+    Showdown" (paper ref [7]).
+
+    An edge profile fixes each branch's bias but says nothing about
+    correlation between branches; the best an optimizer can do is assume
+    independence and rank paths by the product of arm probabilities along
+    them (weighted by how often paths start where they start).  Comparing
+    the hot-path set so predicted against a true path profile shows where
+    real path profiling — and hence PEP — earns its keep: programs whose
+    branch outcomes correlate (interpreter dispatch, parsers). *)
+
+(** [top_paths ~k numbering profile] returns up to [k]
+    [(path_id, weight)] pairs in decreasing estimated weight, by
+    best-first search over the numbered DAG.  Weights are relative (their
+    scale is meaningless; their order is the prediction). *)
+val top_paths : k:int -> Numbering.t -> Edge_profile.t -> (int * float) list
+
+(** Per-program estimated path profile with scaled integer counts,
+    suitable for {!Accuracy.wall_path_accuracy}'s [estimated] side.
+    Methods without a plan are left empty. *)
+val table :
+  k:int ->
+  plans:Profile_hooks.plans ->
+  Edge_profile.table ->
+  Path_profile.table

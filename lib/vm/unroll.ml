@@ -1,0 +1,112 @@
+type result = { meth : Method.t; no_yieldpoint : bool array; unrolled : int }
+
+let retarget f : Method.term -> Method.term = function
+  | Method.Ret -> Method.Ret
+  | Method.Jmp d -> Method.Jmp (f d)
+  | Method.Br { branch; on_true; on_false } ->
+      Method.Br { branch; on_true = f on_true; on_false = f on_false }
+
+let expand ?(max_body_blocks = 12) ?no_yieldpoint (m : Method.t) =
+  let no_yp =
+    match no_yieldpoint with
+    | Some a -> Array.copy a
+    | None -> Array.make (Array.length m.blocks) false
+  in
+  let unchanged = { meth = m; no_yieldpoint = no_yp; unrolled = 0 } in
+  match To_cfg.cfg m with
+  | exception Cfg.Malformed _ -> unchanged
+  | cfg ->
+      let loops = Loops.compute cfg in
+      let headers = Loops.headers loops in
+      (* candidate loops: single back edge, small, innermost *)
+      let candidates =
+        List.filter_map
+          (fun h ->
+            match
+              List.filter
+                (fun (e : Cfg.edge) -> e.dst = h)
+                (Loops.back_edges loops)
+            with
+            | [ back ] ->
+                let body = Loops.natural_loop loops back in
+                let innermost =
+                  List.for_all (fun b -> b = h || not (Loops.is_header loops b)) body
+                in
+                (* loops from uninterruptible inlinees keep their shape *)
+                if innermost && (not no_yp.(h))
+                   && List.length body <= max_body_blocks
+                then Some (h, back, body)
+                else None
+            | _ -> None)
+          headers
+      in
+      (* keep a disjoint subset, processed in header order *)
+      let taken = Hashtbl.create 8 in
+      let chosen =
+        List.filter
+          (fun (_, _, body) ->
+            if List.exists (Hashtbl.mem taken) body then false
+            else begin
+              List.iter (fun b -> Hashtbl.replace taken b ()) body;
+              true
+            end)
+          candidates
+      in
+      if chosen = [] then unchanged
+      else begin
+        let blocks = ref (Array.to_list m.blocks) in
+        let flags = ref (Array.to_list no_yp) in
+        let n = ref (Array.length m.blocks) in
+        List.iter
+          (fun (header, (back : Cfg.edge), body) ->
+            let copy_of = Hashtbl.create 8 in
+            List.iteri
+              (fun i b -> Hashtbl.replace copy_of b (!n + i))
+              body;
+            (* copies: in-loop targets map to copies, except the copied
+               back edge, which returns to the original header *)
+            let map_copy_target v =
+              match Hashtbl.find_opt copy_of v with
+              | Some c -> c
+              | None -> v
+            in
+            let copies =
+              List.map
+                (fun b ->
+                  let orig = m.blocks.(b) in
+                  let term =
+                    if b = back.src then
+                      (* copy's back edge -> original header *)
+                      retarget
+                        (fun v -> if v = header then header else map_copy_target v)
+                        orig.term
+                    else retarget map_copy_target orig.term
+                  in
+                  { Method.body = orig.body; term })
+                body
+            in
+            (* original tail's back edge now enters the copied header *)
+            let tail = back.src in
+            let tail_block = List.nth !blocks tail in
+            let new_tail_term =
+              retarget
+                (fun v ->
+                  if v = header then Hashtbl.find copy_of header else v)
+                tail_block.Method.term
+            in
+            blocks :=
+              List.mapi
+                (fun i (blk : Method.block) ->
+                  if i = tail then { blk with term = new_tail_term } else blk)
+                !blocks
+              @ copies;
+            flags := !flags @ List.map (fun b -> no_yp.(b)) body;
+            n := !n + List.length body)
+          chosen;
+        let meth = { m with Method.blocks = Array.of_list !blocks } in
+        {
+          meth;
+          no_yieldpoint = Array.of_list !flags;
+          unrolled = List.length chosen;
+        }
+      end

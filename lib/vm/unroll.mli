@@ -1,0 +1,36 @@
+(** Loop unrolling — with inlining, the paper's other §4.3 source of
+    several IR branches mapping to one bytecode-level branch.
+
+    The transformation peels the body chain of simple innermost loops:
+    a loop whose single back edge [tail -> header] is unrolled by
+    duplicating the loop's blocks once and chaining the copy between the
+    original tail and the header.  Every duplicated branch keeps its
+    original bytecode branch id, so both copies accumulate in the same
+    taken/not-taken counters.  All loop exits are kept intact in both
+    copies, so semantics are preserved for any trip count; the benefit
+    modelled is one less header re-dispatch (and, under profile-guided
+    layout, straighter hot code) per two iterations.
+
+    Only loops satisfying all of the following are unrolled:
+    - exactly one back edge, whose source the header dominates;
+    - the loop body (excluding the header) is at most [max_body_blocks];
+    - the header has a yieldpoint-eligible position (the loop is not
+      inside an uninterruptible method — those are never recompiled).
+
+    The duplicated header copy is {e not} a loop header afterwards and
+    gets no yieldpoint; PEP's paths through an unrolled iteration pair
+    are genuinely longer, as they would be in a real system. *)
+
+type result = {
+  meth : Method.t;
+  no_yieldpoint : bool array;
+      (** per block of [meth]: the input's suppression flags, extended to
+          the duplicated blocks *)
+  unrolled : int;  (** loops unrolled *)
+}
+
+(** [no_yieldpoint] marks blocks whose loop headers must keep their shape
+    (inlined uninterruptible code); such loops are never unrolled and the
+    flags carry through to the result. *)
+val expand :
+  ?max_body_blocks:int -> ?no_yieldpoint:bool array -> Method.t -> result

@@ -1,0 +1,353 @@
+open Ast
+
+let wk name description default_size build =
+  { Workload.name; description; default_size; build }
+
+let antlr =
+  let build size =
+    let walk =
+      mdef "walk" ~params:[ "d"; "sym" ]
+        [
+          if_ (le (v "d") (i 0)) [ ret (i 1) ] [];
+          switch
+            (band (v "sym") (i 3))
+            [
+              (0, [ ret (add (call "walk" [ sub (v "d") (i 1); rnd 64 ]) (i 1)) ]);
+              ( 1,
+                [
+                  set "a" (call "walk" [ sub (v "d") (i 1); rnd 64 ]);
+                  set "b" (call "walk" [ sub (v "d") (i 1); rnd 64 ]);
+                  ret (add (v "a") (v "b"));
+                ] );
+              (2, [ ret (band (v "sym") (i 31)) ]);
+            ]
+            [ ret (i 0) ];
+        ]
+    in
+    let classify =
+      mdef "classify" ~params:[ "c" ]
+        [
+          if_ (lt (v "c") (i 26)) [ ret (i 0) ] [];
+          if_ (lt (v "c") (i 52)) [ ret (i 1) ] [];
+          if_ (lt (v "c") (i 62)) [ ret (i 2) ] [];
+          ret (i 3);
+        ]
+    in
+    let main =
+      mdef "main" ~params:[]
+        [
+          set "sum" (i 0);
+          for_ "it" (i 0)
+            (i (size * 4))
+            [
+              set "sum" (add (v "sum") (call "walk" [ i 5; rnd 64 ]));
+              for_ "j" (i 0) (i 32)
+                [ set "sum" (add (v "sum") (call "classify" [ rnd 80 ])) ];
+            ];
+          ret (v "sum");
+        ]
+    in
+    pdef "antlr" [ main; walk; classify ]
+  in
+  wk "antlr" "grammar analysis; nested dispatch and recursion" 700 build
+
+let bloat =
+  let build size =
+    let init =
+      mdef "init" ~params:[]
+        [ for_ "i" (i 0) (i 4096) [ hset (v "i") (rnd 32) ]; ret (i 0) ]
+    in
+    let peephole =
+      mdef "peephole" ~params:[ "base" ]
+        [
+          set "acc" (i 0);
+          for_ "j" (i 0) (i 128)
+            [
+              set "a" (h (add (v "base") (v "j")));
+              set "b" (h (add (v "base") (add (v "j") (i 1))));
+              (* dead store: store then store *)
+              if_
+                (band (eq (v "a") (i 1)) (eq (v "b") (i 1)))
+                [ set "acc" (add (v "acc") (i 3)) ]
+                [
+                  (* push-pop pair *)
+                  if_
+                    (band (eq (v "a") (i 2)) (eq (v "b") (i 3)))
+                    [ set "acc" (add (v "acc") (i 2)) ]
+                    [
+                      if_
+                        (gt (v "a") (v "b"))
+                        [ set "acc" (add (v "acc") (i 1)) ]
+                        [];
+                    ];
+                ];
+              if_ (eq (band (bxor (v "a") (v "b")) (i 1)) (i 0))
+                [ set "acc" (add (v "acc") (i 1)) ]
+                [];
+            ];
+          ret (v "acc");
+        ]
+    in
+    let renumber =
+      mdef "renumber" ~params:[ "base" ]
+        [
+          for_ "j" (i 0) (i 64)
+            [
+              hset
+                (add (v "base") (v "j"))
+                (band (add (h (add (v "base") (v "j"))) (i 1)) (i 31));
+            ];
+          ret (i 0);
+        ]
+    in
+    let main =
+      mdef "main" ~params:[]
+        [
+          expr (call "init" []);
+          set "sum" (i 0);
+          for_ "it" (i 0)
+            (i (size * 4))
+            [
+              set "base" (band (mul (v "it") (i 61)) (i 2047));
+              set "sum" (add (v "sum") (call "peephole" [ v "base" ]));
+              if_
+                (eq (band (v "it") (i 7)) (i 0))
+                [ expr (call "renumber" [ v "base" ]) ]
+                [];
+            ];
+          ret (v "sum");
+        ]
+    in
+    pdef "bloat" [ main; init; peephole; renumber ]
+  in
+  wk "bloat" "bytecode-optimizer passes; sliding-window peepholes" 450 build
+
+let fop =
+  let build size =
+    let build_tree =
+      mdef "build_tree" ~params:[ "n" ]
+        [
+          for_ "j" (i 0) (i 256)
+            [
+              hset
+                (band (add (mul (v "n") (i 256)) (v "j")) (i 4095))
+                (add (rnd 40) (i 1));
+            ];
+          ret (i 0);
+        ]
+    in
+    let layout =
+      mdef "layout" ~params:[ "n" ]
+        [
+          set "line" (i 0);
+          set "acc" (i 0);
+          for_ "j" (i 0) (i 256)
+            [
+              set "w" (h (band (add (mul (v "n") (i 256)) (v "j")) (i 4095)));
+              if_ (gt (v "w") (i 30)) [ set "w" (sub (v "w") (i 3)) ] [];
+              if_
+                (gt (add (v "line") (v "w")) (i 72))
+                [ set "acc" (add (v "acc") (i 1)); set "line" (v "w") ]
+                [
+                  set "line" (add (v "line") (v "w"));
+                  if_ (eq (band (v "w") (i 3)) (i 0))
+                    [ set "acc" (add (v "acc") (i 1)) ]
+                    [];
+                ];
+            ];
+          ret (v "acc");
+        ]
+    in
+    let main =
+      mdef "main" ~params:[]
+        [
+          set "sum" (i 0);
+          (* phase 1: build *)
+          for_ "n" (i 0) (i (size * 2)) [ expr (call "build_tree" [ v "n" ]) ];
+          (* phase 2: layout, different branch mix *)
+          for_ "n" (i 0)
+            (i (size * 2))
+            [ set "sum" (add (v "sum") (call "layout" [ v "n" ])) ];
+          ret (v "sum");
+        ]
+    in
+    pdef "fop" [ main; build_tree; layout ]
+  in
+  wk "fop" "formatter; distinct build and layout phases" 300 build
+
+let jython =
+  let build size =
+    let init =
+      (* opcode stream skewed toward loads/adds, as real interpreters see *)
+      mdef "init" ~params:[]
+        [
+          for_ "p" (i 0) (i 4096)
+            [
+              set "r" (rnd 16);
+              if_ (lt (v "r") (i 6)) [ hset (v "p") (i 0) ]
+                [
+                  if_ (lt (v "r") (i 10)) [ hset (v "p") (i 1) ]
+                    [
+                      if_ (lt (v "r") (i 12)) [ hset (v "p") (i 2) ]
+                        [ hset (v "p") (band (v "r") (i 7)) ];
+                    ];
+                ];
+            ];
+          ret (i 0);
+        ]
+    in
+    let dispatch =
+      [
+        switch (h (v "pc"))
+          [
+            (0, [ set "top" (add (v "top") (i 1)) ]);
+            (1, [ set "acc" (add (v "acc") (v "top")) ]);
+            (2, [ set "top" (mul (v "top") (i 2)) ]);
+            (3, [ set "top" (sub (v "top") (v "acc")) ]);
+            (4, [ set "acc" (bxor (v "acc") (v "top")) ]);
+            ( 5,
+              [
+                if_ (gt (v "top") (i 100))
+                  [ set "top" (i 0) ]
+                  [ set "top" (add (v "top") (i 7)) ];
+              ] );
+            (6, [ set "acc" (band (v "acc") (i 65535)) ]);
+          ]
+          [ set "top" (shr (v "top") (i 1)) ];
+        set "pc" (band (add (v "pc") (i 1)) (i 4095));
+      ]
+    in
+    let exec =
+      mdef "exec" ~params:[ "pc0"; "steps" ]
+        [
+          set "acc" (i 0);
+          set "top" (i 0);
+          set "pc" (v "pc0");
+          for_ "s" (i 0) (v "steps") (List.concat [ dispatch; dispatch; dispatch; dispatch ]);
+          ret (add (v "acc") (v "top"));
+        ]
+    in
+    let main =
+      mdef "main" ~params:[]
+        [
+          expr (call "init" []);
+          set "sum" (i 0);
+          for_ "it" (i 0) (i size)
+            [
+              set "sum"
+                (add (v "sum")
+                   (call "exec" [ band (mul (v "it") (i 97)) (i 4095); i 40 ]));
+            ];
+          ret (v "sum");
+        ]
+    in
+    pdef "jython" [ main; init; exec ]
+  in
+  wk "jython" "interpreter dispatch loop; many distinct hot paths" 700 build
+
+let pmd =
+  let build size =
+    let hash =
+      (* uninterruptible helper with a loop: its header has no yieldpoint,
+         so paths ending there are lost (paper §4.3) *)
+      mdef ~uninterruptible:true "hash" ~params:[ "x" ]
+        [
+          set "a" (v "x");
+          for_ "k" (i 0) (i 4)
+            [
+              set "a" (bxor (v "a") (shl (v "a") (i 5)));
+              set "a" (band (add (v "a") (i 12345)) (i 1048575));
+            ];
+          ret (v "a");
+        ]
+    in
+    let check =
+      mdef "check" ~params:[ "node" ]
+        [
+          set "hv" (call "hash" [ v "node" ]);
+          set "viol" (i 0);
+          if_ (eq (band (v "hv") (i 1)) (i 0))
+            [ set "viol" (add (v "viol") (i 1)) ]
+            [];
+          if_ (lt (band (v "hv") (i 255)) (i 128))
+            [ set "viol" (add (v "viol") (i 1)) ]
+            [];
+          if_ (eq (rem (v "hv") (i 3)) (i 0))
+            [ set "viol" (add (v "viol") (call "hash" [ v "viol" ])) ]
+            [];
+          ret (v "viol");
+        ]
+    in
+    let main =
+      mdef "main" ~params:[]
+        [
+          set "sum" (i 0);
+          for_ "it" (i 0)
+            (i (size * 48))
+            [ set "sum" (add (v "sum") (call "check" [ v "it" ])) ];
+          ret (v "sum");
+        ]
+    in
+    pdef "pmd" [ main; check; hash ]
+  in
+  wk "pmd" "analyzer; weak-bias predicates, uninterruptible helper" 700 build
+
+let xalan =
+  let build size =
+    let init =
+      mdef "init" ~params:[]
+        [ for_ "i" (i 0) (i 4096) [ hset (v "i") (rnd 128) ]; ret (i 0) ]
+    in
+    let transform =
+      mdef "transform" ~params:[ "base"; "mode" ]
+        [
+          set "acc" (i 0);
+          for_ "j" (i 0) (i 96)
+            [
+              set "c" (h (band (add (v "base") (v "j")) (i 4095)));
+              if_ (eq (band (v "c") (i 31)) (i 7))
+                [ set "c" (add (v "c") (i 2)) ]
+                [];
+              (* the hot direction flips with the pass *)
+              if_ (eq (v "mode") (i 0))
+                [
+                  if_ (lt (v "c") (i 96))
+                    [ set "acc" (add (v "acc") (v "c")) ]
+                    [ set "acc" (add (v "acc") (i 1)) ];
+                ]
+                [
+                  if_ (lt (v "c") (i 32))
+                    [ set "acc" (add (v "acc") (v "c")) ]
+                    [ set "acc" (sub (v "acc") (i 1)) ];
+                ];
+            ];
+          ret (v "acc");
+        ]
+    in
+    let main =
+      mdef "main" ~params:[]
+        [
+          expr (call "init" []);
+          set "sum" (i 0);
+          (* pass 1 *)
+          for_ "it" (i 0)
+            (i (size * 2))
+            [
+              set "sum"
+                (add (v "sum")
+                   (call "transform" [ mul (v "it") (i 89); i 0 ]));
+            ];
+          (* pass 2: flipped hot directions *)
+          for_ "it" (i 0)
+            (i (size * 2))
+            [
+              set "sum"
+                (add (v "sum")
+                   (call "transform" [ mul (v "it") (i 53); i 1 ]));
+            ];
+          ret (v "sum");
+        ]
+    in
+    pdef "xalan" [ main; init; transform ]
+  in
+  wk "xalan" "two-pass transformer; phase-dependent branch bias" 400 build

@@ -1,0 +1,17 @@
+(** Analogues of the DaCapo benchmarks the paper runs on Jikes RVM
+    (hsqldb is omitted, as in the paper):
+    - [antlr]: grammar analysis, nested dispatch plus recursion;
+    - [bloat]: bytecode-optimizer-style sliding-window peephole passes;
+    - [fop]: formatter with distinct build and layout phases;
+    - [jython]: interpreter dispatch loop — a big switch in the hottest
+      loop, the classic many-paths workload;
+    - [pmd]: analyzer with weakly biased predicates and an
+      uninterruptible helper loop (exercises the paper's §4.3 caveat);
+    - [xalan]: two-pass table transformer with phase-dependent biases. *)
+
+val antlr : Workload.t
+val bloat : Workload.t
+val fop : Workload.t
+val jython : Workload.t
+val pmd : Workload.t
+val xalan : Workload.t

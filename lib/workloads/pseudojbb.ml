@@ -1,0 +1,71 @@
+open Ast
+
+let pseudojbb =
+  let build size =
+    let order_entry =
+      mdef "order_entry" ~params:[ "w" ]
+        [
+          set "s" (i 0);
+          for_ "k" (i 0) (i 12)
+            [
+              set "item" (h (band (add (v "w") (v "k")) (i 4095)));
+              if_ (gt (v "item") (i 5000))
+                [ set "s" (add (v "s") (shr (v "item") (i 4))) ]
+                [ set "s" (add (v "s") (v "item")) ];
+              if_ (eq (band (v "item") (i 15)) (i 3))
+                [ gset 4 (add (g 4) (i 1)) ]
+                [];
+              hset (band (add (v "w") (v "k")) (i 4095)) (add (v "s") (i 1));
+            ];
+          ret (v "s");
+        ]
+    in
+    let payment =
+      mdef "payment" ~params:[ "w" ]
+        [
+          gset 3 (add (g 3) (v "w"));
+          if_ (gt (g 3) (i 1000000)) [ gset 3 (i 0) ] [];
+          ret (band (g 3) (i 255));
+        ]
+    in
+    let status =
+      mdef "status" ~params:[ "w" ] [ ret (band (v "w") (i 63)) ]
+    in
+    let txn =
+      mdef "txn" ~params:[ "kind"; "w" ]
+        [
+          (* the mix threshold moves with the phase in g[5] *)
+          if_ (lt (v "kind") (add (i 25) (mul (g 5) (i 18))))
+            [ ret (call "order_entry" [ v "w" ]) ]
+            [
+              if_ (lt (v "kind") (add (i 70) (mul (g 5) (i 6))))
+                [ ret (call "payment" [ v "w" ]) ]
+                [ ret (call "status" [ v "w" ]) ];
+            ];
+        ]
+    in
+    let main =
+      mdef "main" ~params:[]
+        [
+          set "sum" (i 0);
+          for_ "phase" (i 0) (i 4)
+            [
+              gset 5 (v "phase");
+              for_ "t" (i 0)
+                (i (size * 8))
+                [
+                  set "sum"
+                    (add (v "sum") (call "txn" [ rnd 100; band (v "t") (i 4095) ]));
+                ];
+            ];
+          ret (v "sum");
+        ]
+    in
+    pdef "pseudojbb" [ main; txn; order_entry; payment; status ]
+  in
+  {
+    Workload.name = "pseudojbb";
+    description = "warehouse transactions; mix shifts across phases";
+    default_size = 900;
+    build;
+  }

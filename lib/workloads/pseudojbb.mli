@@ -1,0 +1,7 @@
+(** Fixed-workload SPEC JBB2000 analogue ("pseudojbb" in the paper): a
+    warehouse transaction loop executing a fixed number of transactions.
+    The transaction mix shifts across phases, so branch biases measured
+    early become stale — the behaviour that separates continuous profiles
+    from one-time profiles (paper §6.5). *)
+
+val pseudojbb : Workload.t

@@ -1,0 +1,365 @@
+open Ast
+
+let wk name description default_size build =
+  { Workload.name; description; default_size; build }
+
+let compress =
+  let build size =
+    let init =
+      mdef "init" ~params:[]
+        [ for_ "i" (i 0) (i 4096) [ hset (v "i") (rnd 256) ]; ret (i 0) ]
+    in
+    let step =
+      mdef "step" ~params:[ "it" ]
+        [
+          set "acc" (i 0);
+          set "code" (i 0);
+          for_ "j" (i 0) (i 256)
+            [
+              set "c" (h (add (v "it") (v "j")));
+              set "code" (band (bxor (shl (v "code") (i 4)) (v "c")) (i 4095));
+              if_
+                (eq (h (v "code")) (v "c"))
+                [ set "acc" (add (v "acc") (i 1)) ]
+                [
+                  hset (v "code") (v "c");
+                  if_
+                    (eq (band (v "c") (i 15)) (i 0))
+                    [ set "acc" (add (v "acc") (i 2)) ]
+                    [];
+                ];
+              if_ (gt (v "c") (i 200))
+                [ set "acc" (add (v "acc") (band (v "c") (i 7))) ]
+                [];
+              if_ (eq (band (v "code") (i 63)) (i 17))
+                [ set "acc" (sub (v "acc") (i 1)) ]
+                [];
+            ];
+          ret (v "acc");
+        ]
+    in
+    let main =
+      mdef "main" ~params:[]
+        [
+          expr (call "init" []);
+          set "sum" (i 0);
+          for_ "it" (i 0) (i size)
+            [ set "sum" (add (v "sum") (call "step" [ v "it" ])) ];
+          ret (v "sum");
+        ]
+    in
+    pdef "compress" [ main; init; step ]
+  in
+  wk "compress" "LZW-style kernel; hot inner loop, biased hash-hit branch" 1200
+    build
+
+let jess =
+  let build size =
+    let init =
+      mdef "init" ~params:[]
+        [ for_ "i" (i 0) (i 1024) [ hset (v "i") (rnd 65536) ]; ret (i 0) ]
+    in
+    let fire_a =
+      mdef "fire_a" ~params:[ "f" ]
+        [
+          set "s" (i 0);
+          for_ "k" (i 0) (i 8)
+            [ set "s" (add (v "s") (band (shr (v "f") (v "k")) (i 1))) ];
+          gset 1 (add (g 1) (v "s"));
+          ret (v "s");
+        ]
+    in
+    let fire_b =
+      mdef "fire_b" ~params:[ "f" ]
+        [
+          hset (band (v "f") (i 1023)) (add (v "f") (i 1));
+          gset 2 (add (g 2) (i 1));
+          ret (i 2);
+        ]
+    in
+    let fire_c =
+      mdef "fire_c" ~params:[ "f" ] [ ret (band (v "f") (i 255)) ]
+    in
+    let match_ =
+      mdef "match" ~params:[ "it" ]
+        [
+          set "f" (h (band (v "it") (i 1023)));
+          if_ (gt (v "f") (i 32768)) [ set "f" (sub (v "f") (i 11)) ] [];
+          if_ (eq (band (v "f") (i 16)) (i 0))
+            [ set "f" (bxor (v "f") (i 5)) ]
+            [];
+          if_ (lt (band (v "f") (i 127)) (i 40))
+            [ gset 4 (add (g 4) (i 1)) ]
+            [];
+          if_
+            (eq (band (v "f") (i 3)) (i 0))
+            [ ret (call "fire_a" [ v "f" ]) ]
+            [
+              if_
+                (lt (band (v "f") (i 7)) (i 3))
+                [ ret (call "fire_b" [ v "f" ]) ]
+                [
+                  if_
+                    (eq (band (v "f") (i 1)) (i 1))
+                    [ ret (call "fire_c" [ v "f" ]) ]
+                    [ ret (i 0) ];
+                ];
+            ];
+        ]
+    in
+    let main =
+      mdef "main" ~params:[]
+        [
+          expr (call "init" []);
+          set "sum" (i 0);
+          for_ "it" (i 0)
+            (i (size * 64))
+            [ set "sum" (add (v "sum") (call "match" [ v "it" ])) ];
+          ret (v "sum");
+        ]
+    in
+    pdef "jess" [ main; init; fire_a; fire_b; fire_c; match_ ]
+  in
+  wk "jess" "rule-engine dispatch; if-chain over working memory" 1500 build
+
+let db =
+  let build size =
+    let init =
+      mdef "init" ~params:[]
+        [ for_ "i" (i 0) (i 2048) [ hset (v "i") (mul (v "i") (i 3)) ]; ret (i 0) ]
+    in
+    let lookup =
+      mdef "lookup" ~params:[ "key" ]
+        [
+          set "lo" (i 0);
+          set "hi" (i 2048);
+          while_
+            (lt (v "lo") (v "hi"))
+            [
+              set "mid" (div (add (v "lo") (v "hi")) (i 2));
+              if_ (eq (h (v "mid")) (v "key")) [ ret (v "mid") ] [];
+              if_
+                (le (h (v "mid")) (v "key"))
+                [
+                  set "lo" (add (v "mid") (i 1));
+                  if_ (eq (band (v "mid") (i 7)) (i 0))
+                    [ gset 6 (add (g 6) (i 1)) ]
+                    [];
+                ]
+                [ set "hi" (v "mid") ];
+            ];
+          if_ (lt (v "lo") (i 64)) [ set "lo" (add (v "lo") (i 1)) ] [];
+          ret (v "lo");
+        ]
+    in
+    let main =
+      mdef "main" ~params:[]
+        [
+          expr (call "init" []);
+          set "sum" (i 0);
+          for_ "it" (i 0)
+            (i (size * 32))
+            [
+              set "k" (rnd 6144);
+              set "sum" (add (v "sum") (call "lookup" [ v "k" ]));
+            ];
+          ret (v "sum");
+        ]
+    in
+    pdef "db" [ main; init; lookup ]
+  in
+  wk "db" "in-memory database; binary search with near-50/50 branches" 1200
+    build
+
+let javac =
+  let build size =
+    let parse_factor =
+      mdef "parse_factor" ~params:[ "d" ]
+        [
+          if_ (le (v "d") (i 0)) [ ret (i 1) ] [];
+          set "r" (rnd 8);
+          if_ (lt (v "r") (i 5))
+            [ ret (add (v "r") (i 1)) ]
+            [
+              if_ (lt (v "r") (i 7))
+                [ ret (call "parse_expr" [ sub (v "d") (i 1) ]) ]
+                [ ret (neg (call "parse_factor" [ sub (v "d") (i 1) ])) ];
+            ];
+        ]
+    in
+    let parse_term =
+      mdef "parse_term" ~params:[ "d" ]
+        [
+          if_ (le (v "d") (i 0)) [ ret (i 1) ] [];
+          set "acc" (call "parse_factor" [ sub (v "d") (i 1) ]);
+          while_
+            (ne (rnd 4) (i 0))
+            [
+              set "acc"
+                (add (v "acc") (call "parse_factor" [ sub (v "d") (i 1) ]));
+            ];
+          ret (v "acc");
+        ]
+    in
+    let parse_expr =
+      mdef "parse_expr" ~params:[ "d" ]
+        [
+          if_ (le (v "d") (i 0)) [ ret (i 1) ] [];
+          set "t" (rnd 10);
+          switch (v "t")
+            [
+              (0, [ ret (add (call "parse_term" [ sub (v "d") (i 1) ]) (i 1)) ]);
+              (1, [ ret (add (call "parse_term" [ sub (v "d") (i 1) ]) (i 2)) ]);
+              (2, [ ret (call "parse_term" [ sub (v "d") (i 1) ]) ]);
+              ( 3,
+                [
+                  ret
+                    (add
+                       (call "parse_term" [ sub (v "d") (i 1) ])
+                       (call "parse_expr" [ sub (v "d") (i 1) ]));
+                ] );
+            ]
+            [ ret (call "parse_factor" [ sub (v "d") (i 1) ]) ];
+        ]
+    in
+    let main =
+      mdef "main" ~params:[]
+        [
+          set "sum" (i 0);
+          for_ "it" (i 0)
+            (i (size * 8))
+            [ set "sum" (add (v "sum") (call "parse_expr" [ i 6 ])) ];
+          ret (v "sum");
+        ]
+    in
+    pdef "javac" [ main; parse_expr; parse_term; parse_factor ]
+  in
+  wk "javac" "recursive-descent front end; deep call graph, token switch" 1000
+    build
+
+let mpegaudio =
+  let build size =
+    let init =
+      mdef "init" ~params:[]
+        [ for_ "i" (i 0) (i 4096) [ hset (v "i") (rnd 1024) ]; ret (i 0) ]
+    in
+    let filter =
+      mdef "filter" ~params:[ "f" ]
+        [
+          set "acc" (i 0);
+          for_ "b" (i 0) (i 32)
+            [
+              set "s" (i 0);
+              for_ "k" (i 0) (i 16)
+                [
+                  set "s"
+                    (add (v "s")
+                       (mul
+                          (h
+                             (band
+                                (add (add (v "f") (mul (v "b") (i 16))) (v "k"))
+                                (i 4095)))
+                          (add (band (v "k") (i 3)) (i 1))));
+                ];
+              if_
+                (gt (v "s") (i 16384))
+                [ set "acc" (add (v "acc") (shr (v "s") (i 4))) ]
+                [ set "acc" (add (v "acc") (i 1)) ];
+            ];
+          ret (v "acc");
+        ]
+    in
+    let main =
+      mdef "main" ~params:[]
+        [
+          expr (call "init" []);
+          set "sum" (i 0);
+          for_ "it" (i 0) (i size)
+            [ set "sum" (add (v "sum") (call "filter" [ v "it" ])) ];
+          ret (v "sum");
+        ]
+    in
+    pdef "mpegaudio" [ main; init; filter ]
+  in
+  wk "mpegaudio" "numeric filter bank; nested predictable loops" 220 build
+
+let mtrt =
+  let build size =
+    let trace =
+      mdef "trace" ~params:[ "d"; "x" ]
+        [
+          if_ (le (v "d") (i 0)) [ ret (band (v "x") (i 255)) ] [];
+          set "t" (bxor (v "x") (mul (v "d") (i 0x9E3779B1)));
+          if_
+            (lt (band (v "t") (i 7)) (i 5))
+            [
+              ret
+                (add (call "trace" [ sub (v "d") (i 1); shr (v "t") (i 1) ]) (i 1));
+            ]
+            [
+              if_
+                (eq (band (v "t") (i 16)) (i 0))
+                [
+                  ret
+                    (add
+                       (call "trace"
+                          [ sub (v "d") (i 1); add (mul (v "t") (i 3)) (i 1) ])
+                       (call "trace" [ sub (v "d") (i 1); shr (v "t") (i 3) ]));
+                ]
+                [ ret (band (v "t") (i 63)) ];
+            ];
+        ]
+    in
+    let main =
+      mdef "main" ~params:[]
+        [
+          set "sum" (i 0);
+          for_ "it" (i 0)
+            (i (size * 16))
+            [
+              set "sum"
+                (add (v "sum") (call "trace" [ i 8; mul (v "it") (i 2654435761) ]));
+            ];
+          ret (v "sum");
+        ]
+    in
+    pdef "mtrt" [ main; trace ]
+  in
+  wk "mtrt" "ray-tracer-style recursion; branchy scene walk" 900 build
+
+let jack =
+  let build size =
+    let emit =
+      mdef "emit" ~params:[ "x" ]
+        [ gset 2 (add (g 2) (v "x")); ret (g 2) ]
+    in
+    let token =
+      mdef "token" ~params:[ "k" ]
+        [
+          switch
+            (band (v "k") (i 7))
+            [
+              (0, [ ret (call "emit" [ i 1 ]) ]);
+              (1, [ ret (call "emit" [ i 2 ]) ]);
+              (2, [ ret (add (call "emit" [ i 3 ]) (call "emit" [ i 4 ])) ]);
+              (3, [ ret (band (v "k") (i 31)) ]);
+              (4, [ ret (band (v "k") (i 31)) ]);
+            ]
+            [ ret (call "emit" [ band (v "k") (i 15) ]) ];
+        ]
+    in
+    let main =
+      mdef "main" ~params:[]
+        [
+          set "sum" (i 0);
+          for_ "it" (i 0) (i size)
+            [
+              for_ "j" (i 0) (i 64)
+                [ set "sum" (add (v "sum") (call "token" [ rnd 200 ])) ];
+            ];
+          ret (v "sum");
+        ]
+    in
+    pdef "jack" [ main; token; emit ]
+  in
+  wk "jack" "parser generator; short-running and call-heavy" 260 build

@@ -1,0 +1,23 @@
+(** Analogues of the SPEC JVM98 benchmarks used in the paper.
+
+    Each mirrors the control-flow character of its namesake:
+    - [compress]: loop-dominated LZW-style kernel, strongly biased
+      hash-hit branch;
+    - [jess]: rule-engine dispatch, medium-bias if-chains over working
+      memory;
+    - [db]: in-memory database dominated by binary search — near 50/50
+      branches that are hard for bias prediction;
+    - [javac]: recursive-descent compiler front end, deep call graph,
+      token switches;
+    - [mpegaudio]: numeric filter-bank kernel, nested predictable loops;
+    - [mtrt]: ray-tracer-style recursive scene walk, branchy recursion;
+    - [jack]: parser generator, short-running and call-heavy (the
+      compile-overhead stress of paper §6.2). *)
+
+val compress : Workload.t
+val jess : Workload.t
+val db : Workload.t
+val javac : Workload.t
+val mpegaudio : Workload.t
+val mtrt : Workload.t
+val jack : Workload.t

@@ -1,0 +1,20 @@
+let all =
+  [
+    Spec_jvm98.compress;
+    Spec_jvm98.jess;
+    Spec_jvm98.db;
+    Spec_jvm98.javac;
+    Spec_jvm98.mpegaudio;
+    Spec_jvm98.mtrt;
+    Spec_jvm98.jack;
+    Pseudojbb.pseudojbb;
+    Dacapo.antlr;
+    Dacapo.bloat;
+    Dacapo.fop;
+    Dacapo.jython;
+    Dacapo.pmd;
+    Dacapo.xalan;
+  ]
+
+let find name = List.find (fun (w : Workload.t) -> w.name = name) all
+let names = List.map (fun (w : Workload.t) -> w.name) all

@@ -1,0 +1,10 @@
+(** The full benchmark suite of the paper's evaluation: SPEC JVM98,
+    pseudojbb, and the DaCapo benchmarks that run on Jikes RVM (hsqldb
+    omitted, as in the paper). *)
+
+val all : Workload.t list
+
+(** @raise Not_found for unknown names. *)
+val find : string -> Workload.t
+
+val names : string list

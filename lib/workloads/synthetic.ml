@@ -1,0 +1,104 @@
+open Ast
+
+type gen = {
+  prng : Prng.t;
+  mutable budget : int;
+  vars : string array;
+  callees : string array;
+}
+
+let pick g arr = arr.(Prng.below g.prng (Array.length arr))
+
+let rec gen_expr g depth =
+  let leaf () =
+    match Prng.below g.prng 5 with
+    | 0 -> i (Prng.below g.prng 100)
+    | 1 | 2 -> v (pick g g.vars)
+    | 3 -> rnd (1 + Prng.below g.prng 16)
+    | _ -> h (v (pick g g.vars))
+  in
+  if depth <= 0 then leaf ()
+  else
+    match Prng.below g.prng 8 with
+    | 0 | 1 -> leaf ()
+    | 2 -> add (gen_expr g (depth - 1)) (gen_expr g (depth - 1))
+    | 3 -> sub (gen_expr g (depth - 1)) (gen_expr g (depth - 1))
+    | 4 -> band (gen_expr g (depth - 1)) (i (1 + Prng.below g.prng 255))
+    | 5 -> mul (gen_expr g (depth - 1)) (i (1 + Prng.below g.prng 7))
+    | 6 when Array.length g.callees > 0 ->
+        let callee = pick g g.callees in
+        call callee [ gen_expr g (depth - 1) ]
+    | _ -> bxor (gen_expr g (depth - 1)) (gen_expr g (depth - 1))
+
+let gen_cond g =
+  let rel = [| lt; le; gt; ge; eq; ne |] in
+  (pick g rel) (gen_expr g 1) (gen_expr g 1)
+
+let rec gen_stmt g depth =
+  g.budget <- g.budget - 1;
+  if depth <= 0 || g.budget <= 0 then set (pick g g.vars) (gen_expr g 1)
+  else
+    match Prng.below g.prng 12 with
+    | 0 | 1 | 2 -> set (pick g g.vars) (gen_expr g 2)
+    | 3 -> hset (gen_expr g 1) (gen_expr g 1)
+    | 4 -> gset (Prng.below g.prng 8) (gen_expr g 1)
+    | 5 | 6 ->
+        if_ (gen_cond g) (gen_stmts g (depth - 1)) (gen_stmts g (depth - 1))
+    | 7 ->
+        (* bounded loop over a fresh counter *)
+        let cnt = Fmt.str "c%d" (Prng.below g.prng 1000) in
+        for_ cnt (i 0) (i (1 + Prng.below g.prng 8)) (gen_stmts g (depth - 1))
+    | 8 ->
+        switch (gen_expr g 1)
+          (List.init
+             (1 + Prng.below g.prng 3)
+             (fun k -> (k, gen_stmts g (depth - 1))))
+          (gen_stmts g (depth - 1))
+    | 9 ->
+        let cnt = Fmt.str "d%d" (Prng.below g.prng 1000) in
+        for_ cnt (i 0)
+          (i (1 + Prng.below g.prng 5))
+          (gen_stmts g (depth - 1)
+          @ [ if_ (gen_cond g) [ continue_ ] []; set (pick g g.vars) (gen_expr g 1) ])
+    | 10 ->
+        let cnt = Fmt.str "e%d" (Prng.below g.prng 1000) in
+        for_ cnt (i 0)
+          (i (2 + Prng.below g.prng 6))
+          (gen_stmts g (depth - 1) @ [ if_ (gen_cond g) [ break_ ] [] ])
+    | _ ->
+        (* expression statements must be calls in the concrete syntax *)
+        if Array.length g.callees > 0 then
+          expr (call (pick g g.callees) [ gen_expr g 1 ])
+        else set (pick g g.vars) (gen_expr g 2)
+
+and gen_stmts g depth =
+  let n = 1 + Prng.below g.prng 3 in
+  List.init n (fun _ -> gen_stmt g depth)
+
+let method_ ?(stmt_budget = 40) ?nparams ~seed ~callees name =
+  let prng = Prng.create ~seed in
+  (* generated call sites always pass one argument *)
+  let nparams = match nparams with Some n -> n | None -> Prng.below prng 3 in
+  let params = List.init nparams (fun k -> Fmt.str "p%d" k) in
+  let vars = Array.of_list (("x" :: "y" :: "z" :: params) @ [ "w" ]) in
+  let g = { prng; budget = stmt_budget; vars; callees = Array.of_list callees } in
+  let body = gen_stmts g 3 @ [ ret (gen_expr g 1) ] in
+  mdef name ~params body
+
+let program ?(n_methods = 5) ?(stmt_budget = 40) ~seed () =
+  let prng = Prng.create ~seed in
+  let rec defs k callees acc =
+    if k = 0 then acc
+    else begin
+      let name = Fmt.str "m%d" k in
+      let m =
+        method_ ~stmt_budget ~nparams:1 ~seed:(Prng.next prng) ~callees name
+      in
+      defs (k - 1) (name :: callees) (m :: acc)
+    end
+  in
+  let methods = defs (n_methods - 1) [] [] in
+  let callees = List.map (fun (m : mdef) -> m.mname) methods in
+  let main_seed = Prng.next prng in
+  let main = method_ ~stmt_budget ~nparams:0 ~seed:main_seed ~callees "main" in
+  pdef (Fmt.str "synthetic_%d" (abs seed)) (main :: methods)

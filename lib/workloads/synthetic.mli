@@ -1,0 +1,22 @@
+(** Seeded random structured programs.
+
+    Generation is purely a function of the seed.  Programs always
+    terminate: loops are bounded [for]s and calls only target
+    earlier-generated methods (the call graph is acyclic).  Used by
+    property tests to exercise numbering, instrumentation, the
+    interpreter and the parser on a wide variety of CFG shapes. *)
+
+val program :
+  ?n_methods:int -> ?stmt_budget:int -> seed:int -> unit -> Ast.pdef
+
+(** A single random method named [name], calling only [callees] (which
+    must each take one parameter — generated call sites pass one
+    argument).  [nparams] fixes the parameter count (random 0..2 when
+    omitted). *)
+val method_ :
+  ?stmt_budget:int ->
+  ?nparams:int ->
+  seed:int ->
+  callees:string list ->
+  string ->
+  Ast.mdef

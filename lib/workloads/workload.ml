@@ -1,0 +1,10 @@
+type t = {
+  name : string;
+  description : string;
+  default_size : int;
+  build : int -> Ast.pdef;
+}
+
+let program ?size t =
+  let size = Option.value ~default:t.default_size size in
+  Compile.pdef (t.build size)

@@ -1,0 +1,19 @@
+(** A named synthetic benchmark: an AST program parameterized by size.
+
+    The suite stands in for the paper's SPEC JVM98 / pseudojbb / DaCapo
+    programs.  Each workload reproduces a control-flow character of its
+    namesake — loop-dominated kernels, branchy parsers, call-heavy OO
+    code, phased transaction mixes — because those are the properties
+    path/edge profile accuracy and instrumentation overhead depend on. *)
+
+type t = {
+  name : string;
+  description : string;
+  default_size : int;  (** scales the main loop's trip count *)
+  build : int -> Ast.pdef;
+}
+
+(** Compile at [size] (default [default_size]).
+    @raise Compile.Error or [Program.Link_error] only if the workload
+    definition itself is broken. *)
+val program : ?size:int -> t -> Program.t

@@ -1,0 +1,267 @@
+(* Tests for the bytecode substrate: compilation from the AST, the
+   verifier, CFG construction, and the parser/printer round trip. *)
+
+open Ast
+
+let check = Alcotest.check
+let ci = Alcotest.int
+
+let compile_one ?(params = []) body = Compile.method_ (mdef "m" ~params body)
+
+let test_compile_shapes () =
+  let m = compile_one [ ret (i 42) ] in
+  check ci "entry is 0" 0 m.Method.entry;
+  check ci "exit is 1" 1 m.Method.exit_;
+  (match m.Method.blocks.(m.Method.entry).term with
+  | Method.Jmp _ -> ()
+  | _ -> Alcotest.fail "entry must jump");
+  (match m.Method.blocks.(m.Method.exit_).term with
+  | Method.Ret -> ()
+  | _ -> Alcotest.fail "exit must return");
+  (* entry is never a branch target *)
+  Array.iter
+    (fun (b : Method.block) ->
+      match b.term with
+      | Method.Jmp d -> check Alcotest.bool "no jump to entry" true (d <> 0)
+      | Method.Br { on_true; on_false; _ } ->
+          check Alcotest.bool "no branch to entry" true
+            (on_true <> 0 && on_false <> 0)
+      | Method.Ret -> ())
+    m.Method.blocks
+
+let test_compile_if () =
+  let m =
+    compile_one [ if_ (lt (v "x") (i 1)) [ set "y" (i 1) ] [ set "y" (i 2) ]; ret (v "y") ]
+  in
+  let branches = Method.n_branches m in
+  check ci "one branch" 1 branches
+
+let test_compile_loops () =
+  let m =
+    compile_one
+      [
+        for_ "k" (i 0) (i 10) [ set "s" (add (v "s") (v "k")) ];
+        while_ (gt (v "s") (i 3)) [ set "s" (sub (v "s") (i 2)) ];
+        dowhile [ set "s" (add (v "s") (i 1)) ] (lt (v "s") (i 5));
+        ret (v "s");
+      ]
+  in
+  let cfg = To_cfg.cfg m in
+  let loops = Loops.compute cfg in
+  check ci "three loops" 3 (List.length (Loops.headers loops));
+  check Alcotest.bool "reducible" true (Loops.is_reducible loops)
+
+let test_break_continue () =
+  let m =
+    compile_one
+      [
+        set "s" (i 0);
+        for_ "k" (i 0) (i 100)
+          [
+            if_ (eq (v "k") (i 7)) [ break_ ] [];
+            if_ (eq (band (v "k") (i 1)) (i 1)) [ continue_ ] [];
+            set "s" (add (v "s") (v "k"));
+          ];
+        ret (v "s");
+      ]
+  in
+  (* 0+2+4+6 = 12 *)
+  let p = Program.create ~name:"t" ~n_globals:1 ~heap_size:8 ~main:"m" [ m ] in
+  let st = Machine.create ~seed:1 p in
+  check ci "break/continue semantics" 12 (Interp.run Interp.no_hooks st)
+
+let test_dead_code_dropped () =
+  let m = compile_one [ ret (i 1); set "x" (i 2); ret (v "x") ] in
+  let p = Program.create ~name:"t" ~n_globals:1 ~heap_size:8 ~main:"m" [ m ] in
+  Verify.program p;
+  let st = Machine.create ~seed:1 p in
+  check ci "first return wins" 1 (Interp.run Interp.no_hooks st)
+
+let test_do_while_always_break () =
+  (* the do-while condition block becomes unreachable and must be pruned *)
+  let m = compile_one [ dowhile [ set "x" (i 3); break_ ] (lt (v "x") (i 10)); ret (v "x") ] in
+  let p = Program.create ~name:"t" ~n_globals:1 ~heap_size:8 ~main:"m" [ m ] in
+  Verify.program p;
+  let st = Machine.create ~seed:1 p in
+  check ci "value" 3 (Interp.run Interp.no_hooks st)
+
+let test_compile_errors () =
+  let expect_error name body =
+    match Compile.method_ (mdef "m" ~params:[] body) with
+    | (_ : Method.t) -> Alcotest.failf "%s: expected Compile.Error" name
+    | exception Compile.Error _ -> ()
+  in
+  expect_error "break outside loop" [ break_; ret (i 0) ];
+  expect_error "continue outside loop" [ continue_; ret (i 0) ];
+  expect_error "bad rand" [ ret (rnd 0) ]
+
+let test_switch_lowering () =
+  let m =
+    compile_one ~params:[ "a" ]
+      [
+        switch (v "a")
+          [ (0, [ ret (i 10) ]); (1, [ ret (i 20) ]); (5, [ ret (i 50) ]) ]
+          [ ret (i 99) ];
+      ]
+  in
+  let callee = m in
+  let main =
+    Compile.method_
+      (mdef "main" ~params:[]
+         [
+           ret
+             (add
+                (add (call "m" [ i 0 ]) (call "m" [ i 1 ]))
+                (add (call "m" [ i 5 ]) (call "m" [ i 3 ])));
+         ])
+  in
+  let p =
+    Program.create ~name:"t" ~n_globals:1 ~heap_size:8 ~main:"main"
+      [ main; callee ]
+  in
+  let st = Machine.create ~seed:1 p in
+  check ci "switch dispatch" (10 + 20 + 50 + 99) (Interp.run Interp.no_hooks st)
+
+let test_verify_catches () =
+  let expect_verify_error name (blocks : Method.block array) ~nlocals =
+    let m =
+      {
+        Method.name = "bad";
+        nparams = 0;
+        nlocals;
+        blocks;
+        entry = 0;
+        exit_ = Array.length blocks - 1;
+        uninterruptible = false;
+      }
+    in
+    match
+      Verify.program
+        (Program.create ~name:"t" ~n_globals:1 ~heap_size:8 ~main:"bad" [ m ])
+    with
+    | () -> Alcotest.failf "%s: expected Verify.Error" name
+    | exception Verify.Error _ -> ()
+  in
+  expect_verify_error "stack underflow" ~nlocals:1
+    [|
+      { Method.body = [| Instr.Pop; Instr.Const 0 |]; term = Method.Jmp 1 };
+      { Method.body = [||]; term = Method.Ret };
+    |];
+  expect_verify_error "local out of range" ~nlocals:1
+    [|
+      { Method.body = [| Instr.Load 5 |]; term = Method.Jmp 1 };
+      { Method.body = [||]; term = Method.Ret };
+    |];
+  expect_verify_error "branch without condition" ~nlocals:1
+    [|
+      { Method.body = [||]; term = Method.Br { branch = 0; on_true = 1; on_false = 2 } };
+      { Method.body = [| Instr.Const 1 |]; term = Method.Jmp 2 };
+      { Method.body = [||]; term = Method.Ret };
+    |]
+
+let test_verify_depth_mismatch () =
+  (* join point entered with depths 1 and 2 must be rejected *)
+  let m =
+    {
+      Method.name = "bad";
+      nparams = 0;
+      nlocals = 1;
+      blocks =
+        [|
+          {
+            Method.body = [| Instr.Const 1; Instr.Const 1 |];
+            term = Method.Br { branch = 0; on_true = 1; on_false = 2 };
+          };
+          { Method.body = [| Instr.Const 7; Instr.Const 8 |]; term = Method.Jmp 3 };
+          { Method.body = [| Instr.Const 9 |]; term = Method.Jmp 3 };
+          { Method.body = [||]; term = Method.Ret };
+        |];
+      entry = 0;
+      exit_ = 3;
+      uninterruptible = false;
+    }
+  in
+  match
+    Verify.program
+      (Program.create ~name:"t" ~n_globals:1 ~heap_size:8 ~main:"bad" [ m ])
+  with
+  | () -> Alcotest.fail "expected depth mismatch"
+  | exception Verify.Error _ -> ()
+
+let test_link_errors () =
+  let expect_link name f =
+    match f () with
+    | (_ : Program.t) -> Alcotest.failf "%s: expected Link_error" name
+    | exception Program.Link_error _ -> ()
+  in
+  let m body = Compile.method_ (mdef "main" ~params:[] body) in
+  expect_link "undefined callee" (fun () ->
+      Program.create ~name:"t" ~n_globals:1 ~heap_size:8 ~main:"main"
+        [ m [ ret (call "nope" [ i 1 ]) ] ]);
+  expect_link "bad arity" (fun () ->
+      let f = Compile.method_ (mdef "f" ~params:[ "a"; "b" ] [ ret (v "a") ]) in
+      Program.create ~name:"t" ~n_globals:1 ~heap_size:8 ~main:"main"
+        [ m [ ret (call "f" [ i 1 ]) ]; f ]);
+  expect_link "no main" (fun () ->
+      Program.create ~name:"t" ~n_globals:1 ~heap_size:8 ~main:"main" []);
+  expect_link "main with params" (fun () ->
+      let f = Compile.method_ (mdef "main" ~params:[ "a" ] [ ret (v "a") ]) in
+      Program.create ~name:"t" ~n_globals:1 ~heap_size:8 ~main:"main" [ f ])
+
+let test_roundtrip_workloads () =
+  List.iter
+    (fun (w : Workload.t) ->
+      let p = w.build 3 in
+      let text = Pretty.to_string p in
+      let p' = Parse.program text in
+      if p <> p' then
+        Alcotest.failf "%s: parse/print round trip failed" w.Workload.name)
+    Suite.all
+
+let test_roundtrip_synthetic () =
+  for seed = 1 to 25 do
+    let p = Synthetic.program ~seed () in
+    let text = Pretty.to_string p in
+    let p' = Parse.program text in
+    if p <> p' then Alcotest.failf "seed %d: round trip failed" seed
+  done
+
+let test_parse_errors () =
+  let expect_parse name src =
+    match Parse.program src with
+    | (_ : Ast.pdef) -> Alcotest.failf "%s: expected Parse.Error" name
+    | exception Parse.Error _ -> ()
+  in
+  expect_parse "empty" "";
+  expect_parse "garbage" "program p { method main() { x = ; } }";
+  expect_parse "unterminated comment" "program p { /* ... ";
+  expect_parse "missing brace" "program p { method main() { return 1; }";
+  expect_parse "bad for var" "program p { method main() { for (a = 0; b < 3) { } return 0; } }"
+
+let test_parse_expr_precedence () =
+  let e = Parse.expr "1 + 2 * 3" in
+  check Alcotest.bool "mul binds tighter" true
+    (e = add (i 1) (mul (i 2) (i 3)));
+  let e = Parse.expr "1 < 2 & 3" in
+  check Alcotest.bool "cmp above band" true (e = band (lt (i 1) (i 2)) (i 3));
+  let e = Parse.expr "-x + !y" in
+  check Alcotest.bool "unary" true (e = add (neg (v "x")) (not_ (v "y")))
+
+let suite =
+  [
+    Alcotest.test_case "compile shapes" `Quick test_compile_shapes;
+    Alcotest.test_case "compile if" `Quick test_compile_if;
+    Alcotest.test_case "compile loops" `Quick test_compile_loops;
+    Alcotest.test_case "break/continue" `Quick test_break_continue;
+    Alcotest.test_case "dead code dropped" `Quick test_dead_code_dropped;
+    Alcotest.test_case "do-while always break" `Quick test_do_while_always_break;
+    Alcotest.test_case "compile errors" `Quick test_compile_errors;
+    Alcotest.test_case "switch lowering" `Quick test_switch_lowering;
+    Alcotest.test_case "verify catches" `Quick test_verify_catches;
+    Alcotest.test_case "verify depth mismatch" `Quick test_verify_depth_mismatch;
+    Alcotest.test_case "link errors" `Quick test_link_errors;
+    Alcotest.test_case "round trip: workloads" `Quick test_roundtrip_workloads;
+    Alcotest.test_case "round trip: synthetic" `Quick test_roundtrip_synthetic;
+    Alcotest.test_case "parse errors" `Quick test_parse_errors;
+    Alcotest.test_case "parse precedence" `Quick test_parse_expr_precedence;
+  ]

@@ -1,0 +1,219 @@
+(* Tests for the CFG substrate: graph construction and validation,
+   traversal orders, dominators, loops, and DAG truncation. *)
+
+let check = Alcotest.check
+let ci = Alcotest.int
+let cb = Alcotest.bool
+
+(* A diamond:  0 -> 1 -> {2,3} -> 4(exit), where 1 branches. *)
+let diamond () =
+  Cfg.create ~name:"diamond" ~entry:0 ~exit_:4
+    [|
+      Cfg.Jump 1;
+      Cfg.Branch { branch = 0; taken = 2; not_taken = 3 };
+      Cfg.Jump 4;
+      Cfg.Jump 4;
+      Cfg.Return;
+    |]
+
+(* A while loop: 0 -> 1(header) -> {2(body),3(exit-side)}; 2 -> 1. *)
+let simple_loop () =
+  Cfg.create ~name:"loop" ~entry:0 ~exit_:3
+    [|
+      Cfg.Jump 1;
+      Cfg.Branch { branch = 0; taken = 2; not_taken = 3 };
+      Cfg.Jump 1;
+      Cfg.Return;
+    |]
+
+(* Nested loops: 0 -> 1(outer hdr) -> {2,5}; 2 -> 3(inner hdr) -> {4,1'};
+   inner body 4 -> 3; inner exit edge 3->1 is the outer back edge?  Use:
+   3 branches to 4 (inner body) or 1 (back to outer header). *)
+let nested_loops () =
+  Cfg.create ~name:"nested" ~entry:0 ~exit_:5
+    [|
+      Cfg.Jump 1;
+      Cfg.Branch { branch = 0; taken = 2; not_taken = 5 };
+      Cfg.Jump 3;
+      Cfg.Branch { branch = 1; taken = 4; not_taken = 1 };
+      Cfg.Jump 3;
+      Cfg.Return;
+    |]
+
+let test_create_valid () =
+  let g = diamond () in
+  check ci "blocks" 5 (Cfg.n_blocks g);
+  check ci "edges" 5 (Cfg.n_edges g);
+  check ci "entry" 0 (Cfg.entry g);
+  check ci "exit" 4 (Cfg.exit_ g)
+
+let expect_malformed name f =
+  match f () with
+  | (_ : Cfg.t) -> Alcotest.failf "%s: expected Malformed" name
+  | exception Cfg.Malformed _ -> ()
+
+let test_create_invalid () =
+  expect_malformed "unreachable block" (fun () ->
+      Cfg.create ~name:"x" ~entry:0 ~exit_:1
+        [| Cfg.Jump 1; Cfg.Return; Cfg.Jump 1 |]);
+  expect_malformed "return not in exit" (fun () ->
+      Cfg.create ~name:"x" ~entry:0 ~exit_:1 [| Cfg.Return; Cfg.Return |]);
+  expect_malformed "exit does not return" (fun () ->
+      Cfg.create ~name:"x" ~entry:0 ~exit_:1 [| Cfg.Jump 1; Cfg.Jump 0 |]);
+  expect_malformed "branch arms equal" (fun () ->
+      Cfg.create ~name:"x" ~entry:0 ~exit_:1
+        [| Cfg.Branch { branch = 0; taken = 1; not_taken = 1 }; Cfg.Return |]);
+  expect_malformed "cannot reach exit" (fun () ->
+      Cfg.create ~name:"x" ~entry:0 ~exit_:2
+        [|
+          Cfg.Branch { branch = 0; taken = 1; not_taken = 2 };
+          Cfg.Jump 1;
+          Cfg.Return;
+        |]);
+  expect_malformed "target out of range" (fun () ->
+      Cfg.create ~name:"x" ~entry:0 ~exit_:1 [| Cfg.Jump 7; Cfg.Return |])
+
+let test_succ_pred () =
+  let g = diamond () in
+  let succs = List.map (fun (e : Cfg.edge) -> e.dst) (Cfg.successors g 1) in
+  check Alcotest.(list int) "succ order taken first" [ 2; 3 ] succs;
+  let preds = List.map (fun (e : Cfg.edge) -> e.src) (Cfg.predecessors g 4) in
+  check Alcotest.(list int) "preds sorted" [ 2; 3 ] preds;
+  check Alcotest.(list int) "branch ids" [ 0 ] (Cfg.branch_ids g)
+
+let test_orders () =
+  let g = diamond () in
+  let rpo = Order.reverse_postorder g in
+  check ci "rpo length" 5 (Array.length rpo);
+  check ci "rpo starts at entry" 0 rpo.(0);
+  (* every edge (u,v) with v not an ancestor: rpo index increases on
+     acyclic graphs *)
+  let idx = Array.make 5 0 in
+  Array.iteri (fun i b -> idx.(b) <- i) rpo;
+  Cfg.iter_edges (fun e -> check cb "topo edge" true (idx.(e.src) < idx.(e.dst))) g;
+  check ci "no retreating in dag" 0 (List.length (Order.retreating_edges g))
+
+let test_retreating () =
+  let g = simple_loop () in
+  match Order.retreating_edges g with
+  | [ e ] ->
+      check ci "retreat src" 2 e.src;
+      check ci "retreat dst" 1 e.dst
+  | l -> Alcotest.failf "expected 1 retreating edge, got %d" (List.length l)
+
+let test_dominators () =
+  let g = nested_loops () in
+  let dom = Dominator.compute g in
+  check ci "idom entry" 0 (Dominator.idom dom 0);
+  check ci "idom 1" 0 (Dominator.idom dom 1);
+  check ci "idom 3" 2 (Dominator.idom dom 3);
+  check cb "1 dom 4" true (Dominator.dominates dom 1 4);
+  check cb "4 not dom 1" false (Dominator.dominates dom 4 1);
+  check cb "reflexive" true (Dominator.dominates dom 3 3);
+  check Alcotest.(list int) "chain" [ 0; 1; 2; 3 ] (Dominator.dominator_chain dom 3)
+
+let test_loops () =
+  let g = nested_loops () in
+  let loops = Loops.compute g in
+  check cb "reducible" true (Loops.is_reducible loops);
+  check Alcotest.(list int) "headers" [ 1; 3 ] (Loops.headers loops);
+  check ci "depth outside" 0 (Loops.nesting_depth loops 0);
+  check ci "depth outer" 1 (Loops.nesting_depth loops 1);
+  check ci "depth inner" 2 (Loops.nesting_depth loops 4);
+  let back = Loops.back_edges loops in
+  check ci "two back edges" 2 (List.length back)
+
+let test_loop_multi_backedge_depth () =
+  (* one loop, two continue edges: depth must still be 1 *)
+  let g =
+    Cfg.create ~name:"two-back" ~entry:0 ~exit_:4
+      [|
+        Cfg.Jump 1;
+        Cfg.Branch { branch = 0; taken = 2; not_taken = 4 };
+        Cfg.Branch { branch = 1; taken = 1; not_taken = 3 };
+        Cfg.Jump 1;
+        Cfg.Return;
+      |]
+  in
+  let loops = Loops.compute g in
+  check ci "depth" 1 (Loops.nesting_depth loops 2);
+  check Alcotest.(list int) "one header" [ 1 ] (Loops.headers loops)
+
+let dag_is_acyclic dag =
+  (* topo succeeds iff acyclic; also check edge direction w.r.t. topo *)
+  let topo = Dag.topo dag in
+  let pos = Array.make (Dag.n_nodes dag) (-1) in
+  Array.iteri (fun i n -> pos.(n) <- i) topo;
+  Dag.iter_edges
+    (fun e -> Alcotest.(check bool) "dag edge forward" true (pos.(e.esrc) < pos.(e.edst)))
+    dag
+
+let test_dag_back_edge_mode () =
+  let g = simple_loop () in
+  let dag = Dag.build Dag.Back_edge g in
+  dag_is_acyclic dag;
+  check ci "same node count" (Cfg.n_blocks g) (Dag.n_nodes dag);
+  (match Dag.truncations dag with
+  | [ Dag.Cut_edge e ] ->
+      check ci "cut src" 2 e.src;
+      check ci "cut dst" 1 e.dst
+  | _ -> Alcotest.fail "expected one cut edge");
+  (* dummies exist *)
+  let fe = Dag.from_entry_edge dag 1 in
+  check ci "from-entry src" (Dag.entry_node dag) fe.esrc;
+  let te = Dag.to_exit_edge dag 2 in
+  check ci "to-exit dst" (Dag.exit_node dag) te.edst
+
+let test_dag_header_mode () =
+  let g = simple_loop () in
+  let dag = Dag.build Dag.Loop_header g in
+  dag_is_acyclic dag;
+  check ci "one extra node (split header)" (Cfg.n_blocks g + 1) (Dag.n_nodes dag);
+  (match Dag.truncations dag with
+  | [ Dag.Split_header h ] -> check ci "header" 1 h
+  | _ -> Alcotest.fail "expected one split header");
+  check cb "in/out nodes differ" true (Dag.in_node dag 1 <> Dag.out_node dag 1);
+  (* the back edge is a real DAG edge into the header's in-node *)
+  let into_header = Dag.in_edges dag (Dag.in_node dag 1) in
+  let has_back =
+    List.exists
+      (fun (e : Dag.edge) ->
+        match e.origin with
+        | Dag.Real ce -> ce.src = 2 && ce.dst = 1
+        | _ -> false)
+      into_header
+  in
+  check cb "back edge real" true has_back
+
+let test_dag_nested_header_mode () =
+  let g = nested_loops () in
+  let dag = Dag.build Dag.Loop_header g in
+  dag_is_acyclic dag;
+  check ci "two split headers" (Cfg.n_blocks g + 2) (Dag.n_nodes dag);
+  check ci "truncations" 2 (List.length (Dag.truncations dag))
+
+let test_dag_dummy_pairs () =
+  let g = nested_loops () in
+  let dag = Dag.build Dag.Loop_header g in
+  List.iter
+    (fun trunc ->
+      let to_exit, from_entry = Dag.dummy_edges dag trunc in
+      check ci "to-exit targets exit" (Dag.exit_node dag) to_exit.Dag.edst;
+      check ci "from-entry leaves entry" (Dag.entry_node dag) from_entry.Dag.esrc)
+    (Dag.truncations dag)
+
+let suite =
+  [
+    Alcotest.test_case "create valid" `Quick test_create_valid;
+    Alcotest.test_case "create invalid" `Quick test_create_invalid;
+    Alcotest.test_case "successors/predecessors" `Quick test_succ_pred;
+    Alcotest.test_case "orders" `Quick test_orders;
+    Alcotest.test_case "retreating edges" `Quick test_retreating;
+    Alcotest.test_case "dominators" `Quick test_dominators;
+    Alcotest.test_case "loops" `Quick test_loops;
+    Alcotest.test_case "multi-back-edge depth" `Quick test_loop_multi_backedge_depth;
+    Alcotest.test_case "dag back-edge mode" `Quick test_dag_back_edge_mode;
+    Alcotest.test_case "dag header mode" `Quick test_dag_header_mode;
+    Alcotest.test_case "dag nested headers" `Quick test_dag_nested_header_mode;
+    Alcotest.test_case "dag dummy pairs" `Quick test_dag_dummy_pairs;
+  ]

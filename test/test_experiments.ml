@@ -1,0 +1,112 @@
+(* The experiment harness at a small scale: every figure runs, values are
+   in range, and the core invariant — profiling never changes application
+   behaviour — holds across all configurations. *)
+
+let check = Alcotest.check
+let cb = Alcotest.bool
+
+let caches =
+  lazy
+    (List.map
+       (fun name ->
+         Exp_cache.create
+           (Exp_harness.make_env ~seed:21 ~size:40 (Suite.find name)))
+       [ "compress"; "javac" ])
+
+let test_all_figures_run () =
+  let caches = Lazy.force caches in
+  List.iter
+    (fun id ->
+      let fig = Exp_figures.by_id id caches in
+      check Alcotest.string "id matches" id fig.Exp_figures.id;
+      check Alcotest.int "row per benchmark" 2 (List.length fig.rows);
+      List.iter
+        (fun (_, values) ->
+          List.iter
+            (fun v ->
+              if Float.is_nan v || Float.is_integer (v /. 0.) then
+                Alcotest.failf "%s: non-finite value" id)
+            values)
+        fig.rows)
+    Exp_figures.ids
+
+let test_accuracy_in_range () =
+  let caches = Lazy.force caches in
+  List.iter
+    (fun id ->
+      let fig = Exp_figures.by_id id caches in
+      List.iter
+        (fun (bench, values) ->
+          List.iter
+            (fun v ->
+              if v < -0.001 || v > 100.001 then
+                Alcotest.failf "%s/%s: accuracy %f out of range" id bench v)
+            values)
+        fig.Exp_figures.rows)
+    [ "fig8"; "fig9"; "tab-absolute"; "tab-onetime" ]
+
+let test_accuracy_monotone_in_samples () =
+  (* more samples may not hurt much: (1024,17) at least as accurate as
+     (1,1) minus small noise *)
+  let caches = Lazy.force caches in
+  let fig = Exp_figures.by_id "fig8" caches in
+  List.iter
+    (fun (bench, values) ->
+      match values with
+      | [ v11; _; _; v1024 ] ->
+          if v1024 +. 5.0 < v11 then
+            Alcotest.failf "%s: accuracy fell with more samples (%f -> %f)"
+              bench v11 v1024
+      | _ -> Alcotest.fail "unexpected row shape")
+    fig.Exp_figures.rows
+
+let test_checksums_consistent () =
+  let caches = Lazy.force caches in
+  List.iter
+    (fun c ->
+      let runs =
+        [
+          Exp_cache.base c;
+          Exp_cache.instr_only c;
+          Exp_cache.pep c ~samples:64 ~stride:17;
+          Exp_cache.perfect_path c;
+          Exp_cache.run c ~key:"perfect-edge" Exp_harness.Perfect_edge;
+          Exp_cache.run c ~key:"classic-blpp" Exp_harness.Classic_blpp;
+        ]
+      in
+      Exp_harness.check_consistent runs)
+    caches
+
+let test_overheads_ordered () =
+  (* pure instrumentation path profiling must cost more than PEP *)
+  let caches = Lazy.force caches in
+  List.iter
+    (fun c ->
+      let base = (Exp_cache.base c).Exp_harness.meas.iter2 in
+      let pep = (Exp_cache.pep c ~samples:64 ~stride:17).Exp_harness.meas.iter2 in
+      let perfect = (Exp_cache.perfect_path c).Exp_harness.meas.iter2 in
+      check cb "base <= pep" true (base <= pep);
+      check cb "pep < perfect" true (pep < perfect))
+    caches
+
+let test_ids_complete () =
+  List.iter
+    (fun id ->
+      match Exp_figures.by_id id with
+      | (_ : Exp_cache.t list -> Exp_figures.figure) -> ()
+      | exception Not_found -> Alcotest.failf "missing experiment %s" id)
+    [
+      "fig6"; "fig7"; "fig8"; "fig9"; "fig10"; "fig11"; "tab-absolute";
+      "tab-perfect"; "tab-blpp"; "tab-smart"; "tab-ag"; "tab-header";
+      "tab-onetime"; "tab-edgetruth"; "tab-inline";
+    ]
+
+let suite =
+  [
+    Alcotest.test_case "all figures run" `Slow test_all_figures_run;
+    Alcotest.test_case "accuracy in range" `Slow test_accuracy_in_range;
+    Alcotest.test_case "accuracy monotone-ish" `Slow test_accuracy_monotone_in_samples;
+    Alcotest.test_case "checksums consistent" `Slow test_checksums_consistent;
+    Alcotest.test_case "overheads ordered" `Slow test_overheads_ordered;
+    Alcotest.test_case "experiment ids complete" `Quick test_ids_complete;
+  ]

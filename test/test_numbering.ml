@@ -1,0 +1,213 @@
+(* Ball-Larus numbering, smart numbering, and path reconstruction.
+
+   The central properties: over the truncated DAG of any method, the sum
+   of edge values along each entry-to-exit path is a bijection onto
+   [0, n_paths), for both numbering variants; and greedy reconstruction
+   inverts it. *)
+
+let check = Alcotest.check
+let ci = Alcotest.int
+
+(* Enumerate every entry-to-exit DAG path (edge lists).  Callers bound
+   n_paths first. *)
+let all_dag_paths dag =
+  let exit_node = Dag.exit_node dag in
+  let rec go node acc_rev =
+    if node = exit_node then [ List.rev acc_rev ]
+    else
+      List.concat_map
+        (fun (e : Dag.edge) -> go e.edst (e :: acc_rev))
+        (Dag.out_edges dag node)
+  in
+  go (Dag.entry_node dag) []
+
+let check_bijection name numbering =
+  let dag = Numbering.dag numbering in
+  let n = Numbering.n_paths numbering in
+  let paths = all_dag_paths dag in
+  check ci (name ^ ": path count") n (List.length paths);
+  let seen = Hashtbl.create (2 * n) in
+  List.iter
+    (fun path ->
+      let id = Reconstruct.id_of_dag_path numbering path in
+      if id < 0 || id >= n then
+        Alcotest.failf "%s: path id %d outside [0,%d)" name id n;
+      if Hashtbl.mem seen id then Alcotest.failf "%s: duplicate id %d" name id;
+      Hashtbl.replace seen id ();
+      (* reconstruction inverts the numbering *)
+      let rebuilt = Reconstruct.dag_path numbering id in
+      if
+        List.map (fun (e : Dag.edge) -> e.idx) rebuilt
+        <> List.map (fun (e : Dag.edge) -> e.idx) path
+      then Alcotest.failf "%s: reconstruction mismatch for id %d" name id)
+    paths
+
+let numberings_of_cfg ~seed cfg =
+  let prng = Prng.create ~seed in
+  let random_freq (_ : Dag.edge) = Prng.below prng 1000 in
+  List.concat_map
+    (fun mode ->
+      let dag = Dag.build mode cfg in
+      [
+        ("ball-larus", Numbering.ball_larus dag);
+        ("smart-hot", Numbering.smart ~freq:random_freq dag);
+        ("smart-cold", Numbering.smart ~zero:`Coldest ~freq:random_freq dag);
+      ])
+    [ Dag.Back_edge; Dag.Loop_header ]
+
+let test_paper_example () =
+  (* An if-then-else followed by an if-then-else: 4 paths, like the
+     paper's Figure 1 DAG shape. *)
+  let cfg =
+    Cfg.create ~name:"fig1" ~entry:0 ~exit_:6
+      [|
+        Cfg.Jump 1;
+        Cfg.Branch { branch = 0; taken = 2; not_taken = 3 };
+        Cfg.Jump 4;
+        Cfg.Jump 4;
+        Cfg.Branch { branch = 1; taken = 5; not_taken = 6 };
+        Cfg.Jump 6;
+        Cfg.Return;
+      |]
+  in
+  let dag = Dag.build Dag.Back_edge cfg in
+  let numbering = Numbering.ball_larus dag in
+  check ci "4 acyclic paths" 4 (Numbering.n_paths numbering);
+  check_bijection "fig1" numbering
+
+let test_loop_example () =
+  (* The paper's Figure 3 shape: a loop whose body has a branch. *)
+  let cfg =
+    Cfg.create ~name:"fig3" ~entry:0 ~exit_:5
+      [|
+        Cfg.Jump 1;
+        Cfg.Branch { branch = 0; taken = 2; not_taken = 5 };
+        Cfg.Branch { branch = 1; taken = 3; not_taken = 4 };
+        Cfg.Jump 1;
+        Cfg.Jump 1;
+        Cfg.Return;
+      |]
+  in
+  (* loop-header mode: entry->header (ends), header->body{2 ways}->header
+     (2 paths), header->exit: 4 paths total *)
+  let dag = Dag.build Dag.Loop_header cfg in
+  let numbering = Numbering.ball_larus dag in
+  check ci "4 paths at header split" 4 (Numbering.n_paths numbering);
+  check_bijection "fig3-header" numbering;
+  (* back-edge mode *)
+  let dag_b = Dag.build Dag.Back_edge cfg in
+  let numbering_b = Numbering.ball_larus dag_b in
+  check_bijection "fig3-back" numbering_b
+
+let test_smart_zero_on_hottest () =
+  (* hottest outgoing edge of each branch gets value 0 *)
+  let cfg =
+    Cfg.create ~name:"hot" ~entry:0 ~exit_:3
+      [|
+        Cfg.Jump 1;
+        Cfg.Branch { branch = 0; taken = 2; not_taken = 3 };
+        Cfg.Jump 3;
+        Cfg.Return;
+      |]
+  in
+  let dag = Dag.build Dag.Back_edge cfg in
+  let freq (e : Dag.edge) =
+    match e.origin with
+    | Dag.Real { attr = Cfg.Taken _; _ } -> 10
+    | Dag.Real { attr = Cfg.Not_taken _; _ } -> 990
+    | _ -> 0
+  in
+  let numbering = Numbering.smart ~freq dag in
+  Dag.iter_edges
+    (fun e ->
+      match e.origin with
+      | Dag.Real { attr = Cfg.Not_taken _; src = 1; _ } ->
+          check ci "hot arm gets zero" 0 (Numbering.value numbering e)
+      | _ -> ())
+    dag;
+  check_bijection "smart-hot-arm" numbering
+
+let test_too_many_paths () =
+  (* 40 consecutive diamonds: 2^40 paths, over the default limit *)
+  let n_diamonds = 40 in
+  let blocks = ref [] in
+  (* block layout per diamond d (base = 3*d): base branches to base+1 /
+     base+2, both jump to base+3 *)
+  for d = 0 to n_diamonds - 1 do
+    let base = 3 * d in
+    blocks :=
+      Cfg.Jump (base + 3)
+      :: Cfg.Jump (base + 3)
+      :: Cfg.Branch { branch = d; taken = base + 1; not_taken = base + 2 }
+      :: !blocks
+  done;
+  let terms = Array.of_list (List.rev (Cfg.Return :: !blocks)) in
+  let cfg =
+    Cfg.create ~name:"wide" ~entry:0 ~exit_:(Array.length terms - 1) terms
+  in
+  let dag = Dag.build Dag.Back_edge cfg in
+  (match Numbering.ball_larus dag with
+  | (_ : Numbering.t) -> Alcotest.fail "expected Too_many_paths"
+  | exception Numbering.Too_many_paths { n_paths; _ } ->
+      check Alcotest.bool "reported count over limit" true (n_paths > 1 lsl 30));
+  (* a generous limit admits it *)
+  let n = Numbering.ball_larus ~limit:(1 lsl 45) dag in
+  check Alcotest.bool "2^40 paths" true (Numbering.n_paths n = 1 lsl 40)
+
+let test_bijection_on_workload_methods () =
+  List.iter
+    (fun (w : Workload.t) ->
+      let p = Workload.program ~size:2 w in
+      Program.iter_methods
+        (fun _ m ->
+          let cfg = To_cfg.cfg m in
+          List.iter
+            (fun (name, numbering) ->
+              if Numbering.n_paths numbering <= 2000 then
+                check_bijection (w.Workload.name ^ "/" ^ m.Method.name ^ "/" ^ name) numbering)
+            (numberings_of_cfg ~seed:17 cfg))
+        p)
+    Suite.all
+
+let test_bijection_qcheck =
+  QCheck_alcotest.to_alcotest
+    (QCheck2.Test.make ~count:60 ~name:"numbering bijection on random methods"
+       QCheck2.Gen.(int_range 1 1_000_000)
+       (fun seed ->
+         let p = Compile.pdef (Synthetic.program ~seed ~n_methods:2 ()) in
+         Program.iter_methods
+           (fun _ m ->
+             let cfg = To_cfg.cfg m in
+             List.iter
+               (fun (name, numbering) ->
+                 if Numbering.n_paths numbering <= 500 then
+                   check_bijection name numbering)
+               (numberings_of_cfg ~seed cfg))
+           p;
+         true))
+
+let test_n_branches () =
+  let cfg =
+    Cfg.create ~name:"nb" ~entry:0 ~exit_:3
+      [|
+        Cfg.Jump 1;
+        Cfg.Branch { branch = 0; taken = 2; not_taken = 3 };
+        Cfg.Jump 3;
+        Cfg.Return;
+      |]
+  in
+  let numbering = Numbering.ball_larus (Dag.build Dag.Back_edge cfg) in
+  (* both paths cross exactly one branch edge *)
+  check ci "path 0" 1 (Reconstruct.n_branches numbering 0);
+  check ci "path 1" 1 (Reconstruct.n_branches numbering 1)
+
+let suite =
+  [
+    Alcotest.test_case "paper example (fig 1 shape)" `Quick test_paper_example;
+    Alcotest.test_case "loop example (fig 3 shape)" `Quick test_loop_example;
+    Alcotest.test_case "smart: hottest arm zero" `Quick test_smart_zero_on_hottest;
+    Alcotest.test_case "too many paths" `Quick test_too_many_paths;
+    Alcotest.test_case "bijection on workloads" `Slow test_bijection_on_workload_methods;
+    test_bijection_qcheck;
+    Alcotest.test_case "n_branches" `Quick test_n_branches;
+  ]

@@ -1,0 +1,161 @@
+(* Edge/path profile containers and the accuracy metrics. *)
+
+let check = Alcotest.check
+let ci = Alcotest.int
+let cf = Alcotest.float 1e-9
+
+let test_edge_profile_basics () =
+  let p = Edge_profile.create () in
+  check Alcotest.bool "empty" true (Edge_profile.is_empty p);
+  Edge_profile.incr p 0 ~taken:true;
+  Edge_profile.incr p 0 ~taken:true;
+  Edge_profile.incr p 0 ~taken:false;
+  Edge_profile.add p 3 ~taken:false 5;
+  check ci "freq br0" 3 (Edge_profile.freq p 0);
+  check ci "freq br3" 5 (Edge_profile.freq p 3);
+  check ci "total" 8 (Edge_profile.total p);
+  check (Alcotest.option cf) "bias br0" (Some (2. /. 3.)) (Edge_profile.bias p 0);
+  check (Alcotest.option cf) "bias br3" (Some 0.) (Edge_profile.bias p 3);
+  check (Alcotest.option cf) "bias unseen" None (Edge_profile.bias p 9);
+  check Alcotest.(list int) "ids" [ 0; 3 ] (Edge_profile.branch_ids p)
+
+let test_edge_profile_flip () =
+  let p = Edge_profile.create () in
+  Edge_profile.add p 1 ~taken:true 9;
+  Edge_profile.add p 1 ~taken:false 1;
+  let f = Edge_profile.flip p in
+  check (Alcotest.option cf) "flipped bias" (Some 0.1) (Edge_profile.bias f 1);
+  (* original untouched *)
+  check (Alcotest.option cf) "original bias" (Some 0.9) (Edge_profile.bias p 1)
+
+let test_edge_profile_serialize () =
+  let tbl = Edge_profile.create_table ~n_methods:3 in
+  Edge_profile.add tbl.(0) 0 ~taken:true 4;
+  Edge_profile.add tbl.(2) 7 ~taken:false 2;
+  Edge_profile.add tbl.(2) 1 ~taken:true 1;
+  let lines = Edge_profile.to_lines tbl in
+  let tbl' = Edge_profile.of_lines ~n_methods:3 lines in
+  check Alcotest.(list string) "roundtrip" lines (Edge_profile.to_lines tbl');
+  check ci "total preserved" (Edge_profile.table_total tbl)
+    (Edge_profile.table_total tbl')
+
+let test_path_profile () =
+  let p = Path_profile.create () in
+  Path_profile.incr p 5;
+  Path_profile.incr p 5;
+  Path_profile.add p 2 10;
+  check ci "total" 12 (Path_profile.total p);
+  check ci "distinct" 2 (Path_profile.n_distinct p);
+  (match Path_profile.find p 5 with
+  | Some e -> check ci "count" 2 e.Path_profile.count
+  | None -> Alcotest.fail "missing entry");
+  check Alcotest.bool "unknown" true (Path_profile.find p 99 = None)
+
+(* Hand-computed Wall matching.  Two methods; method 0 has paths
+   a (freq 100, 2 branches) and b (freq 1, 0 branches — zero flow);
+   method 1 has path c (freq 50, 4 branches).  Flows: a=200, b=0, c=200;
+   total=400.  Threshold 0.125% => hot = {a, c}; b never qualifies. *)
+let nb ~meth ~path_id =
+  match (meth, path_id) with
+  | 0, 0 -> 2
+  | 0, 1 -> 0
+  | 1, 0 -> 4
+  | _ -> 0
+
+let make_actual () =
+  let t = Path_profile.create_table ~n_methods:2 in
+  Path_profile.add t.(0) 0 100;
+  Path_profile.add t.(0) 1 1;
+  Path_profile.add t.(1) 0 50;
+  t
+
+let test_wall_perfect_estimate () =
+  let actual = make_actual () in
+  let acc =
+    Accuracy.wall_path_accuracy ~n_branches:nb ~actual ~estimated:actual ()
+  in
+  check cf "self accuracy" 1.0 acc
+
+let test_wall_half_match () =
+  let actual = make_actual () in
+  (* estimate's top-2 are c and b (b has zero flow), missing a:
+     matched actual flow = 200 of 400 *)
+  let est = Path_profile.create_table ~n_methods:2 in
+  Path_profile.add est.(0) 1 100;
+  Path_profile.add est.(1) 0 60;
+  let acc = Accuracy.wall_path_accuracy ~n_branches:nb ~actual ~estimated:est () in
+  check cf "half flow matched" 0.5 acc
+
+let test_wall_empty_estimate () =
+  let actual = make_actual () in
+  let est = Path_profile.create_table ~n_methods:2 in
+  let acc = Accuracy.wall_path_accuracy ~n_branches:nb ~actual ~estimated:est () in
+  check cf "nothing matched" 0.0 acc
+
+let test_wall_no_hot_paths () =
+  let empty = Path_profile.create_table ~n_methods:1 in
+  let acc =
+    Accuracy.wall_path_accuracy ~n_branches:nb ~actual:empty ~estimated:empty ()
+  in
+  check cf "vacuous" 1.0 acc
+
+let test_relative_overlap () =
+  let a = Edge_profile.create_table ~n_methods:1 in
+  Edge_profile.add a.(0) 0 ~taken:true 90;
+  Edge_profile.add a.(0) 0 ~taken:false 10;
+  Edge_profile.add a.(0) 1 ~taken:true 10;
+  (* estimate: br0 bias 0.8 (|0.9-0.8| = 0.1); br1 unseen -> 0.5 default,
+     accuracy 0.5.  Weights: br0 100, br1 10. *)
+  let e = Edge_profile.create_table ~n_methods:1 in
+  Edge_profile.add e.(0) 0 ~taken:true 8;
+  Edge_profile.add e.(0) 0 ~taken:false 2;
+  let acc = Accuracy.relative_overlap ~actual:a ~estimated:e in
+  check cf "weighted bias agreement" ((100. *. 0.9) +. (10. *. 0.5)) (acc *. 110.);
+  check cf "self" 1.0 (Accuracy.relative_overlap ~actual:a ~estimated:a)
+
+let test_absolute_overlap () =
+  let a = Edge_profile.create_table ~n_methods:1 in
+  Edge_profile.add a.(0) 0 ~taken:true 50;
+  Edge_profile.add a.(0) 0 ~taken:false 50;
+  (* estimate puts everything on the taken arm: min(0.5,1.0) = 0.5 *)
+  let e = Edge_profile.create_table ~n_methods:1 in
+  Edge_profile.add e.(0) 0 ~taken:true 77;
+  check cf "half overlap" 0.5 (Accuracy.absolute_overlap ~actual:a ~estimated:e);
+  check cf "self" 1.0 (Accuracy.absolute_overlap ~actual:a ~estimated:a);
+  let empty = Edge_profile.create_table ~n_methods:1 in
+  check cf "empty actual" 1.0 (Accuracy.absolute_overlap ~actual:empty ~estimated:e)
+
+let test_metrics_bounded_qcheck =
+  (* accuracy metrics stay within [0,1] for arbitrary profiles *)
+  let gen =
+    QCheck2.Gen.(
+      list_size (int_bound 20)
+        (triple (int_bound 5) bool (int_range 1 1000)))
+  in
+  QCheck_alcotest.to_alcotest
+    (QCheck2.Test.make ~count:200 ~name:"overlap metrics bounded" gen
+       (fun entries ->
+         let a = Edge_profile.create_table ~n_methods:1 in
+         let e = Edge_profile.create_table ~n_methods:1 in
+         List.iteri
+           (fun k (br, taken, n) ->
+             Edge_profile.add (if k mod 2 = 0 then a.(0) else e.(0)) br ~taken n)
+           entries;
+         let r = Accuracy.relative_overlap ~actual:a ~estimated:e in
+         let ab = Accuracy.absolute_overlap ~actual:a ~estimated:e in
+         r >= 0. && r <= 1. +. 1e-9 && ab >= 0. && ab <= 1. +. 1e-9))
+
+let suite =
+  [
+    Alcotest.test_case "edge profile basics" `Quick test_edge_profile_basics;
+    Alcotest.test_case "edge profile flip" `Quick test_edge_profile_flip;
+    Alcotest.test_case "edge profile serialize" `Quick test_edge_profile_serialize;
+    Alcotest.test_case "path profile" `Quick test_path_profile;
+    Alcotest.test_case "wall: perfect" `Quick test_wall_perfect_estimate;
+    Alcotest.test_case "wall: half match" `Quick test_wall_half_match;
+    Alcotest.test_case "wall: empty estimate" `Quick test_wall_empty_estimate;
+    Alcotest.test_case "wall: no hot paths" `Quick test_wall_no_hot_paths;
+    Alcotest.test_case "relative overlap" `Quick test_relative_overlap;
+    Alcotest.test_case "absolute overlap" `Quick test_absolute_overlap;
+    test_metrics_bounded_qcheck;
+  ]

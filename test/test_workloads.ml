@@ -1,0 +1,102 @@
+(* Benchmark suite sanity: every workload compiles, verifies, runs
+   deterministically, and has the structural character it claims. *)
+
+let check = Alcotest.check
+let ci = Alcotest.int
+let cb = Alcotest.bool
+
+let test_names_unique () =
+  let names = Suite.names in
+  check ci "14 benchmarks" 14 (List.length names);
+  check ci "unique" 14 (List.length (List.sort_uniq compare names))
+
+let test_all_compile_and_run () =
+  List.iter
+    (fun (w : Workload.t) ->
+      let p = Workload.program ~size:2 w in
+      Verify.program p;
+      let run () =
+        let st = Machine.create ~seed:33 p in
+        (Interp.run Interp.no_hooks st, st.Machine.cycles)
+      in
+      let a = run () and b = run () in
+      if a <> b then Alcotest.failf "%s: nondeterministic" w.Workload.name)
+    Suite.all
+
+let test_sizes_scale () =
+  List.iter
+    (fun (w : Workload.t) ->
+      let cycles size =
+        let st = Machine.create ~seed:1 (Workload.program ~size w) in
+        ignore (Interp.run Interp.no_hooks st);
+        st.Machine.cycles
+      in
+      if not (cycles 8 > cycles 2) then
+        Alcotest.failf "%s: size does not scale work" w.Workload.name)
+    Suite.all
+
+let test_seed_changes_behaviour () =
+  (* workloads draw from the PRNG, so different seeds must give
+     different checksums for at least most benchmarks *)
+  let differing =
+    List.length
+      (List.filter
+         (fun (w : Workload.t) ->
+           let r seed =
+             let st = Machine.create ~seed (Workload.program ~size:2 w) in
+             Interp.run Interp.no_hooks st
+           in
+           r 1 <> r 2)
+         Suite.all)
+  in
+  check cb "most workloads are seed-sensitive" true (differing >= 10)
+
+let test_pmd_has_uninterruptible () =
+  let p = Workload.program ~size:2 (Suite.find "pmd") in
+  let m = Program.find p "hash" in
+  check cb "pmd hash uninterruptible" true m.Method.uninterruptible
+
+let test_structure () =
+  (* every workload has at least one loop and one conditional branch in
+     its hot code, or profiling it would be vacuous *)
+  List.iter
+    (fun (w : Workload.t) ->
+      let p = Workload.program ~size:2 w in
+      let has_loop = ref false and branches = ref 0 in
+      Program.iter_methods
+        (fun _ m ->
+          let cfg = To_cfg.cfg m in
+          let loops = Loops.compute cfg in
+          if Loops.headers loops <> [] then has_loop := true;
+          branches := !branches + Method.n_branches m)
+        p;
+      if not !has_loop then Alcotest.failf "%s: no loops" w.Workload.name;
+      if !branches < 3 then Alcotest.failf "%s: too few branches" w.Workload.name)
+    Suite.all
+
+let test_synthetic_many_seeds () =
+  for seed = 100 to 160 do
+    let p = Compile.pdef (Synthetic.program ~seed ()) in
+    Verify.program p;
+    let st = Machine.create ~seed p in
+    ignore (Interp.run Interp.no_hooks st)
+  done
+
+let test_synthetic_deterministic () =
+  let p1 = Synthetic.program ~seed:7 () in
+  let p2 = Synthetic.program ~seed:7 () in
+  check cb "same seed, same program" true (p1 = p2);
+  let p3 = Synthetic.program ~seed:8 () in
+  check cb "different seed, different program" true (p1 <> p3)
+
+let suite =
+  [
+    Alcotest.test_case "names unique" `Quick test_names_unique;
+    Alcotest.test_case "all compile and run" `Quick test_all_compile_and_run;
+    Alcotest.test_case "sizes scale" `Quick test_sizes_scale;
+    Alcotest.test_case "seed sensitivity" `Quick test_seed_changes_behaviour;
+    Alcotest.test_case "pmd uninterruptible helper" `Quick test_pmd_has_uninterruptible;
+    Alcotest.test_case "structural character" `Quick test_structure;
+    Alcotest.test_case "synthetic: many seeds" `Quick test_synthetic_many_seeds;
+    Alcotest.test_case "synthetic: deterministic" `Quick test_synthetic_deterministic;
+  ]
