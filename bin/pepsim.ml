@@ -4,6 +4,7 @@
      run          parse a textual program and profile it with PEP
      workload     run one suite benchmark under a profiling configuration
      experiments  regenerate the paper's tables and figures
+     check        run the static verifier and profile lint
      list         enumerate workloads and experiment ids *)
 
 open Cmdliner
@@ -45,6 +46,42 @@ let sampling_arg =
 let seed_arg =
   Arg.(value & opt int 42 & info [ "seed" ] ~docv:"N" ~doc:"Workload PRNG seed.")
 
+let verify_arg =
+  Arg.(
+    value & flag
+    & info [ "verify" ]
+        ~doc:
+          "Run the $(b,Pep_check) static passes and profile lint over the \
+           results and exit nonzero on any error.")
+
+let print_diags diags =
+  List.iter (fun d -> Fmt.pr "%a@." Pep_check.pp_diagnostic d) diags
+
+(* Static passes 1-3 over every method in both truncation modes, then —
+   unless [static_only] — one profiled run (PEP sampling plus an exact
+   edge profiler) whose collected profiles feed pass 4. *)
+let check_program ?(static_only = false) ~sampling ~seed program =
+  let diags = ref (Pep_check.check_program_static program) in
+  let add ds = diags := !diags @ ds in
+  if not static_only then begin
+    let st = Machine.create ~seed program in
+    let pep = Pep.create ~sampling st in
+    let truth = Profiler.perfect_edge st in
+    let hooks = Interp.compose (Tick.hooks ()) pep.Pep.hooks in
+    let hooks = Interp.compose hooks truth.Profiler.ehooks in
+    ignore (Interp.run hooks st);
+    add (Exp_harness.lint_pep st pep);
+    Array.iteri
+      (fun midx ep ->
+        if not (Edge_profile.is_empty ep) then
+          add
+            (Pep_check.with_pass "profile@edge"
+               (Pep_check.lint_edge_profile ~exact:true
+                  (Machine.cmeth st midx).Machine.cfg ep)))
+      truth.Profiler.etable
+  end;
+  !diags
+
 let print_profiles program (pep : Pep.t) =
   Program.iter_methods
     (fun m (meth : Method.t) ->
@@ -82,7 +119,7 @@ let run_cmd =
       & pos 0 (some file) None
       & info [] ~docv:"FILE" ~doc:"Program in the pepsim textual format.")
   in
-  let action file sampling seed =
+  let action file sampling seed verify =
     let src = In_channel.with_open_text file In_channel.input_all in
     match Parse.program src with
     | exception Parse.Error msg ->
@@ -103,11 +140,19 @@ let run_cmd =
             Printf.printf "result: %d  (%.2f Mcycles, %d samples)\n" result
               (float_of_int st.Machine.cycles /. 1e6)
               (Pep.n_samples pep);
-            print_profiles program pep)
+            print_profiles program pep;
+            if verify then begin
+              let diags =
+                Pep_check.check_program_static program
+                @ Exp_harness.lint_pep st pep
+              in
+              Fmt.pr "%a@." Pep_check.pp_report diags;
+              if Pep_check.has_errors diags then exit 1
+            end)
   in
   Cmd.v
     (Cmd.info "run" ~doc:"Profile a textual program with PEP")
-    Term.(const action $ file_arg $ sampling_arg $ seed_arg)
+    Term.(const action $ file_arg $ sampling_arg $ seed_arg $ verify_arg)
 
 (* --- workload ------------------------------------------------------ *)
 
@@ -124,7 +169,7 @@ let workload_cmd =
       & opt (some int) None
       & info [ "size" ] ~docv:"N" ~doc:"Workload size (default per benchmark).")
   in
-  let action name size sampling seed =
+  let action name size sampling seed verify =
     match Suite.find name with
     | exception Not_found ->
         Printf.eprintf "unknown workload %s; try `pepsim list`\n" name;
@@ -147,11 +192,20 @@ let workload_cmd =
           (float_of_int run.Exp_harness.meas.iter2 /. 1e6)
           (Exp_report.overhead ~base:base.Exp_harness.meas.iter2
              run.Exp_harness.meas.iter2);
-        Option.iter (print_profiles env.Exp_harness.program) run.Exp_harness.pep
+        Option.iter (print_profiles env.Exp_harness.program) run.Exp_harness.pep;
+        if verify then begin
+          let diags =
+            Pep_check.check_program_static env.Exp_harness.program
+            @ base.Exp_harness.checks @ run.Exp_harness.checks
+          in
+          Fmt.pr "%a@." Pep_check.pp_report diags;
+          if Pep_check.has_errors diags then exit 1
+        end
   in
   Cmd.v
     (Cmd.info "workload" ~doc:"Run a suite benchmark under PEP")
-    Term.(const action $ name_arg $ size_arg $ sampling_arg $ seed_arg)
+    Term.(
+      const action $ name_arg $ size_arg $ sampling_arg $ seed_arg $ verify_arg)
 
 (* --- experiments --------------------------------------------------- *)
 
@@ -167,7 +221,7 @@ let experiments_cmd =
       value & opt float 1.0
       & info [ "scale" ] ~docv:"F" ~doc:"Scale workload sizes by F.")
   in
-  let action only scale seed =
+  let action only scale seed verify =
     let ids = if only = [] then Exp_figures.ids else only in
     List.iter
       (fun id ->
@@ -183,12 +237,35 @@ let experiments_cmd =
     in
     List.iter
       (fun id -> Exp_figures.print (Exp_figures.by_id id caches))
-      ids
+      ids;
+    if verify then begin
+      (* every cached run carries its driver + profile-lint diagnostics *)
+      let n_runs = ref 0 in
+      let diags =
+        List.concat_map
+          (fun cache ->
+            let name =
+              (Exp_cache.env cache).Exp_harness.workload.Workload.name
+            in
+            List.concat_map
+              (fun (key, (r : Exp_harness.run)) ->
+                incr n_runs;
+                List.map
+                  (fun (d : Pep_check.diagnostic) ->
+                    { d with pass = Fmt.str "%s/%s:%s" name key d.pass })
+                  r.Exp_harness.checks)
+              (Exp_cache.all_runs cache))
+          caches
+      in
+      Fmt.pr "verification: %d runs checked@." !n_runs;
+      Fmt.pr "%a@." Pep_check.pp_report diags;
+      if Pep_check.has_errors diags then exit 1
+    end
   in
   Cmd.v
     (Cmd.info "experiments"
        ~doc:"Regenerate the paper's tables and figures")
-    Term.(const action $ only_arg $ scale_arg $ seed_arg)
+    Term.(const action $ only_arg $ scale_arg $ seed_arg $ verify_arg)
 
 (* --- disasm -------------------------------------------------------- *)
 
@@ -259,6 +336,8 @@ let disasm_cmd =
                   (Instrument.static_ops plan)
             | exception Numbering.Too_many_paths { n_paths; _ } ->
                 Fmt.pr "paths: %d (over the profiling limit)@.@." n_paths
+            | exception Dag.Unsupported msg ->
+                Fmt.pr "loop-header truncation unsupported: %s@.@." msg
           end
           else Fmt.pr "uninterruptible: not instrumented@.@."
         end)
@@ -336,6 +415,98 @@ let profiles_cmd =
        ~doc:"Collect PEP profiles for a benchmark; optionally save them")
     Term.(const action $ name_arg $ out_arg $ size_arg $ sampling_arg $ seed_arg)
 
+(* --- check --------------------------------------------------------- *)
+
+let check_cmd =
+  let sources_arg =
+    Arg.(
+      value & pos_all string []
+      & info [] ~docv:"SOURCE"
+          ~doc:"Workload name or textual program file (repeatable).")
+  in
+  let suite_arg =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "suite" ] ~docv:"NAME"
+          ~doc:"Check workload $(i,NAME), or $(b,all) for the whole suite.")
+  in
+  let static_arg =
+    Arg.(
+      value & flag
+      & info [ "static-only" ]
+          ~doc:"Skip the profiled run; run only passes 1-3.")
+  in
+  let scale_arg =
+    Arg.(
+      value & opt float 1.0
+      & info [ "scale" ] ~docv:"F"
+          ~doc:"Scale workload sizes by F for the profiled run.")
+  in
+  let action sources suite static_only scale sampling seed =
+    let scaled (w : Workload.t) =
+      max 1 (int_of_float (float_of_int w.default_size *. scale))
+    in
+    let suite_targets =
+      match suite with
+      | None -> []
+      | Some "all" -> Suite.all
+      | Some name -> (
+          match Suite.find name with
+          | w -> [ w ]
+          | exception Not_found ->
+              Printf.eprintf "unknown workload %s; try `pepsim list`\n" name;
+              exit 1)
+    in
+    let targets =
+      List.map
+        (fun src ->
+          match Suite.find src with
+          | w -> (w.Workload.name, Workload.program ~size:(scaled w) w)
+          | exception Not_found -> (src, load_program_arg src))
+        sources
+      @ List.map
+          (fun (w : Workload.t) ->
+            (w.Workload.name, Workload.program ~size:(scaled w) w))
+          suite_targets
+    in
+    if targets = [] then begin
+      Printf.eprintf "nothing to check: give a SOURCE or --suite\n";
+      exit 1
+    end;
+    let failed = ref false in
+    List.iter
+      (fun (label, program) ->
+        let diags = check_program ~static_only ~sampling ~seed program in
+        print_diags diags;
+        let n_err = List.length (Pep_check.errors diags) in
+        let n_warn =
+          List.length
+            (List.filter
+               (fun (d : Pep_check.diagnostic) -> d.severity = Pep_check.Warning)
+               diags)
+        in
+        if n_err > 0 then begin
+          failed := true;
+          Printf.printf "%s: FAILED (%d error(s), %d warning(s))\n" label n_err
+            n_warn
+        end
+        else
+          Printf.printf "%s: ok (%d methods%s)\n" label
+            (Program.n_methods program)
+            (if n_warn > 0 then Printf.sprintf ", %d warning(s)" n_warn else ""))
+      targets;
+    if !failed then exit 1
+  in
+  Cmd.v
+    (Cmd.info "check"
+       ~doc:
+         "Verify programs: bytecode, CFG/DAG invariants and path numbering \
+          in both truncation modes, plus a profile lint over a profiled run")
+    Term.(
+      const action $ sources_arg $ suite_arg $ static_arg $ scale_arg
+      $ sampling_arg $ seed_arg)
+
 (* --- list ---------------------------------------------------------- *)
 
 let list_cmd =
@@ -360,4 +531,12 @@ let () =
   exit
     (Cmd.eval
        (Cmd.group info
-          [ run_cmd; workload_cmd; experiments_cmd; disasm_cmd; profiles_cmd; list_cmd ]))
+          [
+            run_cmd;
+            workload_cmd;
+            experiments_cmd;
+            check_cmd;
+            disasm_cmd;
+            profiles_cmd;
+            list_cmd;
+          ]))

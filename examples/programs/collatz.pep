@@ -1,0 +1,29 @@
+program collatz {
+  globals 2;
+  heap 16;
+
+  method steps(n) {
+    count = 0;
+    while (n != 1) {
+      if ((n & 1) == 0) {
+        n = n / 2;
+      } else {
+        n = 3 * n + 1;
+      }
+      count = count + 1;
+    }
+    return count;
+  }
+
+  method main() {
+    total = 0;
+    longest = 0;
+    for (n = 2; n < 6000) {
+      s = steps(n);
+      total = total + s;
+      if (s > longest) { longest = s; }
+    }
+    g[0] = longest;
+    return total;
+  }
+}

@@ -1,0 +1,28 @@
+program histogram {
+  globals 1;
+  heap 32;
+
+  method bucket(v) {
+    if (v < 8) {
+      if (v < 4) { b = 0; } else { b = 1; }
+    } else {
+      if (v < 16) { b = 2; } else { b = 3; }
+    }
+    return b;
+  }
+
+  method main() {
+    x = 1;
+    for (i = 0; i < 20000) {
+      x = (x * 1103515245 + 12345) & 1048575;
+      b = bucket(x & 31);
+      h[b] = h[b] + 1;
+    }
+    peak = 0;
+    for (b = 0; b < 4) {
+      if (h[b] > peak) { peak = h[b]; }
+    }
+    g[0] = peak;
+    return peak;
+  }
+}

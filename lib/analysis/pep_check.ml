@@ -1,0 +1,1037 @@
+type severity = Error | Warning | Info
+
+type location =
+  | Program_loc
+  | Method_loc of string
+  | Block_loc of string * int
+  | Instr_loc of string * int * int
+  | Edge_loc of string * int * int
+  | Node_loc of string * int
+  | Branch_loc of string * Cfg.branch_id
+  | Path_loc of string * int
+
+type diagnostic = {
+  severity : severity;
+  pass : string;
+  loc : location;
+  message : string;
+}
+
+let pp_severity ppf s =
+  Fmt.string ppf
+    (match s with Error -> "error" | Warning -> "warning" | Info -> "info")
+
+let pp_location ppf = function
+  | Program_loc -> Fmt.string ppf "program"
+  | Method_loc m -> Fmt.string ppf m
+  | Block_loc (m, b) -> Fmt.pf ppf "%s:B%d" m b
+  | Instr_loc (m, b, i) -> Fmt.pf ppf "%s:B%d:%d" m b i
+  | Edge_loc (m, s, d) -> Fmt.pf ppf "%s:B%d->B%d" m s d
+  | Node_loc (m, n) -> Fmt.pf ppf "%s:n%d" m n
+  | Branch_loc (m, br) -> Fmt.pf ppf "%s:branch %d" m br
+  | Path_loc (m, p) -> Fmt.pf ppf "%s:path %d" m p
+
+let pp_diagnostic ppf d =
+  Fmt.pf ppf "%a[%s] %a: %s" pp_severity d.severity d.pass pp_location d.loc
+    d.message
+
+let errors ds = List.filter (fun d -> d.severity = Error) ds
+let has_errors ds = List.exists (fun d -> d.severity = Error) ds
+let with_pass pass ds = List.map (fun d -> { d with pass }) ds
+
+let pp_report ppf ds =
+  let n_err = List.length (errors ds) in
+  let n_warn = List.length (List.filter (fun d -> d.severity = Warning) ds) in
+  List.iter (fun d -> Fmt.pf ppf "%a@." pp_diagnostic d) ds;
+  Fmt.pf ppf "%d error(s), %d warning(s)" n_err n_warn
+
+(* Diagnostics accumulate newest-first; every pass returns them
+   oldest-first. *)
+type ctx = { pass : string; mutable acc : diagnostic list }
+
+let report ctx severity loc fmt =
+  Fmt.kstr
+    (fun message ->
+      ctx.acc <- { severity; pass = ctx.pass; loc; message } :: ctx.acc)
+    fmt
+
+let new_ctx pass = { pass; acc = [] }
+let finish ctx = List.rev ctx.acc
+
+let find_method_opt (p : Program.t) name =
+  Array.find_opt (fun (m : Method.t) -> m.Method.name = name) p.Program.methods
+
+let verify_method (p : Program.t) (m : Method.t) =
+  let ctx = new_ctx "bytecode" in
+  let name = m.Method.name in
+  let n = Array.length m.Method.blocks in
+  if n = 0 then begin
+    report ctx Error (Method_loc name) "method has no blocks";
+    finish ctx
+  end
+  else begin
+    let in_range b = b >= 0 && b < n in
+    if m.Method.nparams < 0 || m.Method.nparams > m.Method.nlocals then
+      report ctx Error (Method_loc name) "nparams %d outside nlocals %d"
+        m.Method.nparams m.Method.nlocals;
+    if not (in_range m.Method.entry) then
+      report ctx Error (Method_loc name) "entry block %d out of range"
+        m.Method.entry;
+    if not (in_range m.Method.exit_) then
+      report ctx Error (Method_loc name) "exit block %d out of range"
+        m.Method.exit_;
+    if in_range m.Method.exit_ then begin
+      match m.Method.blocks.(m.Method.exit_).Method.term with
+      | Method.Ret -> ()
+      | Method.Jmp _ | Method.Br _ ->
+          report ctx Error
+            (Block_loc (name, m.Method.exit_))
+            "exit block does not end in ret"
+    end;
+    (* {!To_cfg} relies on the entry block never being a branch target *)
+    Array.iteri
+      (fun bid (blk : Method.block) ->
+        let targets =
+          match blk.Method.term with
+          | Method.Ret -> []
+          | Method.Jmp d -> [ d ]
+          | Method.Br { on_true; on_false; _ } -> [ on_true; on_false ]
+        in
+        if List.mem m.Method.entry targets then
+          report ctx Warning
+            (Block_loc (name, bid))
+            "entry block B%d is a branch target" m.Method.entry)
+      m.Method.blocks;
+    let check_instr bid depth i (ins : Instr.t) =
+      let pops, pushes = Instr.stack_effect ins in
+      if depth < pops then
+        report ctx Error
+          (Instr_loc (name, bid, i))
+          "stack underflow at %a (depth %d, pops %d)" Instr.pp ins depth pops;
+      (match ins with
+      | Instr.Load l | Instr.Store l | Instr.Inc (l, _) ->
+          if l < 0 || l >= m.Method.nlocals then
+            report ctx Error
+              (Instr_loc (name, bid, i))
+              "local %d out of range (nlocals %d)" l m.Method.nlocals
+      | Instr.GLoad g | Instr.GStore g ->
+          if g < 0 || g >= p.Program.n_globals then
+            report ctx Error
+              (Instr_loc (name, bid, i))
+              "global %d out of range (n_globals %d)" g p.Program.n_globals
+      | Instr.Rand k ->
+          if k <= 0 then
+            report ctx Error
+              (Instr_loc (name, bid, i))
+              "rand bound %d is not positive" k
+      | Instr.Call (callee, argc) -> (
+          if argc < 0 then
+            report ctx Error (Instr_loc (name, bid, i)) "negative arity %d" argc;
+          match find_method_opt p callee with
+          | None ->
+              report ctx Error
+                (Instr_loc (name, bid, i))
+                "call to unknown method %s" callee
+          | Some target ->
+              if target.Method.nparams <> argc then
+                report ctx Error
+                  (Instr_loc (name, bid, i))
+                  "call %s/%d but %s takes %d parameter(s)" callee argc callee
+                  target.Method.nparams)
+      | Instr.Const _ | Instr.Binop _ | Instr.Cmp _ | Instr.Neg | Instr.Not
+      | Instr.Dup | Instr.Pop | Instr.AGet | Instr.ASet ->
+          ());
+      max depth pops - pops + pushes
+    in
+    let depths = Array.make n (-1) in
+    let worklist = Queue.create () in
+    let set_depth ~from b d =
+      if not (in_range b) then
+        report ctx Error (Block_loc (name, from)) "jump target %d out of range" b
+      else if depths.(b) = -1 then begin
+        depths.(b) <- d;
+        Queue.add b worklist
+      end
+      else if depths.(b) <> d then
+        report ctx Error
+          (Block_loc (name, b))
+          "block entered with inconsistent stack depths %d and %d" depths.(b) d
+    in
+    if in_range m.Method.entry then begin
+      depths.(m.Method.entry) <- 0;
+      Queue.add m.Method.entry worklist
+    end;
+    while not (Queue.is_empty worklist) do
+      let bid = Queue.pop worklist in
+      let blk = m.Method.blocks.(bid) in
+      let depth = ref depths.(bid) in
+      Array.iteri
+        (fun i ins -> depth := check_instr bid !depth i ins)
+        blk.Method.body;
+      let depth = !depth in
+      match blk.Method.term with
+      | Method.Ret ->
+          if bid <> m.Method.exit_ then
+            report ctx Error (Block_loc (name, bid)) "ret outside the exit block";
+          if depth <> 1 then
+            report ctx Error
+              (Block_loc (name, bid))
+              "exit reached with stack depth %d (want 1)" depth
+      | Method.Jmp d -> set_depth ~from:bid d depth
+      | Method.Br { on_true; on_false; _ } ->
+          if depth < 1 then
+            report ctx Error
+              (Block_loc (name, bid))
+              "branch with no condition on the stack";
+          if on_true = on_false then
+            report ctx Error
+              (Block_loc (name, bid))
+              "both branch arms target block %d" on_true;
+          let d = max 0 (depth - 1) in
+          set_depth ~from:bid on_true d;
+          if on_true <> on_false then set_depth ~from:bid on_false d
+    done;
+    Array.iteri
+      (fun b d ->
+        if d = -1 then report ctx Error (Block_loc (name, b)) "block unreachable")
+      depths;
+    finish ctx
+  end
+
+let verify_program (p : Program.t) =
+  let ctx = new_ctx "bytecode" in
+  if p.Program.heap_size <= 0 then
+    report ctx Error Program_loc "heap size %d is not positive"
+      p.Program.heap_size;
+  if p.Program.n_globals < 0 then
+    report ctx Error Program_loc "negative global area size %d"
+      p.Program.n_globals;
+  let seen = Hashtbl.create 16 in
+  Array.iter
+    (fun (m : Method.t) ->
+      if Hashtbl.mem seen m.Method.name then
+        report ctx Error (Method_loc m.Method.name) "duplicate method name";
+      Hashtbl.replace seen m.Method.name ())
+    p.Program.methods;
+  (match find_method_opt p p.Program.main with
+  | None -> report ctx Error Program_loc "main method %s missing" p.Program.main
+  | Some m ->
+      if m.Method.nparams <> 0 then
+        report ctx Error
+          (Method_loc m.Method.name)
+          "main takes %d parameter(s) (want 0)" m.Method.nparams);
+  finish ctx
+  @ List.concat_map
+      (fun m -> verify_method p m)
+      (Array.to_list p.Program.methods)
+
+(* --- pass 2: CFG / DAG invariants ---------------------------------- *)
+
+let check_cfg cfg =
+  let ctx = new_ctx "cfg" in
+  let name = Cfg.name cfg in
+  let n = Cfg.n_blocks cfg in
+  let in_range b = b >= 0 && b < n in
+  if not (in_range (Cfg.entry cfg)) then
+    report ctx Error (Method_loc name) "entry block %d out of range"
+      (Cfg.entry cfg);
+  if not (in_range (Cfg.exit_ cfg)) then
+    report ctx Error (Method_loc name) "exit block %d out of range"
+      (Cfg.exit_ cfg);
+  if has_errors ctx.acc then finish ctx
+  else begin
+    (* terminators and the successor lists they imply *)
+    Cfg.iter_blocks
+      (fun b ->
+        let expect_targets =
+          match Cfg.terminator cfg b with
+          | Cfg.Return ->
+              if b <> Cfg.exit_ cfg then
+                report ctx Error (Block_loc (name, b))
+                  "return outside the exit block";
+              []
+          | Cfg.Jump d -> [ (d, Cfg.Seq) ]
+          | Cfg.Branch { branch; taken; not_taken } ->
+              if taken = not_taken then
+                report ctx Error (Block_loc (name, b))
+                  "branch arms coincide on block %d" taken;
+              [ (taken, Cfg.Taken branch); (not_taken, Cfg.Not_taken branch) ]
+        in
+        List.iter
+          (fun (d, _) ->
+            if not (in_range d) then
+              report ctx Error (Block_loc (name, b))
+                "successor %d out of range" d)
+          expect_targets;
+        let succs = Cfg.successors cfg b in
+        let expected =
+          List.filter_map
+            (fun (dst, attr) ->
+              if in_range dst then Some { Cfg.src = b; dst; attr } else None)
+            expect_targets
+        in
+        if
+          List.length succs <> List.length expected
+          || not (List.for_all2 Cfg.equal_edge succs expected)
+        then
+          report ctx Error (Block_loc (name, b))
+            "successor edges disagree with the terminator")
+      cfg;
+    (match Cfg.terminator cfg (Cfg.exit_ cfg) with
+    | Cfg.Return -> ()
+    | Cfg.Jump _ | Cfg.Branch _ ->
+        report ctx Error
+          (Block_loc (name, Cfg.exit_ cfg))
+          "exit block does not end in return");
+    (* edge list, predecessor lists, and the one-edge-per-pair rule *)
+    let all = Cfg.edges cfg in
+    if List.length all <> Cfg.n_edges cfg then
+      report ctx Error (Method_loc name) "n_edges %d but %d edges listed"
+        (Cfg.n_edges cfg) (List.length all);
+    let pairs = Hashtbl.create 32 in
+    List.iter
+      (fun (e : Cfg.edge) ->
+        if Hashtbl.mem pairs (e.src, e.dst) then
+          report ctx Error
+            (Edge_loc (name, e.src, e.dst))
+            "duplicate edge between one block pair";
+        Hashtbl.replace pairs (e.src, e.dst) ();
+        if
+          not
+            (List.exists (Cfg.equal_edge e) (Cfg.successors cfg e.src)
+            && List.exists (Cfg.equal_edge e) (Cfg.predecessors cfg e.dst))
+        then
+          report ctx Error
+            (Edge_loc (name, e.src, e.dst))
+            "edge missing from successor or predecessor list")
+      all;
+    let n_pred_edges =
+      let acc = ref 0 in
+      Cfg.iter_blocks
+        (fun b -> acc := !acc + List.length (Cfg.predecessors cfg b))
+        cfg;
+      !acc
+    in
+    if n_pred_edges <> List.length all then
+      report ctx Error (Method_loc name)
+        "predecessor lists hold %d edges, edge list %d" n_pred_edges
+        (List.length all);
+    (* reachability and co-reachability *)
+    let fwd = Array.make n false and bwd = Array.make n false in
+    let rec down b =
+      if not fwd.(b) then begin
+        fwd.(b) <- true;
+        List.iter (fun (e : Cfg.edge) -> down e.dst) (Cfg.successors cfg b)
+      end
+    in
+    let rec up b =
+      if not bwd.(b) then begin
+        bwd.(b) <- true;
+        List.iter (fun (e : Cfg.edge) -> up e.src) (Cfg.predecessors cfg b)
+      end
+    in
+    down (Cfg.entry cfg);
+    up (Cfg.exit_ cfg);
+    Cfg.iter_blocks
+      (fun b ->
+        if not fwd.(b) then
+          report ctx Error (Block_loc (name, b)) "block unreachable from entry";
+        if not bwd.(b) then
+          report ctx Error (Block_loc (name, b)) "block cannot reach the exit")
+      cfg;
+    (* loop analysis consistency *)
+    let dom = Dominator.compute cfg in
+    let loops = Loops.compute cfg in
+    let back = Loops.back_edges loops in
+    let irr = Loops.irreducible_edges loops in
+    let is_real (e : Cfg.edge) =
+      List.exists (Cfg.equal_edge e) (Cfg.successors cfg e.src)
+    in
+    List.iter
+      (fun (e : Cfg.edge) ->
+        if not (is_real e) then
+          report ctx Error
+            (Edge_loc (name, e.src, e.dst))
+            "reported back edge is not a CFG edge";
+        if not (Dominator.dominates dom e.dst e.src) then
+          report ctx Error
+            (Edge_loc (name, e.src, e.dst))
+            "back edge target does not dominate its source")
+      back;
+    List.iter
+      (fun (e : Cfg.edge) ->
+        if not (is_real e) then
+          report ctx Error
+            (Edge_loc (name, e.src, e.dst))
+            "reported irreducible edge is not a CFG edge";
+        if Dominator.dominates dom e.dst e.src then
+          report ctx Error
+            (Edge_loc (name, e.src, e.dst))
+            "irreducible edge is actually a back edge")
+      irr;
+    (* completeness: every dominator-certified back edge is reported *)
+    List.iter
+      (fun (e : Cfg.edge) ->
+        if
+          Dominator.dominates dom e.dst e.src
+          && not (List.exists (Cfg.equal_edge e) back)
+        then
+          report ctx Error
+            (Edge_loc (name, e.src, e.dst))
+            "back edge missing from the loop analysis")
+      all;
+    let headers = List.sort_uniq compare (List.map (fun (e : Cfg.edge) -> e.dst) back) in
+    if headers <> Loops.headers loops then
+      report ctx Error (Method_loc name)
+        "loop headers disagree with back-edge targets";
+    Cfg.iter_blocks
+      (fun b ->
+        if Loops.is_header loops b <> List.mem b headers then
+          report ctx Error (Block_loc (name, b)) "is_header disagrees with headers")
+      cfg;
+    if Loops.is_reducible loops <> (irr = []) then
+      report ctx Error (Method_loc name)
+        "reducibility flag disagrees with irreducible edge list";
+    finish ctx
+  end
+
+let check_dag dag =
+  let ctx = new_ctx "dag" in
+  let cfg = Dag.cfg dag in
+  let name = Cfg.name cfg in
+  let n = Dag.n_nodes dag in
+  let topo = Dag.topo dag in
+  (* the topological order visits each node once, entry first, exit last,
+     and every edge goes forward: together, acyclicity *)
+  if Array.length topo <> n then
+    report ctx Error (Method_loc name) "topo order has %d of %d nodes"
+      (Array.length topo) n;
+  let pos = Array.make n (-1) in
+  Array.iteri
+    (fun i v ->
+      if v < 0 || v >= n then
+        report ctx Error (Method_loc name) "topo order holds bogus node %d" v
+      else begin
+        if pos.(v) <> -1 then
+          report ctx Error (Node_loc (name, v)) "node repeated in topo order";
+        pos.(v) <- i
+      end)
+    topo;
+  if has_errors ctx.acc then finish ctx
+  else begin
+    if n > 0 && topo.(0) <> Dag.entry_node dag then
+      report ctx Error (Method_loc name) "topo order does not start at entry";
+    if n > 0 && topo.(n - 1) <> Dag.exit_node dag then
+      report ctx Error (Method_loc name) "topo order does not end at exit";
+    Dag.iter_edges
+      (fun (e : Dag.edge) ->
+        if pos.(e.esrc) >= pos.(e.edst) then
+          report ctx Error
+            (Node_loc (name, e.esrc))
+            "edge n%d->n%d goes backward in topo order: the graph has a cycle"
+            e.esrc e.edst)
+      dag;
+    if Dag.in_edges dag (Dag.entry_node dag) <> [] then
+      report ctx Error
+        (Node_loc (name, Dag.entry_node dag))
+        "entry node has incoming edges";
+    if Dag.out_edges dag (Dag.exit_node dag) <> [] then
+      report ctx Error
+        (Node_loc (name, Dag.exit_node dag))
+        "exit node has outgoing edges";
+    (* adjacency lists and the edge array agree *)
+    let edge_ids_of l = List.sort compare (List.map (fun (e : Dag.edge) -> e.idx) l) in
+    let seen_out = Array.make n [] and seen_in = Array.make n [] in
+    for i = 0 to Dag.n_edges dag - 1 do
+      let e = Dag.edge dag i in
+      if e.idx <> i then
+        report ctx Error (Node_loc (name, e.esrc)) "edge %d stored under index %d"
+          e.idx i;
+      seen_out.(e.esrc) <- e :: seen_out.(e.esrc);
+      seen_in.(e.edst) <- e :: seen_in.(e.edst)
+    done;
+    for v = 0 to n - 1 do
+      if edge_ids_of (Dag.out_edges dag v) <> edge_ids_of seen_out.(v) then
+        report ctx Error (Node_loc (name, v)) "out-edge list disagrees with edges";
+      if edge_ids_of (Dag.in_edges dag v) <> edge_ids_of seen_in.(v) then
+        report ctx Error (Node_loc (name, v)) "in-edge list disagrees with edges"
+    done;
+    (* every node on an entry-to-exit path *)
+    let fwd = Array.make n false and bwd = Array.make n false in
+    let rec down v =
+      if not fwd.(v) then begin
+        fwd.(v) <- true;
+        List.iter (fun (e : Dag.edge) -> down e.edst) (Dag.out_edges dag v)
+      end
+    in
+    let rec up v =
+      if not bwd.(v) then begin
+        bwd.(v) <- true;
+        List.iter (fun (e : Dag.edge) -> up e.esrc) (Dag.in_edges dag v)
+      end
+    in
+    down (Dag.entry_node dag);
+    up (Dag.exit_node dag);
+    for v = 0 to n - 1 do
+      if not (fwd.(v) && bwd.(v)) then
+        report ctx Error (Node_loc (name, v)) "node off every entry-to-exit path"
+    done;
+    (* real edges = CFG edges minus the cut truncations *)
+    let truncs = Dag.truncations dag in
+    let cut =
+      List.filter_map
+        (function Dag.Cut_edge e -> Some e | Dag.Split_header _ -> None)
+        truncs
+    in
+    let split_headers =
+      List.filter_map
+        (function Dag.Split_header h -> Some h | Dag.Cut_edge _ -> None)
+        truncs
+    in
+    let mem_edge e l = List.exists (Cfg.equal_edge e) l in
+    let real_origins = ref [] in
+    Dag.iter_edges
+      (fun (e : Dag.edge) ->
+        match e.origin with
+        | Dag.Real ce ->
+            if mem_edge ce !real_origins then
+              report ctx Error
+                (Edge_loc (name, ce.src, ce.dst))
+                "CFG edge appears twice in the DAG";
+            real_origins := ce :: !real_origins;
+            if mem_edge ce cut then
+              report ctx Error
+                (Edge_loc (name, ce.src, ce.dst))
+                "cut edge still present in the DAG";
+            if e.esrc <> Dag.out_node dag ce.src || e.edst <> Dag.in_node dag ce.dst
+            then
+              report ctx Error
+                (Edge_loc (name, ce.src, ce.dst))
+                "real edge endpoints disagree with in/out nodes"
+        | Dag.From_entry b ->
+            if e.esrc <> Dag.entry_node dag then
+              report ctx Error (Node_loc (name, e.esrc))
+                "From_entry dummy does not start at the entry node";
+            if Dag.node_block dag e.edst <> b then
+              report ctx Error (Node_loc (name, e.edst))
+                "From_entry dummy labelled with block %d targets another block" b
+        | Dag.To_exit b ->
+            if e.edst <> Dag.exit_node dag then
+              report ctx Error (Node_loc (name, e.edst))
+                "To_exit dummy does not end at the exit node";
+            if Dag.node_block dag e.esrc <> b then
+              report ctx Error (Node_loc (name, e.esrc))
+                "To_exit dummy labelled with block %d leaves another block" b)
+      dag;
+    Cfg.iter_edges
+      (fun ce ->
+        if not (mem_edge ce cut) && not (mem_edge ce !real_origins) then
+          report ctx Error
+            (Edge_loc (name, ce.Cfg.src, ce.Cfg.dst))
+            "CFG edge neither cut nor present in the DAG")
+      cfg;
+    (* dummy sharing: one From_entry per target node, one To_exit per source *)
+    let from_entry = Hashtbl.create 8 and to_exit = Hashtbl.create 8 in
+    Dag.iter_edges
+      (fun (e : Dag.edge) ->
+        match e.origin with
+        | Dag.From_entry _ ->
+            if Hashtbl.mem from_entry e.edst then
+              report ctx Error (Node_loc (name, e.edst))
+                "duplicate From_entry dummy to one node";
+            Hashtbl.replace from_entry e.edst ()
+        | Dag.To_exit _ ->
+            if Hashtbl.mem to_exit e.esrc then
+              report ctx Error (Node_loc (name, e.esrc))
+                "duplicate To_exit dummy from one node";
+            Hashtbl.replace to_exit e.esrc ()
+        | Dag.Real _ -> ())
+      dag;
+    (* every truncation resolves to its dummy pair *)
+    List.iter
+      (fun trunc ->
+        match Dag.dummy_edges dag trunc with
+        | to_e, from_e ->
+            (match to_e.Dag.origin with
+            | Dag.To_exit _ -> ()
+            | Dag.Real _ | Dag.From_entry _ ->
+                report ctx Error (Method_loc name)
+                  "truncation's end-path edge is not a To_exit dummy");
+            (match from_e.Dag.origin with
+            | Dag.From_entry _ -> ()
+            | Dag.Real _ | Dag.To_exit _ ->
+                report ctx Error (Method_loc name)
+                  "truncation's start-path edge is not a From_entry dummy")
+        | exception Not_found ->
+            report ctx Error (Method_loc name)
+              "truncation has no dummy edge pair")
+      truncs;
+    (* mode consistency with the loop analysis *)
+    let loops = Dag.loops dag in
+    let back = Loops.back_edges loops in
+    let irr = Loops.irreducible_edges loops in
+    List.iter
+      (fun (e : Cfg.edge) ->
+        if not (mem_edge e (back @ irr)) then
+          report ctx Error
+            (Edge_loc (name, e.src, e.dst))
+            "cut edge is neither a back edge nor irreducible")
+      cut;
+    List.iter
+      (fun (e : Cfg.edge) ->
+        if not (mem_edge e cut) then
+          report ctx Error
+            (Edge_loc (name, e.src, e.dst))
+            "irreducible edge survived truncation")
+      irr;
+    (match Dag.mode dag with
+    | Dag.Back_edge ->
+        if split_headers <> [] then
+          report ctx Error (Method_loc name) "split header in back-edge mode";
+        if n <> Cfg.n_blocks cfg then
+          report ctx Error (Method_loc name)
+            "back-edge mode changed the node count (%d blocks, %d nodes)"
+            (Cfg.n_blocks cfg) n;
+        List.iter
+          (fun (e : Cfg.edge) ->
+            if not (mem_edge e cut) then
+              report ctx Error
+                (Edge_loc (name, e.src, e.dst))
+                "back edge survived back-edge truncation")
+          back
+    | Dag.Loop_header ->
+        List.iter
+          (fun h ->
+            if not (Loops.is_header loops h) then
+              report ctx Error (Block_loc (name, h))
+                "split block is not a loop header";
+            if Dag.in_node dag h = Dag.out_node dag h then
+              report ctx Error (Block_loc (name, h))
+                "split header kept a single node";
+            if
+              Dag.node_block dag (Dag.in_node dag h) <> h
+              || Dag.node_block dag (Dag.out_node dag h) <> h
+            then
+              report ctx Error (Block_loc (name, h))
+                "split header nodes map back to another block")
+          split_headers;
+        List.iter
+          (fun h ->
+            if not (List.mem h split_headers) then begin
+              (* unsampleable header: all its back edges must have been cut *)
+              List.iter
+                (fun (e : Cfg.edge) ->
+                  if e.dst = h && not (mem_edge e cut) then
+                    report ctx Error
+                      (Edge_loc (name, e.src, e.dst))
+                      "back edge into unsplit header neither cut nor split")
+                back
+            end)
+          (Loops.headers loops));
+    Cfg.iter_blocks
+      (fun b ->
+        if
+          (not (List.mem b split_headers))
+          && Dag.in_node dag b <> Dag.out_node dag b
+        then
+          report ctx Error (Block_loc (name, b))
+            "unsplit block has distinct in/out nodes";
+        if Dag.node_block dag (Dag.in_node dag b) <> b then
+          report ctx Error (Block_loc (name, b))
+            "in-node maps back to another block")
+      cfg;
+    finish ctx
+  end
+
+(* --- pass 3: numbering auditor ------------------------------------- *)
+
+let recompute_num_paths dag =
+  let np = Array.make (Dag.n_nodes dag) 0 in
+  let topo = Dag.topo dag in
+  let exit_node = Dag.exit_node dag in
+  for i = Array.length topo - 1 downto 0 do
+    let v = topo.(i) in
+    if v = exit_node then np.(v) <- 1
+    else
+      List.iter
+        (fun (e : Dag.edge) -> np.(v) <- np.(v) + np.(e.edst))
+        (Dag.out_edges dag v)
+  done;
+  np
+
+let audit_values_ctx ctx dag ~value ~np =
+  let name = Cfg.name (Dag.cfg dag) in
+  let exit_node = Dag.exit_node dag in
+  Dag.iter_edges
+    (fun (e : Dag.edge) ->
+      if value e < 0 then
+        report ctx Error (Node_loc (name, e.esrc))
+          "negative edge value %d on n%d->n%d" (value e) e.esrc e.edst)
+    dag;
+  (* each node's out-edge intervals must partition [0, num_paths_from v):
+     the interval property Reconstruct's greedy walk requires, and —
+     inductively from the exit — a bijection of path sums onto
+     [0, n_paths) *)
+  Array.iter
+    (fun v ->
+      if v <> exit_node then begin
+        let intervals =
+          List.map
+            (fun (e : Dag.edge) -> (value e, value e + np.(e.edst)))
+            (Dag.out_edges dag v)
+        in
+        let sorted = List.sort compare intervals in
+        let rec covers at = function
+          | [] -> at = np.(v)
+          | (lo, hi) :: rest -> lo = at && covers hi rest
+        in
+        if not (covers 0 sorted) then
+          report ctx Error (Node_loc (name, v))
+            "out-edge value intervals do not partition [0, %d)" np.(v)
+      end)
+    (Dag.topo dag);
+  if np.(Dag.entry_node dag) < 1 then
+    report ctx Error (Method_loc name) "no entry-to-exit path in the DAG"
+
+let audit_values dag ~value =
+  let ctx = new_ctx "numbering" in
+  audit_values_ctx ctx dag ~value ~np:(recompute_num_paths dag);
+  finish ctx
+
+let default_enumerate_limit = 1024
+
+let audit_numbering ?(enumerate_limit = default_enumerate_limit) numbering =
+  let ctx = new_ctx "numbering" in
+  let dag = Numbering.dag numbering in
+  let name = Cfg.name (Dag.cfg dag) in
+  let np = recompute_num_paths dag in
+  (* the numbering's DP results must match an independent recomputation *)
+  for v = 0 to Dag.n_nodes dag - 1 do
+    if Numbering.num_paths_from numbering v <> np.(v) then
+      report ctx Error (Node_loc (name, v))
+        "num_paths_from %d disagrees with recomputation %d"
+        (Numbering.num_paths_from numbering v)
+        np.(v)
+  done;
+  audit_values_ctx ctx dag ~value:(Numbering.value numbering) ~np;
+  if Numbering.n_paths numbering <> np.(Dag.entry_node dag) then
+    report ctx Error (Method_loc name)
+      "n_paths %d disagrees with recomputed %d"
+      (Numbering.n_paths numbering)
+      np.(Dag.entry_node dag);
+  (* explicit bijection witness for small path spaces: every id
+     reconstructs to a path whose values sum back to the id *)
+  if (not (has_errors ctx.acc)) && Numbering.n_paths numbering <= enumerate_limit
+  then
+    for id = 0 to Numbering.n_paths numbering - 1 do
+      match Reconstruct.dag_path numbering id with
+      | path ->
+          let back = Reconstruct.id_of_dag_path numbering path in
+          if back <> id then
+            report ctx Error (Path_loc (name, id))
+              "path reconstructs to a sum of %d" back
+      | exception Invalid_argument msg ->
+          report ctx Error (Path_loc (name, id)) "irreconstructible: %s" msg
+    done;
+  finish ctx
+
+let audit_zero_arms ~zero ~freq numbering =
+  let ctx = new_ctx "numbering" in
+  let dag = Numbering.dag numbering in
+  let name = Cfg.name (Dag.cfg dag) in
+  let exit_node = Dag.exit_node dag in
+  Array.iter
+    (fun v ->
+      if v <> exit_node then begin
+        let out = Dag.out_edges dag v in
+        if List.length out >= 2 then begin
+          match List.filter (fun e -> Numbering.value numbering e = 0) out with
+          | [ zero_edge ] ->
+              let freqs = List.map freq out in
+              let extremal =
+                match zero with
+                | `Hottest -> List.fold_left max min_int freqs
+                | `Coldest -> List.fold_left min max_int freqs
+              in
+              if freq zero_edge <> extremal then
+                report ctx Error (Node_loc (name, v))
+                  "value 0 on an arm with frequency %d; the %s arm has %d"
+                  (freq zero_edge)
+                  (match zero with `Hottest -> "hottest" | `Coldest -> "coldest")
+                  extremal
+          | zs ->
+              report ctx Error (Node_loc (name, v))
+                "%d zero-valued arms (want exactly 1)" (List.length zs)
+        end
+      end)
+    (Dag.topo dag);
+  finish ctx
+
+(* --- pass 4: profile lint ------------------------------------------ *)
+
+(* The flow system's variables: the invocation count, one frequency per
+   block, one count per CFG edge.  Equations are of the shape
+   [lhs = sum of terms]; propagation solves a variable when all but one
+   participant is known and checks the equation once fully known. *)
+let lint_edge_profile ?(exact = true) cfg profile =
+  let ctx = new_ctx "profile" in
+  let name = Cfg.name cfg in
+  let cfg_branches = Cfg.branch_ids cfg in
+  List.iter
+    (fun br ->
+      (match Edge_profile.counter profile br with
+      | Some c ->
+          if c.Edge_profile.taken < 0 || c.Edge_profile.not_taken < 0 then
+            report ctx Error (Branch_loc (name, br))
+              "negative counter (taken %d, not-taken %d)" c.Edge_profile.taken
+              c.Edge_profile.not_taken
+      | None -> ());
+      if not (List.mem br cfg_branches) then
+        report ctx Error (Branch_loc (name, br))
+          "profiled branch id not present in the CFG")
+    (Edge_profile.branch_ids profile);
+  if not exact then finish ctx
+  else begin
+    (* per-block attribution requires unique branch ids *)
+    let blocks_of_branch = Hashtbl.create 16 in
+    Cfg.iter_blocks
+      (fun b ->
+        match Cfg.terminator cfg b with
+        | Cfg.Branch { branch; _ } ->
+            Hashtbl.replace blocks_of_branch branch
+              (b :: (try Hashtbl.find blocks_of_branch branch with Not_found -> []))
+        | Cfg.Return | Cfg.Jump _ -> ())
+      cfg;
+    let shared =
+      Hashtbl.fold
+        (fun br bs acc -> if List.length bs > 1 then br :: acc else acc)
+        blocks_of_branch []
+    in
+    if shared <> [] then begin
+      report ctx Info (Method_loc name)
+        "%d branch id(s) shared across blocks (inlined or unrolled body); \
+         flow conservation not attributable per block"
+        (List.length shared);
+      finish ctx
+    end
+    else begin
+      let n = Cfg.n_blocks cfg in
+      let all_edges = Cfg.edges cfg in
+      let edge_var = Hashtbl.create 32 in
+      List.iteri
+        (fun i (e : Cfg.edge) -> Hashtbl.replace edge_var (e.src, e.dst) (1 + n + i))
+        all_edges;
+      (* var 0 = invocation count, 1..n = block frequencies, then edges *)
+      let nvars = 1 + n + List.length all_edges in
+      let value = Array.make nvars None in
+      let conflict = ref false in
+      let set loc v k =
+        match value.(v) with
+        | None -> value.(v) <- Some k; true
+        | Some k' ->
+            if k <> k' && not !conflict then begin
+              conflict := true;
+              report ctx Error loc
+                "flow conservation violated (%d versus %d)" k' k
+            end;
+            false
+      in
+      let var_of_edge (e : Cfg.edge) = Hashtbl.find edge_var (e.src, e.dst) in
+      (* constants: branch counters pin their block's out-edges and
+         frequency *)
+      Cfg.iter_blocks
+        (fun b ->
+          match Cfg.terminator cfg b with
+          | Cfg.Branch { branch; taken; not_taken } ->
+              let t, nt =
+                match Edge_profile.counter profile branch with
+                | Some c -> (c.Edge_profile.taken, c.Edge_profile.not_taken)
+                | None -> (0, 0)
+              in
+              ignore
+                (set (Branch_loc (name, branch))
+                   (Hashtbl.find edge_var (b, taken))
+                   t);
+              ignore
+                (set (Branch_loc (name, branch))
+                   (Hashtbl.find edge_var (b, not_taken))
+                   nt);
+              ignore (set (Block_loc (name, b)) (1 + b) (t + nt))
+          | Cfg.Return | Cfg.Jump _ -> ())
+        cfg;
+      (* equations: freq(b) = in-flow (+ invocations at the entry), and
+         freq(b) = out-flow (invocations at the exit; the single
+         successor edge for jumps) *)
+      let equations = ref [] in
+      Cfg.iter_blocks
+        (fun b ->
+          let in_terms =
+            List.map var_of_edge (Cfg.predecessors cfg b)
+            @ (if b = Cfg.entry cfg then [ 0 ] else [])
+          in
+          equations := (Block_loc (name, b), 1 + b, in_terms) :: !equations;
+          match Cfg.terminator cfg b with
+          | Cfg.Jump d ->
+              equations :=
+                ( Edge_loc (name, b, d),
+                  1 + b,
+                  [ Hashtbl.find edge_var (b, d) ] )
+                :: !equations
+          | Cfg.Return ->
+              equations := (Block_loc (name, b), 1 + b, [ 0 ]) :: !equations
+          | Cfg.Branch _ -> ())
+        cfg;
+      let eqs = Array.of_list !equations in
+      let done_ = Array.make (Array.length eqs) false in
+      let changed = ref true in
+      while !changed do
+        changed := false;
+        Array.iteri
+          (fun i (loc, lhs, terms) ->
+            if not done_.(i) then begin
+              let unknowns = List.filter (fun v -> value.(v) = None) terms in
+              let known_sum =
+                List.fold_left
+                  (fun acc v ->
+                    match value.(v) with Some k -> acc + k | None -> acc)
+                  0 terms
+              in
+              match (value.(lhs), unknowns) with
+              | Some total, [] ->
+                  done_.(i) <- true;
+                  changed := true;
+                  if total <> known_sum then
+                    report ctx Error loc
+                      "flow conservation violated: in-flow and out-flow sum \
+                       to %d, block frequency is %d"
+                      known_sum total
+              | Some total, [ v ] ->
+                  let k = total - known_sum in
+                  if k < 0 then begin
+                    done_.(i) <- true;
+                    report ctx Error loc
+                      "flow conservation violated: residual flow %d is negative"
+                      k
+                  end
+                  else if set loc v k then changed := true;
+                  if value.(v) <> None then done_.(i) <- true
+              | None, [] ->
+                  if set loc lhs known_sum then changed := true;
+                  done_.(i) <- true
+              | _ -> ()
+            end)
+          eqs
+      done;
+      (match value.(0) with
+      | Some inv when inv < 0 ->
+          report ctx Error (Method_loc name)
+            "negative invocation count %d implied by the profile" inv
+      | Some _ | None -> ());
+      finish ctx
+    end
+  end
+
+let branch_count edges =
+  List.length
+    (List.filter
+       (fun (ce : Cfg.edge) ->
+         match ce.attr with
+         | Cfg.Taken _ | Cfg.Not_taken _ -> true
+         | Cfg.Seq -> false)
+       edges)
+
+let lint_path_profile ?expected_total numbering profile =
+  let ctx = new_ctx "profile" in
+  let name = Cfg.name (Dag.cfg (Numbering.dag numbering)) in
+  let n_paths = Numbering.n_paths numbering in
+  Path_profile.iter
+    (fun (e : Path_profile.entry) ->
+      if e.count < 0 then
+        report ctx Error (Path_loc (name, e.path_id)) "negative count %d" e.count;
+      if e.path_id < 0 || e.path_id >= n_paths then
+        report ctx Error (Path_loc (name, e.path_id))
+          "path id outside [0, %d)" n_paths
+      else begin
+        let expected = Reconstruct.cfg_edges numbering e.path_id in
+        (match e.edges with
+        | Some memo ->
+            if
+              List.length memo <> List.length expected
+              || not
+                   (List.for_all2
+                      (fun a b -> Cfg.compare_edge a b = 0)
+                      memo expected)
+            then
+              report ctx Error (Path_loc (name, e.path_id))
+                "memoized expansion disagrees with P-DAG reconstruction"
+        | None -> ());
+        if e.n_branches >= 0 && e.n_branches <> branch_count expected then
+          report ctx Error (Path_loc (name, e.path_id))
+            "memoized branch length %d; the path has %d branch(es)" e.n_branches
+            (branch_count expected)
+      end)
+    profile;
+  (match expected_total with
+  | Some expected ->
+      let total = Path_profile.total profile in
+      if total > expected then
+        report ctx Error (Method_loc name)
+          "%d path executions recorded from only %d samples" total expected
+  | None -> ());
+  finish ctx
+
+(* --- whole-program driver ------------------------------------------ *)
+
+let check_program_static (p : Program.t) =
+  let acc = ref (verify_program p) in
+  let add ds = acc := !acc @ ds in
+  Program.iter_methods
+    (fun _ (m : Method.t) ->
+      match To_cfg.cfg m with
+      | exception Cfg.Malformed msg ->
+          add
+            [
+              {
+                severity = Error;
+                pass = "cfg";
+                loc = Method_loc m.Method.name;
+                message = Fmt.str "CFG construction failed: %s" msg;
+              };
+            ]
+      | cfg ->
+          add (check_cfg cfg);
+          List.iter
+            (fun mode ->
+              match Dag.build mode cfg with
+              | exception Dag.Unsupported msg ->
+                  add
+                    [
+                      {
+                        severity = Warning;
+                        pass = "dag";
+                        loc = Method_loc m.Method.name;
+                        message =
+                          Fmt.str "unprofilable: truncation unsupported (%s)"
+                            msg;
+                      };
+                    ]
+              | dag -> (
+                  add (check_dag dag);
+                  match Numbering.ball_larus dag with
+                  | exception Numbering.Too_many_paths { n_paths; limit; _ } ->
+                      add
+                        [
+                          {
+                            severity = Warning;
+                            pass = "numbering";
+                            loc = Method_loc m.Method.name;
+                            message =
+                              Fmt.str
+                                "unprofilable: %d paths exceed the limit %d"
+                                n_paths limit;
+                          };
+                        ]
+                  | numbering -> add (audit_numbering numbering)))
+            [ Dag.Back_edge; Dag.Loop_header ])
+    p;
+  !acc

@@ -1,14 +1,26 @@
 type plans = Instrument.t option array
 
-let plan_for ~mode ~number st midx =
+type plan_outcome =
+  | Planned of Instrument.t
+  | Uninterruptible
+  | Too_many_paths of { n_paths : int; limit : int }
+  | Truncation_unsupported of string
+
+let plan_outcome ~mode ~number st midx =
   let cm = Machine.cmeth st midx in
-  if cm.Machine.meth.Method.uninterruptible then None
+  if cm.Machine.meth.Method.uninterruptible then Uninterruptible
   else
     let sampleable b = cm.Machine.yieldpoint.(b) in
     match number midx (Dag.build ~sampleable mode cm.Machine.cfg) with
-    | numbering -> Some (Instrument.of_numbering numbering)
-    | exception Numbering.Too_many_paths _ -> None
-    | exception Dag.Unsupported _ -> None
+    | numbering -> Planned (Instrument.of_numbering numbering)
+    | exception Numbering.Too_many_paths { n_paths; limit; _ } ->
+        Too_many_paths { n_paths; limit }
+    | exception Dag.Unsupported msg -> Truncation_unsupported msg
+
+let plan_for ~mode ~number st midx =
+  match plan_outcome ~mode ~number st midx with
+  | Planned plan -> Some plan
+  | Uninterruptible | Too_many_paths _ | Truncation_unsupported _ -> None
 
 let make_plans ~mode ~number st =
   Array.init (Array.length st.Machine.methods) (plan_for ~mode ~number st)

@@ -9,13 +9,32 @@
 
 type plans = Instrument.t option array
 
+(** Why a method did or did not get an instrumentation plan.  The failure
+    reasons are surfaced (rather than collapsed into [None]) so the VM
+    driver can report unprofilable methods as diagnostics instead of
+    silently dropping them. *)
+type plan_outcome =
+  | Planned of Instrument.t
+  | Uninterruptible  (** no yieldpoints anywhere in the method *)
+  | Too_many_paths of { n_paths : int; limit : int }
+      (** path count exceeds the numbering limit *)
+  | Truncation_unsupported of string
+      (** {!Dag.build} cannot truncate the graph in this mode *)
+
 (** Build the plan of one method: truncate in [mode] (sample points
     follow the machine's yieldpoint placement, so loop headers whose
     yieldpoint was suppressed — inlined uninterruptible loops — are cut
-    silently, paper §4.3), number with [number], place instrumentation.
-    [None] for uninterruptible methods (no yieldpoints at all), methods
-    whose path count exceeds the numbering limit, and graphs loop-header
-    truncation cannot handle. *)
+    silently, paper §4.3), number with [number], place instrumentation. *)
+val plan_outcome :
+  mode:Dag.mode ->
+  number:(int -> Dag.t -> Numbering.t) ->
+  Machine.t ->
+  int ->
+  plan_outcome
+
+(** [plan_outcome] collapsed to an option: [None] for uninterruptible
+    methods, methods whose path count exceeds the numbering limit, and
+    graphs the truncation cannot handle. *)
 val plan_for :
   mode:Dag.mode ->
   number:(int -> Dag.t -> Numbering.t) ->

@@ -19,16 +19,23 @@ type t =
   | Cmp of cmp  (** pop b, pop a, push 1 if [a cmp b] else 0 *)
   | Neg
   | Not  (** pop v, push 1 if v = 0 else 0 *)
-  | Dup
-  | Pop
+  | Dup  (** pop v, push v twice: net effect one deeper *)
+  | Pop  (** discard the top of stack *)
   | GLoad of int  (** push global scalar *)
   | GStore of int  (** pop into global scalar *)
   | AGet  (** pop index, push heap[index mod heap size] *)
   | ASet  (** pop value, pop index, heap[index mod heap size] := value *)
-  | Call of string * int  (** pop argc arguments (last on top), push result *)
+  | Call of string * int
+      (** [Call (callee, argc)]: pop [argc] arguments (last on top), push
+          the callee's single result — net effect [argc - 1] shallower *)
   | Rand of int  (** push a deterministic pseudo-random value in [0, n) *)
 
-(** Stack effect [(pops, pushes)] of an instruction. *)
+(** Stack effect [(pops, pushes)] of an instruction, as the interpreter
+    executes it.  Total over every constructor — [Call (_, argc)] is
+    [(argc, 1)], [Dup] is [(1, 2)], [Pop] is [(1, 0)], [Inc] is [(0, 0)].
+    The bytecode verifier's dataflow ({!Pep_check.verify_method}) is
+    abstract interpretation over exactly this function, and a test
+    cross-checks it against the interpreter on every opcode. *)
 val stack_effect : t -> int * int
 
 val eval_binop : binop -> int -> int -> int

@@ -46,3 +46,6 @@ let perfect_edges_of_paths t =
       in
       t.perfect_edge_table <- Some table;
       table
+
+let all_runs t =
+  List.sort compare (Hashtbl.fold (fun key r acc -> (key, r) :: acc) t.runs [])

@@ -31,3 +31,7 @@ val perfect_path : t -> Exp_harness.run
 (** Ground-truth edge profile derived from the perfect path profile
     (computed once). *)
 val perfect_edges_of_paths : t -> Edge_profile.table
+
+(** Every run executed so far with its configuration key, sorted by key —
+    e.g. to sweep their {!Exp_harness.run.checks} after an experiment. *)
+val all_runs : t -> (string * Exp_harness.run) list

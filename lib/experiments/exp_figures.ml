@@ -643,6 +643,7 @@ let tab_hardware caches =
                   pep = None;
                   inline = false;
                   unroll = false;
+                  verify = true;
                 }
               in
               let d = Driver.create ~extra_hooks:(Hw_profiler.hooks hw) opts st in
@@ -701,6 +702,7 @@ let tab_onetime_paths caches =
             pep = None;
             inline = false;
             unroll = false;
+            verify = true;
           }
         in
         let d = Driver.create ~extra_hooks:hooks opts st in

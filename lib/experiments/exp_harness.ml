@@ -45,7 +45,78 @@ type run = {
   ppaths : Profiler.path_profiler option;
   pedges : Profiler.edge_profiler option;
   driver : Driver.t;
+  checks : Pep_check.diagnostic list;
 }
+
+(* Lint every profile PEP collected: the sampled edge profile (flow holds
+   only approximately, so [exact:false]) and each method's path profile
+   against the numbering of the plan that produced its ids. *)
+let lint_pep st (p : Pep.t) =
+  let acc = ref [] in
+  let add ds = acc := !acc @ Pep_check.with_pass "profile@pep" ds in
+  Array.iteri
+    (fun midx ep ->
+      if not (Edge_profile.is_empty ep) then
+        add
+          (Pep_check.lint_edge_profile ~exact:false
+             (Machine.cmeth st midx).Machine.cfg ep))
+    p.Pep.edges;
+  Array.iteri
+    (fun midx pp ->
+      match p.Pep.plans.(midx) with
+      | Some plan when not (Path_profile.is_empty pp) ->
+          add
+            (Pep_check.lint_path_profile ~expected_total:(Pep.n_samples p)
+               plan.Instrument.numbering pp)
+      | Some _ | None -> ())
+    p.Pep.paths;
+  !acc
+
+let lint_run (r : run) =
+  let st = Driver.machine r.driver in
+  let acc = ref (Driver.checks r.driver) in
+  let add ds = acc := !acc @ ds in
+  (match r.pep with Some p -> add (lint_pep st p) | None -> ());
+  (match r.ppaths with
+  | Some (p : Profiler.path_profiler) ->
+      Array.iteri
+        (fun midx pp ->
+          match p.Profiler.plans.(midx) with
+          | Some plan when not (Path_profile.is_empty pp) ->
+              add
+                (Pep_check.with_pass "profile@path"
+                   (Pep_check.lint_path_profile plan.Instrument.numbering pp))
+          | Some _ | None -> ())
+        p.Profiler.table
+  | None -> ());
+  (* a transformed body shares branch ids across duplicated blocks and the
+     profiler's block mapping predates the transform, so whole-run flow
+     conservation is only claimed for untransformed code *)
+  let exact =
+    Driver.inlined_sites r.driver = 0 && Driver.unrolled_loops r.driver = 0
+  in
+  (match r.pedges with
+  | Some (p : Profiler.edge_profiler) ->
+      Array.iteri
+        (fun midx ep ->
+          if not (Edge_profile.is_empty ep) then
+            add
+              (Pep_check.with_pass "profile@edge"
+                 (Pep_check.lint_edge_profile ~exact
+                    (Machine.cmeth st midx).Machine.cfg ep)))
+        p.Profiler.etable
+  | None -> ());
+  (* the one-time baseline profile stops counting at recompilation, so
+     only its shape is linted *)
+  Array.iteri
+    (fun midx ep ->
+      if not (Edge_profile.is_empty ep) then
+        add
+          (Pep_check.with_pass "profile@baseline"
+             (Pep_check.lint_edge_profile ~exact:false
+                (Machine.cmeth st midx).Machine.cfg ep)))
+    (Driver.baseline_profile r.driver);
+  !acc
 
 let advice_number env midx dag = Pep.smart_number env.advice.Advice.profile midx dag
 
@@ -96,28 +167,39 @@ let replay ?(opt_profile = Driver.From_baseline) ?(inline = false)
     | Some (`Hooks h) -> Some h
   in
   let opts =
-    { Driver.mode = Replay env.advice; opt_profile; pep = pep_opts; inline; unroll }
+    {
+      Driver.mode = Replay env.advice;
+      opt_profile;
+      pep = pep_opts;
+      inline;
+      unroll;
+      verify = true;
+    }
   in
   let driver = Driver.create ?extra_hooks opts st in
   let iter1, c1 = Driver.run driver in
   let iter2, c2 = Driver.run driver in
   (* the two iterations see different PRNG draws, so combine both results
      into the cross-configuration checksum *)
-  {
-    meas =
-      {
-        iter1;
-        iter2;
-        compile = Driver.compile_cycles driver;
-        checksum = c1 lxor (c2 * 1_000_003);
-      };
-    pep = Driver.pep driver;
-    ppaths =
-      (match extra with Some (`Path p) -> Some p | Some (`Edge _) | Some (`Hooks _) | None -> None);
-    pedges =
-      (match extra with Some (`Edge p) -> Some p | Some (`Path _) | Some (`Hooks _) | None -> None);
-    driver;
-  }
+  let r =
+    {
+      meas =
+        {
+          iter1;
+          iter2;
+          compile = Driver.compile_cycles driver;
+          checksum = c1 lxor (c2 * 1_000_003);
+        };
+      pep = Driver.pep driver;
+      ppaths =
+        (match extra with Some (`Path p) -> Some p | Some (`Edge _) | Some (`Hooks _) | None -> None);
+      pedges =
+        (match extra with Some (`Edge p) -> Some p | Some (`Path _) | Some (`Hooks _) | None -> None);
+      driver;
+      checks = [];
+    }
+  in
+  { r with checks = lint_run r }
 
 (* Replay with body transformations enabled, PEP(64,17) and a perfect
    path profiler observing the same (transformed) code: the profiler must
@@ -138,6 +220,7 @@ let replay_transformed_with_truth ?(inline = true) ?(unroll = false) env =
           };
       inline;
       unroll;
+      verify = true;
     }
   in
   let driver = Driver.create opts st in
@@ -177,6 +260,7 @@ let adaptive_total ?(pep = false) ~trial env =
             };
         inline = false;
         unroll = false;
+        verify = true;
       }
     else Driver.default_options
   in

@@ -53,7 +53,22 @@ type run = {
   ppaths : Profiler.path_profiler option;
   pedges : Profiler.edge_profiler option;
   driver : Driver.t;
+  checks : Pep_check.diagnostic list;
+      (** {!Driver.checks} plus a {!Pep_check} lint of every profile the
+          run collected (PEP's sampled edge and path profiles, the
+          perfect profilers' tables, the one-time baseline profile); any
+          [Error] means a profile is internally inconsistent *)
 }
+
+(** Lint PEP's collected profiles (pass field ["profile@pep"]): the
+    sampled edge profile shape-checked per method, each path profile
+    checked against the numbering of the plan that produced its ids and
+    bounded by the sampler's taken-sample count. *)
+val lint_pep : Machine.t -> Pep.t -> Pep_check.diagnostic list
+
+(** The full lint a {!replay} stores in [run.checks]; exposed for runs
+    built directly against a {!Driver.t}. *)
+val lint_run : run -> Pep_check.diagnostic list
 
 (** One replay experiment.  [opt_profile] selects what drives the
     optimizing compiler (default: the advice's one-time profile);

@@ -16,6 +16,7 @@ type options = {
   pep : pep_opts option;
   inline : bool;  (* inline small/hot callees *)
   unroll : bool;  (* unroll small innermost loops at opt levels >= 1 *)
+  verify : bool;  (* re-verify bytecode after every optimization pass *)
 }
 
 let default_thresholds = [| 3; 12; 40 |]
@@ -27,6 +28,7 @@ let default_options =
     pep = None;
     inline = false;
     unroll = false;
+    verify = true;
   }
 
 (* Trivial inlining takes any tiny callee; profile-guided inlining takes
@@ -49,8 +51,19 @@ type t = {
   mutable recompilations : int;
   mutable inlined_sites : int;
   mutable unrolled_loops : int;
+  mutable checks : Pep_check.diagnostic list;  (* newest first *)
   mutable hooks : Interp.hooks;
 }
+
+let record_checks d ds = d.checks <- List.rev_append ds d.checks
+
+(* Re-verify a method body right after an optimization pass produced it,
+   so a miscompile is caught at the pass that introduced it. *)
+let verify_body d ~stage (meth : Method.t) =
+  if d.opts.verify then
+    record_checks d
+      (Pep_check.with_pass ("bytecode@" ^ stage)
+         (Pep_check.verify_method d.st.Machine.program meth))
 
 let charge_compile d cycles =
   d.compile_cycles <- d.compile_cycles + cycles;
@@ -119,7 +132,9 @@ let apply_transforms d midx ~level =
                 >= 2
         in
         let r = Inline.expand d.st.Machine.program pristine ~should_inline in
-        ( r.Inline.meth,
+        let meth = r.Inline.meth in
+        verify_body d ~stage:"inline" meth;
+        ( meth,
           r.Inline.no_yieldpoint,
           List.fold_left (fun acc (_, n) -> acc + n) 0 r.Inline.inlined )
       end
@@ -128,6 +143,7 @@ let apply_transforms d midx ~level =
     let meth, no_yieldpoint, unrolled =
       if d.opts.unroll && level >= 1 then begin
         let r = Unroll.expand ~no_yieldpoint meth in
+        verify_body d ~stage:"unroll" r.Unroll.meth;
         (r.Unroll.meth, r.Unroll.no_yieldpoint, r.Unroll.unrolled)
       end
       else (meth, no_yieldpoint, 0)
@@ -155,6 +171,7 @@ let compile_opt d midx ~level =
   d.baseline_active.(midx) <- false;
   let profile = opt_profile_for d midx in
   Layout.apply d.st midx (Layout.compute cm.cfg profile);
+  verify_body d ~stage:"layout" (Machine.cmeth d.st midx).Machine.meth;
   (match (d.pep_state, d.opts.pep) with
   | Some p, Some popts ->
       let number _ dag =
@@ -162,8 +179,31 @@ let compile_opt d midx ~level =
         | `Smart -> Pep.smart_number_profile ~zero:popts.zero profile dag
         | `Ball_larus -> Numbering.ball_larus dag
       in
-      p.Pep.plans.(midx) <-
-        Profile_hooks.plan_for ~mode:Dag.Loop_header ~number d.st midx;
+      let mname = cm.Machine.meth.Method.name in
+      let unprofilable fmt =
+        Fmt.kstr
+          (fun message ->
+            record_checks d
+              [
+                {
+                  Pep_check.severity = Pep_check.Warning;
+                  pass = "plan";
+                  loc = Pep_check.Method_loc mname;
+                  message;
+                };
+              ])
+          fmt
+      in
+      (match Profile_hooks.plan_outcome ~mode:Dag.Loop_header ~number d.st midx with
+      | Profile_hooks.Planned plan -> p.Pep.plans.(midx) <- Some plan
+      | Profile_hooks.Uninterruptible -> p.Pep.plans.(midx) <- None
+      | Profile_hooks.Too_many_paths { n_paths; limit } ->
+          p.Pep.plans.(midx) <- None;
+          unprofilable "unprofilable: %d paths exceed the limit %d" n_paths
+            limit
+      | Profile_hooks.Truncation_unsupported msg ->
+          p.Pep.plans.(midx) <- None;
+          unprofilable "unprofilable: truncation unsupported (%s)" msg);
       (* path ids change with the numbering; drop stale entries *)
       Path_profile.clear p.Pep.paths.(midx)
   | _ -> ());
@@ -222,6 +262,7 @@ let create ?extra_hooks opts st =
       recompilations = 0;
       inlined_sites = 0;
       unrolled_loops = 0;
+      checks = [];
       hooks = Interp.no_hooks;
     }
   in
@@ -306,6 +347,7 @@ let method_samples d = Array.copy d.samples
 let dcg d = d.dcg
 let inlined_sites d = d.inlined_sites
 let unrolled_loops d = d.unrolled_loops
+let checks d = List.rev d.checks
 let add_hooks d h = d.hooks <- Interp.compose d.hooks h
 
 let precompile d =

@@ -51,6 +51,12 @@ type options = {
   unroll : bool;
       (** unroll small innermost loops at opt levels >= 1; duplicated
           branches share their bytecode branch ids *)
+  verify : bool;
+      (** run {!Pep_check.verify_method} on every body an optimization
+          pass produces (after inlining, after unrolling, and after
+          layout), recording the diagnostics — see {!checks}.  On by
+          default; verification is host-side and charges no simulated
+          cycles. *)
 }
 
 val default_thresholds : int array
@@ -97,6 +103,15 @@ val dcg : t -> Dcg.t
     build profiling hooks against post-compilation method bodies — e.g.
     a perfect profiler over inlined code. *)
 val precompile : t -> unit
+
+(** Diagnostics accumulated so far, oldest first: bytecode
+    re-verification after each optimization pass (pass fields
+    ["bytecode@inline"], ["bytecode@unroll"], ["bytecode@layout"], when
+    [options.verify] is on) and PEP planning failures (pass ["plan"],
+    [Warning] marking the method unprofilable — a path count over the
+    numbering limit or an unsupported truncation; always recorded).  Any
+    [Error] here means an optimization pass miscompiled a method. *)
+val checks : t -> Pep_check.diagnostic list
 
 (** Call sites expanded by the inliner so far. *)
 val inlined_sites : t -> int

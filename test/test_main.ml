@@ -18,4 +18,5 @@ let () =
       ("hardening", Test_hardening.suite);
       ("workloads", Test_workloads.suite);
       ("experiments", Test_experiments.suite);
+      ("check", Test_check.suite);
     ]

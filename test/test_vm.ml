@@ -151,6 +151,7 @@ let test_driver_with_pep () =
           };
       inline = false;
       unroll = false;
+      verify = true;
     }
   in
   let d = Driver.create opts st in
