@@ -7,7 +7,9 @@
    With arguments: run only the named experiments, e.g.
      dune exec bench/main.exe fig6 fig8
    Recognized extra flags: --scale F (resize workloads), --seed N,
-   --micro (microbenchmarks only). *)
+   --micro (microbenchmarks only).  --micro also writes the execution
+   engine comparison (interpreter oracle vs closure-threaded code) to
+   BENCH_engine.json. *)
 
 let parse_args () =
   let ids = ref [] and scale = ref 1.0 and seed = ref 42 and micro = ref false in
@@ -132,9 +134,120 @@ let micro_tests () =
            ignore (Accuracy.absolute_overlap ~actual ~estimated)));
   ]
 
-let run_micro () =
+(* Oracle-vs-threaded engine comparison (DESIGN.md "Execution engine").
+   Machines are created once, outside the staged closures, so the
+   measured cost is steady-state execution: the interpreter's dispatch
+   loop vs compiled closure chains with warm inline caches. *)
+let engine_tests () =
+  let call_heavy =
+    Compile.program ~name:"call_heavy" ~main:"main"
+      Ast.
+        [
+          mdef "fib" ~params:[ "n" ]
+            [
+              if_ (lt (v "n") (i 2))
+                [ ret (v "n") ]
+                [
+                  ret
+                    (add
+                       (call "fib" [ sub (v "n") (i 1) ])
+                       (call "fib" [ sub (v "n") (i 2) ]));
+                ];
+            ];
+          mdef "leaf" ~params:[ "a"; "b" ]
+            [ ret (add (mul (v "a") (i 3)) (band (v "b") (i 1023))) ];
+          mdef "main" ~params:[]
+            [
+              set "s" (call "fib" [ i 14 ]);
+              for_ "k" (i 0) (i 300)
+                [ set "s" (add (v "s") (call "leaf" [ v "k"; v "s" ])) ];
+              ret (v "s");
+            ];
+        ]
+  in
+  let branch_heavy =
+    Compile.program ~name:"branch_heavy" ~main:"main"
+      Ast.
+        [
+          mdef "main" ~params:[]
+            [
+              set "s" (i 0);
+              for_ "k" (i 0) (i 500)
+                [
+                  if_ (eq (band (v "k") (i 1)) (i 0))
+                    [ set "s" (add (v "s") (v "k")) ]
+                    [
+                      if_ (lt (v "s") (i 100_000))
+                        [ set "s" (mul (v "s") (i 2)) ]
+                        [ set "s" (sub (v "s") (v "k")) ];
+                    ];
+                  switch
+                    (band (v "k") (i 3))
+                    [
+                      (0, [ set "s" (add (v "s") (i 1)) ]);
+                      (1, [ set "s" (bxor (v "s") (i 21)) ]);
+                      (2, [ set "s" (add (v "s") (i 3)) ]);
+                    ]
+                    [ set "s" (sub (v "s") (i 1)) ];
+                ];
+              ret (v "s");
+            ];
+        ]
+  in
+  let pair tag program =
+    let st_o = Machine.create ~seed:7 program in
+    let st_t = Machine.create ~seed:7 program in
+    let eng = Codegen.create st_t in
+    ignore (Codegen.run eng) (* translate up front; caches warm *);
+    [
+      Test.make
+        ~name:(Printf.sprintf "engine/oracle-%s" tag)
+        (Staged.stage (fun () -> ignore (Interp.run Interp.no_hooks st_o)));
+      Test.make
+        ~name:(Printf.sprintf "engine/threaded-%s" tag)
+        (Staged.stage (fun () -> ignore (Codegen.run eng)));
+    ]
+  in
+  pair "call-heavy" call_heavy @ pair "branch-heavy" branch_heavy
+
+let write_engine_json ~seed ~wall rows =
+  let ns suffix =
+    match
+      List.find_opt (fun (n, _, _) -> String.ends_with ~suffix n) rows
+    with
+    | Some (_, e, _) -> e
+    | None -> nan
+  in
+  let speedup tag =
+    ns ("engine/oracle-" ^ tag) /. ns ("engine/threaded-" ^ tag)
+  in
+  let oc = open_out "BENCH_engine.json" in
+  Printf.fprintf oc "{\n  \"seed\": %d,\n  \"suite_wall_clock_s\": %.3f,\n"
+    seed wall;
+  Printf.fprintf oc "  \"speedup\": { \"call_heavy\": %.2f, \"branch_heavy\": %.2f },\n"
+    (speedup "call-heavy") (speedup "branch-heavy");
+  Printf.fprintf oc "  \"results\": [\n";
+  let rows = List.sort compare rows in
+  List.iteri
+    (fun j (name, estimate, r2) ->
+      Printf.fprintf oc
+        "    { \"name\": \"%s\", \"ns_per_run\": %.1f, \"r_square\": %.4f }%s\n"
+        name estimate r2
+        (if j = List.length rows - 1 then "" else ","))
+    rows;
+  Printf.fprintf oc "  ]\n}\n";
+  close_out oc;
+  Printf.printf
+    "\n[engine: threaded is %.2fx (call-heavy) / %.2fx (branch-heavy) vs \
+     oracle; BENCH_engine.json written]\n%!"
+    (speedup "call-heavy") (speedup "branch-heavy")
+
+let run_micro ~seed () =
+  let t0 = Unix.gettimeofday () in
   Printf.printf "\n=== microbenchmarks (Bechamel, ns/run) ===\n%!";
-  let tests = Test.make_grouped ~name:"pep" (micro_tests ()) in
+  let tests =
+    Test.make_grouped ~name:"pep" (micro_tests () @ engine_tests ())
+  in
   let cfg =
     Benchmark.cfg ~limit:2000 ~quota:(Time.second 0.4) ~kde:None ()
   in
@@ -158,13 +271,14 @@ let run_micro () =
   List.iter
     (fun (name, estimate, r2) ->
       Printf.printf "%-32s %12.1f ns/run   r²=%.4f\n" name estimate r2)
-    (List.sort compare rows)
+    (List.sort compare rows);
+  write_engine_json ~seed ~wall:(Unix.gettimeofday () -. t0) rows
 
 let () =
   let ids, scale, seed, micro_only = parse_args () in
-  if micro_only then run_micro ()
+  if micro_only then run_micro ~seed ()
   else if ids <> [] then run_figures ids scale seed
   else begin
     run_figures Exp_figures.ids scale seed;
-    run_micro ()
+    run_micro ~seed ()
   end

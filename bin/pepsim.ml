@@ -120,7 +120,13 @@ let run_cmd =
       & info [] ~docv:"FILE" ~doc:"Program in the pepsim textual format.")
   in
   let action file sampling seed verify =
-    let src = In_channel.with_open_text file In_channel.input_all in
+    let src =
+      match In_channel.with_open_text file In_channel.input_all with
+      | src -> src
+      | exception Sys_error msg ->
+          Printf.eprintf "%s\n" msg;
+          exit 1
+    in
     match Parse.program src with
     | exception Parse.Error msg ->
         Printf.eprintf "%s: %s\n" file msg;

@@ -55,6 +55,7 @@ let () =
       inline = false;
       unroll = false;
       verify = true;
+      engine = `Threaded;
     }
   in
   let pep_driver, pep_iter2, pep_sum = run "PEP(64,17)" pep_opts program in

@@ -644,6 +644,7 @@ let tab_hardware caches =
                   inline = false;
                   unroll = false;
                   verify = true;
+                  engine = `Threaded;
                 }
               in
               let d = Driver.create ~extra_hooks:(Hw_profiler.hooks hw) opts st in
@@ -703,6 +704,7 @@ let tab_onetime_paths caches =
             inline = false;
             unroll = false;
             verify = true;
+            engine = `Threaded;
           }
         in
         let d = Driver.create ~extra_hooks:hooks opts st in

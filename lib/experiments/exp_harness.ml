@@ -6,12 +6,12 @@ type env = {
   seed : int;
 }
 
-let make_env ?size ~seed workload =
+let make_env ?size ?(engine = `Threaded) ~seed workload =
   let size = Option.value ~default:workload.Workload.default_size size in
   let program = Workload.program ~size workload in
   Verify.program program;
   let st = Machine.create ~seed program in
-  let driver = Driver.create Driver.default_options st in
+  let driver = Driver.create { Driver.default_options with engine } st in
   ignore (Driver.run driver);
   ignore (Driver.run driver);
   { workload; program; advice = Driver.advice driver; size; seed }
@@ -128,7 +128,7 @@ let mask_plans env (plans : Profile_hooks.plans) =
     env.advice.Advice.levels
 
 let replay ?(opt_profile = Driver.From_baseline) ?(inline = false)
-    ?(unroll = false) env profiling =
+    ?(unroll = false) ?(engine = `Threaded) env profiling =
   let st = Machine.create ~seed:env.seed env.program in
   let pep_opts, extra =
     match profiling with
@@ -174,6 +174,7 @@ let replay ?(opt_profile = Driver.From_baseline) ?(inline = false)
       inline;
       unroll;
       verify = true;
+      engine;
     }
   in
   let driver = Driver.create ?extra_hooks opts st in
@@ -205,7 +206,8 @@ let replay ?(opt_profile = Driver.From_baseline) ?(inline = false)
    path profiler observing the same (transformed) code: the profiler must
    be built after the driver has compiled the methods, or it would
    instrument the original bodies. *)
-let replay_transformed_with_truth ?(inline = true) ?(unroll = false) env =
+let replay_transformed_with_truth ?(inline = true) ?(unroll = false)
+    ?(engine = `Threaded) env =
   let st = Machine.create ~seed:env.seed env.program in
   let opts =
     {
@@ -221,6 +223,7 @@ let replay_transformed_with_truth ?(inline = true) ?(unroll = false) env =
       inline;
       unroll;
       verify = true;
+      engine;
     }
   in
   let driver = Driver.create opts st in
@@ -232,7 +235,7 @@ let replay_transformed_with_truth ?(inline = true) ?(unroll = false) env =
   ignore (Driver.run driver);
   (driver, Option.get (Driver.pep driver), truth)
 
-let adaptive_total ?(pep = false) ~trial env =
+let adaptive_total ?(pep = false) ?(engine = `Threaded) ~trial env =
   (* The adaptive system needs enough timer ticks for promotion decisions
      to stabilize (the paper's runs see ~550); compress the tick period so
      the tick:execution ratio stays comparable at simulation scale. *)
@@ -261,8 +264,9 @@ let adaptive_total ?(pep = false) ~trial env =
         inline = false;
         unroll = false;
         verify = true;
+        engine;
       }
-    else Driver.default_options
+    else { Driver.default_options with engine }
   in
   let driver = Driver.create opts st in
   let a, _ = Driver.run driver in

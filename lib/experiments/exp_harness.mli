@@ -19,8 +19,9 @@ type env = {
 }
 
 (** Compile the workload and produce advice from a two-iteration adaptive
-    warmup run. *)
-val make_env : ?size:int -> seed:int -> Workload.t -> env
+    warmup run.  [engine] selects the execution engine for the warmup
+    (default [`Threaded]); the advice must be identical either way. *)
+val make_env : ?size:int -> ?engine:Driver.engine -> seed:int -> Workload.t -> env
 
 (** Envs for the whole suite; [scale] multiplies every workload's default
     size (use a small scale in tests). *)
@@ -72,11 +73,14 @@ val lint_run : run -> Pep_check.diagnostic list
 
 (** One replay experiment.  [opt_profile] selects what drives the
     optimizing compiler (default: the advice's one-time profile);
-    [inline] enables the optimizer's inliner. *)
+    [inline] enables the optimizer's inliner; [engine] the execution
+    engine (default [`Threaded] — pass [`Oracle] to run the reference
+    interpreter, as the differential tests do for both). *)
 val replay :
   ?opt_profile:Driver.opt_profile_source ->
   ?inline:bool ->
   ?unroll:bool ->
+  ?engine:Driver.engine ->
   env ->
   profiling ->
   run
@@ -86,7 +90,11 @@ val replay :
     code (built after {!Driver.precompile}); the two profiles share
     numbering and are directly comparable. *)
 val replay_transformed_with_truth :
-  ?inline:bool -> ?unroll:bool -> env -> Driver.t * Pep.t * Profiler.path_profiler
+  ?inline:bool ->
+  ?unroll:bool ->
+  ?engine:Driver.engine ->
+  env ->
+  Driver.t * Pep.t * Profiler.path_profiler
 
 (** Smart numbering keyed to the advice's one-time profile — the
     numbering every replay configuration shares, so path ids from
@@ -101,7 +109,7 @@ val mask_plans : env -> Profile_hooks.plans -> unit
     trial; [trial] perturbs the timer phase, modelling the paper's
     run-to-run variation.  [pep] adds PEP(64,17) collecting profiles and
     driving optimization (paper Fig. 11). *)
-val adaptive_total : ?pep:bool -> trial:int -> env -> int
+val adaptive_total : ?pep:bool -> ?engine:Driver.engine -> trial:int -> env -> int
 
 (** @raise Failure if the runs' checksums disagree (a profiling
     configuration perturbed application behaviour — a harness bug). *)

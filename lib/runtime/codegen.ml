@@ -1,0 +1,458 @@
+(* Closure-threaded execution engine.
+
+   Each basic block of a compiled form is translated once into a fused
+   chain of OCaml closures over a small per-invocation environment; a
+   block transfer is one fused virtual-cycle add followed by a direct
+   tail call into the successor block's closure.  Call sites go through
+   a monomorphic inline cache (callee compiled-form generation stamp +
+   translated body) validated with one integer compare, so steady-state
+   calls never consult the machine's method table; arguments are blitted
+   straight from the caller's operand stack into the callee's frame, and
+   frames are pooled per call depth, so bare (hook-free) execution
+   allocates nothing in steady state.
+
+   Two specializations are generated per method and selected at
+   dispatch: a bare variant compiled for [Interp.no_hooks] with zero
+   hook tests, and a hooked variant specialized against the engine's
+   current hook record (each present hook becomes a direct closure call,
+   each absent one disappears).
+
+   The interpreter ([Interp]) is the semantic oracle: the threaded code
+   performs exactly the oracle's virtual-cycle reads and writes, in the
+   same order.  In particular block costs and layout penalties are read
+   through the captured compiled form at execution time — not folded as
+   constants — because [Machine.set_speed] and [Layout.apply] mutate the
+   compiled form a frame may currently be executing, and the oracle
+   observes those mutations mid-invocation. *)
+
+type env = {
+  mutable locals : int array;
+  mutable stack : int array;
+  mutable sp : int;
+  mutable frame : Interp.frame;
+}
+
+(* A method body translated to threaded code.  [run] executes from the
+   entry block (its enter-charge included) and returns the result. *)
+type body = {
+  bgen : int;  (* Machine.cmeth.gen this code was translated from *)
+  bhgen : int;  (* engine hook generation; 0 for bare variants *)
+  nlocals : int;
+  stack_need : int;
+  run : env -> int;
+}
+
+type t = {
+  st : Machine.t;
+  mutable hooks : Interp.hooks;
+  mutable hooks_gen : int;
+  mutable hooked_mode : bool;
+  bare : body option array;
+  hooked : body option array;
+  mutable envs : env array;  (* frame pool, indexed by call depth *)
+}
+
+let dummy_frame = { Interp.fmeth = -1; fparent = -1; r = 0 }
+
+let dummy_body =
+  {
+    bgen = min_int;
+    bhgen = min_int;
+    nlocals = 0;
+    stack_need = 1;
+    run = (fun _ -> assert false);
+  }
+
+let fresh_env () =
+  { locals = Array.make 8 0; stack = Array.make 8 0; sp = 0; frame = dummy_frame }
+
+let is_no_hooks = function
+  | { Interp.on_entry = None; on_exit = None; on_edge = None; on_yieldpoint = None }
+    ->
+      true
+  | _ -> false
+
+let create ?(hooks = Interp.no_hooks) st =
+  let n = Array.length st.Machine.methods in
+  {
+    st;
+    hooks;
+    hooks_gen = 1;
+    hooked_mode = not (is_no_hooks hooks);
+    bare = Array.make n None;
+    hooked = Array.make n None;
+    envs = Array.init 64 (fun _ -> fresh_env ());
+  }
+
+let set_hooks eng hooks =
+  eng.hooks <- hooks;
+  eng.hooks_gen <- eng.hooks_gen + 1;
+  eng.hooked_mode <- not (is_no_hooks hooks)
+
+let hooks eng = eng.hooks
+
+let env_at eng depth =
+  let n = Array.length eng.envs in
+  if depth >= n then begin
+    let bigger = Array.init (2 * (depth + 1)) (fun _ -> fresh_env ()) in
+    Array.blit eng.envs 0 bigger 0 n;
+    eng.envs <- bigger
+  end;
+  eng.envs.(depth)
+
+let overflow () = raise (Interp.Runtime_error "call stack overflow")
+
+(* Size env's arrays for [body], zero the non-parameter locals, and
+   reset the operand stack.  The caller blits the [argc] parameters. *)
+let prep env body argc =
+  if Array.length env.locals < body.nlocals then
+    env.locals <- Array.make (max body.nlocals (2 * Array.length env.locals)) 0;
+  if Array.length env.stack < body.stack_need then
+    env.stack <- Array.make (max body.stack_need (2 * Array.length env.stack)) 0;
+  if body.nlocals > argc then Array.fill env.locals argc (body.nlocals - argc) 0;
+  env.sp <- 0
+
+let rec get_body eng ~hooked midx =
+  let cm = eng.st.Machine.methods.(midx) in
+  let cache = if hooked then eng.hooked else eng.bare in
+  match cache.(midx) with
+  | Some b when b.bgen = cm.Machine.gen && (not hooked || b.bhgen = eng.hooks_gen)
+    ->
+      b
+  | Some _ | None ->
+      let b = translate eng ~hooked cm in
+      cache.(midx) <- Some b;
+      b
+
+(* Translate one compiled form into threaded code.  [blocks] is filled
+   in place so terminators can reference successors across loops. *)
+and translate eng ~hooked (cm : Machine.cmeth) : body =
+  (* Threaded code elides bounds checks the interpreter pays for: the
+     bytecode verifier establishes stack discipline (sp stays within
+     [max_stack], local indices within [nlocals], block ids within the
+     method) and [prep] sizes the arrays, so stack/local accesses use
+     unsafe reads; heap indices are wrapped into range before use.  The
+     primitives are applied directly (not aliased) so non-flambda
+     builds still compile them inline. *)
+  let st = eng.st in
+  let hooks = eng.hooks in
+  let m = cm.Machine.meth in
+  let poll = st.Machine.cost.Cost_model.yieldpoint_poll in
+  let nblocks = Array.length m.Method.blocks in
+  let blocks : (env -> int) array = Array.make nblocks (fun _ -> assert false) in
+  (* control transfer into [dst], charging [row.(idx)] layout cycles on
+     the way (pass [row = no_edge] for method entry); mirrors the
+     oracle's [take_edge] + [enter_block] sequence exactly *)
+  let no_edge = [| 0; 0 |] in
+  let goto ~src ~row ~idx dst : env -> int =
+    if not hooked then
+      if cm.Machine.yieldpoint.(dst) then fun env ->
+        let c =
+          st.Machine.cycles + Array.unsafe_get row idx
+          + Array.unsafe_get cm.Machine.block_cost dst
+          + poll
+        in
+        st.Machine.cycles <- c;
+        if c >= st.Machine.next_tick then st.Machine.yield_flag <- true;
+        (Array.unsafe_get blocks dst) env
+      else fun env ->
+        st.Machine.cycles <-
+          st.Machine.cycles + Array.unsafe_get row idx + Array.unsafe_get cm.Machine.block_cost dst;
+        (Array.unsafe_get blocks dst) env
+    else
+      let edge : env -> unit =
+        if row == no_edge then fun _ -> ()
+        else
+          match hooks.Interp.on_edge with
+          | Some f ->
+              fun env ->
+                st.Machine.cycles <- st.Machine.cycles + row.(idx);
+                f st env.frame ~src ~idx ~dst
+          | None -> fun _ -> st.Machine.cycles <- st.Machine.cycles + row.(idx)
+      in
+      if cm.Machine.yieldpoint.(dst) then
+        match hooks.Interp.on_yieldpoint with
+        | Some g ->
+            fun env ->
+              edge env;
+              let c = st.Machine.cycles + cm.Machine.block_cost.(dst) + poll in
+              st.Machine.cycles <- c;
+              if c >= st.Machine.next_tick then st.Machine.yield_flag <- true;
+              g st env.frame dst;
+              blocks.(dst) env
+        | None ->
+            fun env ->
+              edge env;
+              let c = st.Machine.cycles + cm.Machine.block_cost.(dst) + poll in
+              st.Machine.cycles <- c;
+              if c >= st.Machine.next_tick then st.Machine.yield_flag <- true;
+              blocks.(dst) env
+      else fun env ->
+        edge env;
+        st.Machine.cycles <- st.Machine.cycles + cm.Machine.block_cost.(dst);
+        blocks.(dst) env
+  in
+  let compile_call ~cidx ~argc (next : env -> int) : env -> int =
+    (* monomorphic inline cache: callee translated body keyed by the
+       callee compiled form's generation stamp (and, for hooked code,
+       the engine's hook generation — hook changes retranslate) *)
+    let ic_gen = ref min_int and ic_body = ref dummy_body in
+    if not hooked then fun env ->
+      if st.Machine.depth >= Interp.max_depth then overflow ();
+      let depth = st.Machine.depth + 1 in
+      st.Machine.depth <- depth;
+      let ccm = st.Machine.methods.(cidx) in
+      let body =
+        if ccm.Machine.gen = !ic_gen then !ic_body
+        else begin
+          let b = get_body eng ~hooked:false cidx in
+          ic_gen := ccm.Machine.gen;
+          ic_body := b;
+          b
+        end
+      in
+      let sp = env.sp - argc in
+      env.sp <- sp;
+      let cenv = env_at eng depth in
+      prep cenv body argc;
+      Array.blit env.stack sp cenv.locals 0 argc;
+      let v = body.run cenv in
+      st.Machine.depth <- st.Machine.depth - 1;
+      Array.unsafe_set env.stack sp v;
+      env.sp <- sp + 1;
+      next env
+    else begin
+      let do_entry =
+        match hooks.Interp.on_entry with Some f -> f | None -> fun _ _ -> ()
+      in
+      let do_exit =
+        match hooks.Interp.on_exit with Some f -> f | None -> fun _ _ -> ()
+      in
+      let ic_hgen = ref min_int in
+      let parent = Machine.index st m.Method.name in
+      fun env ->
+        if st.Machine.depth >= Interp.max_depth then overflow ();
+        let depth = st.Machine.depth + 1 in
+        st.Machine.depth <- depth;
+        let frame = { Interp.fmeth = cidx; fparent = parent; r = 0 } in
+        (* on_entry runs before the inline cache is consulted: a lazy
+           compiler hook may have just replaced the callee's body *)
+        do_entry st frame;
+        let ccm = st.Machine.methods.(cidx) in
+        let body =
+          if ccm.Machine.gen = !ic_gen && eng.hooks_gen = !ic_hgen then !ic_body
+          else begin
+            let b = get_body eng ~hooked:true cidx in
+            ic_gen := ccm.Machine.gen;
+            ic_hgen := eng.hooks_gen;
+            ic_body := b;
+            b
+          end
+        in
+        let sp = env.sp - argc in
+        env.sp <- sp;
+        let cenv = env_at eng depth in
+        prep cenv body argc;
+        Array.blit env.stack sp cenv.locals 0 argc;
+        cenv.frame <- frame;
+        let v = body.run cenv in
+        do_exit st frame;
+        st.Machine.depth <- st.Machine.depth - 1;
+        Array.unsafe_set env.stack sp v;
+        env.sp <- sp + 1;
+        next env
+    end
+  in
+  let heap = st.Machine.heap in
+  let heap_n = Array.length heap in
+  let globals = st.Machine.globals in
+  let compile_instr ~targets i (ins : Instr.t) (next : env -> int) : env -> int
+      =
+    match ins with
+    | Instr.Const k ->
+        fun env ->
+          let sp = env.sp in
+          Array.unsafe_set env.stack sp k;
+          env.sp <- sp + 1;
+          next env
+    | Load l ->
+        fun env ->
+          let sp = env.sp in
+          Array.unsafe_set env.stack sp (Array.unsafe_get env.locals l);
+          env.sp <- sp + 1;
+          next env
+    | Store l ->
+        fun env ->
+          let sp = env.sp - 1 in
+          env.sp <- sp;
+          Array.unsafe_set env.locals l (Array.unsafe_get env.stack sp);
+          next env
+    | Inc (l, k) ->
+        fun env ->
+          Array.unsafe_set env.locals l (Array.unsafe_get env.locals l + k);
+          next env
+    | Binop op ->
+        let f : int -> int -> int =
+          match op with
+          | Instr.Add -> ( + )
+          | Sub -> ( - )
+          | Mul -> ( * )
+          | Div -> fun a b -> if b = 0 then 0 else a / b
+          | Rem -> fun a b -> if b = 0 then 0 else a mod b
+          | And -> ( land )
+          | Or -> ( lor )
+          | Xor -> ( lxor )
+          | Shl -> fun a b -> a lsl (b land 63)
+          | Shr -> fun a b -> a asr (b land 63)
+        in
+        fun env ->
+          let sp = env.sp - 1 in
+          env.sp <- sp;
+          let s = env.stack in
+          Array.unsafe_set s (sp - 1) (f (Array.unsafe_get s (sp - 1)) (Array.unsafe_get s sp));
+          next env
+    | Cmp c ->
+        let f : int -> int -> bool =
+          match c with
+          | Instr.Eq -> ( = )
+          | Ne -> ( <> )
+          | Lt -> ( < )
+          | Le -> ( <= )
+          | Gt -> ( > )
+          | Ge -> ( >= )
+        in
+        fun env ->
+          let sp = env.sp - 1 in
+          env.sp <- sp;
+          let s = env.stack in
+          Array.unsafe_set s (sp - 1) (if f (Array.unsafe_get s (sp - 1)) (Array.unsafe_get s sp) then 1 else 0);
+          next env
+    | Neg ->
+        fun env ->
+          let sp = env.sp - 1 in
+          Array.unsafe_set env.stack sp (-Array.unsafe_get env.stack sp);
+          next env
+    | Not ->
+        fun env ->
+          let sp = env.sp - 1 in
+          Array.unsafe_set env.stack sp (if Array.unsafe_get env.stack sp = 0 then 1 else 0);
+          next env
+    | Dup ->
+        fun env ->
+          let sp = env.sp in
+          Array.unsafe_set env.stack sp (Array.unsafe_get env.stack (sp - 1));
+          env.sp <- sp + 1;
+          next env
+    | Pop ->
+        fun env ->
+          env.sp <- env.sp - 1;
+          next env
+    | GLoad g ->
+        fun env ->
+          let sp = env.sp in
+          Array.unsafe_set env.stack sp globals.(g);
+          env.sp <- sp + 1;
+          next env
+    | GStore g ->
+        fun env ->
+          let sp = env.sp - 1 in
+          env.sp <- sp;
+          globals.(g) <- Array.unsafe_get env.stack sp;
+          next env
+    | AGet ->
+        fun env ->
+          let sp = env.sp - 1 in
+          let i = Array.unsafe_get env.stack sp mod heap_n in
+          let i = if i < 0 then i + heap_n else i in
+          Array.unsafe_set env.stack sp (Array.unsafe_get heap i);
+          next env
+    | ASet ->
+        fun env ->
+          let sp = env.sp - 2 in
+          env.sp <- sp;
+          let i = Array.unsafe_get env.stack sp mod heap_n in
+          let i = if i < 0 then i + heap_n else i in
+          Array.unsafe_set heap i (Array.unsafe_get env.stack (sp + 1));
+          next env
+    | Call (_, argc) -> compile_call ~cidx:targets.(i) ~argc next
+    | Rand n ->
+        let prng = st.Machine.prng in
+        fun env ->
+          let sp = env.sp in
+          Array.unsafe_set env.stack sp (Prng.below prng n);
+          env.sp <- sp + 1;
+          next env
+  in
+  let compile_block b =
+    let blk = m.Method.blocks.(b) in
+    let term : env -> int =
+      match blk.Method.term with
+      | Method.Ret ->
+          fun env ->
+            let sp = env.sp - 1 in
+            env.sp <- sp;
+            Array.unsafe_get env.stack sp
+      | Method.Jmp d ->
+          let row = cm.Machine.edge_extra.(b) in
+          goto ~src:b ~row ~idx:0 d
+      | Method.Br { on_true; on_false; _ } ->
+          let row = cm.Machine.edge_extra.(b) in
+          let kt = goto ~src:b ~row ~idx:0 on_true in
+          let kf = goto ~src:b ~row ~idx:1 on_false in
+          fun env ->
+            let sp = env.sp - 1 in
+            env.sp <- sp;
+            if Array.unsafe_get env.stack sp <> 0 then kt env else kf env
+    in
+    let targets = cm.Machine.call_target.(b) in
+    let code = ref term in
+    for i = Array.length blk.Method.body - 1 downto 0 do
+      code := compile_instr ~targets i blk.Method.body.(i) !code
+    done;
+    !code
+  in
+  for b = 0 to nblocks - 1 do
+    blocks.(b) <- compile_block b
+  done;
+  {
+    bgen = cm.Machine.gen;
+    bhgen = (if hooked then eng.hooks_gen else 0);
+    nlocals = m.Method.nlocals;
+    stack_need = cm.Machine.max_stack + 1;
+    run = goto ~src:(-1) ~row:no_edge ~idx:0 m.Method.entry;
+  }
+
+(* Root invocation (the engine's equivalent of [Interp.call]): args come
+   in a real array, and the hook prologue/epilogue is matched here once
+   per invocation rather than specialized. *)
+let invoke eng midx (args : int array) =
+  let st = eng.st in
+  if st.Machine.depth >= Interp.max_depth then overflow ();
+  let depth = st.Machine.depth + 1 in
+  st.Machine.depth <- depth;
+  let argc = Array.length args in
+  if eng.hooked_mode then begin
+    let frame = { Interp.fmeth = midx; fparent = -1; r = 0 } in
+    (match eng.hooks.Interp.on_entry with Some f -> f st frame | None -> ());
+    let body = get_body eng ~hooked:true midx in
+    let env = env_at eng depth in
+    prep env body argc;
+    Array.blit args 0 env.locals 0 argc;
+    env.frame <- frame;
+    let r = body.run env in
+    (match eng.hooks.Interp.on_exit with Some f -> f st frame | None -> ());
+    st.Machine.depth <- st.Machine.depth - 1;
+    r
+  end
+  else begin
+    let body = get_body eng ~hooked:false midx in
+    let env = env_at eng depth in
+    prep env body argc;
+    Array.blit args 0 env.locals 0 argc;
+    let r = body.run env in
+    st.Machine.depth <- st.Machine.depth - 1;
+    r
+  end
+
+let call eng name args = invoke eng (Machine.index eng.st name) args
+let run eng = call eng eng.st.Machine.program.Program.main [||]

@@ -1,0 +1,46 @@
+(** Closure-threaded execution engine.
+
+    The production counterpart of the {!Interp} oracle: each compiled
+    form ({!Machine.cmeth}) is translated once into closure-threaded
+    code — every basic block a fused chain of closures over a pooled
+    per-invocation frame, block transfers a single virtual-cycle add
+    plus a direct tail call, and every call site a monomorphic inline
+    cache validated against the callee compiled form's generation stamp
+    ({!Machine.cmeth.gen}), so steady-state calls never consult the
+    method table and allocate nothing.
+
+    Two specializations are generated per method and selected at
+    dispatch: a {e bare} variant (no hook tests at all, used while the
+    engine's hooks are {!Interp.no_hooks}) and a {e hooked} variant
+    specialized against the engine's current hook record.
+
+    Semantics are bit-identical to the oracle: same virtual cycle
+    counts, same yieldpoint firings, same hook event order, same
+    results.  Translated code is cached per method and re-validated on
+    every dispatch, so {!Machine.recompile} and {!Machine.set_speed}
+    (which bump the generation stamp) transparently invalidate stale
+    code; layout penalties and block costs are read through the captured
+    compiled form, so in-place mutation by {!Machine.set_speed},
+    [Layout.apply] and {!Machine.clear_edge_extra} affects even frames
+    currently executing, exactly as in the oracle. *)
+
+type t
+
+(** [create ?hooks machine] builds an engine over [machine].  Nothing is
+    translated until first dispatch; methods are translated lazily and
+    at most once per (generation stamp, hook generation). *)
+val create : ?hooks:Interp.hooks -> Machine.t -> t
+
+(** Replace the engine's hooks.  Bumps the hook generation: cached
+    hooked variants and call-site caches revalidate on next dispatch.
+    Must not be called while the engine is executing. *)
+val set_hooks : t -> Interp.hooks -> unit
+
+val hooks : t -> Interp.hooks
+
+(** [call engine name args] invokes method [name], like {!Interp.call}.
+    @raise Interp.Runtime_error on call-stack overflow. *)
+val call : t -> string -> int array -> int
+
+(** Run the program's main method. *)
+val run : t -> int

@@ -53,7 +53,10 @@ let heap_index heap i =
   let m = i mod n in
   if m < 0 then m + n else m
 
-let rec exec_method hooks (st : Machine.t) ~parent midx (args : int array) =
+(* [src.(pos .. pos+argc-1)] are the arguments: callers pass a slice of
+   their operand stack directly, so a call allocates no argument array. *)
+let rec exec_method hooks (st : Machine.t) ~parent midx (src : int array) pos
+    argc =
   if st.depth >= max_depth then raise (Runtime_error "call stack overflow");
   st.depth <- st.depth + 1;
   let frame = { fmeth = midx; fparent = parent; r = 0 } in
@@ -64,7 +67,7 @@ let rec exec_method hooks (st : Machine.t) ~parent midx (args : int array) =
   let cm = st.methods.(midx) in
   let m = cm.meth in
   let locals = Array.make (max 1 m.nlocals) 0 in
-  Array.blit args 0 locals 0 (Array.length args);
+  Array.blit src pos locals 0 argc;
   let stack = Array.make (cm.max_stack + 1) 0 in
   let sp = ref 0 in
   let enter_block b =
@@ -117,9 +120,9 @@ let rec exec_method hooks (st : Machine.t) ~parent midx (args : int array) =
     | ASet ->
         sp := !sp - 2;
         st.heap.(heap_index st.heap stack.(!sp)) <- stack.(!sp + 1)
-    | Call (_, argc) ->
-        (* the callee index is resolved once per call site below *)
-        ignore argc;
+    | Call _ ->
+        (* calls are handled in the block loop below, where the callee
+           index comes from the compiled form's [call_target] memo *)
         assert false
     | Rand n ->
         stack.(!sp) <- Prng.below st.prng n;
@@ -132,13 +135,13 @@ let rec exec_method hooks (st : Machine.t) ~parent midx (args : int array) =
   while !running do
     let blk = m.blocks.(!cur) in
     let body = blk.body in
+    let targets = cm.call_target.(!cur) in
     for i = 0 to Array.length body - 1 do
       match body.(i) with
-      | Instr.Call (callee, argc) ->
-          let cidx = Machine.index st callee in
+      | Instr.Call (_, argc) ->
+          let cidx = targets.(i) in
           sp := !sp - argc;
-          let args = Array.sub stack !sp argc in
-          let v = exec_method hooks st ~parent:midx cidx args in
+          let v = exec_method hooks st ~parent:midx cidx stack !sp argc in
           stack.(!sp) <- v;
           incr sp
       | ins -> exec_instr ins
@@ -165,6 +168,8 @@ let rec exec_method hooks (st : Machine.t) ~parent midx (args : int array) =
   !result
 
 let call hooks st name args =
-  exec_method hooks st ~parent:(-1) (Program.index st.program name) args
+  exec_method hooks st ~parent:(-1)
+    (Program.index st.program name)
+    args 0 (Array.length args)
 
 let run hooks st = call hooks st st.program.Program.main [||]

@@ -1,4 +1,10 @@
-(** Bytecode interpreter.
+(** Bytecode interpreter — the reference execution oracle.
+
+    {!Codegen} is the production engine (closure-threaded code, inline
+    caches); this interpreter stays deliberately simple and is the
+    semantic oracle the threaded engine is differentially tested
+    against: both must produce identical cycle counts, checksums, hook
+    event sequences and profiles on every workload.
 
     Executes a program over a {!Machine.t}, accumulating virtual cycles
     (per-block base cost, yieldpoint polls, layout [edge_extra]) and
@@ -34,6 +40,10 @@ val no_hooks : hooks
 val compose : hooks -> hooks -> hooks
 
 exception Runtime_error of string
+
+(** Call-stack depth at which {!Runtime_error} is raised; shared with
+    every alternative execution engine over the same machine. *)
+val max_depth : int
 
 (** [call hooks machine name args] invokes method [name].
     @raise Runtime_error on call-stack overflow (depth > 100_000). *)

@@ -4,6 +4,8 @@ type cmeth = {
   loops : Loops.t;
   max_stack : int;
   raw_block_cost : int array;
+  call_target : int array array;
+  mutable gen : int;
   mutable speed_percent : int;
   mutable block_cost : int array;
   mutable yieldpoint : bool array;
@@ -52,6 +54,16 @@ let default_yieldpoints (m : Method.t) cfg loops =
     yp
   end
 
+(* Compiled-form generation stamps.  A stamp is assigned whenever a
+   compiled form is (re)built or its code quality changes, so execution
+   engines can cache per-method generated code (and call-site inline
+   caches) and validate it with a single integer compare. *)
+let gen_counter = ref 0
+
+let next_gen () =
+  incr gen_counter;
+  !gen_counter
+
 let compile_method cost program (m : Method.t) =
   let cfg = To_cfg.cfg m in
   let loops = Loops.compute cfg in
@@ -63,6 +75,17 @@ let compile_method cost program (m : Method.t) =
           cost.Cost_model.block_dispatch blk.body)
       m.blocks
   in
+  (* call sites resolved once per compiled form: -1 marks non-call slots *)
+  let call_target =
+    Array.map
+      (fun (blk : Method.block) ->
+        Array.map
+          (function
+            | Instr.Call (callee, _) -> Program.index program callee
+            | _ -> -1)
+          blk.body)
+      m.blocks
+  in
   let n = Array.length m.blocks in
   {
     meth = m;
@@ -70,6 +93,8 @@ let compile_method cost program (m : Method.t) =
     loops;
     max_stack = max_stack_of program m;
     raw_block_cost;
+    call_target;
+    gen = next_gen ();
     speed_percent = 100;
     block_cost = Array.copy raw_block_cost;
     yieldpoint = default_yieldpoints m cfg loops;
@@ -120,7 +145,8 @@ let set_speed t i ~percent =
   let cm = t.methods.(i) in
   cm.speed_percent <- percent;
   cm.block_cost <-
-    Array.map (fun c -> max 1 (c * percent / 100)) cm.raw_block_cost
+    Array.map (fun c -> max 1 (c * percent / 100)) cm.raw_block_cost;
+  cm.gen <- next_gen ()
 
 let clear_edge_extra t i =
   let cm = t.methods.(i) in

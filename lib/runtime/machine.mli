@@ -14,6 +14,17 @@ type cmeth = {
   loops : Loops.t;
   max_stack : int;
   raw_block_cost : int array;  (** per block, at 100% speed *)
+  call_target : int array array;
+      (** per block, per body position: the dense method index of the
+          call's callee, resolved once at compile time; -1 for non-call
+          instructions.  Linked programs ({!Program.create}) guarantee
+          every callee resolves. *)
+  mutable gen : int;
+      (** compiled-form generation stamp, unique across all compiled
+          forms of a machine's lifetime.  Bumped by {!recompile}
+          (a fresh form) and {!set_speed} (code-quality change), so
+          execution engines can validate cached generated code and
+          call-site inline caches with one integer compare. *)
   mutable speed_percent : int;
       (** cost multiplier in percent: 100 = optimized, larger = slower *)
   mutable block_cost : int array;  (** [raw * speed_percent / 100] *)
@@ -52,7 +63,8 @@ val cmeth : t -> int -> cmeth
     @raise Not_found for unknown names. *)
 val index : t -> string -> int
 
-(** Change a method's code quality; recomputes its block costs. *)
+(** Change a method's code quality; recomputes its block costs and bumps
+    the compiled form's generation stamp. *)
 val set_speed : t -> int -> percent:int -> unit
 
 (** [recompile t i ?no_yieldpoint meth] installs a new body for method

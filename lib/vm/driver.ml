@@ -10,6 +10,8 @@ type pep_opts = {
 }
 
 type mode = Adaptive of { thresholds : int array } | Replay of Advice.t
+type engine = [ `Oracle | `Threaded ]
+
 type options = {
   mode : mode;
   opt_profile : opt_profile_source;
@@ -17,6 +19,7 @@ type options = {
   inline : bool;  (* inline small/hot callees *)
   unroll : bool;  (* unroll small innermost loops at opt levels >= 1 *)
   verify : bool;  (* re-verify bytecode after every optimization pass *)
+  engine : engine;  (* closure-threaded code by default; interp oracle *)
 }
 
 let default_thresholds = [| 3; 12; 40 |]
@@ -29,6 +32,7 @@ let default_options =
     inline = false;
     unroll = false;
     verify = true;
+    engine = `Threaded;
   }
 
 (* Trivial inlining takes any tiny callee; profile-guided inlining takes
@@ -53,6 +57,7 @@ type t = {
   mutable unrolled_loops : int;
   mutable checks : Pep_check.diagnostic list;  (* newest first *)
   mutable hooks : Interp.hooks;
+  eng : Codegen.t;
 }
 
 let record_checks d ds = d.checks <- List.rev_append ds d.checks
@@ -264,6 +269,7 @@ let create ?extra_hooks opts st =
       unrolled_loops = 0;
       checks = [];
       hooks = Interp.no_hooks;
+      eng = Codegen.create st;
     }
   in
   let tick_hooks =
@@ -318,11 +324,16 @@ let create ?extra_hooks opts st =
     | None -> hooks
   in
   d.hooks <- hooks;
+  Codegen.set_hooks d.eng hooks;
   d
 
 let run d =
   let before = d.st.Machine.cycles in
-  let result = Interp.run d.hooks d.st in
+  let result =
+    match d.opts.engine with
+    | `Threaded -> Codegen.run d.eng
+    | `Oracle -> Interp.run d.hooks d.st
+  in
   (d.st.Machine.cycles - before, result)
 
 let machine d = d.st
@@ -348,7 +359,9 @@ let dcg d = d.dcg
 let inlined_sites d = d.inlined_sites
 let unrolled_loops d = d.unrolled_loops
 let checks d = List.rev d.checks
-let add_hooks d h = d.hooks <- Interp.compose d.hooks h
+let add_hooks d h =
+  d.hooks <- Interp.compose d.hooks h;
+  Codegen.set_hooks d.eng d.hooks
 
 let precompile d =
   Program.iter_methods (fun midx _ -> ensure_compiled d midx) d.st.Machine.program

@@ -39,6 +39,13 @@ type mode =
       (** samples needed to reach opt level 0, 1, 2 *)
   | Replay of Advice.t
 
+(** Which execution engine carries the application's instructions.
+    [`Threaded] is {!Codegen}'s closure-threaded code (the default);
+    [`Oracle] is the {!Interp} reference interpreter.  Both are
+    bit-identical in cycle counts, checksums and collected profiles —
+    the differential test suite holds them to that. *)
+type engine = [ `Oracle | `Threaded ]
+
 type options = {
   mode : mode;
   opt_profile : opt_profile_source;
@@ -57,11 +64,13 @@ type options = {
           layout), recording the diagnostics — see {!checks}.  On by
           default; verification is host-side and charges no simulated
           cycles. *)
+  engine : engine;
 }
 
 val default_thresholds : int array
 
-(** Adaptive mode with default thresholds, one-time profile, no PEP. *)
+(** Adaptive mode with default thresholds, one-time profile, no PEP,
+    threaded engine. *)
 val default_options : options
 
 type t

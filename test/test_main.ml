@@ -12,6 +12,7 @@ let () =
       ("sampling", Test_sampling.suite);
       ("pep", Test_pep.suite);
       ("vm", Test_vm.suite);
+      ("engine", Test_engine.suite);
       ("inline", Test_inline.suite);
       ("estimators", Test_estimators.suite);
       ("unroll", Test_unroll.suite);

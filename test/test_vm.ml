@@ -152,6 +152,7 @@ let test_driver_with_pep () =
       inline = false;
       unroll = false;
       verify = true;
+      engine = `Threaded;
     }
   in
   let d = Driver.create opts st in
