@@ -42,7 +42,9 @@ let run_figures ids scale seed =
     "PEP reproduction: %d benchmarks, scale %.2f, seed %d\n%!"
     (List.length Suite.names) scale seed;
   let caches =
-    List.map Exp_cache.create (Exp_harness.suite_envs ~scale ~seed ())
+    List.map
+      (fun env -> Exp_cache.create env)
+      (Exp_harness.suite_envs ~scale ~seed ())
   in
   List.iter (fun id -> Exp_figures.print (Exp_figures.by_id id caches)) ids;
   Printf.printf "\n[figures done in %.1fs]\n%!" (Unix.gettimeofday () -. t0)

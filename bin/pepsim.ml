@@ -4,6 +4,8 @@
      run          parse a textual program and profile it with PEP
      workload     run one suite benchmark under a profiling configuration
      experiments  regenerate the paper's tables and figures
+     trace        emit a Chrome trace of an adaptive PEP run
+     top          render PEP's continuous profile as folded stacks
      check        run the static verifier and profile lint
      list         enumerate workloads and experiment ids *)
 
@@ -186,9 +188,13 @@ let workload_cmd =
         let cache = Exp_cache.create env in
         let base = Exp_cache.base cache in
         let run =
-          Exp_cache.run cache ~key:"cli"
-            (Exp_harness.Pep_profiled
-               { sampling; zero = `Hottest; numbering = `Smart })
+          Exp_cache.run cache
+            {
+              (Exp_cache.config cache) with
+              Exp_harness.profiling =
+                Exp_harness.Pep_profiled
+                  { sampling; zero = `Hottest; numbering = `Smart };
+            }
         in
         Printf.printf
           "%s (size %d): base %.2f Mcycles, %s %.2f Mcycles (%+.2f%%)\n" name
@@ -227,7 +233,16 @@ let experiments_cmd =
       value & opt float 1.0
       & info [ "scale" ] ~docv:"F" ~doc:"Scale workload sizes by F.")
   in
-  let action only scale seed verify =
+  let trace_arg =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "trace" ] ~docv:"FILE"
+          ~doc:
+            "Attach a telemetry sink to every run and write a Chrome \
+             trace of the whole experiment sweep to $(i,FILE).")
+  in
+  let action only scale seed verify trace_out =
     let ids = if only = [] then Exp_figures.ids else only in
     List.iter
       (fun id ->
@@ -238,12 +253,24 @@ let experiments_cmd =
       ids;
     Printf.printf "preparing %d benchmarks (scale %.2f)...\n%!"
       (List.length Suite.names) scale;
+    let telemetry =
+      Option.map (fun _ -> Telemetry.create ~tracing:true ()) trace_out
+    in
+    let config = { Exp_harness.default with Exp_harness.telemetry } in
     let caches =
-      List.map Exp_cache.create (Exp_harness.suite_envs ~scale ~seed ())
+      List.map (Exp_cache.create ~config)
+        (Exp_harness.suite_envs ~scale ~config ~seed ())
     in
     List.iter
       (fun id -> Exp_figures.print (Exp_figures.by_id id caches))
       ids;
+    (match (trace_out, telemetry) with
+    | Some path, Some tel ->
+        let trace = Option.get (Telemetry.trace tel) in
+        Out_channel.with_open_text path (fun oc ->
+            Out_channel.output_string oc (Trace.to_json trace));
+        Printf.printf "wrote %s (%d events)\n" path (Trace.length trace)
+    | _ -> ());
     if verify then begin
       (* every cached run carries its driver + profile-lint diagnostics *)
       let n_runs = ref 0 in
@@ -271,7 +298,8 @@ let experiments_cmd =
   Cmd.v
     (Cmd.info "experiments"
        ~doc:"Regenerate the paper's tables and figures")
-    Term.(const action $ only_arg $ scale_arg $ seed_arg $ verify_arg)
+    Term.(
+      const action $ only_arg $ scale_arg $ seed_arg $ verify_arg $ trace_arg)
 
 (* --- disasm -------------------------------------------------------- *)
 
@@ -387,8 +415,12 @@ let profiles_cmd =
         let env = Exp_harness.make_env ?size ~seed w in
         let run =
           Exp_harness.replay env
-            (Exp_harness.Pep_profiled
-               { sampling; zero = `Hottest; numbering = `Smart })
+            {
+              Exp_harness.default with
+              Exp_harness.profiling =
+                Exp_harness.Pep_profiled
+                  { sampling; zero = `Hottest; numbering = `Smart };
+            }
         in
         let pep = Option.get run.Exp_harness.pep in
         let write path lines =
@@ -420,6 +452,195 @@ let profiles_cmd =
     (Cmd.info "profiles"
        ~doc:"Collect PEP profiles for a benchmark; optionally save them")
     Term.(const action $ name_arg $ out_arg $ size_arg $ sampling_arg $ seed_arg)
+
+(* --- trace / top --------------------------------------------------- *)
+
+let find_workload name =
+  match Suite.find name with
+  | w -> w
+  | exception Not_found ->
+      Printf.eprintf "unknown workload %s; try `pepsim list`\n" name;
+      exit 1
+
+(* Parse an advice file, reporting malformed lines with their position
+   the same way unreadable paths are reported. *)
+let load_advice ~n_methods file =
+  let src =
+    match In_channel.with_open_text file In_channel.input_all with
+    | src -> src
+    | exception Sys_error msg ->
+        Printf.eprintf "%s\n" msg;
+        exit 1
+  in
+  match Advice.of_lines ~file ~n_methods (String.split_on_char '\n' src) with
+  | Ok advice -> advice
+  | Error e ->
+      Fmt.epr "%a@." Dcg.pp_parse_error e;
+      exit 1
+
+(* An adaptive run with PEP collecting the continuous profile and
+   driving the optimizer (paper §6.5) — the configuration whose trace
+   shows every event class: baseline compiles, promotions, PEP samples,
+   recompiles and set_speed phase shifts.  With [advice_file], a
+   deterministic replay of that advice instead. *)
+let telemetry_run ~tracing ~size ~seed ~sampling ~iters ~advice_file w =
+  let tel = Telemetry.create ~tracing () in
+  let size = Option.value ~default:w.Workload.default_size size in
+  let program = Workload.program ~size w in
+  let mode =
+    match advice_file with
+    | None -> Driver.Adaptive { thresholds = Driver.default_thresholds }
+    | Some file ->
+        Driver.Replay (load_advice ~n_methods:(Program.n_methods program) file)
+  in
+  let st = Machine.create ~seed program in
+  Telemetry.begin_run tel
+    ~name:(Printf.sprintf "%s size=%d seed=%d" w.Workload.name size seed);
+  let d =
+    Driver.create
+      {
+        Driver.default_options with
+        mode;
+        opt_profile = Driver.From_pep;
+        pep = Some { Driver.sampling; zero = `Hottest; numbering = `Smart };
+        telemetry = Some tel;
+      }
+      st
+  in
+  for _ = 1 to iters do
+    ignore (Driver.run d)
+  done;
+  (tel, d)
+
+let iters_arg =
+  Arg.(
+    value & opt int 2
+    & info [ "iters" ] ~docv:"N" ~doc:"Application iterations to run.")
+
+let advice_arg =
+  Arg.(
+    value
+    & opt (some file) None
+    & info [ "advice" ] ~docv:"FILE"
+        ~doc:
+          "Replay this advice file (see $(b,pepsim profiles --out)) \
+           instead of running the adaptive system.")
+
+let size_opt_arg =
+  Arg.(
+    value
+    & opt (some int) None
+    & info [ "size" ] ~docv:"N" ~doc:"Workload size (default per benchmark).")
+
+let trace_cmd =
+  let name_arg =
+    Arg.(
+      required
+      & pos 0 (some string) None
+      & info [] ~docv:"NAME" ~doc:"Benchmark name (see $(b,pepsim list)).")
+  in
+  let out_arg =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "out" ] ~docv:"FILE"
+          ~doc:"Write the trace JSON to $(i,FILE) instead of stdout.")
+  in
+  let metrics_arg =
+    Arg.(
+      value & flag
+      & info [ "metrics" ] ~doc:"Also print the metrics registry.")
+  in
+  let action name out metrics size sampling seed iters advice_file =
+    let w = find_workload name in
+    let tel, _d =
+      telemetry_run ~tracing:true ~size ~seed ~sampling ~iters ~advice_file w
+    in
+    let trace = Option.get (Telemetry.trace tel) in
+    let json = Trace.to_json trace in
+    (match out with
+    | Some path ->
+        Out_channel.with_open_text path (fun oc ->
+            Out_channel.output_string oc json);
+        Printf.printf "wrote %s (%d events%s)\n" path (Trace.length trace)
+          (match Trace.dropped trace with
+          | 0 -> ""
+          | n -> Printf.sprintf ", %d dropped" n)
+    | None -> print_string json);
+    if metrics then Fmt.pr "%a@." Metrics.pp (Telemetry.metrics tel)
+  in
+  Cmd.v
+    (Cmd.info "trace"
+       ~doc:
+         "Run a benchmark adaptively under PEP and emit a Chrome \
+          trace-event JSON of its virtual timeline (open in \
+          about:tracing or ui.perfetto.dev)")
+    Term.(
+      const action $ name_arg $ out_arg $ metrics_arg $ size_opt_arg
+      $ sampling_arg $ seed_arg $ iters_arg $ advice_arg)
+
+let top_cmd =
+  let name_arg =
+    Arg.(
+      required
+      & pos 0 (some string) None
+      & info [] ~docv:"NAME" ~doc:"Benchmark name (see $(b,pepsim list)).")
+  in
+  let kind_arg =
+    Arg.(
+      value
+      & opt
+          (enum
+             [ ("paths", `Paths); ("edges", `Edges); ("dcg", `Dcg) ])
+          `Paths
+      & info [ "kind" ] ~docv:"KIND"
+          ~doc:
+            "Profile to render: $(b,paths) (sampled path profile), \
+             $(b,edges) (sampled edge profile) or $(b,dcg) (tick-sampled \
+             call graph).")
+  in
+  let json_arg =
+    Arg.(
+      value & flag
+      & info [ "json" ] ~doc:"Emit JSON instead of folded-stack text.")
+  in
+  let limit_arg =
+    Arg.(
+      value
+      & opt (some int) None
+      & info [ "limit" ] ~docv:"N" ~doc:"Show only the N hottest stacks.")
+  in
+  let action name kind json limit size sampling seed iters advice_file =
+    let w = find_workload name in
+    let _tel, d =
+      telemetry_run ~tracing:false ~size ~seed ~sampling ~iters ~advice_file w
+    in
+    match Profile_export.of_driver d kind with
+    | None ->
+        Printf.eprintf "%s: no PEP profile was collected\n"
+          (Profile_export.kind_name kind);
+        exit 1
+    | Some folded ->
+        if json then print_string (Folded.to_json folded)
+        else begin
+          let lines = Folded.to_lines folded in
+          let lines =
+            match limit with
+            | Some n -> List.filteri (fun i _ -> i < n) lines
+            | None -> lines
+          in
+          List.iter print_endline lines
+        end
+  in
+  Cmd.v
+    (Cmd.info "top"
+       ~doc:
+         "Render PEP's continuous profile as folded stacks (the \
+          flamegraph.pl / speedscope input format), methods hung under \
+          their hottest sampled call chain")
+    Term.(
+      const action $ name_arg $ kind_arg $ json_arg $ limit_arg $ size_opt_arg
+      $ sampling_arg $ seed_arg $ iters_arg $ advice_arg)
 
 (* --- check --------------------------------------------------------- *)
 
@@ -541,6 +762,8 @@ let () =
             run_cmd;
             workload_cmd;
             experiments_cmd;
+            trace_cmd;
+            top_cmd;
             check_cmd;
             disasm_cmd;
             profiles_cmd;

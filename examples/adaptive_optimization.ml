@@ -56,6 +56,7 @@ let () =
       unroll = false;
       verify = true;
       engine = `Threaded;
+      telemetry = None;
     }
   in
   let pep_driver, pep_iter2, pep_sum = run "PEP(64,17)" pep_opts program in

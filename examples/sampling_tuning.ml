@@ -14,9 +14,13 @@ let () =
   in
   let eval name sampling =
     let run =
-      Exp_cache.run cache ~key:name
-        (Exp_harness.Pep_profiled
-           { sampling; zero = `Hottest; numbering = `Smart })
+      Exp_cache.run cache
+        {
+          (Exp_cache.config cache) with
+          Exp_harness.profiling =
+            Exp_harness.Pep_profiled
+              { sampling; zero = `Hottest; numbering = `Smart };
+        }
     in
     let pep = Option.get run.Exp_harness.pep in
     let acc =

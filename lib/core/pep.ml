@@ -33,8 +33,47 @@ let branch_count edges =
          | Cfg.Seq -> false)
        edges)
 
-let create ?(eager = true) ?(number = fun _ dag -> Numbering.ball_larus dag)
-    ~sampling st =
+(* PEP-level telemetry.  Counters and instants are recorded host-side
+   only; everything simulated-cycle-visible in the hooks below is
+   unconditional and identical whether or not a sink is attached. *)
+type tstats = {
+  taken : Metrics.counter;
+  dropped : Metrics.counter;
+  skipped : Metrics.counter;
+  promotions : Metrics.counter;
+  branches : Metrics.histogram;
+  tel : Telemetry.t;
+}
+
+let create ?telemetry ?(eager = true)
+    ?(number = fun _ dag -> Numbering.ball_larus dag) ~sampling st =
+  let stats =
+    match telemetry with
+    | None -> None
+    | Some tel ->
+        let m = Telemetry.metrics tel in
+        Some
+          {
+            taken = Metrics.counter m "pep.samples.taken";
+            dropped = Metrics.counter m "pep.samples.dropped";
+            skipped = Metrics.counter m "pep.samples.skipped";
+            promotions = Metrics.counter m "pep.path.promotions";
+            branches = Metrics.histogram m "pep.path.branches";
+            tel;
+          }
+  in
+  let sample_instant (st : Machine.t) name meth path_id =
+    match stats with
+    | None -> ()
+    | Some s ->
+        Telemetry.instant s.tel ~ts:st.Machine.cycles ~cat:"sample" ~name
+          ~args:
+            [
+              ("method", st.Machine.methods.(meth).Machine.meth.Method.name);
+              ("path", string_of_int path_id);
+            ]
+          ()
+  in
   let n_methods = Array.length st.Machine.methods in
   let plans =
     if eager then Profile_hooks.make_plans ~mode:Dag.Loop_header ~number st
@@ -59,6 +98,8 @@ let create ?(eager = true) ?(number = fun _ dag -> Numbering.ball_larus dag)
        deliver a stale register value once; drop such samples. *)
     if path_id >= 0 && path_id < Numbering.n_paths plan.Instrument.numbering
     then begin
+      (match stats with Some s -> Metrics.incr s.taken | None -> ());
+      sample_instant st "sample" meth path_id;
       let entry = Path_profile.entry paths.(meth) path_id in
       entry.count <- entry.count + 1;
       match entry.edges with
@@ -73,7 +114,16 @@ let create ?(eager = true) ?(number = fun _ dag -> Numbering.ball_larus dag)
             * (List.length path_edges + 1));
           entry.edges <- Some path_edges;
           entry.n_branches <- branch_count path_edges;
+          (match stats with
+          | Some s ->
+              Metrics.incr s.promotions;
+              Metrics.observe s.branches entry.n_branches
+          | None -> ());
           update_edges meth path_edges
+    end
+    else begin
+      (match stats with Some s -> Metrics.incr s.dropped | None -> ());
+      sample_instant st "drop" meth path_id
     end
   in
   let on_path_end (st : Machine.t) (frame : Interp.frame) ~path_id =
@@ -83,7 +133,9 @@ let create ?(eager = true) ?(number = fun _ dag -> Numbering.ball_larus dag)
     end;
     if Sampling.active sampler then
       match Sampling.step sampler with
-      | `Skip -> Machine.add_cycles st st.cost.Cost_model.stride_step
+      | `Skip ->
+          (match stats with Some s -> Metrics.incr s.skipped | None -> ());
+          Machine.add_cycles st st.cost.Cost_model.stride_step
       | `Take -> take_sample st frame.fmeth path_id
   in
   let hooks = Profile_hooks.path_hooks ~plans ~count_cost:`None ~on_path_end () in

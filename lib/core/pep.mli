@@ -29,8 +29,16 @@ type t = {
     to enable profile-guided placement.  [eager:false] starts with no
     method instrumented — an adaptive VM installs plans into [plans] as
     it opt-compiles methods (clearing the method's slot in [paths] when
-    it re-instruments, since path ids change with the numbering). *)
+    it re-instruments, since path ids change with the numbering).
+
+    With [telemetry], the profiler maintains the [pep.samples.taken] /
+    [pep.samples.dropped] / [pep.samples.skipped] /
+    [pep.path.promotions] counters and the [pep.path.branches]
+    histogram, and emits a ["sample"]-category trace instant per
+    taken/dropped sample.  All recording is host-side: simulated cycle
+    charges are identical with or without a sink. *)
 val create :
+  ?telemetry:Telemetry.t ->
   ?eager:bool ->
   ?number:(int -> Dag.t -> Numbering.t) ->
   sampling:Sampling.config ->

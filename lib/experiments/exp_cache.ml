@@ -1,38 +1,48 @@
 type t = {
   env : Exp_harness.env;
+  base_config : Exp_harness.config;
   runs : (string, Exp_harness.run) Hashtbl.t;
   mutable perfect_edge_table : Edge_profile.table option;
 }
 
-let create env = { env; runs = Hashtbl.create 16; perfect_edge_table = None }
-let env t = t.env
+let create ?(config = Exp_harness.default) env =
+  { env; base_config = config; runs = Hashtbl.create 16; perfect_edge_table = None }
 
-let run t ?opt_profile ?inline ?unroll ~key profiling =
+let env t = t.env
+let config t = t.base_config
+
+(* Memoize by the configuration itself: Exp_harness.config_key covers
+   every field (fixed opt-profile tables by digest), so two different
+   configurations can never alias to the same cached run. *)
+let run t config =
+  let key = Exp_harness.config_key config in
   match Hashtbl.find_opt t.runs key with
   | Some r -> r
   | None ->
-      let r = Exp_harness.replay ?opt_profile ?inline ?unroll t.env profiling in
+      let r = Exp_harness.replay t.env config in
       Hashtbl.replace t.runs key r;
       r
 
-let base t = run t ~key:"base" Exp_harness.Base
+let with_profiling t profiling = { t.base_config with Exp_harness.profiling }
+let base t = run t (with_profiling t Exp_harness.Base)
 
 let pep t ~samples ~stride =
   run t
-    ~key:(Fmt.str "pep-%d-%d" samples stride)
-    (Exp_harness.Pep_profiled
-       {
-         sampling = Sampling.pep ~samples ~stride;
-         zero = `Hottest;
-         numbering = `Smart;
-       })
+    (with_profiling t
+       (Exp_harness.Pep_profiled
+          {
+            sampling = Sampling.pep ~samples ~stride;
+            zero = `Hottest;
+            numbering = `Smart;
+          }))
 
 let instr_only t =
-  run t ~key:"instr-only"
-    (Exp_harness.Pep_profiled
-       { sampling = Sampling.never; zero = `Hottest; numbering = `Smart })
+  run t
+    (with_profiling t
+       (Exp_harness.Pep_profiled
+          { sampling = Sampling.never; zero = `Hottest; numbering = `Smart }))
 
-let perfect_path t = run t ~key:"perfect-path" Exp_harness.Perfect_path
+let perfect_path t = run t (with_profiling t Exp_harness.Perfect_path)
 
 let perfect_edges_of_paths t =
   match t.perfect_edge_table with

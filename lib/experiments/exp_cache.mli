@@ -2,26 +2,28 @@
 
     Several figures share configurations (the PEP(64,17) replay run feeds
     Fig. 6 overhead, Fig. 8 path accuracy and Fig. 9 edge accuracy); the
-    cache executes each distinct configuration once per benchmark. *)
+    cache executes each distinct configuration once per benchmark,
+    memoizing by {!Exp_harness.config_key} — every configuration field
+    is part of the key, so distinct configurations never alias. *)
 
 type t
 
-val create : Exp_harness.env -> t
+(** [config] is the base configuration the convenience runs below (and
+    {!config}-derived callers) build on — e.g. pass one carrying a
+    telemetry sink to have every figure's runs traced. *)
+val create : ?config:Exp_harness.config -> Exp_harness.env -> t
+
 val env : t -> Exp_harness.env
 
-(** Run (or recall) a configuration.  [key] identifies the configuration
-    — callers must use distinct keys for distinct
-    [profiling]/[opt_profile] combinations. *)
-val run :
-  t ->
-  ?opt_profile:Driver.opt_profile_source ->
-  ?inline:bool ->
-  ?unroll:bool ->
-  key:string ->
-  Exp_harness.profiling ->
-  Exp_harness.run
+(** The base configuration given to {!create} (default
+    {!Exp_harness.default}); derive per-run configurations from it with
+    record update. *)
+val config : t -> Exp_harness.config
 
-(** The shared convenience runs. *)
+(** Run (or recall) a configuration. *)
+val run : t -> Exp_harness.config -> Exp_harness.run
+
+(** The shared convenience runs, derived from the base configuration. *)
 
 val base : t -> Exp_harness.run
 val pep : t -> samples:int -> stride:int -> Exp_harness.run

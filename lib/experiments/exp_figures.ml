@@ -21,6 +21,10 @@ let print fig =
 
 let bench_name c = (Exp_cache.env c).Exp_harness.workload.Workload.name
 
+(* Derive a run configuration from the cache's base configuration (which
+   may carry a telemetry sink) by overriding the profiling axis. *)
+let cfg_with c profiling = { (Exp_cache.config c) with Exp_harness.profiling }
+
 let col_summary label values =
   [
     (label ^ " mean", Exp_report.mean values);
@@ -189,12 +193,12 @@ let tab_perfect caches =
       (fun c ->
         let base = (Exp_cache.base c).Exp_harness.meas.iter2 in
         let path =
-          (Exp_cache.run c ~key:"perfect-path" Exp_harness.Perfect_path)
+          (Exp_cache.run c (cfg_with c Exp_harness.Perfect_path))
             .Exp_harness.meas
             .iter2
         in
         let edge =
-          (Exp_cache.run c ~key:"perfect-edge" Exp_harness.Perfect_edge)
+          (Exp_cache.run c (cfg_with c Exp_harness.Perfect_edge))
             .Exp_harness.meas
             .iter2
         in
@@ -219,12 +223,12 @@ let tab_blpp caches =
       (fun c ->
         let base = (Exp_cache.base c).Exp_harness.meas.iter2 in
         let blpp =
-          (Exp_cache.run c ~key:"classic-blpp" Exp_harness.Classic_blpp)
+          (Exp_cache.run c (cfg_with c Exp_harness.Classic_blpp))
             .Exp_harness.meas
             .iter2
         in
         let edge =
-          (Exp_cache.run c ~key:"perfect-edge" Exp_harness.Perfect_edge)
+          (Exp_cache.run c (cfg_with c Exp_harness.Perfect_edge))
             .Exp_harness.meas
             .iter2
         in
@@ -254,12 +258,12 @@ let tab_smart caches =
         let base = (Exp_cache.base c).Exp_harness.meas.iter2 in
         let hot = (Exp_cache.instr_only c).Exp_harness.meas.iter2 in
         let cold =
-          (Exp_cache.run c ~key:"instr-cold" (cfg `Coldest `Smart))
+          (Exp_cache.run c (cfg_with c (cfg `Coldest `Smart)))
             .Exp_harness.meas
             .iter2
         in
         let bl =
-          (Exp_cache.run c ~key:"instr-bl" (cfg `Hottest `Ball_larus))
+          (Exp_cache.run c (cfg_with c (cfg `Hottest `Ball_larus)))
             .Exp_harness.meas
             .iter2
         in
@@ -294,13 +298,14 @@ let tab_ag caches =
         let base = (Exp_cache.base c).Exp_harness.meas.iter2 in
         let pep = Exp_cache.pep c ~samples:64 ~stride:17 in
         let ag =
-          Exp_cache.run c ~key:"ag-64-17"
-            (Exp_harness.Pep_profiled
-               {
-                 sampling = Sampling.arnold_grove ~samples:64 ~stride:17;
-                 zero = `Hottest;
-                 numbering = `Smart;
-               })
+          Exp_cache.run c
+            (cfg_with c
+               (Exp_harness.Pep_profiled
+                  {
+                    sampling = Sampling.arnold_grove ~samples:64 ~stride:17;
+                    zero = `Hottest;
+                    numbering = `Smart;
+                  }))
         in
         ( bench_name c,
           [
@@ -338,7 +343,7 @@ let tab_header caches =
         let base = (Exp_cache.base c).Exp_harness.meas.iter2 in
         let header_mode = (Exp_cache.instr_only c).Exp_harness.meas.iter2 in
         let back_mode =
-          (Exp_cache.run c ~key:"instr-back" Exp_harness.Instr_back_edge)
+          (Exp_cache.run c (cfg_with c Exp_harness.Instr_back_edge))
             .Exp_harness.meas
             .iter2
         in
@@ -420,16 +425,17 @@ let fig10 caches =
       (fun c ->
         let table = Exp_cache.perfect_edges_of_paths c in
         let onetime = (Exp_cache.base c).Exp_harness.meas.iter2 in
+        let with_table t =
+          {
+            (cfg_with c Exp_harness.Base) with
+            Exp_harness.opt_profile = Driver.Fixed t;
+          }
+        in
         let continuous =
-          (Exp_cache.run c ~key:"opt-continuous"
-             ~opt_profile:(Driver.Fixed table) Exp_harness.Base)
-            .Exp_harness.meas
-            .iter2
+          (Exp_cache.run c (with_table table)).Exp_harness.meas.iter2
         in
         let flipped =
-          (Exp_cache.run c ~key:"opt-flipped"
-             ~opt_profile:(Driver.Fixed (Edge_profile.flip_table table))
-             Exp_harness.Base)
+          (Exp_cache.run c (with_table (Edge_profile.flip_table table)))
             .Exp_harness.meas
             .iter2
         in
@@ -460,12 +466,14 @@ let fig11 ?(trials = 15) caches =
     List.map
       (fun c ->
         let env = Exp_cache.env c in
-        let totals pep =
+        let totals profiling =
           List.init trials (fun trial ->
-              float_of_int (Exp_harness.adaptive_total ~pep ~trial env))
+              float_of_int
+                (Exp_harness.adaptive_total ~config:(cfg_with c profiling)
+                   ~trial env))
         in
-        let base = Exp_report.median (totals false) in
-        let pep = Exp_report.median (totals true) in
+        let base = Exp_report.median (totals Exp_harness.Base) in
+        let pep = Exp_report.median (totals Exp_harness.pep_default) in
         (bench_name c, [ 100. *. ((pep /. base) -. 1.) ]))
       caches
   in
@@ -490,10 +498,15 @@ let tab_inline caches =
         let base = Exp_cache.base c in
         (* clean run measuring inlined execution, no profiling *)
         let inline_run =
-          Exp_cache.run c ~key:"inline-base" ~inline:true Exp_harness.Base
+          Exp_cache.run c
+            { (cfg_with c Exp_harness.Base) with Exp_harness.inline = true }
         in
         (* combined run: PEP and a perfect profiler over the inlined code *)
-        let driver, pep, truth = Exp_harness.replay_transformed_with_truth env in
+        let driver, pep, truth =
+          Exp_harness.replay_transformed_with_truth
+            ~config:{ (Exp_cache.config c) with Exp_harness.inline = true }
+            env
+        in
         let n_branches =
           Profiler.n_branches_resolver truth.Profiler.plans truth.Profiler.table
         in
@@ -544,7 +557,7 @@ let tab_edgetruth caches =
                ~estimated:pep.Pep.edges
         in
         let edge_run =
-          Exp_cache.run c ~key:"perfect-edge" Exp_harness.Perfect_edge
+          Exp_cache.run c (cfg_with c Exp_harness.Perfect_edge)
         in
         let etable = (Option.get edge_run.Exp_harness.pedges).Profiler.etable in
         let vs_edges =
@@ -644,7 +657,8 @@ let tab_hardware caches =
                   inline = false;
                   unroll = false;
                   verify = true;
-                  engine = `Threaded;
+                  engine = (Exp_cache.config c).Exp_harness.engine;
+                  telemetry = (Exp_cache.config c).Exp_harness.telemetry;
                 }
               in
               let d = Driver.create ~extra_hooks:(Hw_profiler.hooks hw) opts st in
@@ -704,7 +718,8 @@ let tab_onetime_paths caches =
             inline = false;
             unroll = false;
             verify = true;
-            engine = `Threaded;
+            engine = (Exp_cache.config c).Exp_harness.engine;
+            telemetry = (Exp_cache.config c).Exp_harness.telemetry;
           }
         in
         let d = Driver.create ~extra_hooks:hooks opts st in
@@ -744,10 +759,17 @@ let tab_unroll caches =
         let env = Exp_cache.env c in
         let base = Exp_cache.base c in
         let unrolled_run =
-          Exp_cache.run c ~key:"unroll-base" ~unroll:true Exp_harness.Base
+          Exp_cache.run c
+            { (cfg_with c Exp_harness.Base) with Exp_harness.unroll = true }
         in
         let driver, pep, truth =
-          Exp_harness.replay_transformed_with_truth ~inline:false ~unroll:true
+          Exp_harness.replay_transformed_with_truth
+            ~config:
+              {
+                (Exp_cache.config c) with
+                Exp_harness.inline = false;
+                unroll = true;
+              }
             env
         in
         let n_branches =

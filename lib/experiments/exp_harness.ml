@@ -6,25 +6,6 @@ type env = {
   seed : int;
 }
 
-let make_env ?size ?(engine = `Threaded) ~seed workload =
-  let size = Option.value ~default:workload.Workload.default_size size in
-  let program = Workload.program ~size workload in
-  Verify.program program;
-  let st = Machine.create ~seed program in
-  let driver = Driver.create { Driver.default_options with engine } st in
-  ignore (Driver.run driver);
-  ignore (Driver.run driver);
-  { workload; program; advice = Driver.advice driver; size; seed }
-
-let suite_envs ?(scale = 1.0) ~seed () =
-  List.map
-    (fun (w : Workload.t) ->
-      let size =
-        max 1 (int_of_float (float_of_int w.default_size *. scale))
-      in
-      make_env ~size ~seed w)
-    Suite.all
-
 type measurement = { iter1 : int; iter2 : int; compile : int; checksum : int }
 
 type profiling =
@@ -38,6 +19,101 @@ type profiling =
   | Perfect_edge
   | Classic_blpp
   | Instr_back_edge
+
+let pep_default =
+  Pep_profiled
+    {
+      sampling = Sampling.pep ~samples:64 ~stride:17;
+      zero = `Hottest;
+      numbering = `Smart;
+    }
+
+type config = {
+  profiling : profiling;
+  opt_profile : Driver.opt_profile_source;
+  inline : bool;
+  unroll : bool;
+  engine : Driver.engine;
+  telemetry : Telemetry.t option;
+}
+
+let default =
+  {
+    profiling = Base;
+    opt_profile = Driver.From_baseline;
+    inline = false;
+    unroll = false;
+    engine = `Threaded;
+    telemetry = None;
+  }
+
+let profiling_key = function
+  | Base -> "base"
+  | Pep_profiled { sampling; zero; numbering } ->
+      Fmt.str "%s-%s-%s" (Sampling.name sampling)
+        (match zero with `Hottest -> "hot" | `Coldest -> "cold")
+        (match numbering with `Smart -> "smart" | `Ball_larus -> "bl")
+  | Perfect_path -> "perfect-path"
+  | Perfect_edge -> "perfect-edge"
+  | Classic_blpp -> "classic-blpp"
+  | Instr_back_edge -> "instr-back-edge"
+
+let config_key c =
+  let buf = Buffer.create 32 in
+  Buffer.add_string buf (profiling_key c.profiling);
+  (match c.opt_profile with
+  | Driver.From_baseline -> ()
+  | Driver.From_pep -> Buffer.add_string buf "+opt=pep"
+  | Driver.Fixed table ->
+      (* distinct fixed tables (e.g. continuous vs flipped) must not
+         alias, so the table's content is part of the key *)
+      let digest =
+        Digest.to_hex
+          (Digest.string (String.concat "\n" (Edge_profile.to_lines table)))
+      in
+      Buffer.add_string buf ("+opt=fixed:" ^ String.sub digest 0 8));
+  if c.inline then Buffer.add_string buf "+inline";
+  if c.unroll then Buffer.add_string buf "+unroll";
+  (match c.engine with
+  | `Oracle -> Buffer.add_string buf "+oracle"
+  | `Threaded -> ());
+  (match c.telemetry with
+  | Some _ -> Buffer.add_string buf "+tel"
+  | None -> ());
+  Buffer.contents buf
+
+let begin_run config name =
+  match config.telemetry with
+  | None -> ()
+  | Some tel -> Telemetry.begin_run tel ~name
+
+let make_env ?size ?(config = default) ~seed workload =
+  let size = Option.value ~default:workload.Workload.default_size size in
+  let program = Workload.program ~size workload in
+  Verify.program program;
+  let st = Machine.create ~seed program in
+  begin_run config (Fmt.str "warmup %s" workload.Workload.name);
+  let driver =
+    Driver.create
+      {
+        Driver.default_options with
+        engine = config.engine;
+        telemetry = config.telemetry;
+      }
+      st
+  in
+  ignore (Driver.run driver);
+  ignore (Driver.run driver);
+  { workload; program; advice = Driver.advice driver; size; seed }
+
+let suite_envs ?(scale = 1.0) ?config ~seed () =
+  List.map
+    (fun (w : Workload.t) ->
+      let size =
+        max 1 (int_of_float (float_of_int w.default_size *. scale))
+      in
+      make_env ~size ?config ~seed w)
+    Suite.all
 
 type run = {
   meas : measurement;
@@ -127,11 +203,12 @@ let mask_plans env (plans : Profile_hooks.plans) =
     (fun m level -> if level < 0 then plans.(m) <- None)
     env.advice.Advice.levels
 
-let replay ?(opt_profile = Driver.From_baseline) ?(inline = false)
-    ?(unroll = false) ?(engine = `Threaded) env profiling =
+let replay env config =
   let st = Machine.create ~seed:env.seed env.program in
+  begin_run config
+    (Fmt.str "%s %s" env.workload.Workload.name (config_key config));
   let pep_opts, extra =
-    match profiling with
+    match config.profiling with
     | Base -> (None, None)
     | Pep_profiled { sampling; zero; numbering } ->
         (Some { Driver.sampling; zero; numbering }, None)
@@ -169,12 +246,13 @@ let replay ?(opt_profile = Driver.From_baseline) ?(inline = false)
   let opts =
     {
       Driver.mode = Replay env.advice;
-      opt_profile;
+      opt_profile = config.opt_profile;
       pep = pep_opts;
-      inline;
-      unroll;
+      inline = config.inline;
+      unroll = config.unroll;
       verify = true;
-      engine;
+      engine = config.engine;
+      telemetry = config.telemetry;
     }
   in
   let driver = Driver.create ?extra_hooks opts st in
@@ -206,24 +284,29 @@ let replay ?(opt_profile = Driver.From_baseline) ?(inline = false)
    path profiler observing the same (transformed) code: the profiler must
    be built after the driver has compiled the methods, or it would
    instrument the original bodies. *)
-let replay_transformed_with_truth ?(inline = true) ?(unroll = false)
-    ?(engine = `Threaded) env =
+let replay_transformed_with_truth ?(config = { default with inline = true })
+    env =
   let st = Machine.create ~seed:env.seed env.program in
+  begin_run config
+    (Fmt.str "truth %s %s" env.workload.Workload.name (config_key config));
   let opts =
     {
       Driver.mode = Replay env.advice;
-      opt_profile = Driver.From_baseline;
+      opt_profile = config.opt_profile;
       pep =
+        (* the profiling field is ignored: this methodology fixes
+           PEP(64,17) so the truth profiler and PEP stay comparable *)
         Some
           {
             Driver.sampling = Sampling.pep ~samples:64 ~stride:17;
             zero = `Hottest;
             numbering = `Smart;
           };
-      inline;
-      unroll;
+      inline = config.inline;
+      unroll = config.unroll;
       verify = true;
-      engine;
+      engine = config.engine;
+      telemetry = config.telemetry;
     }
   in
   let driver = Driver.create opts st in
@@ -235,7 +318,7 @@ let replay_transformed_with_truth ?(inline = true) ?(unroll = false)
   ignore (Driver.run driver);
   (driver, Option.get (Driver.pep driver), truth)
 
-let adaptive_total ?(pep = false) ?(engine = `Threaded) ~trial env =
+let adaptive_total ?(config = default) ~trial env =
   (* The adaptive system needs enough timer ticks for promotion decisions
      to stabilize (the paper's runs see ~550); compress the tick period so
      the tick:execution ratio stays comparable at simulation scale. *)
@@ -249,24 +332,31 @@ let adaptive_total ?(pep = false) ?(engine = `Threaded) ~trial env =
   (* pseudo-uniform, distinct timer phases across trials *)
   let tick_offset = 1 + (trial * 10007 * 977) mod period in
   let st = Machine.create ~cost ~tick_offset ~seed:env.seed env.program in
+  begin_run config
+    (Fmt.str "adaptive %s trial%d" env.workload.Workload.name trial);
   let opts =
-    if pep then
-      {
-        Driver.mode = Adaptive { thresholds = Driver.default_thresholds };
-        opt_profile = Driver.From_pep;
-        pep =
-          Some
-            {
-              Driver.sampling = Sampling.pep ~samples:64 ~stride:17;
-              zero = `Hottest;
-              numbering = `Smart;
-            };
-        inline = false;
-        unroll = false;
-        verify = true;
-        engine;
-      }
-    else { Driver.default_options with engine }
+    (* [Pep_profiled] turns on PEP and lets it drive optimization (paper
+       Fig. 11); any other profiling value runs the plain adaptive
+       system.  [inline]/[unroll]/[opt_profile] are fixed by the
+       methodology and ignored here. *)
+    match config.profiling with
+    | Pep_profiled { sampling; zero; numbering } ->
+        {
+          Driver.mode = Adaptive { thresholds = Driver.default_thresholds };
+          opt_profile = Driver.From_pep;
+          pep = Some { Driver.sampling; zero; numbering };
+          inline = false;
+          unroll = false;
+          verify = true;
+          engine = config.engine;
+          telemetry = config.telemetry;
+        }
+    | Base | Perfect_path | Perfect_edge | Classic_blpp | Instr_back_edge ->
+        {
+          Driver.default_options with
+          engine = config.engine;
+          telemetry = config.telemetry;
+        }
   in
   let driver = Driver.create opts st in
   let a, _ = Driver.run driver in

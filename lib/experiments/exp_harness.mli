@@ -18,15 +18,6 @@ type env = {
   seed : int;
 }
 
-(** Compile the workload and produce advice from a two-iteration adaptive
-    warmup run.  [engine] selects the execution engine for the warmup
-    (default [`Threaded]); the advice must be identical either way. *)
-val make_env : ?size:int -> ?engine:Driver.engine -> seed:int -> Workload.t -> env
-
-(** Envs for the whole suite; [scale] multiplies every workload's default
-    size (use a small scale in tests). *)
-val suite_envs : ?scale:float -> seed:int -> unit -> env list
-
 type measurement = {
   iter1 : int;  (** first-iteration cycles, compilation included *)
   iter2 : int;  (** second-iteration cycles, application only *)
@@ -47,6 +38,50 @@ type profiling =
   | Instr_back_edge
       (** r-maintenance only under back-edge truncation — the §3.2
           path-ending ablation *)
+
+(** The paper's standard configuration: [PEP(64,17)], hottest-arm-zero
+    smart numbering. *)
+val pep_default : profiling
+
+(** One run configuration — the single record every harness entry point
+    takes (update {!default} with the fields you care about).  Distinct
+    configurations never alias: {!config_key} derives a deterministic
+    identifying string from every field, which is also what
+    [Exp_cache] memoizes by. *)
+type config = {
+  profiling : profiling;
+  opt_profile : Driver.opt_profile_source;
+      (** what drives the optimizing compiler (default: the advice's
+          one-time profile) *)
+  inline : bool;  (** enable the optimizer's inliner *)
+  unroll : bool;  (** enable the optimizer's loop unroller *)
+  engine : Driver.engine;
+      (** [`Threaded] by default — pass [`Oracle] to run the reference
+          interpreter, as the differential tests do for both *)
+  telemetry : Telemetry.t option;
+      (** host-side metrics/trace sink, threaded through the driver,
+          engine and PEP; measurements are bit-identical with or
+          without it *)
+}
+
+(** [Base] profiling, one-time opt profile, no transforms, threaded
+    engine, no telemetry. *)
+val default : config
+
+(** Deterministic human-readable key identifying a configuration, e.g.
+    ["PEP(64,17)-hot-smart+opt=pep+oracle"].  Fixed opt-profile tables
+    are digested into the key, so e.g. a continuous and a flipped table
+    cannot alias. *)
+val config_key : config -> string
+
+(** Compile the workload and produce advice from a two-iteration adaptive
+    warmup run.  Only [config.engine] and [config.telemetry] matter
+    here; the advice must be identical under either engine. *)
+val make_env : ?size:int -> ?config:config -> seed:int -> Workload.t -> env
+
+(** Envs for the whole suite; [scale] multiplies every workload's default
+    size (use a small scale in tests). *)
+val suite_envs : ?scale:float -> ?config:config -> seed:int -> unit -> env list
 
 type run = {
   meas : measurement;
@@ -71,30 +106,17 @@ val lint_pep : Machine.t -> Pep.t -> Pep_check.diagnostic list
     built directly against a {!Driver.t}. *)
 val lint_run : run -> Pep_check.diagnostic list
 
-(** One replay experiment.  [opt_profile] selects what drives the
-    optimizing compiler (default: the advice's one-time profile);
-    [inline] enables the optimizer's inliner; [engine] the execution
-    engine (default [`Threaded] — pass [`Oracle] to run the reference
-    interpreter, as the differential tests do for both). *)
-val replay :
-  ?opt_profile:Driver.opt_profile_source ->
-  ?inline:bool ->
-  ?unroll:bool ->
-  ?engine:Driver.engine ->
-  env ->
-  profiling ->
-  run
+(** One replay experiment under [config] (two deterministic iterations;
+    see the module comment). *)
+val replay : env -> config -> run
 
-(** Replay with body transformations (default: inlining only),
+(** Replay with body transformations (default config: inlining only),
     PEP(64,17), and a perfect path profiler over the same transformed
     code (built after {!Driver.precompile}); the two profiles share
-    numbering and are directly comparable. *)
+    numbering and are directly comparable.  [config.profiling] is
+    ignored — the methodology fixes PEP(64,17). *)
 val replay_transformed_with_truth :
-  ?inline:bool ->
-  ?unroll:bool ->
-  ?engine:Driver.engine ->
-  env ->
-  Driver.t * Pep.t * Profiler.path_profiler
+  ?config:config -> env -> Driver.t * Pep.t * Profiler.path_profiler
 
 (** Smart numbering keyed to the advice's one-time profile — the
     numbering every replay configuration shares, so path ids from
@@ -107,9 +129,12 @@ val mask_plans : env -> Profile_hooks.plans -> unit
 
 (** Total cycles (two iterations, compilation included) of one adaptive
     trial; [trial] perturbs the timer phase, modelling the paper's
-    run-to-run variation.  [pep] adds PEP(64,17) collecting profiles and
-    driving optimization (paper Fig. 11). *)
-val adaptive_total : ?pep:bool -> ?engine:Driver.engine -> trial:int -> env -> int
+    run-to-run variation.  A [Pep_profiled] config has PEP collect
+    profiles and drive optimization (paper Fig. 11); any other
+    [config.profiling] runs the plain adaptive system.
+    [config.inline]/[unroll]/[opt_profile] are fixed by the methodology
+    and ignored. *)
+val adaptive_total : ?config:config -> trial:int -> env -> int
 
 (** @raise Failure if the runs' checksums disagree (a profiling
     configuration perturbed application behaviour — a harness bug). *)

@@ -72,25 +72,35 @@ let to_lines tbl =
     tbl;
   List.rev !lines
 
+let parse_line tbl line =
+  if String.trim line = "" then Ok ()
+  else
+    let n_methods = Array.length tbl in
+    match String.split_on_char ' ' (String.trim line) with
+    | [ mi; b; tk; nt ] -> (
+        match
+          ( int_of_string_opt mi,
+            int_of_string_opt b,
+            int_of_string_opt tk,
+            int_of_string_opt nt )
+        with
+        | Some mi, Some b, Some tk, Some nt
+          when mi >= 0 && mi < n_methods && tk >= 0 && nt >= 0 ->
+            add tbl.(mi) b ~taken:true tk;
+            add tbl.(mi) b ~taken:false nt;
+            Ok ()
+        | _ ->
+            Error
+              "expected a method index in range and non-negative counters")
+    | _ -> Error "expected \"<method> <branch> <taken> <not-taken>\""
+
 let of_lines ~n_methods lines =
   let tbl = create_table ~n_methods in
   List.iter
     (fun line ->
-      if String.trim line <> "" then
-        match String.split_on_char ' ' (String.trim line) with
-        | [ mi; b; tk; nt ] -> (
-            match
-              ( int_of_string_opt mi,
-                int_of_string_opt b,
-                int_of_string_opt tk,
-                int_of_string_opt nt )
-            with
-            | Some mi, Some b, Some tk, Some nt
-              when mi >= 0 && mi < n_methods && tk >= 0 && nt >= 0 ->
-                add tbl.(mi) b ~taken:true tk;
-                add tbl.(mi) b ~taken:false nt
-            | _ -> failwith ("Edge_profile.of_lines: bad line: " ^ line))
-        | _ -> failwith ("Edge_profile.of_lines: bad line: " ^ line))
+      match parse_line tbl line with
+      | Ok () -> ()
+      | Error _ -> failwith ("Edge_profile.of_lines: bad line: " ^ line))
     lines;
   tbl
 

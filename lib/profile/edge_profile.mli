@@ -44,4 +44,11 @@ val table_total : table -> int
 val to_lines : table -> string list
 
 val of_lines : n_methods:int -> string list -> table
+
+(** Parse one serialized line into [tbl] (blank lines are ignored);
+    [Error reason] leaves [tbl] unchanged.  Lets callers that track
+    their own line numbers (e.g. [Advice.of_lines]) report structured
+    errors instead of the [Failure] that {!of_lines} raises. *)
+val parse_line : table -> string -> (unit, string) result
+
 val pp : t Fmt.t

@@ -42,6 +42,17 @@ type body = {
   run : env -> int;
 }
 
+(* Engine-level telemetry counters.  Present only when the engine was
+   created with a telemetry sink; closures capture the option at
+   translation time, so counting is a single immutable-option test on
+   the hot path and disappears entirely from serialized output when
+   telemetry is off. *)
+type tstats = {
+  ic_hits : Metrics.counter;
+  ic_misses : Metrics.counter;
+  translations : Metrics.counter;
+}
+
 type t = {
   st : Machine.t;
   mutable hooks : Interp.hooks;
@@ -50,6 +61,7 @@ type t = {
   bare : body option array;
   hooked : body option array;
   mutable envs : env array;  (* frame pool, indexed by call depth *)
+  stats : tstats option;
 }
 
 let dummy_frame = { Interp.fmeth = -1; fparent = -1; r = 0 }
@@ -72,8 +84,20 @@ let is_no_hooks = function
       true
   | _ -> false
 
-let create ?(hooks = Interp.no_hooks) st =
+let create ?telemetry ?(hooks = Interp.no_hooks) st =
   let n = Array.length st.Machine.methods in
+  let stats =
+    match telemetry with
+    | None -> None
+    | Some tel ->
+        let m = Telemetry.metrics tel in
+        Some
+          {
+            ic_hits = Metrics.counter m "engine.ic.hits";
+            ic_misses = Metrics.counter m "engine.ic.misses";
+            translations = Metrics.counter m "engine.translations";
+          }
+  in
   {
     st;
     hooks;
@@ -82,6 +106,7 @@ let create ?(hooks = Interp.no_hooks) st =
     bare = Array.make n None;
     hooked = Array.make n None;
     envs = Array.init 64 (fun _ -> fresh_env ());
+    stats;
   }
 
 let set_hooks eng hooks =
@@ -136,6 +161,8 @@ and translate eng ~hooked (cm : Machine.cmeth) : body =
      builds still compile them inline. *)
   let st = eng.st in
   let hooks = eng.hooks in
+  let stats = eng.stats in
+  (match stats with Some s -> Metrics.incr s.translations | None -> ());
   let m = cm.Machine.meth in
   let poll = st.Machine.cost.Cost_model.yieldpoint_poll in
   let nblocks = Array.length m.Method.blocks in
@@ -203,8 +230,12 @@ and translate eng ~hooked (cm : Machine.cmeth) : body =
       st.Machine.depth <- depth;
       let ccm = st.Machine.methods.(cidx) in
       let body =
-        if ccm.Machine.gen = !ic_gen then !ic_body
+        if ccm.Machine.gen = !ic_gen then begin
+          (match stats with Some s -> Metrics.incr s.ic_hits | None -> ());
+          !ic_body
+        end
         else begin
+          (match stats with Some s -> Metrics.incr s.ic_misses | None -> ());
           let b = get_body eng ~hooked:false cidx in
           ic_gen := ccm.Machine.gen;
           ic_body := b;
@@ -240,8 +271,12 @@ and translate eng ~hooked (cm : Machine.cmeth) : body =
         do_entry st frame;
         let ccm = st.Machine.methods.(cidx) in
         let body =
-          if ccm.Machine.gen = !ic_gen && eng.hooks_gen = !ic_hgen then !ic_body
+          if ccm.Machine.gen = !ic_gen && eng.hooks_gen = !ic_hgen then begin
+            (match stats with Some s -> Metrics.incr s.ic_hits | None -> ());
+            !ic_body
+          end
           else begin
+            (match stats with Some s -> Metrics.incr s.ic_misses | None -> ());
             let b = get_body eng ~hooked:true cidx in
             ic_gen := ccm.Machine.gen;
             ic_hgen := eng.hooks_gen;

@@ -26,10 +26,16 @@
 
 type t
 
-(** [create ?hooks machine] builds an engine over [machine].  Nothing is
-    translated until first dispatch; methods are translated lazily and
-    at most once per (generation stamp, hook generation). *)
-val create : ?hooks:Interp.hooks -> Machine.t -> t
+(** [create ?telemetry ?hooks machine] builds an engine over [machine].
+    Nothing is translated until first dispatch; methods are translated
+    lazily and at most once per (generation stamp, hook generation).
+
+    With [telemetry], the engine registers and maintains the
+    [engine.ic.hits] / [engine.ic.misses] / [engine.translations]
+    counters (host-side only: no simulated cycles, no allocation on the
+    hot path).  Without it no counters exist and execution is identical
+    to a pre-telemetry engine. *)
+val create : ?telemetry:Telemetry.t -> ?hooks:Interp.hooks -> Machine.t -> t
 
 (** Replace the engine's hooks.  Bumps the hook generation: cached
     hooked variants and call-site caches revalidate on next dispatch.

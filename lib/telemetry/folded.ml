@@ -1,0 +1,46 @@
+(* Folded-stack accumulator: "frame1;frame2 value" lines, the input
+   format of flamegraph.pl / speedscope / pyroscope. *)
+
+type t = { tbl : (string, int ref) Hashtbl.t }
+
+let create () = { tbl = Hashtbl.create 64 }
+
+(* Frame separators are structural in the folded format; strip them
+   from frame names so stacks stay parseable. *)
+let sanitize frame =
+  String.map (fun c -> if c = ';' || c = ' ' || c = '\n' then '_' else c) frame
+
+let add t ~stack value =
+  if value > 0 then begin
+    let key = String.concat ";" (List.map sanitize stack) in
+    match Hashtbl.find_opt t.tbl key with
+    | Some r -> r := !r + value
+    | None -> Hashtbl.add t.tbl key (ref value)
+  end
+
+let entries t =
+  let l = Hashtbl.fold (fun k v acc -> (k, !v) :: acc) t.tbl [] in
+  (* Hottest first; tie-break on the stack string for determinism. *)
+  List.sort
+    (fun (k1, v1) (k2, v2) ->
+      if v1 <> v2 then compare v2 v1 else compare k1 k2)
+    l
+
+let total t = Hashtbl.fold (fun _ v acc -> acc + !v) t.tbl 0
+
+let to_lines t =
+  List.map (fun (k, v) -> Fmt.str "%s %d" k v) (entries t)
+
+let to_json t =
+  let buf = Buffer.create 1024 in
+  Buffer.add_string buf "{\"total\":";
+  Buffer.add_string buf (string_of_int (total t));
+  Buffer.add_string buf ",\"stacks\":[";
+  List.iteri
+    (fun i (k, v) ->
+      if i > 0 then Buffer.add_string buf ",";
+      Buffer.add_string buf
+        (Fmt.str "{\"stack\":%s,\"value\":%d}" (Tjson.str k) v))
+    (entries t);
+  Buffer.add_string buf "]}";
+  Buffer.contents buf

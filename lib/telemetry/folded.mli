@@ -1,0 +1,22 @@
+(** Folded-stack accumulator.
+
+    Collects [stack -> value] samples and renders them in the
+    ["frame1;frame2 value"] text format consumed by flamegraph.pl,
+    speedscope and pyroscope, or as JSON.  Frame names are sanitized
+    (';', ' ' and newlines replaced) so stacks stay parseable. *)
+
+type t
+
+val create : unit -> t
+
+(** [add t ~stack v] accumulates [v] against [stack] (outermost frame
+    first).  Non-positive values are ignored. *)
+val add : t -> stack:string list -> int -> unit
+
+(** Stacks with accumulated values, hottest first (ties broken by
+    stack string, so output is deterministic). *)
+val entries : t -> (string * int) list
+
+val total : t -> int
+val to_lines : t -> string list
+val to_json : t -> string

@@ -1,0 +1,131 @@
+type counter = { cname : string; mutable count : int }
+type gauge = { gname : string; mutable value : int }
+
+type histogram = {
+  hname : string;
+  bounds : int array;
+  buckets : int array;  (* length bounds + 1; last is the overflow bucket *)
+  mutable n : int;
+  mutable sum : int;
+  mutable hmax : int;
+}
+
+type metric = Counter of counter | Gauge of gauge | Histogram of histogram
+
+type t = {
+  tbl : (string, metric) Hashtbl.t;
+  mutable order : string list;  (* registration order, newest first *)
+}
+
+let create () = { tbl = Hashtbl.create 32; order = [] }
+
+let register t name m =
+  Hashtbl.replace t.tbl name m;
+  t.order <- name :: t.order
+
+let kind_error name = invalid_arg ("Metrics: " ^ name ^ " registered with a different kind")
+
+let counter t name =
+  match Hashtbl.find_opt t.tbl name with
+  | Some (Counter c) -> c
+  | Some _ -> kind_error name
+  | None ->
+      let c = { cname = name; count = 0 } in
+      register t name (Counter c);
+      c
+
+let incr ?(by = 1) c = c.count <- c.count + by
+let value c = c.count
+
+let gauge t name =
+  match Hashtbl.find_opt t.tbl name with
+  | Some (Gauge g) -> g
+  | Some _ -> kind_error name
+  | None ->
+      let g = { gname = name; value = 0 } in
+      register t name (Gauge g);
+      g
+
+let set g v = g.value <- v
+let read g = g.value
+
+let default_bounds = [| 1; 2; 4; 8; 16; 32; 64; 128; 256; 512; 1024 |]
+
+let histogram ?(bounds = default_bounds) t name =
+  match Hashtbl.find_opt t.tbl name with
+  | Some (Histogram h) -> h
+  | Some _ -> kind_error name
+  | None ->
+      let h =
+        {
+          hname = name;
+          bounds;
+          buckets = Array.make (Array.length bounds + 1) 0;
+          n = 0;
+          sum = 0;
+          hmax = 0;
+        }
+      in
+      register t name (Histogram h);
+      h
+
+let observe h v =
+  h.n <- h.n + 1;
+  h.sum <- h.sum + v;
+  if v > h.hmax then h.hmax <- v;
+  let nb = Array.length h.bounds in
+  let rec slot i = if i >= nb || v <= h.bounds.(i) then i else slot (i + 1) in
+  let i = slot 0 in
+  h.buckets.(i) <- h.buckets.(i) + 1
+
+let observations h = h.n
+
+let metrics t =
+  List.rev_map (fun name -> Hashtbl.find t.tbl name) t.order
+
+(* One line per metric, in registration order — the comparable snapshot
+   the parity tests diff. *)
+let to_lines t =
+  List.map
+    (function
+      | Counter c -> Fmt.str "%s %d" c.cname c.count
+      | Gauge g -> Fmt.str "%s %d" g.gname g.value
+      | Histogram h ->
+          Fmt.str "%s count=%d sum=%d max=%d" h.hname h.n h.sum h.hmax)
+    (metrics t)
+
+let pp ppf t =
+  List.iter (fun line -> Fmt.pf ppf "%s@." line) (to_lines t)
+
+let to_json t =
+  let buf = Buffer.create 1024 in
+  Buffer.add_string buf "{\"metrics\":[";
+  List.iteri
+    (fun i m ->
+      if i > 0 then Buffer.add_string buf ",";
+      (match m with
+      | Counter c ->
+          Buffer.add_string buf
+            (Fmt.str "{\"name\":%s,\"kind\":\"counter\",\"value\":%d}"
+               (Tjson.str c.cname) c.count)
+      | Gauge g ->
+          Buffer.add_string buf
+            (Fmt.str "{\"name\":%s,\"kind\":\"gauge\",\"value\":%d}"
+               (Tjson.str g.gname) g.value)
+      | Histogram h ->
+          Buffer.add_string buf
+            (Fmt.str "{\"name\":%s,\"kind\":\"histogram\",\"count\":%d,\"sum\":%d,\"max\":%d,\"buckets\":["
+               (Tjson.str h.hname) h.n h.sum h.hmax);
+          Array.iteri
+            (fun j n ->
+              if j > 0 then Buffer.add_string buf ",";
+              let le =
+                if j < Array.length h.bounds then string_of_int h.bounds.(j)
+                else "\"+Inf\""
+              in
+              Buffer.add_string buf (Fmt.str "{\"le\":%s,\"n\":%d}" le n))
+            h.buckets;
+          Buffer.add_string buf "]}"))
+    (metrics t);
+  Buffer.add_string buf "]}";
+  Buffer.contents buf

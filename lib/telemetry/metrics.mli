@@ -1,0 +1,40 @@
+(** Metrics registry: named counters, gauges and histograms.
+
+    Metrics are registered on first lookup and kept in registration
+    order, so serialized output is deterministic for a deterministic
+    program.  Updates are host-side only — a metric update never touches
+    simulated cycles — and allocation-free ({!incr}, {!set} and
+    {!observe} mutate fields in place). *)
+
+type counter
+type gauge
+type histogram
+type t
+
+val create : unit -> t
+
+(** Find or register.  @raise Invalid_argument if [name] is already
+    registered with a different kind. *)
+val counter : t -> string -> counter
+
+val incr : ?by:int -> counter -> unit
+val value : counter -> int
+
+val gauge : t -> string -> gauge
+val set : gauge -> int -> unit
+val read : gauge -> int
+
+(** [bounds] are inclusive upper bucket bounds, strictly increasing; an
+    overflow bucket is added past the last. *)
+val histogram : ?bounds:int array -> t -> string -> histogram
+
+val observe : histogram -> int -> unit
+val observations : histogram -> int
+
+(** One line per metric in registration order: ["name value"] for
+    counters/gauges, ["name count=.. sum=.. max=.."] for histograms.
+    The comparable snapshot the engine-parity tests diff. *)
+val to_lines : t -> string list
+
+val to_json : t -> string
+val pp : t Fmt.t

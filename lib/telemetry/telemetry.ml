@@ -1,0 +1,33 @@
+(* A telemetry sink: a metrics registry plus an optional event tracer.
+
+   Producers receive a [t option]; [None] (the default everywhere)
+   means no counters, hooks or events are created at all, so a
+   disabled run is bit-identical to one built before telemetry
+   existed.  When enabled, all recording is host-side — nothing here
+   ever charges simulated cycles. *)
+
+type t = { metrics : Metrics.t; trace : Trace.t option }
+
+let create ?(tracing = false) ?trace_limit () =
+  {
+    metrics = Metrics.create ();
+    trace = (if tracing then Some (Trace.create ?limit:trace_limit ()) else None);
+  }
+
+let metrics t = t.metrics
+let trace t = t.trace
+
+let begin_run t ~name =
+  match t.trace with
+  | None -> ()
+  | Some tr -> ignore (Trace.begin_thread tr ~name)
+
+let span t ~ts ~dur ~cat ~name ?args () =
+  match t.trace with
+  | None -> ()
+  | Some tr -> Trace.span tr ~ts ~dur ~cat ~name ?args ()
+
+let instant t ~ts ~cat ~name ?args () =
+  match t.trace with
+  | None -> ()
+  | Some tr -> Trace.instant tr ~ts ~cat ~name ?args ()

@@ -1,0 +1,30 @@
+(** Telemetry sink: a {!Metrics} registry plus an optional
+    {!Trace} event tracer.
+
+    Producers take a [t option]; [None] — the default everywhere —
+    means no counters or hooks are created at all, keeping a disabled
+    run bit-identical to the pre-telemetry build.  When enabled, all
+    recording is host-side: nothing in this library charges simulated
+    cycles. *)
+
+type t
+
+(** [tracing] enables the event tracer (default false: metrics only). *)
+val create : ?tracing:bool -> ?trace_limit:int -> unit -> t
+
+val metrics : t -> Metrics.t
+
+(** [None] unless [create ~tracing:true]. *)
+val trace : t -> Trace.t option
+
+(** Open a new trace thread for a run (no-op without tracing). *)
+val begin_run : t -> name:string -> unit
+
+(** Record a span / instant on the current trace thread; no-ops
+    without tracing. *)
+val span :
+  t -> ts:int -> dur:int -> cat:string -> name:string ->
+  ?args:Trace.args -> unit -> unit
+
+val instant :
+  t -> ts:int -> cat:string -> name:string -> ?args:Trace.args -> unit -> unit

@@ -1,0 +1,7 @@
+(** Minimal JSON string helpers shared by the telemetry serializers. *)
+
+(** Escape for inclusion inside a JSON string literal. *)
+val escape : string -> string
+
+(** [str s] is [s] escaped and double-quoted. *)
+val str : string -> string

@@ -1,0 +1,91 @@
+(* Virtual-time event tracer in Chrome trace_event JSON format.
+
+   Timestamps are simulated cycles, not wall-clock; every event is
+   recorded against the current thread id so sequential runs with
+   overlapping virtual timelines render as separate rows. *)
+
+type args = (string * string) list
+
+type event =
+  | Span of { ts : int; dur : int; cat : string; name : string; args : args }
+  | Instant of { ts : int; cat : string; name : string; args : args }
+  | Thread_name of { tid : int; name : string }
+
+type t = {
+  limit : int;
+  mutable events : event list;  (* newest first *)
+  mutable n : int;
+  mutable dropped : int;
+  mutable cur_tid : int;
+  mutable next_tid : int;
+}
+
+let create ?(limit = 1_000_000) () =
+  { limit; events = []; n = 0; dropped = 0; cur_tid = 1; next_tid = 1 }
+
+let push t e =
+  if t.n >= t.limit then t.dropped <- t.dropped + 1
+  else begin
+    t.events <- e :: t.events;
+    t.n <- t.n + 1
+  end
+
+let begin_thread t ~name =
+  let tid = t.next_tid in
+  t.next_tid <- tid + 1;
+  t.cur_tid <- tid;
+  push t (Thread_name { tid; name });
+  tid
+
+let span t ~ts ~dur ~cat ~name ?(args = []) () =
+  push t (Span { ts; dur; cat; name; args })
+
+let instant t ~ts ~cat ~name ?(args = []) () =
+  push t (Instant { ts; cat; name; args })
+
+let events t = List.rev t.events
+let length t = t.n
+let dropped t = t.dropped
+
+let add_args buf args =
+  Buffer.add_string buf "{";
+  List.iteri
+    (fun i (k, v) ->
+      if i > 0 then Buffer.add_string buf ",";
+      Buffer.add_string buf (Tjson.str k);
+      Buffer.add_string buf ":";
+      Buffer.add_string buf (Tjson.str v))
+    args;
+  Buffer.add_string buf "}"
+
+let to_json t =
+  let buf = Buffer.create 4096 in
+  Buffer.add_string buf "{\"traceEvents\":[";
+  let tid = ref 1 in
+  List.iteri
+    (fun i e ->
+      if i > 0 then Buffer.add_string buf ",";
+      (match e with
+      | Thread_name { tid = id; name } ->
+          tid := id;
+          Buffer.add_string buf
+            (Fmt.str
+               "{\"ph\":\"M\",\"pid\":1,\"tid\":%d,\"name\":\"thread_name\",\"args\":{\"name\":%s}}"
+               id (Tjson.str name))
+      | Span { ts; dur; cat; name; args } ->
+          Buffer.add_string buf
+            (Fmt.str
+               "{\"ph\":\"X\",\"pid\":1,\"tid\":%d,\"ts\":%d,\"dur\":%d,\"cat\":%s,\"name\":%s,\"args\":"
+               !tid ts dur (Tjson.str cat) (Tjson.str name));
+          add_args buf args;
+          Buffer.add_string buf "}"
+      | Instant { ts; cat; name; args } ->
+          Buffer.add_string buf
+            (Fmt.str
+               "{\"ph\":\"i\",\"s\":\"t\",\"pid\":1,\"tid\":%d,\"ts\":%d,\"cat\":%s,\"name\":%s,\"args\":"
+               !tid ts (Tjson.str cat) (Tjson.str name));
+          add_args buf args;
+          Buffer.add_string buf "}"))
+    (events t);
+  Buffer.add_string buf "],\"displayTimeUnit\":\"ns\"}";
+  Buffer.contents buf

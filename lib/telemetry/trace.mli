@@ -1,0 +1,33 @@
+(** Virtual-time event tracer emitting Chrome [trace_event] JSON.
+
+    Timestamps and durations are simulated cycles.  Events carry the
+    thread id current at record time; {!begin_thread} opens a new
+    thread row, so sequential runs whose virtual timelines overlap
+    render side by side in a trace viewer. *)
+
+type t
+
+type args = (string * string) list
+
+(** [limit] bounds the number of retained events (default one
+    million); events past the limit are counted in {!dropped}. *)
+val create : ?limit:int -> unit -> t
+
+(** Start a new trace thread named [name]; subsequent events are
+    recorded against the returned tid. *)
+val begin_thread : t -> name:string -> int
+
+(** A complete span ("X" event): [ts] start, [dur] duration, both in
+    simulated cycles. *)
+val span :
+  t -> ts:int -> dur:int -> cat:string -> name:string -> ?args:args -> unit -> unit
+
+(** A thread-scoped instant ("i" event). *)
+val instant : t -> ts:int -> cat:string -> name:string -> ?args:args -> unit -> unit
+
+val length : t -> int
+val dropped : t -> int
+
+(** Serialize as a Chrome [trace_event] JSON object
+    ([{"traceEvents": [...]}]), in record order. *)
+val to_json : t -> string

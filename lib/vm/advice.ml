@@ -13,23 +13,33 @@ let to_lines t =
   let dcg_lines = List.map (fun l -> "dcg " ^ l) (Dcg.to_lines t.dcg) in
   level_lines @ profile_lines @ dcg_lines
 
-let of_lines ~n_methods lines =
+let of_lines ?file ~n_methods lines =
   let levels = Array.make n_methods (-1) in
-  let edge_lines = ref [] in
-  let dcg_lines = ref [] in
-  List.iter
-    (fun line ->
-      let line = String.trim line in
-      if line <> "" then
-        match String.split_on_char ' ' line with
-        | "level" :: mi :: l :: [] -> (
-            match (int_of_string_opt mi, int_of_string_opt l) with
-            | Some mi, Some l when mi >= 0 && mi < n_methods -> levels.(mi) <- l
-            | _ -> failwith ("Advice.of_lines: bad line: " ^ line))
-        | "edge" :: rest -> edge_lines := String.concat " " rest :: !edge_lines
-        | "dcg" :: rest -> dcg_lines := String.concat " " rest :: !dcg_lines
-        | _ -> failwith ("Advice.of_lines: bad line: " ^ line))
-    lines;
-  let profile = Edge_profile.of_lines ~n_methods (List.rev !edge_lines) in
-  let dcg = Dcg.of_lines (List.rev !dcg_lines) in
-  { levels; profile; dcg }
+  let profile = Edge_profile.create_table ~n_methods in
+  let dcg = Dcg.create () in
+  (* Parse line by line (rather than batching the "edge"/"dcg" payloads
+     into the sub-parsers) so an error points at its line in the file. *)
+  let rec go n = function
+    | [] -> Ok { levels; profile; dcg }
+    | raw :: rest -> (
+        let line = String.trim raw in
+        let parsed =
+          if line = "" then Ok ()
+          else
+            match String.split_on_char ' ' line with
+            | "level" :: mi :: l :: [] -> (
+                match (int_of_string_opt mi, int_of_string_opt l) with
+                | Some mi, Some l when mi >= 0 && mi < n_methods ->
+                    levels.(mi) <- l;
+                    Ok ()
+                | _ -> Error "expected a method index in range and a level")
+            | "edge" :: rest ->
+                Edge_profile.parse_line profile (String.concat " " rest)
+            | "dcg" :: rest -> Dcg.parse_line dcg (String.concat " " rest)
+            | _ -> Error "expected \"level\", \"edge\" or \"dcg\""
+        in
+        match parsed with
+        | Ok () -> go (n + 1) rest
+        | Error reason -> Error { Dcg.file; line = n; text = line; reason })
+  in
+  go 1 lines

@@ -21,5 +21,8 @@ val n_opt : t -> int
 (** Textual round-trip, for writing advice next to benchmark results. *)
 val to_lines : t -> string list
 
-(** @raise Failure on malformed input. *)
-val of_lines : n_methods:int -> string list -> t
+(** Parse a serialized advice file.  A malformed line yields a
+    {!Dcg.parse_error} naming the file (when given), the 1-based line
+    number, the offending text and the reason. *)
+val of_lines :
+  ?file:string -> n_methods:int -> string list -> (t, Dcg.parse_error) result

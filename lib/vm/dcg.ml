@@ -32,19 +32,39 @@ let copy t =
 let to_lines t =
   List.map (fun (cr, ce, w) -> Fmt.str "%d %d %d" cr ce w) (edges t)
 
-let of_lines lines =
+type parse_error = {
+  file : string option;
+  line : int;  (* 1-based position in the input *)
+  text : string;
+  reason : string;
+}
+
+let pp_parse_error ppf e =
+  Fmt.pf ppf "%s:%d: %s (in %S)"
+    (Option.value e.file ~default:"<input>")
+    e.line e.reason e.text
+
+let parse_line t line =
+  if String.trim line = "" then Ok ()
+  else
+    match String.split_on_char ' ' (String.trim line) with
+    | [ cr; ce; w ] -> (
+        match
+          (int_of_string_opt cr, int_of_string_opt ce, int_of_string_opt w)
+        with
+        | Some cr, Some ce, Some w when w > 0 ->
+            Hashtbl.replace t (cr, ce) (ref w);
+            Ok ()
+        | _ -> Error "expected three integers with a positive weight")
+    | _ -> Error "expected \"<caller> <callee> <weight>\""
+
+let of_lines ?file lines =
   let t = create () in
-  List.iter
-    (fun line ->
-      if String.trim line <> "" then
-        match String.split_on_char ' ' (String.trim line) with
-        | [ cr; ce; w ] -> (
-            match
-              (int_of_string_opt cr, int_of_string_opt ce, int_of_string_opt w)
-            with
-            | Some cr, Some ce, Some w when w > 0 ->
-                Hashtbl.replace t (cr, ce) (ref w)
-            | _ -> failwith ("Dcg.of_lines: bad line: " ^ line))
-        | _ -> failwith ("Dcg.of_lines: bad line: " ^ line))
-    lines;
-  t
+  let rec go n = function
+    | [] -> Ok t
+    | raw :: rest -> (
+        match parse_line t raw with
+        | Ok () -> go (n + 1) rest
+        | Error reason -> Error { file; line = n; text = String.trim raw; reason })
+  in
+  go 1 lines

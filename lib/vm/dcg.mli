@@ -27,8 +27,22 @@ val edges : t -> (int * int * int) list
 val total : t -> int
 val copy : t -> t
 
-(** One line per edge: ["<caller> <callee> <weight>"].
-    @raise Failure on malformed input to [of_lines]. *)
+(** One line per edge: ["<caller> <callee> <weight>"]. *)
 val to_lines : t -> string list
 
-val of_lines : string list -> t
+(** Where and why parsing a serialized profile failed.  Shared with
+    {!Advice.of_lines}, whose line numbers refer to the advice file. *)
+type parse_error = {
+  file : string option;  (** source file, when parsing one *)
+  line : int;  (** 1-based position in the input *)
+  text : string;  (** the offending line, trimmed *)
+  reason : string;
+}
+
+val pp_parse_error : parse_error Fmt.t
+
+(** Parse one ["<caller> <callee> <weight>"] line into [t] (blank lines
+    are ignored); [Error reason] leaves [t] unchanged. *)
+val parse_line : t -> string -> (unit, string) result
+
+val of_lines : ?file:string -> string list -> (t, parse_error) result

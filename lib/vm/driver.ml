@@ -20,6 +20,7 @@ type options = {
   unroll : bool;  (* unroll small innermost loops at opt levels >= 1 *)
   verify : bool;  (* re-verify bytecode after every optimization pass *)
   engine : engine;  (* closure-threaded code by default; interp oracle *)
+  telemetry : Telemetry.t option;  (* host-side metrics/trace sink *)
 }
 
 let default_thresholds = [| 3; 12; 40 |]
@@ -33,6 +34,7 @@ let default_options =
     unroll = false;
     verify = true;
     engine = `Threaded;
+    telemetry = None;
   }
 
 (* Trivial inlining takes any tiny callee; profile-guided inlining takes
@@ -41,6 +43,23 @@ let trivial_inline_size = 25
 let guided_inline_size = 60
 
 type compile_state = Uncompiled | Baseline | Opt of int
+
+(* Driver-level telemetry.  All recording here is host-side — nothing
+   below touches simulated cycles — so a run with a sink attached
+   charges exactly the cycles of a run without one. *)
+type tstats = {
+  tel : Telemetry.t;
+  polls : Metrics.counter;
+  ticks : Metrics.counter;
+  compile_baseline_n : Metrics.counter;
+  compile_opt_n : Metrics.counter array;  (* per opt level *)
+  recompile_n : Metrics.counter array;  (* per opt level *)
+  compile_units : Metrics.histogram;
+  compile_cycles_g : Metrics.gauge;
+  check_errors : Metrics.counter;
+  check_warnings : Metrics.counter;
+  plan_unprofilable : Metrics.counter;
+}
 
 type t = {
   st : Machine.t;
@@ -58,9 +77,22 @@ type t = {
   mutable checks : Pep_check.diagnostic list;  (* newest first *)
   mutable hooks : Interp.hooks;
   eng : Codegen.t;
+  tstats : tstats option;
+  mutable iterations : int;  (* completed [run] calls, for trace labels *)
 }
 
-let record_checks d ds = d.checks <- List.rev_append ds d.checks
+let record_checks d ds =
+  (match d.tstats with
+  | None -> ()
+  | Some s ->
+      List.iter
+        (fun (diag : Pep_check.diagnostic) ->
+          match diag.Pep_check.severity with
+          | Pep_check.Error -> Metrics.incr s.check_errors
+          | Pep_check.Warning -> Metrics.incr s.check_warnings
+          | Pep_check.Info -> ())
+        ds);
+  d.checks <- List.rev_append ds d.checks
 
 (* Re-verify a method body right after an optimization pass produced it,
    so a miscompile is caught at the pass that introduced it. *)
@@ -89,12 +121,33 @@ let compile_baseline d midx =
     d.baseline_active.(midx) <- false
   end
   else begin
-    charge_compile d
-      (method_units cm.meth * cost.Cost_model.compile_cost_baseline);
+    let ts = d.st.Machine.cycles in
+    let units = method_units cm.meth in
+    charge_compile d (units * cost.Cost_model.compile_cost_baseline);
     Machine.set_speed d.st midx
       ~percent:(100 * cost.Cost_model.baseline_slowdown);
     Machine.clear_edge_extra d.st midx;
-    d.baseline_active.(midx) <- true
+    d.baseline_active.(midx) <- true;
+    match d.tstats with
+    | None -> ()
+    | Some s ->
+        Metrics.incr s.compile_baseline_n;
+        Metrics.observe s.compile_units units;
+        Metrics.set s.compile_cycles_g d.compile_cycles;
+        let mname = cm.meth.Method.name in
+        Telemetry.span s.tel ~ts ~dur:(d.st.Machine.cycles - ts) ~cat:"compile"
+          ~name:("baseline " ^ mname)
+          ~args:[ ("method", mname); ("units", string_of_int units) ]
+          ();
+        Telemetry.instant s.tel ~ts:d.st.Machine.cycles ~cat:"phase"
+          ~name:"set_speed"
+          ~args:
+            [
+              ("method", mname);
+              ( "percent",
+                string_of_int (100 * cost.Cost_model.baseline_slowdown) );
+            ]
+          ()
   end;
   d.states.(midx) <- Baseline
 
@@ -161,6 +214,7 @@ let apply_transforms d midx ~level =
   end
 
 let compile_opt d midx ~level =
+  let ts = d.st.Machine.cycles in
   apply_transforms d midx ~level;
   let cm = Machine.cmeth d.st midx in
   let cost = d.st.Machine.cost in
@@ -188,6 +242,14 @@ let compile_opt d midx ~level =
       let unprofilable fmt =
         Fmt.kstr
           (fun message ->
+            (match d.tstats with
+            | None -> ()
+            | Some s ->
+                Metrics.incr s.plan_unprofilable;
+                Telemetry.instant s.tel ~ts:d.st.Machine.cycles ~cat:"plan"
+                  ~name:"unprofilable"
+                  ~args:[ ("method", mname); ("reason", message) ]
+                  ());
             record_checks d
               [
                 {
@@ -212,10 +274,40 @@ let compile_opt d midx ~level =
       (* path ids change with the numbering; drop stale entries *)
       Path_profile.clear p.Pep.paths.(midx)
   | _ -> ());
-  (match d.states.(midx) with
-  | Opt _ -> d.recompilations <- d.recompilations + 1
-  | Uncompiled | Baseline -> ());
-  d.states.(midx) <- Opt level
+  let is_recompile =
+    match d.states.(midx) with
+    | Opt _ -> true
+    | Uncompiled | Baseline -> false
+  in
+  if is_recompile then d.recompilations <- d.recompilations + 1;
+  d.states.(midx) <- Opt level;
+  match d.tstats with
+  | None -> ()
+  | Some s ->
+      let units = method_units cm.meth in
+      Metrics.incr s.compile_opt_n.(level);
+      if is_recompile then Metrics.incr s.recompile_n.(level);
+      Metrics.observe s.compile_units units;
+      Metrics.set s.compile_cycles_g d.compile_cycles;
+      let mname = cm.meth.Method.name in
+      Telemetry.span s.tel ~ts ~dur:(d.st.Machine.cycles - ts) ~cat:"compile"
+        ~name:(Fmt.str "%s%d %s" (if is_recompile then "recompile" else "opt") level mname)
+        ~args:
+          [
+            ("method", mname);
+            ("level", string_of_int level);
+            ("units", string_of_int units);
+          ]
+        ();
+      Telemetry.instant s.tel ~ts:d.st.Machine.cycles ~cat:"phase"
+        ~name:"set_speed"
+        ~args:
+          [
+            ("method", mname);
+            ( "percent",
+              string_of_int cost.Cost_model.opt_speedup_percent.(level) );
+          ]
+        ()
 
 let ensure_compiled d midx =
   match d.states.(midx) with
@@ -248,9 +340,40 @@ let consider_promotion d midx =
 
 let create ?extra_hooks opts st =
   let n_methods = Array.length st.Machine.methods in
+  let n_levels = Array.length st.Machine.cost.Cost_model.compile_cost_opt in
+  let tstats =
+    match opts.telemetry with
+    | None -> None
+    | Some tel ->
+        let m = Telemetry.metrics tel in
+        Some
+          {
+            tel;
+            polls = Metrics.counter m "vm.yieldpoint.polls";
+            ticks = Metrics.counter m "vm.ticks";
+            compile_baseline_n = Metrics.counter m "vm.compile.baseline";
+            compile_opt_n =
+              Array.init n_levels (fun l ->
+                  Metrics.counter m (Fmt.str "vm.compile.opt.l%d" l));
+            recompile_n =
+              Array.init n_levels (fun l ->
+                  Metrics.counter m (Fmt.str "vm.recompile.l%d" l));
+            compile_units =
+              Metrics.histogram
+                ~bounds:[| 8; 16; 32; 64; 128; 256; 512; 1024; 2048 |]
+                m "vm.compile.units";
+            compile_cycles_g = Metrics.gauge m "vm.compile.cycles";
+            check_errors = Metrics.counter m "vm.check.errors";
+            check_warnings = Metrics.counter m "vm.check.warnings";
+            plan_unprofilable = Metrics.counter m "vm.plan.unprofilable";
+          }
+  in
   let pep_state =
     match opts.pep with
-    | Some popts -> Some (Pep.create ~eager:false ~sampling:popts.sampling st)
+    | Some popts ->
+        Some
+          (Pep.create ?telemetry:opts.telemetry ~eager:false
+             ~sampling:popts.sampling st)
     | None -> None
   in
   let d =
@@ -269,12 +392,15 @@ let create ?extra_hooks opts st =
       unrolled_loops = 0;
       checks = [];
       hooks = Interp.no_hooks;
-      eng = Codegen.create st;
+      eng = Codegen.create ?telemetry:opts.telemetry st;
+      tstats;
+      iterations = 0;
     }
   in
   let tick_hooks =
     Tick.hooks
       ~on_tick:(fun _st (frame : Interp.frame) ->
+        (match d.tstats with Some s -> Metrics.incr s.ticks | None -> ());
         d.samples.(frame.fmeth) <- d.samples.(frame.fmeth) + 1;
         Dcg.record d.dcg ~caller:frame.fparent ~callee:frame.fmeth;
         consider_promotion d frame.fmeth)
@@ -323,6 +449,19 @@ let create ?extra_hooks opts st =
     | Some h -> Interp.compose hooks h
     | None -> hooks
   in
+  (* The yieldpoint-poll counter rides along as one more hook.  The
+     driver always runs hooked (tick + lazy compile at minimum), so
+     composing it never flips the engine's bare/hooked selection. *)
+  let hooks =
+    match d.tstats with
+    | Some s ->
+        Interp.compose hooks
+          {
+            Interp.no_hooks with
+            on_yieldpoint = Some (fun _st _frame _blk -> Metrics.incr s.polls);
+          }
+    | None -> hooks
+  in
   d.hooks <- hooks;
   Codegen.set_hooks d.eng hooks;
   d
@@ -334,7 +473,15 @@ let run d =
     | `Threaded -> Codegen.run d.eng
     | `Oracle -> Interp.run d.hooks d.st
   in
-  (d.st.Machine.cycles - before, result)
+  let dur = d.st.Machine.cycles - before in
+  (match d.tstats with
+  | None -> ()
+  | Some s ->
+      d.iterations <- d.iterations + 1;
+      Telemetry.span s.tel ~ts:before ~dur ~cat:"run" ~name:"iteration"
+        ~args:[ ("i", string_of_int d.iterations) ]
+        ());
+  (dur, result)
 
 let machine d = d.st
 let pep d = d.pep_state

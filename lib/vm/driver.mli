@@ -65,12 +65,23 @@ type options = {
           default; verification is host-side and charges no simulated
           cycles. *)
   engine : engine;
+  telemetry : Telemetry.t option;
+      (** host-side metrics/trace sink.  When present the driver
+          registers the [vm.*] metrics (yieldpoint polls, ticks,
+          compiles and recompiles per level, compile units/cycles,
+          verifier diagnostics, unprofilable plans), the engine its
+          [engine.*] counters, and PEP its [pep.*] counters; with
+          tracing on, compile/recompile and iteration spans plus
+          sample / plan-failure / set_speed instants are recorded
+          against virtual time.  All of it is host-side only:
+          simulated cycles, checksums and profiles are bit-identical
+          with the sink attached or absent. *)
 }
 
 val default_thresholds : int array
 
 (** Adaptive mode with default thresholds, one-time profile, no PEP,
-    threaded engine. *)
+    threaded engine, no telemetry. *)
 val default_options : options
 
 type t

@@ -1,0 +1,101 @@
+(* Continuous-profile exporter: renders PEP's sampled path and edge
+   profiles, and the tick-sampled dynamic call graph, as folded stacks
+   (the flamegraph/pyroscope input format).
+
+   The sampled profiles are flat — PEP attributes a sample to the
+   method executing the path, not to a call stack — so calling context
+   is approximated the way a DCG-driven flame view would: each method
+   is hung under its hot chain, the walk from the method to a root
+   that at every step follows the heaviest sampled caller edge. *)
+
+let root_frame = "<root>"
+let max_chain = 32
+
+let method_name st midx = st.Machine.methods.(midx).Machine.meth.Method.name
+
+(* [callee -> heaviest caller] from the sampled call graph; ties were
+   already broken deterministically by [Dcg.edges]'s ordering. *)
+let best_callers dcg =
+  let best = Hashtbl.create 32 in
+  List.iter
+    (fun (caller, callee, w) ->
+      match Hashtbl.find_opt best callee with
+      | Some (_, w0) when w0 >= w -> ()
+      | _ -> Hashtbl.replace best callee (caller, w))
+    (List.rev (Dcg.edges dcg));
+  best
+
+(* Hot chain of [midx], root frame first.  A visited guard cuts cycles
+   (the DCG is sampled, so mutual recursion shows up as a cycle). *)
+let hot_chain st best midx =
+  let rec up acc visited midx n =
+    if n >= max_chain then root_frame :: acc
+    else
+      match Hashtbl.find_opt best midx with
+      | Some (caller, _) when caller >= 0 && not (List.mem caller visited) ->
+          up (method_name st caller :: acc) (caller :: visited) caller (n + 1)
+      | Some _ | None -> root_frame :: acc
+  in
+  up [ method_name st midx ] [ midx ] midx 0
+
+let paths st dcg (pep : Pep.t) =
+  let best = best_callers dcg in
+  let f = Folded.create () in
+  Array.iteri
+    (fun midx prof ->
+      let chain = lazy (hot_chain st best midx) in
+      Path_profile.iter
+        (fun (e : Path_profile.entry) ->
+          let frame =
+            if e.n_branches >= 0 then
+              Fmt.str "path#%d (%d br)" e.path_id e.n_branches
+            else Fmt.str "path#%d" e.path_id
+          in
+          Folded.add f ~stack:(Lazy.force chain @ [ frame ]) e.count)
+        prof)
+    pep.Pep.paths;
+  f
+
+let edges st dcg (pep : Pep.t) =
+  let best = best_callers dcg in
+  let f = Folded.create () in
+  Array.iteri
+    (fun midx prof ->
+      let chain = lazy (hot_chain st best midx) in
+      List.iter
+        (fun br ->
+          match Edge_profile.counter prof br with
+          | None -> ()
+          | Some c ->
+              let stack arm =
+                Lazy.force chain @ [ Fmt.str "br#%d:%s" br arm ]
+              in
+              Folded.add f ~stack:(stack "taken") c.Edge_profile.taken;
+              Folded.add f ~stack:(stack "not-taken") c.Edge_profile.not_taken)
+        (Edge_profile.branch_ids prof))
+    pep.Pep.edges;
+  f
+
+let dcg st dcg =
+  let best = best_callers dcg in
+  let f = Folded.create () in
+  List.iter
+    (fun (caller, callee, w) ->
+      let prefix =
+        if caller < 0 then [ root_frame ] else hot_chain st best caller
+      in
+      Folded.add f ~stack:(prefix @ [ method_name st callee ]) w)
+    (Dcg.edges dcg);
+  f
+
+type kind = [ `Paths | `Edges | `Dcg ]
+
+let kind_name = function `Paths -> "paths" | `Edges -> "edges" | `Dcg -> "dcg"
+
+let of_driver d kind =
+  let st = Driver.machine d in
+  let g = Driver.dcg d in
+  match kind with
+  | `Dcg -> Some (dcg st g)
+  | `Paths -> Option.map (paths st g) (Driver.pep d)
+  | `Edges -> Option.map (edges st g) (Driver.pep d)

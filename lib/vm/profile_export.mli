@@ -1,0 +1,31 @@
+(** Continuous-profile exporter.
+
+    Renders PEP's sampled path and edge profiles, and the tick-sampled
+    dynamic call graph, as {!Folded} stacks — the text/JSON input
+    format of flamegraph.pl, speedscope and pyroscope ([pepsim top]).
+
+    PEP samples are flat (a sample names the method executing the
+    path, not a call stack), so calling context is approximated by
+    hanging each method under its {e hot chain}: the walk toward a
+    root that follows, at every step, the heaviest sampled caller edge
+    in the DCG, with a visited guard against sampled recursion. *)
+
+type kind = [ `Paths | `Edges | `Dcg ]
+
+val kind_name : kind -> string
+
+(** Per-path sample counts: one stack per sampled path, leaf frame
+    ["path#<id> (<n> br)"]. *)
+val paths : Machine.t -> Dcg.t -> Pep.t -> Folded.t
+
+(** Per-branch-arm sample counts: leaf frame ["br#<id>:taken" /
+    ":not-taken"]. *)
+val edges : Machine.t -> Dcg.t -> Pep.t -> Folded.t
+
+(** DCG edge weights: each sampled caller→callee edge under the
+    caller's hot chain. *)
+val dcg : Machine.t -> Dcg.t -> Folded.t
+
+(** Export from a finished driver run; [None] when [kind] needs PEP
+    but the driver ran without it. *)
+val of_driver : Driver.t -> kind -> Folded.t option

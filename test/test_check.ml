@@ -373,13 +373,19 @@ let test_stack_effect_matches_interp () =
 let test_replay_checks_clean () =
   let env = Exp_harness.make_env ~size:2 ~seed:5 (Suite.find "jess") in
   let run =
-    Exp_harness.replay ~inline:true ~unroll:true env
-      (Exp_harness.Pep_profiled
-         {
-           sampling = Sampling.pep ~samples:64 ~stride:17;
-           zero = `Hottest;
-           numbering = `Smart;
-         })
+    Exp_harness.replay env
+      {
+        Exp_harness.default with
+        Exp_harness.profiling =
+          Exp_harness.Pep_profiled
+            {
+              sampling = Sampling.pep ~samples:64 ~stride:17;
+              zero = `Hottest;
+              numbering = `Smart;
+            };
+        inline = true;
+        unroll = true;
+      }
   in
   no_errors "replay checks (driver verify + profile lint)"
     run.Exp_harness.checks;

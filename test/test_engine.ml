@@ -12,7 +12,7 @@ let csl = Alcotest.(list string)
 
 (* ------------------------- differential suite ------------------------- *)
 
-let pep_config =
+let pep_profiling =
   Exp_harness.Pep_profiled
     {
       sampling = Sampling.pep ~samples:64 ~stride:17;
@@ -20,12 +20,15 @@ let pep_config =
       numbering = `Smart;
     }
 
+let with_engine engine config = { config with Exp_harness.engine }
+let cfg profiling = { Exp_harness.default with Exp_harness.profiling }
+
 let configs =
   [
-    ("Base", Exp_harness.Base);
-    ("Pep_profiled", pep_config);
-    ("Perfect_path", Exp_harness.Perfect_path);
-    ("Classic_blpp", Exp_harness.Classic_blpp);
+    ("Base", cfg Exp_harness.Base);
+    ("Pep_profiled", cfg pep_profiling);
+    ("Perfect_path", cfg Exp_harness.Perfect_path);
+    ("Classic_blpp", cfg Exp_harness.Classic_blpp);
   ]
 
 let meas_pp ppf (m : Exp_harness.measurement) =
@@ -56,8 +59,8 @@ let diff_workload name () =
   let env = Exp_harness.make_env ~size ~seed:11 w in
   List.iter
     (fun (cname, config) ->
-      let oracle = Exp_harness.replay ~engine:`Oracle env config in
-      let threaded = Exp_harness.replay ~engine:`Threaded env config in
+      let oracle = Exp_harness.replay env (with_engine `Oracle config) in
+      let threaded = Exp_harness.replay env (with_engine `Threaded config) in
       let om, op = observables oracle and tm, tp = observables threaded in
       check meas (name ^ "/" ^ cname ^ " measurement") om tm;
       check csl (name ^ "/" ^ cname ^ " profiles") op tp)
@@ -72,8 +75,16 @@ let test_adaptive_differential () =
     (fun name ->
       let w = Suite.find name in
       let size = max 4 (min 25 w.Workload.default_size) in
-      let oenv = Exp_harness.make_env ~engine:`Oracle ~size ~seed:5 w in
-      let tenv = Exp_harness.make_env ~engine:`Threaded ~size ~seed:5 w in
+      let oenv =
+        Exp_harness.make_env
+          ~config:(with_engine `Oracle Exp_harness.default)
+          ~size ~seed:5 w
+      in
+      let tenv =
+        Exp_harness.make_env
+          ~config:(with_engine `Threaded Exp_harness.default)
+          ~size ~seed:5 w
+      in
       check
         Alcotest.(array int)
         (name ^ " advice levels") oenv.advice.Advice.levels
@@ -82,12 +93,16 @@ let test_adaptive_differential () =
         (Edge_profile.to_lines oenv.advice.Advice.profile)
         (Edge_profile.to_lines tenv.advice.Advice.profile);
       List.iter
-        (fun pep ->
+        (fun (label, profiling) ->
           check ci
-            (Fmt.str "%s adaptive total (pep=%b)" name pep)
-            (Exp_harness.adaptive_total ~pep ~engine:`Oracle ~trial:3 oenv)
-            (Exp_harness.adaptive_total ~pep ~engine:`Threaded ~trial:3 tenv))
-        [ false; true ])
+            (Fmt.str "%s adaptive total (%s)" name label)
+            (Exp_harness.adaptive_total
+               ~config:(with_engine `Oracle (cfg profiling))
+               ~trial:3 oenv)
+            (Exp_harness.adaptive_total
+               ~config:(with_engine `Threaded (cfg profiling))
+               ~trial:3 tenv))
+        [ ("plain", Exp_harness.Base); ("pep", pep_profiling) ])
     [ "compress"; "jython" ]
 
 (* Body transformations (inlining, unrolling) recompile methods into
@@ -98,14 +113,16 @@ let test_transform_differential () =
       let w = Suite.find name in
       let size = max 4 (min 25 w.Workload.default_size) in
       let env = Exp_harness.make_env ~size ~seed:7 w in
-      let oracle =
-        Exp_harness.replay ~inline:true ~unroll:true ~engine:`Oracle env
-          pep_config
+      let transformed engine =
+        {
+          (cfg pep_profiling) with
+          Exp_harness.inline = true;
+          unroll = true;
+          engine;
+        }
       in
-      let threaded =
-        Exp_harness.replay ~inline:true ~unroll:true ~engine:`Threaded env
-          pep_config
-      in
+      let oracle = Exp_harness.replay env (transformed `Oracle) in
+      let threaded = Exp_harness.replay env (transformed `Threaded) in
       let om, op = observables oracle and tm, tp = observables threaded in
       check meas (name ^ " transformed measurement") om tm;
       check csl (name ^ " transformed profiles") op tp)

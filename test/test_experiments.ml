@@ -70,8 +70,16 @@ let test_checksums_consistent () =
           Exp_cache.instr_only c;
           Exp_cache.pep c ~samples:64 ~stride:17;
           Exp_cache.perfect_path c;
-          Exp_cache.run c ~key:"perfect-edge" Exp_harness.Perfect_edge;
-          Exp_cache.run c ~key:"classic-blpp" Exp_harness.Classic_blpp;
+          Exp_cache.run c
+            {
+              (Exp_cache.config c) with
+              Exp_harness.profiling = Exp_harness.Perfect_edge;
+            };
+          Exp_cache.run c
+            {
+              (Exp_cache.config c) with
+              Exp_harness.profiling = Exp_harness.Classic_blpp;
+            };
         ]
       in
       Exp_harness.check_consistent runs)

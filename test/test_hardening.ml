@@ -176,11 +176,21 @@ let test_path_profile_serialization () =
 
 let test_advice_bad_lines () =
   List.iter
-    (fun lines ->
-      match Advice.of_lines ~n_methods:2 lines with
-      | (_ : Advice.t) -> Alcotest.failf "expected Failure"
-      | exception Failure _ -> ())
-    [ [ "level x y" ]; [ "edge 0" ]; [ "dcg a b c" ]; [ "wat" ] ]
+    (fun (line_no, lines) ->
+      match Advice.of_lines ~file:"a.advice" ~n_methods:2 lines with
+      | Ok _ -> Alcotest.failf "expected a parse error"
+      | Error e ->
+          check ci "error line" line_no e.Dcg.line;
+          check Alcotest.(option string) "error file" (Some "a.advice")
+            e.Dcg.file;
+          check cb "error has reason" true (String.length e.Dcg.reason > 0))
+    [
+      (1, [ "level x y" ]);
+      (1, [ "edge 0" ]);
+      (1, [ "dcg a b c" ]);
+      (1, [ "wat" ]);
+      (3, [ "level 0 2"; ""; "level 9 1" ]);
+    ]
 
 let suite =
   [

@@ -205,9 +205,19 @@ let test_dcg () =
   (match Dcg.edges d with
   | (0, 1, 2) :: _ -> ()
   | _ -> Alcotest.fail "heaviest edge first");
-  let d' = Dcg.of_lines (Dcg.to_lines d) in
+  let d' =
+    match Dcg.of_lines (Dcg.to_lines d) with
+    | Ok d' -> d'
+    | Error e -> Alcotest.failf "roundtrip: %a" Dcg.pp_parse_error e
+  in
   check ci "roundtrip total" (Dcg.total d) (Dcg.total d');
-  check ci "roundtrip weight" 2 (Dcg.weight d' ~caller:0 ~callee:1)
+  check ci "roundtrip weight" 2 (Dcg.weight d' ~caller:0 ~callee:1);
+  match Dcg.of_lines ~file:"t.dcg" [ "0 1 2"; "0 x 1" ] with
+  | Ok _ -> Alcotest.fail "expected a parse error"
+  | Error e ->
+      check Alcotest.string "error rendering" "t.dcg:2: expected three \
+        integers with a positive weight (in \"0 x 1\")"
+        (Fmt.str "%a" Dcg.pp_parse_error e)
 
 let test_driver_samples_dcg () =
   let program = small_program () in
@@ -236,8 +246,10 @@ let test_inline_driver_end_to_end () =
   (* the same workload, replayed with and without inlining, must agree on
      the checksum and the inlined run must not be slower *)
   let env = Exp_harness.make_env ~seed:9 ~size:40 (Suite.find "jack") in
-  let plain = Exp_harness.replay env Exp_harness.Base in
-  let inlined = Exp_harness.replay ~inline:true env Exp_harness.Base in
+  let plain = Exp_harness.replay env Exp_harness.default in
+  let inlined =
+    Exp_harness.replay env { Exp_harness.default with Exp_harness.inline = true }
+  in
   check ci "checksums agree" plain.Exp_harness.meas.checksum
     inlined.Exp_harness.meas.checksum;
   check cb "inlining does not slow down" true

@@ -20,4 +20,5 @@ let () =
       ("workloads", Test_workloads.suite);
       ("experiments", Test_experiments.suite);
       ("check", Test_check.suite);
+      ("telemetry", Test_telemetry.suite);
     ]

@@ -151,8 +151,10 @@ let test_unroll_workloads () =
 
 let test_unroll_driver_end_to_end () =
   let env = Exp_harness.make_env ~seed:13 ~size:40 (Suite.find "fop") in
-  let plain = Exp_harness.replay env Exp_harness.Base in
-  let unrolled = Exp_harness.replay ~unroll:true env Exp_harness.Base in
+  let plain = Exp_harness.replay env Exp_harness.default in
+  let unrolled =
+    Exp_harness.replay env { Exp_harness.default with Exp_harness.unroll = true }
+  in
   check ci "checksums agree" plain.Exp_harness.meas.checksum
     unrolled.Exp_harness.meas.checksum;
   check cb "loops unrolled" true

@@ -71,7 +71,11 @@ let test_advice_roundtrip () =
   Dcg.record dcg ~caller:0 ~callee:1;
   Dcg.record dcg ~caller:(-1) ~callee:0;
   let a = { Advice.levels; profile; dcg } in
-  let a' = Advice.of_lines ~n_methods:3 (Advice.to_lines a) in
+  let a' =
+    match Advice.of_lines ~n_methods:3 (Advice.to_lines a) with
+    | Ok a' -> a'
+    | Error e -> Alcotest.failf "roundtrip: %a" Dcg.pp_parse_error e
+  in
   check Alcotest.(array int) "levels" a.Advice.levels a'.Advice.levels;
   check ci "profile total"
     (Edge_profile.table_total a.Advice.profile)
@@ -153,6 +157,7 @@ let test_driver_with_pep () =
       unroll = false;
       verify = true;
       engine = `Threaded;
+      telemetry = None;
     }
   in
   let d = Driver.create opts st in
