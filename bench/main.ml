@@ -7,12 +7,15 @@
    With arguments: run only the named experiments, e.g.
      dune exec bench/main.exe fig6 fig8
    Recognized extra flags: --scale F (resize workloads), --seed N,
+   --jobs N (shard runs over N worker domains), --cache-dir DIR
+   (persistent on-disk run cache), --no-cache (ignore --cache-dir),
    --micro (microbenchmarks only).  --micro also writes the execution
    engine comparison (interpreter oracle vs closure-threaded code) to
    BENCH_engine.json. *)
 
 let parse_args () =
   let ids = ref [] and scale = ref 1.0 and seed = ref 42 and micro = ref false in
+  let jobs = ref 1 and cache_dir = ref None and no_cache = ref false in
   let rec go = function
     | [] -> ()
     | "--scale" :: v :: rest ->
@@ -20,6 +23,15 @@ let parse_args () =
         go rest
     | "--seed" :: v :: rest ->
         seed := int_of_string v;
+        go rest
+    | "--jobs" :: v :: rest ->
+        jobs := int_of_string v;
+        go rest
+    | "--cache-dir" :: v :: rest ->
+        cache_dir := Some v;
+        go rest
+    | "--no-cache" :: rest ->
+        no_cache := true;
         go rest
     | "--micro" :: rest ->
         micro := true;
@@ -34,19 +46,39 @@ let parse_args () =
         go rest
   in
   go (List.tl (Array.to_list Sys.argv));
-  (List.rev !ids, !scale, !seed, !micro)
+  let cache_dir = if !no_cache then None else !cache_dir in
+  (List.rev !ids, !scale, !seed, !jobs, cache_dir, !micro)
 
-let run_figures ids scale seed =
+let print_cache_report caches =
+  let tot f = List.fold_left (fun acc c -> acc + f (Exp_cache.stats c)) 0 caches in
+  let memory = tot (fun s -> s.Exp_cache.memory_hits)
+  and disk = tot (fun s -> s.Exp_cache.disk_hits)
+  and executed = tot (fun s -> s.Exp_cache.executed)
+  and errors = tot (fun s -> s.Exp_cache.store_errors) in
+  Printf.printf
+    "[exp-cache] exp.cache_hit=%d exp.cache_miss=%d memory_hits=%d \
+     disk_hits=%d executed=%d store_errors=%d\n%!"
+    (memory + disk) executed memory disk executed errors;
+  List.iter
+    (fun c ->
+      List.iter
+        (fun d -> Format.eprintf "bench: cache: %a@." Dcg.pp_parse_error d)
+        (Exp_cache.diagnostics c))
+    caches
+
+let run_figures ids scale seed jobs cache_dir =
   let t0 = Unix.gettimeofday () in
   Printf.printf
-    "PEP reproduction: %d benchmarks, scale %.2f, seed %d\n%!"
-    (List.length Suite.names) scale seed;
+    "PEP reproduction: %d benchmarks, scale %.2f, seed %d, jobs %d\n%!"
+    (List.length Suite.names) scale seed jobs;
   let caches =
     List.map
-      (fun env -> Exp_cache.create env)
-      (Exp_harness.suite_envs ~scale ~seed ())
+      (fun env -> Exp_cache.create ?cache_dir env)
+      (Exp_pool.suite_envs ~scale ~jobs ~seed ())
   in
+  Exp_pool.prefetch ~jobs caches ids;
   List.iter (fun id -> Exp_figures.print (Exp_figures.by_id id caches)) ids;
+  if cache_dir <> None then print_cache_report caches;
   Printf.printf "\n[figures done in %.1fs]\n%!" (Unix.gettimeofday () -. t0)
 
 (* ------------------------- microbenchmarks ------------------------- *)
@@ -277,10 +309,10 @@ let run_micro ~seed () =
   write_engine_json ~seed ~wall:(Unix.gettimeofday () -. t0) rows
 
 let () =
-  let ids, scale, seed, micro_only = parse_args () in
+  let ids, scale, seed, jobs, cache_dir, micro_only = parse_args () in
   if micro_only then run_micro ~seed ()
-  else if ids <> [] then run_figures ids scale seed
+  else if ids <> [] then run_figures ids scale seed jobs cache_dir
   else begin
-    run_figures Exp_figures.ids scale seed;
+    run_figures Exp_figures.ids scale seed jobs cache_dir;
     run_micro ~seed ()
   end

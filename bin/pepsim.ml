@@ -56,6 +56,52 @@ let verify_arg =
           "Run the $(b,Pep_check) static passes and profile lint over the \
            results and exit nonzero on any error.")
 
+let jobs_arg =
+  Arg.(
+    value & opt int 1
+    & info [ "jobs"; "j" ] ~docv:"N"
+        ~doc:
+          "Shard experiment runs across N parallel worker domains.  \
+           Results are bit-identical to $(b,--jobs) $(i,1).")
+
+let cache_dir_arg =
+  Arg.(
+    value
+    & opt (some string) None
+    & info [ "cache-dir" ] ~docv:"DIR"
+        ~doc:
+          "Persist completed runs to $(i,DIR) and recall them on later \
+           invocations without re-executing.  Stale or damaged entries \
+           are reported and recomputed.")
+
+let no_cache_arg =
+  Arg.(
+    value & flag
+    & info [ "no-cache" ]
+        ~doc:"Ignore $(b,--cache-dir): neither read nor write persisted runs.")
+
+(* One aggregated accounting line (the exp.cache_hit / exp.cache_miss
+   counters CI asserts on), plus any store diagnostics. *)
+let print_cache_report caches =
+  let tot f =
+    List.fold_left (fun acc c -> acc + f (Exp_cache.stats c)) 0 caches
+  in
+  Printf.printf
+    "[exp-cache] exp.cache_hit=%d exp.cache_miss=%d memory_hits=%d \
+     disk_hits=%d executed=%d store_errors=%d\n"
+    (tot (fun s -> s.Exp_cache.memory_hits + s.Exp_cache.disk_hits))
+    (tot (fun s -> s.Exp_cache.executed))
+    (tot (fun s -> s.Exp_cache.memory_hits))
+    (tot (fun s -> s.Exp_cache.disk_hits))
+    (tot (fun s -> s.Exp_cache.executed))
+    (tot (fun s -> s.Exp_cache.store_errors));
+  List.iter
+    (fun c ->
+      List.iter
+        (fun e -> Fmt.epr "cache: %a@." Dcg.pp_parse_error e)
+        (Exp_cache.diagnostics c))
+    caches
+
 let print_diags diags =
   List.iter (fun d -> Fmt.pr "%a@." Pep_check.pp_diagnostic d) diags
 
@@ -177,15 +223,16 @@ let workload_cmd =
       & opt (some int) None
       & info [ "size" ] ~docv:"N" ~doc:"Workload size (default per benchmark).")
   in
-  let action name size sampling seed verify =
+  let action name size sampling seed verify cache_dir no_cache =
     match Suite.find name with
     | exception Not_found ->
         Printf.eprintf "unknown workload %s; try `pepsim list`\n" name;
         exit 1
     | w ->
+        let cache_dir = if no_cache then None else cache_dir in
         let size = Option.value ~default:w.Workload.default_size size in
         let env = Exp_harness.make_env ~size ~seed w in
-        let cache = Exp_cache.create env in
+        let cache = Exp_cache.create ?cache_dir env in
         let base = Exp_cache.base cache in
         let run =
           Exp_cache.run cache
@@ -205,6 +252,7 @@ let workload_cmd =
           (Exp_report.overhead ~base:base.Exp_harness.meas.iter2
              run.Exp_harness.meas.iter2);
         Option.iter (print_profiles env.Exp_harness.program) run.Exp_harness.pep;
+        if cache_dir <> None then print_cache_report [ cache ];
         if verify then begin
           let diags =
             Pep_check.check_program_static env.Exp_harness.program
@@ -217,7 +265,8 @@ let workload_cmd =
   Cmd.v
     (Cmd.info "workload" ~doc:"Run a suite benchmark under PEP")
     Term.(
-      const action $ name_arg $ size_arg $ sampling_arg $ seed_arg $ verify_arg)
+      const action $ name_arg $ size_arg $ sampling_arg $ seed_arg $ verify_arg
+      $ cache_dir_arg $ no_cache_arg)
 
 (* --- experiments --------------------------------------------------- *)
 
@@ -226,7 +275,9 @@ let experiments_cmd =
     Arg.(
       value & opt_all string []
       & info [ "only" ] ~docv:"ID"
-          ~doc:"Run only this experiment (repeatable); default: all.")
+          ~doc:
+            "Run only this experiment (repeatable, comma-separable); \
+             default: all.")
   in
   let scale_arg =
     Arg.(
@@ -242,7 +293,13 @@ let experiments_cmd =
             "Attach a telemetry sink to every run and write a Chrome \
              trace of the whole experiment sweep to $(i,FILE).")
   in
-  let action only scale seed verify trace_out =
+  let action only scale seed verify trace_out jobs cache_dir no_cache =
+    let cache_dir = if no_cache then None else cache_dir in
+    let only =
+      List.filter
+        (fun id -> id <> "")
+        (List.concat_map (String.split_on_char ',') only)
+    in
     let ids = if only = [] then Exp_figures.ids else only in
     List.iter
       (fun id ->
@@ -251,19 +308,22 @@ let experiments_cmd =
           exit 1
         end)
       ids;
-    Printf.printf "preparing %d benchmarks (scale %.2f)...\n%!"
-      (List.length Suite.names) scale;
+    Printf.printf "preparing %d benchmarks (scale %.2f, jobs %d)...\n%!"
+      (List.length Suite.names) scale jobs;
     let telemetry =
       Option.map (fun _ -> Telemetry.create ~tracing:true ()) trace_out
     in
     let config = { Exp_harness.default with Exp_harness.telemetry } in
     let caches =
-      List.map (Exp_cache.create ~config)
-        (Exp_harness.suite_envs ~scale ~config ~seed ())
+      List.map
+        (fun env -> Exp_cache.create ~config ?cache_dir env)
+        (Exp_pool.suite_envs ~scale ~jobs ~config ~seed ())
     in
+    Exp_pool.prefetch ~jobs ?telemetry caches ids;
     List.iter
       (fun id -> Exp_figures.print (Exp_figures.by_id id caches))
       ids;
+    if cache_dir <> None then print_cache_report caches;
     (match (trace_out, telemetry) with
     | Some path, Some tel ->
         let trace = Option.get (Telemetry.trace tel) in
@@ -299,7 +359,8 @@ let experiments_cmd =
     (Cmd.info "experiments"
        ~doc:"Regenerate the paper's tables and figures")
     Term.(
-      const action $ only_arg $ scale_arg $ seed_arg $ verify_arg $ trace_arg)
+      const action $ only_arg $ scale_arg $ seed_arg $ verify_arg $ trace_arg
+      $ jobs_arg $ cache_dir_arg $ no_cache_arg)
 
 (* --- disasm -------------------------------------------------------- *)
 

@@ -1,17 +1,26 @@
-(** Memoized experiment runs.
+(** Memoized experiment runs, with an optional persistent on-disk layer.
 
     Several figures share configurations (the PEP(64,17) replay run feeds
     Fig. 6 overhead, Fig. 8 path accuracy and Fig. 9 edge accuracy); the
     cache executes each distinct configuration once per benchmark,
     memoizing by {!Exp_harness.config_key} — every configuration field
-    is part of the key, so distinct configurations never alias. *)
+    is part of the key, so distinct configurations never alias.
+
+    With [cache_dir], completed runs are additionally persisted through
+    {!Exp_store} under a composite identity (store version, workload,
+    size, seed, digests of the compiled program and cost model, and the
+    configuration key), and recalled on later sweeps by
+    {!Exp_harness.rebuild} — zero application execution.  Stale or
+    damaged entries surface as {!diagnostics} and are silently
+    recomputed and overwritten, never trusted or crashed on. *)
 
 type t
 
 (** [config] is the base configuration the convenience runs below (and
     {!config}-derived callers) build on — e.g. pass one carrying a
-    telemetry sink to have every figure's runs traced. *)
-val create : ?config:Exp_harness.config -> Exp_harness.env -> t
+    telemetry sink to have every figure's runs traced.  [cache_dir]
+    (default: none, memory only) enables the persistent layer. *)
+val create : ?config:Exp_harness.config -> ?cache_dir:string -> Exp_harness.env -> t
 
 val env : t -> Exp_harness.env
 
@@ -20,10 +29,50 @@ val env : t -> Exp_harness.env
     record update. *)
 val config : t -> Exp_harness.config
 
+(** The directory given to {!create}, if any. *)
+val cache_dir : t -> string option
+
 (** Run (or recall) a configuration. *)
 val run : t -> Exp_harness.config -> Exp_harness.run
 
-(** The shared convenience runs, derived from the base configuration. *)
+(** The memoized run, if this configuration has one (never computes;
+    does not count as a hit). *)
+val find_run : t -> Exp_harness.config -> Exp_harness.run option
+
+(** {2 Split compute/install — the job-pool protocol}
+
+    [run t c] is [install t c (compute t c)] plus memo lookup.  A pool
+    shards the [compute]s (worker domains: execute or load from disk —
+    touches no shared mutable state) and then [install]s every outcome
+    from the main domain in deterministic key order. *)
+
+type outcome
+
+val compute : t -> Exp_harness.config -> outcome
+val install : t -> Exp_harness.config -> outcome -> Exp_harness.run
+
+(** {2 Accounting} *)
+
+type stats = {
+  memory_hits : int;  (** recalled from the in-process memo table *)
+  disk_hits : int;  (** rebuilt from a persisted entry, no execution *)
+  executed : int;  (** actually simulated *)
+  store_errors : int;  (** stale/corrupt/unwritable entries (see {!diagnostics}) *)
+}
+
+val stats : t -> stats
+
+(** Structured reports for every store entry that had to be recomputed
+    (stale key, corrupt content, unreadable file) or could not be
+    written; oldest first.  Same shape as [Advice.of_lines] errors. *)
+val diagnostics : t -> Dcg.parse_error list
+
+(** Where [config] would be persisted ([None] if no [cache_dir], or the
+    configuration is not persistable — [From_pep] opt-profiles consult
+    live sampler state and are always re-executed). *)
+val store_file : t -> Exp_harness.config -> string option
+
+(** {2 The shared convenience runs, derived from the base configuration} *)
 
 val base : t -> Exp_harness.run
 val pep : t -> samples:int -> stride:int -> Exp_harness.run

@@ -830,3 +830,79 @@ let registry : (string * (Exp_cache.t list -> figure)) list =
 
 let ids = List.map fst registry
 let by_id id = List.assoc id registry
+
+(* The cacheable configurations a figure consults, enumerated so a job
+   pool can compute them up front.  Work that is not cache-mediated —
+   fig11's adaptive trials, the combined truth replays of
+   tab-inline/tab-unroll, the direct drivers of tab-hardware /
+   tab-header / tab-onetime-paths — is not representable here and still
+   runs when the figure is built. *)
+let prefetch_configs c id =
+  let cw p = cfg_with c p in
+  let pep (s, t) =
+    cw
+      (Exp_harness.Pep_profiled
+         {
+           sampling = Sampling.pep ~samples:s ~stride:t;
+           zero = `Hottest;
+           numbering = `Smart;
+         })
+  in
+  let never zero numbering =
+    cw (Exp_harness.Pep_profiled { sampling = Sampling.never; zero; numbering })
+  in
+  let instr = never `Hottest `Smart in
+  let base = cw Exp_harness.Base in
+  let perfect_path = cw Exp_harness.Perfect_path in
+  let perfect_edge = cw Exp_harness.Perfect_edge in
+  match id with
+  | "fig6" -> base :: instr :: List.map pep pep_configs
+  | "fig7" -> [ base; pep (64, 17) ]
+  | "fig8" | "fig9" -> perfect_path :: List.map pep pep_configs
+  | "tab-absolute" ->
+      perfect_path :: List.map pep [ (64, 17); (256, 17); (1024, 17) ]
+  | "fig10" -> [ base; perfect_path ]
+  | "fig11" -> []
+  | "tab-perfect" -> [ base; perfect_path; perfect_edge ]
+  | "tab-blpp" -> [ base; cw Exp_harness.Classic_blpp; perfect_edge ]
+  | "tab-smart" ->
+      [ base; instr; never `Coldest `Smart; never `Hottest `Ball_larus ]
+  | "tab-ag" ->
+      [
+        base;
+        pep (64, 17);
+        cw
+          (Exp_harness.Pep_profiled
+             {
+               sampling = Sampling.arnold_grove ~samples:64 ~stride:17;
+               zero = `Hottest;
+               numbering = `Smart;
+             });
+        perfect_path;
+      ]
+  | "tab-header" -> [ base; instr; cw Exp_harness.Instr_back_edge ]
+  | "tab-onetime" -> [ perfect_path ]
+  | "tab-edgetruth" -> [ pep (64, 17); perfect_path; perfect_edge ]
+  | "tab-inline" -> [ base; { base with Exp_harness.inline = true } ]
+  | "tab-unroll" -> [ base; { base with Exp_harness.unroll = true } ]
+  | "tab-showdown" -> [ perfect_path; pep (64, 17) ]
+  | "tab-hardware" -> [ perfect_path ]
+  | "tab-onetime-paths" -> [ base; perfect_path; pep (64, 17) ]
+  | _ -> []
+
+(* Second-stage configurations derivable only from first-stage results:
+   fig10 replays under Fixed opt-profile tables built from the perfect
+   path profile.  Call after the prefetched runs are installed (the
+   table is computed serially if they are not). *)
+let derived_configs c id =
+  match id with
+  | "fig10" ->
+      let table = Exp_cache.perfect_edges_of_paths c in
+      let with_table t =
+        {
+          (cfg_with c Exp_harness.Base) with
+          Exp_harness.opt_profile = Driver.Fixed t;
+        }
+      in
+      [ with_table table; with_table (Edge_profile.flip_table table) ]
+  | _ -> []

@@ -62,3 +62,15 @@ val ids : string list
 
 (** @raise Not_found for unknown ids. *)
 val by_id : string -> Exp_cache.t list -> figure
+
+(** The cacheable configurations figure [id] consults, enumerated so a
+    job pool ({!Exp_pool}) can compute them up front.  Work that is not
+    cache-mediated (fig11's adaptive trials, combined truth replays,
+    direct comparator drivers) still runs when the figure is built.
+    Unknown ids yield []. *)
+val prefetch_configs : Exp_cache.t -> string -> Exp_harness.config list
+
+(** Second-stage configurations derivable only from first-stage results
+    (fig10's Fixed-table replays, built from the perfect path profile).
+    Call after the {!prefetch_configs} runs are installed. *)
+val derived_configs : Exp_cache.t -> string -> Exp_harness.config list

@@ -126,10 +126,16 @@ type run = {
 
 (* Lint every profile PEP collected: the sampled edge profile (flow holds
    only approximately, so [exact:false]) and each method's path profile
-   against the numbering of the plan that produced its ids. *)
-let lint_pep st (p : Pep.t) =
+   against the numbering of the plan that produced its ids.
+   [expected_samples] overrides the sampler's live taken-count as the
+   path-total bound — a run rebuilt from disk has a fresh sampler, so
+   the count persisted alongside the profile is the bound to check. *)
+let lint_pep ?expected_samples st (p : Pep.t) =
   let acc = ref [] in
   let add ds = acc := !acc @ Pep_check.with_pass "profile@pep" ds in
+  let expected_total =
+    match expected_samples with Some n -> n | None -> Pep.n_samples p
+  in
   Array.iteri
     (fun midx ep ->
       if not (Edge_profile.is_empty ep) then
@@ -142,17 +148,19 @@ let lint_pep st (p : Pep.t) =
       match p.Pep.plans.(midx) with
       | Some plan when not (Path_profile.is_empty pp) ->
           add
-            (Pep_check.lint_path_profile ~expected_total:(Pep.n_samples p)
+            (Pep_check.lint_path_profile ~expected_total
                plan.Instrument.numbering pp)
       | Some _ | None -> ())
     p.Pep.paths;
   !acc
 
-let lint_run (r : run) =
+let lint_run ?expected_samples (r : run) =
   let st = Driver.machine r.driver in
   let acc = ref (Driver.checks r.driver) in
   let add ds = acc := !acc @ ds in
-  (match r.pep with Some p -> add (lint_pep st p) | None -> ());
+  (match r.pep with
+  | Some p -> add (lint_pep ?expected_samples st p)
+  | None -> ());
   (match r.ppaths with
   | Some (p : Profiler.path_profiler) ->
       Array.iteri
@@ -203,10 +211,14 @@ let mask_plans env (plans : Profile_hooks.plans) =
     (fun m level -> if level < 0 then plans.(m) <- None)
     env.advice.Advice.levels
 
-let replay env config =
+(* Build the machine, profilers, hooks and driver for [config] —
+   everything a replay does before the first application iteration.
+   Shared between [replay] (which then executes) and [rebuild] (which
+   precompiles and restores persisted profiles instead of executing);
+   both must construct the state identically or cached runs would not
+   be bit-identical to executed ones. *)
+let setup_replay env config =
   let st = Machine.create ~seed:env.seed env.program in
-  begin_run config
-    (Fmt.str "%s %s" env.workload.Workload.name (config_key config));
   let pep_opts, extra =
     match config.profiling with
     | Base -> (None, None)
@@ -256,29 +268,102 @@ let replay env config =
     }
   in
   let driver = Driver.create ?extra_hooks opts st in
+  (extra, driver)
+
+let run_of_driver ~meas ~extra driver =
+  {
+    meas;
+    pep = Driver.pep driver;
+    ppaths =
+      (match extra with
+      | Some (`Path p) -> Some p
+      | Some (`Edge _) | Some (`Hooks _) | None -> None);
+    pedges =
+      (match extra with
+      | Some (`Edge p) -> Some p
+      | Some (`Path _) | Some (`Hooks _) | None -> None);
+    driver;
+    checks = [];
+  }
+
+let replay env config =
+  begin_run config
+    (Fmt.str "%s %s" env.workload.Workload.name (config_key config));
+  let extra, driver = setup_replay env config in
   let iter1, c1 = Driver.run driver in
   let iter2, c2 = Driver.run driver in
   (* the two iterations see different PRNG draws, so combine both results
      into the cross-configuration checksum *)
-  let r =
+  let meas =
     {
-      meas =
-        {
-          iter1;
-          iter2;
-          compile = Driver.compile_cycles driver;
-          checksum = c1 lxor (c2 * 1_000_003);
-        };
-      pep = Driver.pep driver;
-      ppaths =
-        (match extra with Some (`Path p) -> Some p | Some (`Edge _) | Some (`Hooks _) | None -> None);
-      pedges =
-        (match extra with Some (`Edge p) -> Some p | Some (`Path _) | Some (`Hooks _) | None -> None);
-      driver;
-      checks = [];
+      iter1;
+      iter2;
+      compile = Driver.compile_cycles driver;
+      checksum = c1 lxor (c2 * 1_000_003);
     }
   in
+  let r = run_of_driver ~meas ~extra driver in
   { r with checks = lint_run r }
+
+(* Rebuild a replay run from a persisted payload without executing the
+   application.  Replay compilation is execution-order-independent (the
+   advice fixes the opt profile and the call graph), so [precompile]
+   yields the same compiled bodies, plans and transform counts as the
+   lazy compilation of a live run; the profile tables are then restored
+   from their serialized lines and re-linted from scratch — nothing
+   recorded on disk is trusted beyond the raw counts.  [Error reason]
+   means the payload does not fit the configuration (wrong sections,
+   unparseable lines): callers fall back to executing. *)
+let rebuild env config (p : Exp_store.payload) =
+  begin_run config
+    (Fmt.str "cached %s %s" env.workload.Workload.name (config_key config));
+  let extra, driver = setup_replay env config in
+  Driver.precompile driver;
+  let exception Bad of string in
+  let fill what parse lines =
+    List.iter
+      (fun line ->
+        match parse line with
+        | Ok () -> ()
+        | Error reason ->
+            raise (Bad (Fmt.str "%s: %s (line %S)" what reason line)))
+      lines
+  in
+  let want what = function
+    | [] -> ()
+    | _ :: _ ->
+        raise
+          (Bad (Fmt.str "payload has a %s section this configuration never collects" what))
+  in
+  match
+    (match Driver.pep driver with
+    | Some pp ->
+        fill "pep.paths" (Path_profile.parse_line pp.Pep.paths) p.Exp_store.pep_paths;
+        fill "pep.edges" (Edge_profile.parse_line pp.Pep.edges) p.Exp_store.pep_edges
+    | None ->
+        want "pep.paths" p.Exp_store.pep_paths;
+        want "pep.edges" p.Exp_store.pep_edges);
+    (match extra with
+    | Some (`Path pr) ->
+        fill "ppaths" (Path_profile.parse_line pr.Profiler.table) p.Exp_store.ppaths
+    | _ -> want "ppaths" p.Exp_store.ppaths);
+    (match extra with
+    | Some (`Edge pr) ->
+        fill "pedges" (Edge_profile.parse_line pr.Profiler.etable) p.Exp_store.pedges
+    | _ -> want "pedges" p.Exp_store.pedges)
+  with
+  | () ->
+      let meas =
+        {
+          iter1 = p.Exp_store.iter1;
+          iter2 = p.Exp_store.iter2;
+          compile = p.Exp_store.compile;
+          checksum = p.Exp_store.checksum;
+        }
+      in
+      let r = run_of_driver ~meas ~extra driver in
+      Ok { r with checks = lint_run ~expected_samples:p.Exp_store.n_samples r }
+  | exception Bad reason -> Error reason
 
 (* Replay with body transformations enabled, PEP(64,17) and a perfect
    path profiler observing the same (transformed) code: the profiler must

@@ -99,16 +99,32 @@ type run = {
 (** Lint PEP's collected profiles (pass field ["profile@pep"]): the
     sampled edge profile shape-checked per method, each path profile
     checked against the numbering of the plan that produced its ids and
-    bounded by the sampler's taken-sample count. *)
-val lint_pep : Machine.t -> Pep.t -> Pep_check.diagnostic list
+    bounded by the sampler's taken-sample count.  [expected_samples]
+    overrides the sampler's live count as that bound — for runs rebuilt
+    from disk, whose fresh sampler has taken nothing. *)
+val lint_pep : ?expected_samples:int -> Machine.t -> Pep.t -> Pep_check.diagnostic list
 
 (** The full lint a {!replay} stores in [run.checks]; exposed for runs
     built directly against a {!Driver.t}. *)
-val lint_run : run -> Pep_check.diagnostic list
+val lint_run : ?expected_samples:int -> run -> Pep_check.diagnostic list
 
 (** One replay experiment under [config] (two deterministic iterations;
     see the module comment). *)
 val replay : env -> config -> run
+
+(** Rebuild the {!run} that [replay env config] would produce, from a
+    persisted payload, without executing the application: the driver is
+    {!Driver.precompile}d (replay compilation is independent of
+    execution order, so compiled bodies, plans and transforms are
+    identical to a live run's), the profile tables restored from their
+    serialized lines, and [checks] re-linted from scratch — raw counts
+    are the only thing taken from disk.  [Error reason] means the
+    payload does not fit the configuration; callers fall back to
+    executing.  Not supported (by construction never persisted) for
+    [From_pep] opt-profiles, whose compilation consults live sampler
+    state. *)
+val rebuild :
+  env -> config -> Exp_store.payload -> (run, string) result
 
 (** Replay with body transformations (default config: inlining only),
     PEP(64,17), and a perfect path profiler over the same transformed

@@ -1,0 +1,214 @@
+(* On-disk storage for experiment run payloads.
+
+   One file per (workload, size, seed, configuration) run, named by the
+   MD5 of that identity so a cache directory can be shared across
+   sweeps.  The file is a line-oriented text record:
+
+     pepsim-run-cache v<version>
+     key <composite key>
+     meas <iter1> <iter2> <compile> <checksum>
+     nsamples <n>
+     pep.paths <k>   followed by k serialized Path_profile lines
+     pep.edges <k>   followed by k serialized Edge_profile lines
+     ppaths <k>      (perfect/classic path profiler table)
+     pedges <k>      (perfect edge profiler table)
+     digest <md5 hex of every preceding line>
+
+   The composite key embeds digests of the compiled program and the
+   cost model (see Exp_cache), so a stale entry — same file name,
+   different program — fails the key comparison; a damaged entry fails
+   the digest or shape checks.  Either way the caller gets a structured
+   [Dcg.parse_error] and recomputes; a load never crashes and never
+   returns a partially-filled payload. *)
+
+let version = 1
+let magic = "pepsim-run-cache"
+
+type payload = {
+  iter1 : int;
+  iter2 : int;
+  compile : int;
+  checksum : int;
+  n_samples : int;
+  pep_paths : string list;
+  pep_edges : string list;
+  ppaths : string list;
+  pedges : string list;
+}
+
+let filename ~dir file_key =
+  Filename.concat dir (Digest.to_hex (Digest.string file_key) ^ ".run")
+
+let digest_lines lines =
+  Digest.to_hex (Digest.string (String.concat "\n" lines))
+
+let rec ensure_dir dir =
+  if not (Sys.file_exists dir) then begin
+    let parent = Filename.dirname dir in
+    if parent <> dir then ensure_dir parent;
+    (* tolerate a concurrent worker creating it first *)
+    try Sys.mkdir dir 0o755 with Sys_error _ -> ()
+  end
+
+let err ?(line = 0) ?(text = "") file reason =
+  { Dcg.file = Some file; line; text = String.trim text; reason }
+
+(* ------------------------------ save ------------------------------ *)
+
+let to_lines ~key p =
+  let section name lines = Fmt.str "%s %d" name (List.length lines) :: lines in
+  let body =
+    (magic ^ " v" ^ string_of_int version)
+    :: ("key " ^ key)
+    :: Fmt.str "meas %d %d %d %d" p.iter1 p.iter2 p.compile p.checksum
+    :: Fmt.str "nsamples %d" p.n_samples
+    :: List.concat
+         [
+           section "pep.paths" p.pep_paths;
+           section "pep.edges" p.pep_edges;
+           section "ppaths" p.ppaths;
+           section "pedges" p.pedges;
+         ]
+  in
+  body @ [ "digest " ^ digest_lines body ]
+
+let save ~file ~key p =
+  let flat =
+    List.for_all
+      (fun l -> not (String.contains l '\n' || String.contains l '\r'))
+      (key :: (p.pep_paths @ p.pep_edges @ p.ppaths @ p.pedges))
+  in
+  if not flat then
+    Error (err file "refusing to save: payload line contains a newline")
+  else
+    try
+      let dir = Filename.dirname file in
+      ensure_dir dir;
+      let tmp = Filename.temp_file ~temp_dir:dir "run-" ".tmp" in
+      let finish ok =
+        if not ok then (try Sys.remove tmp with Sys_error _ -> ())
+      in
+      (try
+         let oc = open_out tmp in
+         List.iter
+           (fun l ->
+             output_string oc l;
+             output_char oc '\n')
+           (to_lines ~key p);
+         close_out oc;
+         Sys.rename tmp file;
+         Ok ()
+       with Sys_error m ->
+         finish false;
+         Error (err file ("write failed: " ^ m)))
+    with Sys_error m -> Error (err file ("write failed: " ^ m))
+
+(* ------------------------------ load ------------------------------ *)
+
+exception Fail of Dcg.parse_error
+
+let read_lines file =
+  let ic = open_in file in
+  Fun.protect
+    ~finally:(fun () -> close_in_noerr ic)
+    (fun () ->
+      let acc = ref [] in
+      (try
+         while true do
+           acc := input_line ic :: !acc
+         done
+       with End_of_file -> ());
+      List.rev !acc)
+
+let load ~file ~key =
+  if not (Sys.file_exists file) then Ok None
+  else
+    try
+      let lines = try read_lines file with Sys_error m ->
+        raise (Fail (err file ("unreadable: " ^ m)))
+      in
+      let arr = Array.of_list lines in
+      let n = Array.length arr in
+      let fail ?line ?text reason = raise (Fail (err ?line ?text file reason)) in
+      (* shape: magic/version first, self-consistent digest last *)
+      if n < 2 then fail "truncated cache entry";
+      (match String.split_on_char ' ' arr.(0) with
+      | [ m; v ] when m = magic ->
+          if v <> "v" ^ string_of_int version then
+            fail ~line:1 ~text:arr.(0)
+              (Fmt.str "unsupported cache version %s (want v%d)" v version)
+      | _ -> fail ~line:1 ~text:arr.(0) "not a pepsim run-cache file");
+      (match String.index_opt arr.(n - 1) ' ' with
+      | Some 6 when String.sub arr.(n - 1) 0 6 = "digest" ->
+          let stored = String.sub arr.(n - 1) 7 (String.length arr.(n - 1) - 7) in
+          let body = Array.to_list (Array.sub arr 0 (n - 1)) in
+          if digest_lines body <> stored then
+            fail ~line:n ~text:arr.(n - 1)
+              "corrupt cache entry (content digest mismatch)"
+      | _ ->
+          fail ~line:n ~text:arr.(n - 1)
+            "truncated cache entry (missing digest trailer)");
+      (* cursor over the verified body *)
+      let pos = ref 1 in
+      let next what =
+        if !pos >= n - 1 then
+          fail ~line:n (Fmt.str "truncated cache entry (missing %s)" what);
+        let l = arr.(!pos) in
+        incr pos;
+        l
+      in
+      let field name l =
+        let prefix = name ^ " " in
+        if String.starts_with ~prefix l then
+          String.sub l (String.length prefix) (String.length l - String.length prefix)
+        else fail ~line:!pos ~text:l (Fmt.str "expected a %S line" name)
+      in
+      let int_field name l =
+        match int_of_string_opt (field name l) with
+        | Some v -> v
+        | None -> fail ~line:!pos ~text:l (Fmt.str "bad %s value" name)
+      in
+      let stored_key = field "key" (next "key") in
+      if stored_key <> key then
+        fail ~line:2
+          (Fmt.str
+             "stale cache entry: key mismatch (expected %S, found %S) — \
+              program, cost model or format changed since it was written"
+             key stored_key);
+      let meas_line = next "meas" in
+      let iter1, iter2, compile, checksum =
+        match
+          List.map int_of_string_opt
+            (String.split_on_char ' ' (field "meas" meas_line))
+        with
+        | [ Some a; Some b; Some c; Some d ] -> (a, b, c, d)
+        | _ -> fail ~line:!pos ~text:meas_line "bad meas line"
+      in
+      let n_samples = int_field "nsamples" (next "nsamples") in
+      let section name =
+        let k = int_field name (next name) in
+        if k < 0 then fail (Fmt.str "negative %s section length" name);
+        List.init k (fun _ -> next (name ^ " line"))
+      in
+      let pep_paths = section "pep.paths" in
+      let pep_edges = section "pep.edges" in
+      let ppaths = section "ppaths" in
+      let pedges = section "pedges" in
+      if !pos <> n - 1 then
+        fail ~line:(!pos + 1) ~text:arr.(!pos) "trailing garbage in cache entry";
+      Ok
+        (Some
+           {
+             iter1;
+             iter2;
+             compile;
+             checksum;
+             n_samples;
+             pep_paths;
+             pep_edges;
+             ppaths;
+             pedges;
+           })
+    with
+    | Fail e -> Error e
+    | Sys_error m -> Error (err file ("unreadable: " ^ m))

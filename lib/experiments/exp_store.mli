@@ -1,0 +1,46 @@
+(** On-disk storage for experiment run payloads.
+
+    One versioned text file per (workload, size, seed, configuration)
+    run, digest-protected and keyed by a composite identity that embeds
+    digests of the compiled program and cost model (built by
+    {!Exp_cache}).  Loading validates version, content digest, identity
+    key and record shape before returning anything; every failure is a
+    structured {!Dcg.parse_error} so callers recompute with a
+    diagnostic instead of trusting or crashing on a bad entry. *)
+
+(** Bumped whenever the file layout or the meaning of a persisted field
+    changes; older entries are reported stale and recomputed. *)
+val version : int
+
+(** Everything needed to rebuild an {!Exp_harness.run} without
+    executing the application: the measurement, the sample count, and
+    the collected profile tables in their [to_lines] serialization. *)
+type payload = {
+  iter1 : int;
+  iter2 : int;
+  compile : int;
+  checksum : int;
+  n_samples : int;
+  pep_paths : string list;
+  pep_edges : string list;
+  ppaths : string list;
+  pedges : string list;
+}
+
+(** [filename ~dir file_key] is the store path for a run identity:
+    [dir/<md5 hex of file_key>.run]. *)
+val filename : dir:string -> string -> string
+
+(** MD5 hex over the lines joined with ["\n"] — the integrity trailer
+    (exposed so tests can forge entries with valid digests). *)
+val digest_lines : string list -> string
+
+(** Atomically (write-then-rename) persist a payload under [key].
+    Creates missing directories. *)
+val save : file:string -> key:string -> payload -> (unit, Dcg.parse_error) result
+
+(** [Ok None] when no entry exists; [Error _] for stale (key or
+    version mismatch), corrupt (digest mismatch), truncated or
+    unreadable entries. *)
+val load :
+  file:string -> key:string -> (payload option, Dcg.parse_error) result

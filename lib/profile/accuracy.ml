@@ -1,11 +1,15 @@
 (* A path is identified program-wide by (method index, path id). *)
 
+(* Entries are visited in sorted path-id order so the float sums
+   downstream accumulate in a fixed order: a profile table rebuilt from
+   its serialized form (different hash insertion order) must yield
+   bit-identical accuracy figures. *)
 let flows ~n_branches (table : Path_profile.table) =
   let acc = ref [] in
   Array.iteri
     (fun mi prof ->
-      Path_profile.iter
-        (fun e ->
+      List.iter
+        (fun (e : Path_profile.entry) ->
           if e.Path_profile.count > 0 then begin
             let nb =
               if e.n_branches >= 0 then e.n_branches
@@ -14,7 +18,7 @@ let flows ~n_branches (table : Path_profile.table) =
             let flow = float_of_int e.count *. float_of_int nb in
             acc := ((mi, e.path_id), flow) :: !acc
           end)
-        prof)
+        (Path_profile.entries prof))
     table;
   !acc
 

@@ -52,23 +52,31 @@ let to_lines tbl =
     tbl;
   List.rev !lines
 
+let parse_line tbl line =
+  let bad () =
+    Error "expected \"<method-index> <path-id> <count>\" with count > 0"
+  in
+  if String.trim line = "" then Ok ()
+  else
+    match String.split_on_char ' ' (String.trim line) with
+    | [ mi; pid; count ] -> (
+        match
+          (int_of_string_opt mi, int_of_string_opt pid, int_of_string_opt count)
+        with
+        | Some mi, Some pid, Some count
+          when mi >= 0 && mi < Array.length tbl && pid >= 0 && count > 0 ->
+            add tbl.(mi) pid count;
+            Ok ()
+        | _ -> bad ())
+    | _ -> bad ()
+
 let of_lines ~n_methods lines =
   let tbl = create_table ~n_methods in
   List.iter
     (fun line ->
-      if String.trim line <> "" then
-        match String.split_on_char ' ' (String.trim line) with
-        | [ mi; pid; count ] -> (
-            match
-              ( int_of_string_opt mi,
-                int_of_string_opt pid,
-                int_of_string_opt count )
-            with
-            | Some mi, Some pid, Some count
-              when mi >= 0 && mi < n_methods && count > 0 ->
-                add tbl.(mi) pid count
-            | _ -> failwith ("Path_profile.of_lines: bad line: " ^ line))
-        | _ -> failwith ("Path_profile.of_lines: bad line: " ^ line))
+      match parse_line tbl line with
+      | Ok () -> ()
+      | Error _ -> failwith ("Path_profile.of_lines: bad line: " ^ line))
     lines;
   tbl
 

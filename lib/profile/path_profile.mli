@@ -48,4 +48,10 @@ val table_total : table -> int
 val to_lines : table -> string list
 
 val of_lines : n_methods:int -> string list -> table
+
+(** Parse one serialized line into an existing table (blank lines are
+    ignored).  The structured-error twin of {!of_lines}, for callers
+    that need per-line diagnostics instead of exceptions. *)
+val parse_line : table -> string -> (unit, string) result
+
 val pp : t Fmt.t

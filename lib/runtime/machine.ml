@@ -58,11 +58,12 @@ let default_yieldpoints (m : Method.t) cfg loops =
    compiled form is (re)built or its code quality changes, so execution
    engines can cache per-method generated code (and call-site inline
    caches) and validate it with a single integer compare. *)
-let gen_counter = ref 0
-
-let next_gen () =
-  incr gen_counter;
-  !gen_counter
+(* Atomic so parallel domains running independent machines never hand
+   out duplicate stamps: a stamp's value never leaks into any
+   measurement, only its uniqueness matters (a duplicate could falsely
+   validate a stale inline cache). *)
+let gen_counter = Atomic.make 0
+let next_gen () = Atomic.fetch_and_add gen_counter 1 + 1
 
 let compile_method cost program (m : Method.t) =
   let cfg = To_cfg.cfg m in

@@ -83,6 +83,33 @@ let observations h = h.n
 let metrics t =
   List.rev_map (fun name -> Hashtbl.find t.tbl name) t.order
 
+(* Fold [src] into [into]: counters and histograms add, gauges take
+   the max — all three are commutative and associative, so the merged
+   snapshot does not depend on worker count or completion order.
+   Metrics absent from [into] are registered in [src]'s registration
+   order. *)
+let merge ~into src =
+  if into == src then
+    invalid_arg "Metrics.merge: cannot merge a registry into itself";
+  List.iter
+    (fun m ->
+      match m with
+      | Counter c ->
+          let d = counter into c.cname in
+          d.count <- d.count + c.count
+      | Gauge g ->
+          let d = gauge into g.gname in
+          if g.value > d.value then d.value <- g.value
+      | Histogram h ->
+          let d = histogram ~bounds:h.bounds into h.hname in
+          if d.bounds <> h.bounds then
+            invalid_arg ("Metrics.merge: " ^ h.hname ^ " bucket bounds differ");
+          d.n <- d.n + h.n;
+          d.sum <- d.sum + h.sum;
+          if h.hmax > d.hmax then d.hmax <- h.hmax;
+          Array.iteri (fun i n -> d.buckets.(i) <- d.buckets.(i) + n) h.buckets)
+    (metrics src)
+
 (* One line per metric, in registration order — the comparable snapshot
    the parity tests diff. *)
 let to_lines t =

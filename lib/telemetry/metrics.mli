@@ -31,6 +31,14 @@ val histogram : ?bounds:int array -> t -> string -> histogram
 val observe : histogram -> int -> unit
 val observations : histogram -> int
 
+(** [merge ~into src] folds [src]'s metrics into [into]: counters and
+    histograms add, gauges take the max — all commutative and
+    associative, so the merged snapshot is independent of worker count
+    and completion order.  Metrics absent from [into] are registered in
+    [src]'s registration order.  @raise Invalid_argument on [into ==
+    src], a kind clash, or differing histogram bounds. *)
+val merge : into:t -> t -> unit
+
 (** One line per metric in registration order: ["name value"] for
     counters/gauges, ["name count=.. sum=.. max=.."] for histograms.
     The comparable snapshot the engine-parity tests diff. *)

@@ -17,6 +17,12 @@ let create ?(tracing = false) ?trace_limit () =
 let metrics t = t.metrics
 let trace t = t.trace
 
+let merge ~into src =
+  Metrics.merge ~into:into.metrics src.metrics;
+  match (into.trace, src.trace) with
+  | Some d, Some s -> Trace.merge ~into:d s
+  | _, _ -> ()
+
 let begin_run t ~name =
   match t.trace with
   | None -> ()

@@ -17,6 +17,10 @@ val metrics : t -> Metrics.t
 (** [None] unless [create ~tracing:true]. *)
 val trace : t -> Trace.t option
 
+(** Fold a worker sink into the main sink: {!Metrics.merge} on the
+    registries, {!Trace.merge} on the tracers when both have one. *)
+val merge : into:t -> t -> unit
+
 (** Open a new trace thread for a run (no-op without tracing). *)
 val begin_run : t -> name:string -> unit
 

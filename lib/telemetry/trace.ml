@@ -7,8 +7,15 @@
 type args = (string * string) list
 
 type event =
-  | Span of { ts : int; dur : int; cat : string; name : string; args : args }
-  | Instant of { ts : int; cat : string; name : string; args : args }
+  | Span of {
+      tid : int;
+      ts : int;
+      dur : int;
+      cat : string;
+      name : string;
+      args : args;
+    }
+  | Instant of { tid : int; ts : int; cat : string; name : string; args : args }
   | Thread_name of { tid : int; name : string }
 
 type t = {
@@ -38,14 +45,41 @@ let begin_thread t ~name =
   tid
 
 let span t ~ts ~dur ~cat ~name ?(args = []) () =
-  push t (Span { ts; dur; cat; name; args })
+  push t (Span { tid = t.cur_tid; ts; dur; cat; name; args })
 
 let instant t ~ts ~cat ~name ?(args = []) () =
-  push t (Instant { ts; cat; name; args })
+  push t (Instant { tid = t.cur_tid; ts; cat; name; args })
 
 let events t = List.rev t.events
 let length t = t.n
 let dropped t = t.dropped
+
+(* Append every event of [src] to [into], remapping [src]'s thread ids
+   onto fresh ids of [into] so rows from different sinks never collide.
+   Event order within [src] is preserved; [into]'s current thread is
+   untouched (events carry their tid explicitly).  Used to fold
+   per-worker sinks back into the main sink after a parallel sweep. *)
+let merge ~into src =
+  if into == src then invalid_arg "Trace.merge: cannot merge a trace into itself";
+  let map = Hashtbl.create 8 in
+  let remap tid =
+    match Hashtbl.find_opt map tid with
+    | Some tid' -> tid'
+    | None ->
+        let tid' = into.next_tid in
+        into.next_tid <- tid' + 1;
+        Hashtbl.replace map tid tid';
+        tid'
+  in
+  List.iter
+    (fun e ->
+      push into
+        (match e with
+        | Thread_name { tid; name } -> Thread_name { tid = remap tid; name }
+        | Span s -> Span { s with tid = remap s.tid }
+        | Instant i -> Instant { i with tid = remap i.tid }))
+    (events src);
+  into.dropped <- into.dropped + src.dropped
 
 let add_args buf args =
   Buffer.add_string buf "{";
@@ -61,29 +95,27 @@ let add_args buf args =
 let to_json t =
   let buf = Buffer.create 4096 in
   Buffer.add_string buf "{\"traceEvents\":[";
-  let tid = ref 1 in
   List.iteri
     (fun i e ->
       if i > 0 then Buffer.add_string buf ",";
       (match e with
-      | Thread_name { tid = id; name } ->
-          tid := id;
+      | Thread_name { tid; name } ->
           Buffer.add_string buf
             (Fmt.str
                "{\"ph\":\"M\",\"pid\":1,\"tid\":%d,\"name\":\"thread_name\",\"args\":{\"name\":%s}}"
-               id (Tjson.str name))
-      | Span { ts; dur; cat; name; args } ->
+               tid (Tjson.str name))
+      | Span { tid; ts; dur; cat; name; args } ->
           Buffer.add_string buf
             (Fmt.str
                "{\"ph\":\"X\",\"pid\":1,\"tid\":%d,\"ts\":%d,\"dur\":%d,\"cat\":%s,\"name\":%s,\"args\":"
-               !tid ts dur (Tjson.str cat) (Tjson.str name));
+               tid ts dur (Tjson.str cat) (Tjson.str name));
           add_args buf args;
           Buffer.add_string buf "}"
-      | Instant { ts; cat; name; args } ->
+      | Instant { tid; ts; cat; name; args } ->
           Buffer.add_string buf
             (Fmt.str
                "{\"ph\":\"i\",\"s\":\"t\",\"pid\":1,\"tid\":%d,\"ts\":%d,\"cat\":%s,\"name\":%s,\"args\":"
-               !tid ts (Tjson.str cat) (Tjson.str name));
+               tid ts (Tjson.str cat) (Tjson.str name));
           add_args buf args;
           Buffer.add_string buf "}"))
     (events t);

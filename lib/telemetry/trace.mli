@@ -28,6 +28,14 @@ val instant : t -> ts:int -> cat:string -> name:string -> ?args:args -> unit -> 
 val length : t -> int
 val dropped : t -> int
 
+(** [merge ~into src] appends every event of [src] to [into],
+    remapping [src]'s thread ids onto fresh ids of [into] so rows from
+    different sinks never collide.  Event order within [src] is
+    preserved and [into]'s current thread is unaffected.  Used to fold
+    per-worker sinks back into the main sink after a parallel sweep.
+    Raises [Invalid_argument] if [into == src]. *)
+val merge : into:t -> t -> unit
+
 (** Serialize as a Chrome [trace_event] JSON object
     ([{"traceEvents": [...]}]), in record order. *)
 val to_json : t -> string

@@ -21,4 +21,5 @@ let () =
       ("experiments", Test_experiments.suite);
       ("check", Test_check.suite);
       ("telemetry", Test_telemetry.suite);
+      ("pool", Test_pool.suite);
     ]

@@ -1,0 +1,535 @@
+(* The experiment pool and the persistent run cache, locked down by a
+   differential layer:
+
+   - determinism: every figure built through the pool (jobs=1, jobs=4,
+     cold on-disk cache, warm on-disk cache) is bit-identical — float
+     bits, not tolerances — to the serial on-demand build, and so is
+     every cached run's measurement;
+   - robustness: truncated, bit-flipped, wrong-version and stale-keyed
+     store entries are recomputed with a structured diagnostic, never
+     trusted and never crashed on, and a digest-valid tamper is caught
+     by the re-lint;
+   - the memoization contract: a config runs exactly once per cache,
+     disk hits included;
+   - config_key injectivity over randomized configurations, and the
+     store's save/load round-trip (QCheck). *)
+
+let check = Alcotest.check
+let ci = Alcotest.int
+let cb = Alcotest.bool
+let cs = Alcotest.string
+let csl = Alcotest.(list string)
+
+let fresh_dir =
+  let n = ref 0 in
+  fun () ->
+    (* unique, not yet existing: Exp_store creates it on first save *)
+    let f = Filename.temp_file "pepsim-cache" "" in
+    Sys.remove f;
+    incr n;
+    f ^ ".d" ^ string_of_int !n
+
+let check_meas msg (a : Exp_harness.measurement) (b : Exp_harness.measurement) =
+  check ci (msg ^ ": iter1") a.iter1 b.iter1;
+  check ci (msg ^ ": iter2") a.iter2 b.iter2;
+  check ci (msg ^ ": compile") a.compile b.compile;
+  check ci (msg ^ ": checksum") a.checksum b.checksum
+
+(* ------------------- differential determinism ------------------- *)
+
+let envs =
+  lazy
+    (List.map
+       (fun name -> Exp_harness.make_env ~seed:21 ~size:30 (Suite.find name))
+       [ "compress"; "javac" ])
+
+let fresh_caches ?cache_dir () =
+  List.map (fun env -> Exp_cache.create ?cache_dir env) (Lazy.force envs)
+
+(* floats replaced by their bit patterns: comparison means bit-identity *)
+let figure_repr (f : Exp_figures.figure) =
+  ( (f.Exp_figures.id, f.title, f.unit_, f.header, f.paper),
+    List.map (fun (n, vs) -> (n, List.map Int64.bits_of_float vs)) f.rows,
+    List.map (fun (n, v) -> (n, Int64.bits_of_float v)) f.summary )
+
+let sweep ?cache_dir ~prefetch ~jobs () =
+  let caches = fresh_caches ?cache_dir () in
+  if prefetch then Exp_pool.prefetch ~jobs caches Exp_figures.ids;
+  let figs =
+    List.map (fun id -> figure_repr (Exp_figures.by_id id caches)) Exp_figures.ids
+  in
+  (caches, figs)
+
+let check_same_runs msg base caches =
+  List.iter2
+    (fun c c' ->
+      let runs = Exp_cache.all_runs c and runs' = Exp_cache.all_runs c' in
+      check csl (msg ^ ": run keys") (List.map fst runs) (List.map fst runs');
+      List.iter2
+        (fun (k, (r : Exp_harness.run)) (_, (r' : Exp_harness.run)) ->
+          check_meas (Printf.sprintf "%s: %s" msg k) r.meas r'.meas)
+        runs runs')
+    base caches
+
+let check_figs msg base figs =
+  List.iter2
+    (fun f f' ->
+      let ((id, _, _, _, _), _, _) = f in
+      check cb (Printf.sprintf "%s: figure %s bit-identical" msg id) true
+        (f = f'))
+    base figs
+
+let test_pool_differential () =
+  (* the serial seed behaviour: figures on demand, no pool, no disk *)
+  let base_caches, base_figs = sweep ~prefetch:false ~jobs:1 () in
+  let dir = fresh_dir () in
+  (* sequenced lets: the cold sweep must populate [dir] before the warm one *)
+  let v1 = sweep ~prefetch:true ~jobs:1 () in
+  let v4 = sweep ~prefetch:true ~jobs:4 () in
+  let vcold = sweep ~cache_dir:dir ~prefetch:true ~jobs:4 () in
+  let vwarm = sweep ~cache_dir:dir ~prefetch:true ~jobs:4 () in
+  let variants =
+    [
+      ("prefetch jobs=1", v1);
+      ("prefetch jobs=4", v4);
+      ("cold disk cache jobs=4", vcold);
+      ("warm disk cache jobs=4", vwarm);
+    ]
+  in
+  List.iter
+    (fun (msg, (caches, figs)) ->
+      check_figs msg base_figs figs;
+      check_same_runs msg base_caches caches;
+      List.iter
+        (fun c ->
+          List.iter
+            (fun d ->
+              Alcotest.failf "%s: unexpected store diagnostic: %s" msg
+                d.Dcg.reason)
+            (Exp_cache.diagnostics c))
+        caches)
+    variants;
+  (* cold sweep executed everything, warm recalled everything: zero
+     simulator executions on a warm cache *)
+  let cold = fst (List.assoc "cold disk cache jobs=4" variants) in
+  let warm = fst (List.assoc "warm disk cache jobs=4" variants) in
+  List.iter
+    (fun c ->
+      let s = Exp_cache.stats c in
+      check cb "cold: executed some" true (s.Exp_cache.executed > 0);
+      check ci "cold: no disk hits" 0 s.Exp_cache.disk_hits;
+      check ci "cold: no store errors" 0 s.Exp_cache.store_errors)
+    cold;
+  List.iter
+    (fun c ->
+      let s = Exp_cache.stats c in
+      check ci "warm: zero executions" 0 s.Exp_cache.executed;
+      check cb "warm: disk hits" true (s.Exp_cache.disk_hits > 0);
+      check ci "warm: no store errors" 0 s.Exp_cache.store_errors)
+    warm
+
+let test_suite_envs_deterministic () =
+  let envs jobs = Exp_pool.suite_envs ~scale:0.05 ~jobs ~seed:7 () in
+  let repr (e : Exp_harness.env) =
+    (e.workload.Workload.name, e.size, e.seed, Advice.to_lines e.advice)
+  in
+  check cb "suite_envs independent of jobs" true
+    (List.map repr (envs 1) = List.map repr (envs 3))
+
+(* ------------------- store robustness ------------------- *)
+
+let rob_env =
+  lazy (Exp_harness.make_env ~seed:33 ~size:20 (Suite.find "compress"))
+
+let rob_config =
+  {
+    Exp_harness.default with
+    Exp_harness.profiling =
+      Exp_harness.Pep_profiled
+        {
+          sampling = Sampling.pep ~samples:64 ~stride:17;
+          zero = `Hottest;
+          numbering = `Smart;
+        };
+  }
+
+(* run once against a fresh store, returning the run and its entry *)
+let populate dir =
+  let cache = Exp_cache.create ~cache_dir:dir (Lazy.force rob_env) in
+  let run = Exp_cache.run cache rob_config in
+  let file = Option.get (Exp_cache.store_file cache rob_config) in
+  check cb "entry persisted" true (Sys.file_exists file);
+  (run, file)
+
+let read_lines file =
+  let ic = open_in file in
+  Fun.protect
+    ~finally:(fun () -> close_in_noerr ic)
+    (fun () ->
+      let acc = ref [] in
+      (try
+         while true do
+           acc := input_line ic :: !acc
+         done
+       with End_of_file -> ());
+      List.rev !acc)
+
+let write_lines file lines =
+  let oc = open_out file in
+  List.iter
+    (fun l ->
+      output_string oc l;
+      output_char oc '\n')
+    lines;
+  close_out oc
+
+let diag_mentions substring caches_diags =
+  List.exists
+    (fun d ->
+      let reason = d.Dcg.reason in
+      let n = String.length substring and l = String.length reason in
+      let rec go i =
+        i + n <= l && (String.sub reason i n = substring || go (i + 1))
+      in
+      go 0)
+    caches_diags
+
+(* corrupt the entry, rerun on a fresh cache: the run must be recomputed
+   (identical measurement), with a diagnostic mentioning [expect] *)
+let recompute_after ~expect corrupt =
+  let dir = fresh_dir () in
+  let orig, file = populate dir in
+  corrupt file;
+  let cache = Exp_cache.create ~cache_dir:dir (Lazy.force rob_env) in
+  let r = Exp_cache.run cache rob_config in
+  check_meas ("recomputed after " ^ expect) orig.Exp_harness.meas
+    r.Exp_harness.meas;
+  let s = Exp_cache.stats cache in
+  check ci "recomputed, not loaded" 1 s.Exp_cache.executed;
+  check ci "no disk hit" 0 s.Exp_cache.disk_hits;
+  check ci "one store error" 1 s.Exp_cache.store_errors;
+  check cb
+    (Printf.sprintf "diagnostic mentions %S" expect)
+    true
+    (diag_mentions expect (Exp_cache.diagnostics cache));
+  (* the recompute overwrote the bad entry: a third cache warm-loads *)
+  let again = Exp_cache.create ~cache_dir:dir (Lazy.force rob_env) in
+  let r' = Exp_cache.run again rob_config in
+  check_meas "rewritten entry loads" orig.Exp_harness.meas r'.Exp_harness.meas;
+  check ci "rewritten entry is a disk hit" 1
+    (Exp_cache.stats again).Exp_cache.disk_hits
+
+let test_store_truncated () =
+  recompute_after ~expect:"truncated" (fun file ->
+      let lines = read_lines file in
+      write_lines file
+        (List.filteri (fun i _ -> i < 3) lines))
+
+let test_store_bit_flip () =
+  recompute_after ~expect:"digest mismatch" (fun file ->
+      let lines = read_lines file in
+      (* flip one content byte on the key line *)
+      let lines =
+        List.mapi
+          (fun i l ->
+            if i <> 1 then l
+            else begin
+              let b = Bytes.of_string l in
+              let j = Bytes.length b - 1 in
+              Bytes.set b j (Char.chr (Char.code (Bytes.get b j) lxor 1));
+              Bytes.to_string b
+            end)
+          lines
+      in
+      write_lines file lines)
+
+(* a forged digest does not save a wrong version: the version check runs
+   even on digest-consistent files *)
+let test_store_wrong_version () =
+  recompute_after ~expect:"unsupported cache version" (fun file ->
+      let lines = read_lines file in
+      let body =
+        ("pepsim-run-cache v99" :: List.tl lines)
+        |> List.filteri (fun i _ -> i < List.length lines - 1)
+      in
+      write_lines file (body @ [ "digest " ^ Exp_store.digest_lines body ]))
+
+(* same workload name, size and seed — so the same store file — but a
+   different program: the composite key catches the stale entry *)
+let test_store_stale_program () =
+  let dir = fresh_dir () in
+  let _orig, file = populate dir in
+  let w = Suite.find "compress" in
+  let w' = { w with Workload.build = (Suite.find "db").Workload.build } in
+  let env' = Exp_harness.make_env ~seed:33 ~size:20 w' in
+  let cache' = Exp_cache.create ~cache_dir:dir env' in
+  check cs "same store file"
+    file
+    (Option.get (Exp_cache.store_file cache' rob_config));
+  let r' = Exp_cache.run cache' rob_config in
+  let s = Exp_cache.stats cache' in
+  check ci "stale entry recomputed" 1 s.Exp_cache.executed;
+  check ci "stale entry not loaded" 0 s.Exp_cache.disk_hits;
+  check cb "stale diagnostic" true
+    (diag_mentions "stale cache entry" (Exp_cache.diagnostics cache'));
+  (* the overwrite serves the new program's runs from then on *)
+  let again = Exp_cache.create ~cache_dir:dir env' in
+  let r'' = Exp_cache.run again rob_config in
+  check_meas "overwritten entry loads" r'.Exp_harness.meas r''.Exp_harness.meas;
+  check ci "overwritten entry is a disk hit" 1
+    (Exp_cache.stats again).Exp_cache.disk_hits
+
+(* a tamper that keeps the digest valid (counts inflated, trailer
+   recomputed) passes the store's checks — and must then be caught by
+   the re-lint, because disk-loaded profiles are never trusted *)
+let test_store_lint_catches_valid_digest_tamper () =
+  let dir = fresh_dir () in
+  let orig, file = populate dir in
+  check cb "original run lints clean" false
+    (Pep_check.has_errors orig.Exp_harness.checks);
+  let lines = read_lines file in
+  let body = List.filteri (fun i _ -> i < List.length lines - 1) lines in
+  (* inflate the first recorded path count far past the sample bound *)
+  let seen_section = ref false and inflated = ref false in
+  let body =
+    List.map
+      (fun l ->
+        if String.starts_with ~prefix:"pep.paths " l then begin
+          seen_section := true;
+          l
+        end
+        else if !seen_section && not !inflated then begin
+          inflated := true;
+          match String.split_on_char ' ' l with
+          | [ mi; pid; _count ] -> Printf.sprintf "%s %s %d" mi pid 1_000_000
+          | _ -> Alcotest.failf "unexpected pep.paths line %S" l
+        end
+        else l)
+      body
+  in
+  check cb "inflated a count" true !inflated;
+  write_lines file (body @ [ "digest " ^ Exp_store.digest_lines body ]);
+  let cache = Exp_cache.create ~cache_dir:dir (Lazy.force rob_env) in
+  let r = Exp_cache.run cache rob_config in
+  (* the store accepted it (digest and key are fine)... *)
+  check ci "tampered entry loads" 1 (Exp_cache.stats cache).Exp_cache.disk_hits;
+  check ci "no execution" 0 (Exp_cache.stats cache).Exp_cache.executed;
+  (* ...and the re-lint flags the impossible profile *)
+  check cb "re-lint catches inflated counts" true
+    (Pep_check.has_errors r.Exp_harness.checks)
+
+(* ------------------- memoization contract ------------------- *)
+
+let test_all_runs_records_once () =
+  let dir = fresh_dir () in
+  let env = Lazy.force rob_env in
+  let a = Exp_cache.create ~cache_dir:dir env in
+  let r1 = Exp_cache.run a rob_config in
+  let r2 = Exp_cache.run a rob_config in
+  check cb "second run is the memoized first" true (r1 == r2);
+  check ci "one entry after two runs" 1 (List.length (Exp_cache.all_runs a));
+  let s = Exp_cache.stats a in
+  check ci "one execution" 1 s.Exp_cache.executed;
+  check ci "one memory hit" 1 s.Exp_cache.memory_hits;
+  (* a fresh cache over the same store: the disk hit also records the
+     run exactly once, with the same measurement *)
+  let b = Exp_cache.create ~cache_dir:dir env in
+  let rb = Exp_cache.run b rob_config in
+  check ci "one entry after disk hit" 1 (List.length (Exp_cache.all_runs b));
+  let s = Exp_cache.stats b in
+  check ci "disk hit" 1 s.Exp_cache.disk_hits;
+  check ci "no execution" 0 s.Exp_cache.executed;
+  check_meas "disk-loaded measurement" r1.Exp_harness.meas rb.Exp_harness.meas;
+  (* disk-loaded checks are re-derived, not parroted from the file *)
+  check cb "rebuilt run lints clean" false
+    (Pep_check.has_errors rb.Exp_harness.checks)
+
+(* ------------------- QCheck properties ------------------- *)
+
+let gen_sampling =
+  QCheck.Gen.(
+    oneof
+      [
+        return Sampling.never;
+        map2
+          (fun s t -> Sampling.pep ~samples:s ~stride:t)
+          (int_range 1 128) (int_range 1 32);
+        map2
+          (fun s t -> Sampling.arnold_grove ~samples:s ~stride:t)
+          (int_range 1 128) (int_range 1 32);
+      ])
+
+let gen_profiling =
+  QCheck.Gen.(
+    oneof
+      [
+        oneofl
+          [
+            Exp_harness.Base;
+            Exp_harness.Perfect_path;
+            Exp_harness.Perfect_edge;
+            Exp_harness.Classic_blpp;
+            Exp_harness.Instr_back_edge;
+          ];
+        map3
+          (fun sampling zero numbering ->
+            Exp_harness.Pep_profiled { sampling; zero; numbering })
+          gen_sampling
+          (oneofl [ `Hottest; `Coldest ])
+          (oneofl [ `Smart; `Ball_larus ]);
+      ])
+
+let gen_table =
+  QCheck.Gen.(
+    map
+      (fun entries ->
+        let tbl = Edge_profile.create_table ~n_methods:2 in
+        List.iter
+          (fun (mi, br, c) ->
+            Edge_profile.add tbl.(mi) br ~taken:true c;
+            Edge_profile.add tbl.(mi) br ~taken:false (c / 2))
+          entries;
+        tbl)
+      (list_size (int_range 0 12)
+         (triple (int_range 0 1) (int_range 0 15) (int_range 1 100))))
+
+let gen_opt_profile =
+  QCheck.Gen.(
+    oneof
+      [
+        return Driver.From_baseline;
+        return Driver.From_pep;
+        map (fun t -> Driver.Fixed t) gen_table;
+      ])
+
+let gen_config =
+  QCheck.Gen.(
+    map
+      (fun (profiling, opt_profile, (inline, unroll, engine)) ->
+        {
+          Exp_harness.profiling;
+          opt_profile;
+          inline;
+          unroll;
+          engine;
+          telemetry = None;
+        })
+      (triple gen_profiling gen_opt_profile
+         (triple bool bool (oneofl [ `Oracle; `Threaded ]))))
+
+(* structural equivalence, comparing fixed tables by canonical content *)
+let same_opt a b =
+  match (a, b) with
+  | Driver.From_baseline, Driver.From_baseline
+  | Driver.From_pep, Driver.From_pep ->
+      true
+  | Driver.Fixed ta, Driver.Fixed tb ->
+      Edge_profile.to_lines ta = Edge_profile.to_lines tb
+  | _ -> false
+
+let same_config (a : Exp_harness.config) (b : Exp_harness.config) =
+  a.profiling = b.profiling
+  && same_opt a.opt_profile b.opt_profile
+  && a.inline = b.inline && a.unroll = b.unroll && a.engine = b.engine
+
+(* a structurally-equal but physically-distinct copy (fixed tables
+   rebuilt through the parse_line round trip) *)
+let copy_config (c : Exp_harness.config) =
+  match c.opt_profile with
+  | Driver.From_baseline | Driver.From_pep -> c
+  | Driver.Fixed t ->
+      let t' = Edge_profile.create_table ~n_methods:(Array.length t) in
+      List.iter
+        (fun l ->
+          match Edge_profile.parse_line t' l with
+          | Ok () -> ()
+          | Error e -> Alcotest.failf "edge line %S rejected: %s" l e)
+        (Edge_profile.to_lines t);
+      { c with Exp_harness.opt_profile = Driver.Fixed t' }
+
+let gen_config_pair =
+  QCheck.Gen.(
+    pair gen_config gen_config >>= fun (a, b) ->
+    oneofl [ (a, copy_config a); (a, b) ])
+
+(* [config_key] is exactly the equivalence the cache memoizes by — and,
+   [telemetry] being stripped before persisting, also exactly the
+   identity the on-disk store keys runs by *)
+let prop_config_key_injective =
+  QCheck.Test.make ~count:300 ~name:"config_key injective"
+    (QCheck.make gen_config_pair) (fun (a, b) ->
+      (Exp_harness.config_key a = Exp_harness.config_key b) = same_config a b)
+
+let gen_flat_string =
+  QCheck.Gen.(
+    string_size (int_range 0 30) ~gen:(map Char.chr (int_range 32 126)))
+
+let gen_payload =
+  QCheck.Gen.(
+    map
+      (fun (((i1, i2, c), (ck, n)), (pp, pe, tp, te)) ->
+        {
+          Exp_store.iter1 = i1;
+          iter2 = i2;
+          compile = c;
+          checksum = ck;
+          n_samples = n;
+          pep_paths = pp;
+          pep_edges = pe;
+          ppaths = tp;
+          pedges = te;
+        })
+      (pair
+         (pair
+            (triple
+               (int_range (-1000000) 1000000)
+               (int_range (-1000000) 1000000)
+               (int_range (-1000000) 1000000))
+            (pair (int_range (-1000000) 1000000) (int_range 0 100000)))
+         (quad
+            (list_size (int_range 0 8) gen_flat_string)
+            (list_size (int_range 0 8) gen_flat_string)
+            (list_size (int_range 0 8) gen_flat_string)
+            (list_size (int_range 0 8) gen_flat_string))))
+
+let rt_dir = lazy (fresh_dir ())
+
+let prop_store_round_trip =
+  QCheck.Test.make ~count:100 ~name:"store save/load round trip"
+    (QCheck.make QCheck.Gen.(pair gen_payload gen_flat_string))
+    (fun (p, key) ->
+      let key = "k|" ^ key in
+      let file = Filename.concat (Lazy.force rt_dir) "rt.run" in
+      (match Exp_store.save ~file ~key p with
+      | Ok () -> ()
+      | Error e -> QCheck.Test.fail_reportf "save failed: %s" e.Dcg.reason);
+      (match Exp_store.load ~file ~key with
+      | Ok (Some p') when p' = p -> ()
+      | Ok (Some _) -> QCheck.Test.fail_report "payload changed in round trip"
+      | Ok None -> QCheck.Test.fail_report "entry vanished"
+      | Error e -> QCheck.Test.fail_reportf "load failed: %s" e.Dcg.reason);
+      (* a different key is a stale entry, not a payload *)
+      (match Exp_store.load ~file ~key:(key ^ "'") with
+      | Error _ -> ()
+      | Ok _ -> QCheck.Test.fail_report "key mismatch not detected");
+      true)
+
+let suite =
+  [
+    Alcotest.test_case "pool and disk cache are bit-identical to serial" `Slow
+      test_pool_differential;
+    Alcotest.test_case "suite_envs deterministic across jobs" `Slow
+      test_suite_envs_deterministic;
+    Alcotest.test_case "truncated entry recomputed" `Slow test_store_truncated;
+    Alcotest.test_case "bit-flipped entry recomputed" `Slow test_store_bit_flip;
+    Alcotest.test_case "wrong-version entry recomputed" `Slow
+      test_store_wrong_version;
+    Alcotest.test_case "stale program digest recomputed" `Slow
+      test_store_stale_program;
+    Alcotest.test_case "digest-valid tamper caught by re-lint" `Slow
+      test_store_lint_catches_valid_digest_tamper;
+    Alcotest.test_case "all_runs records each run once" `Slow
+      test_all_runs_records_once;
+    QCheck_alcotest.to_alcotest prop_config_key_injective;
+    QCheck_alcotest.to_alcotest prop_store_round_trip;
+  ]

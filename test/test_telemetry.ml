@@ -246,6 +246,80 @@ let test_profile_export () =
   | None -> Alcotest.fail "dcg export missing"
   | Some f -> check cb "dcg non-empty" true (Folded.total f > 0)
 
+(* A traced parallel sweep must record the same work as the serial one:
+   per-worker sinks are merged into the main sink after the join, so the
+   span and instant populations match jobs=1 exactly; the only parallel
+   artifact is one extra trace thread row per worker. *)
+let test_traced_parallel_sweep () =
+  let count needle hay =
+    let n = String.length needle and l = String.length hay in
+    let rec go i acc =
+      if i + n > l then acc
+      else go (i + 1) (if String.sub hay i n = needle then acc + 1 else acc)
+    in
+    go 0 0
+  in
+  let sweep jobs =
+    let tel = Telemetry.create ~tracing:true () in
+    let config =
+      {
+        Exp_harness.default with
+        Exp_harness.profiling = pep_profiled;
+        telemetry = Some tel;
+      }
+    in
+    let caches =
+      List.map
+        (fun name ->
+          Exp_cache.create ~config
+            (Exp_harness.make_env ~size:25 ~seed:29 (Suite.find name)))
+        [ "compress"; "db" ]
+    in
+    let tasks =
+      List.concat_map
+        (fun cache ->
+          List.map
+            (fun profiling ->
+              { Exp_pool.cache; config = { config with profiling } })
+            [ Exp_harness.Base; pep_profiled; Exp_harness.Perfect_path ])
+        caches
+    in
+    Exp_pool.run_tasks ~jobs ~telemetry:tel tasks;
+    (tel, caches)
+  in
+  let tel1, caches1 = sweep 1 in
+  let tel4, caches4 = sweep 4 in
+  (* same runs, same measurements *)
+  List.iter2
+    (fun c1 c4 ->
+      List.iter2
+        (fun (k1, (r1 : Exp_harness.run)) (k4, (r4 : Exp_harness.run)) ->
+          check cs "run key" k1 k4;
+          check ci (k1 ^ " iter2") r1.meas.iter2 r4.meas.iter2;
+          check ci (k1 ^ " checksum") r1.meas.checksum r4.meas.checksum)
+        (Exp_cache.all_runs c1) (Exp_cache.all_runs c4))
+    caches1 caches4;
+  let json t = Trace.to_json (Option.get (Telemetry.trace t)) in
+  let j1 = json tel1 and j4 = json tel4 in
+  check cb "chrome trace shape" true
+    (String.sub j4 0 15 = "{\"traceEvents\":");
+  check ci "same span count" (count "\"ph\":\"X\"" j1) (count "\"ph\":\"X\"" j4);
+  check ci "same instant count"
+    (count "\"ph\":\"i\"" j1)
+    (count "\"ph\":\"i\"" j4);
+  check ci "no worker rows when serial" 0 (count "worker " j1);
+  check ci "one trace thread per worker" 4 (count "\"worker " j4);
+  (* merged counters equal the serial totals; the one gauge
+     (vm.compile.cycles) merges as a max over workers, so it is only
+     order-independent, not comparable to the serial last-write *)
+  let m t =
+    List.sort compare
+      (List.filter
+         (fun l -> not (String.starts_with ~prefix:"vm.compile.cycles" l))
+         (Metrics.to_lines (Telemetry.metrics t)))
+  in
+  check csl "merged metrics equal serial" (m tel1) (m tel4)
+
 let suite =
   [
     Alcotest.test_case "metrics registry" `Quick test_metrics_registry;
@@ -263,4 +337,6 @@ let suite =
       test_disabled_allocation_free;
     Alcotest.test_case "profile export folded stacks" `Quick
       test_profile_export;
+    Alcotest.test_case "traced parallel sweep merges cleanly" `Slow
+      test_traced_parallel_sweep;
   ]
