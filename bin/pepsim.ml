@@ -7,7 +7,11 @@
      trace        emit a Chrome trace of an adaptive PEP run
      top          render PEP's continuous profile as folded stacks
      check        run the static verifier and profile lint
-     list         enumerate workloads and experiment ids *)
+     chaos        fault-injection sweep with degradation invariants
+     list         enumerate workloads and experiment ids
+
+   Exit codes: 0 success; 1 a check, experiment or chaos invariant
+   failed; 2 usage or input parse error. *)
 
 open Cmdliner
 
@@ -55,6 +59,23 @@ let verify_arg =
         ~doc:
           "Run the $(b,Pep_check) static passes and profile lint over the \
            results and exit nonzero on any error.")
+
+let faults_arg =
+  let doc =
+    "Deterministic fault plan: comma-separated clauses like \
+     $(b,seed=7,path-cap=64,compile-fail=0.2,sample-overrun=0.1,corrupt=0.5) \
+     (also $(b,noop), $(b,edge-cap=N), $(b,compile-retries=N), \
+     $(b,compile-backoff=N)); $(b,@FILE) reads clauses from a file.  The \
+     empty spec injects nothing and is bit-identical to omitting the flag."
+  in
+  Arg.(value & opt string "" & info [ "faults" ] ~docv:"SPEC" ~doc)
+
+let parse_faults spec =
+  match Fault_plan.parse spec with
+  | Ok plan -> plan
+  | Error msg ->
+      Printf.eprintf "--faults: %s\n" msg;
+      exit 2
 
 let jobs_arg =
   Arg.(
@@ -173,17 +194,17 @@ let run_cmd =
       | src -> src
       | exception Sys_error msg ->
           Printf.eprintf "%s\n" msg;
-          exit 1
+          exit 2
     in
     match Parse.program src with
     | exception Parse.Error msg ->
         Printf.eprintf "%s: %s\n" file msg;
-        exit 1
+        exit 2
     | ast -> (
         match Compile.pdef ast with
         | exception Compile.Error msg ->
             Printf.eprintf "%s: %s\n" file msg;
-            exit 1
+            exit 2
         | program ->
             Verify.program program;
             let st = Machine.create ~seed program in
@@ -223,16 +244,21 @@ let workload_cmd =
       & opt (some int) None
       & info [ "size" ] ~docv:"N" ~doc:"Workload size (default per benchmark).")
   in
-  let action name size sampling seed verify cache_dir no_cache =
+  let action name size sampling seed verify cache_dir no_cache faults_spec =
+    let faults = parse_faults faults_spec in
     match Suite.find name with
     | exception Not_found ->
         Printf.eprintf "unknown workload %s; try `pepsim list`\n" name;
-        exit 1
+        exit 2
     | w ->
         let cache_dir = if no_cache then None else cache_dir in
         let size = Option.value ~default:w.Workload.default_size size in
         let env = Exp_harness.make_env ~size ~seed w in
-        let cache = Exp_cache.create ?cache_dir env in
+        let cache =
+          Exp_cache.create
+            ~config:{ Exp_harness.default with Exp_harness.faults }
+            ?cache_dir env
+        in
         let base = Exp_cache.base cache in
         let run =
           Exp_cache.run cache
@@ -266,7 +292,7 @@ let workload_cmd =
     (Cmd.info "workload" ~doc:"Run a suite benchmark under PEP")
     Term.(
       const action $ name_arg $ size_arg $ sampling_arg $ seed_arg $ verify_arg
-      $ cache_dir_arg $ no_cache_arg)
+      $ cache_dir_arg $ no_cache_arg $ faults_arg)
 
 (* --- experiments --------------------------------------------------- *)
 
@@ -293,7 +319,9 @@ let experiments_cmd =
             "Attach a telemetry sink to every run and write a Chrome \
              trace of the whole experiment sweep to $(i,FILE).")
   in
-  let action only scale seed verify trace_out jobs cache_dir no_cache =
+  let action only scale seed verify trace_out jobs cache_dir no_cache
+      faults_spec =
+    let faults = parse_faults faults_spec in
     let cache_dir = if no_cache then None else cache_dir in
     let only =
       List.filter
@@ -305,7 +333,7 @@ let experiments_cmd =
       (fun id ->
         if not (List.mem id Exp_figures.ids) then begin
           Printf.eprintf "unknown experiment %s; try `pepsim list`\n" id;
-          exit 1
+          exit 2
         end)
       ids;
     Printf.printf "preparing %d benchmarks (scale %.2f, jobs %d)...\n%!"
@@ -313,7 +341,7 @@ let experiments_cmd =
     let telemetry =
       Option.map (fun _ -> Telemetry.create ~tracing:true ()) trace_out
     in
-    let config = { Exp_harness.default with Exp_harness.telemetry } in
+    let config = { Exp_harness.default with Exp_harness.telemetry; faults } in
     let caches =
       List.map
         (fun env -> Exp_cache.create ~config ?cache_dir env)
@@ -360,7 +388,7 @@ let experiments_cmd =
        ~doc:"Regenerate the paper's tables and figures")
     Term.(
       const action $ only_arg $ scale_arg $ seed_arg $ verify_arg $ trace_arg
-      $ jobs_arg $ cache_dir_arg $ no_cache_arg)
+      $ jobs_arg $ cache_dir_arg $ no_cache_arg $ faults_arg)
 
 (* --- disasm -------------------------------------------------------- *)
 
@@ -377,14 +405,14 @@ let load_program_arg source =
         | p -> p
         | exception Parse.Error msg | exception Compile.Error msg ->
             Printf.eprintf "%s: %s\n" source msg;
-            exit 1
+            exit 2
         | exception Sys_error msg ->
             Printf.eprintf "%s\n" msg;
-            exit 1
+            exit 2
       end
       else begin
         Printf.eprintf "%s: neither a workload nor a file\n" source;
-        exit 1
+        exit 2
       end
 
 let disasm_cmd =
@@ -471,7 +499,7 @@ let profiles_cmd =
     match Suite.find name with
     | exception Not_found ->
         Printf.eprintf "unknown workload %s\n" name;
-        exit 1
+        exit 2
     | w ->
         let env = Exp_harness.make_env ?size ~seed w in
         let run =
@@ -521,7 +549,7 @@ let find_workload name =
   | w -> w
   | exception Not_found ->
       Printf.eprintf "unknown workload %s; try `pepsim list`\n" name;
-      exit 1
+      exit 2
 
 (* Parse an advice file, reporting malformed lines with their position
    the same way unreadable paths are reported. *)
@@ -531,20 +559,21 @@ let load_advice ~n_methods file =
     | src -> src
     | exception Sys_error msg ->
         Printf.eprintf "%s\n" msg;
-        exit 1
+        exit 2
   in
   match Advice.of_lines ~file ~n_methods (String.split_on_char '\n' src) with
   | Ok advice -> advice
   | Error e ->
       Fmt.epr "%a@." Dcg.pp_parse_error e;
-      exit 1
+      exit 2
 
 (* An adaptive run with PEP collecting the continuous profile and
    driving the optimizer (paper §6.5) — the configuration whose trace
    shows every event class: baseline compiles, promotions, PEP samples,
    recompiles and set_speed phase shifts.  With [advice_file], a
    deterministic replay of that advice instead. *)
-let telemetry_run ~tracing ~size ~seed ~sampling ~iters ~advice_file w =
+let telemetry_run ~tracing ~size ~seed ~sampling ~iters ~advice_file
+    ?(faults = Fault_plan.empty) w =
   let tel = Telemetry.create ~tracing () in
   let size = Option.value ~default:w.Workload.default_size size in
   let program = Workload.program ~size w in
@@ -565,6 +594,9 @@ let telemetry_run ~tracing ~size ~seed ~sampling ~iters ~advice_file w =
         opt_profile = Driver.From_pep;
         pep = Some { Driver.sampling; zero = `Hottest; numbering = `Smart };
         telemetry = Some tel;
+        faults =
+          (if Fault_plan.is_empty faults then None
+           else Some (Fault_injector.create ~telemetry:tel faults));
       }
       st
   in
@@ -612,10 +644,12 @@ let trace_cmd =
       value & flag
       & info [ "metrics" ] ~doc:"Also print the metrics registry.")
   in
-  let action name out metrics size sampling seed iters advice_file =
+  let action name out metrics size sampling seed iters advice_file faults_spec =
     let w = find_workload name in
+    let faults = parse_faults faults_spec in
     let tel, _d =
-      telemetry_run ~tracing:true ~size ~seed ~sampling ~iters ~advice_file w
+      telemetry_run ~tracing:true ~size ~seed ~sampling ~iters ~advice_file
+        ~faults w
     in
     let trace = Option.get (Telemetry.trace tel) in
     let json = Trace.to_json trace in
@@ -638,7 +672,7 @@ let trace_cmd =
           about:tracing or ui.perfetto.dev)")
     Term.(
       const action $ name_arg $ out_arg $ metrics_arg $ size_opt_arg
-      $ sampling_arg $ seed_arg $ iters_arg $ advice_arg)
+      $ sampling_arg $ seed_arg $ iters_arg $ advice_arg $ faults_arg)
 
 let top_cmd =
   let name_arg =
@@ -744,7 +778,7 @@ let check_cmd =
           | w -> [ w ]
           | exception Not_found ->
               Printf.eprintf "unknown workload %s; try `pepsim list`\n" name;
-              exit 1)
+              exit 2)
     in
     let targets =
       List.map
@@ -760,7 +794,7 @@ let check_cmd =
     in
     if targets = [] then begin
       Printf.eprintf "nothing to check: give a SOURCE or --suite\n";
-      exit 1
+      exit 2
     end;
     let failed = ref false in
     List.iter
@@ -797,6 +831,121 @@ let check_cmd =
 
 (* --- list ---------------------------------------------------------- *)
 
+(* --- chaos --------------------------------------------------------- *)
+
+let chaos_cmd =
+  let seeds_arg =
+    Arg.(
+      value & opt string "42"
+      & info [ "seed" ] ~docv:"N[,N...]"
+          ~doc:"Input seed(s) to sweep (comma-separable).")
+  in
+  let scale_arg =
+    Arg.(
+      value & opt float 0.5
+      & info [ "scale" ] ~docv:"F" ~doc:"Scale workload sizes by F.")
+  in
+  let only_arg =
+    Arg.(
+      value & opt_all string []
+      & info [ "only" ] ~docv:"WORKLOAD"
+          ~doc:
+            "Sweep only this workload (repeatable, comma-separable); \
+             default: the whole suite.")
+  in
+  let case_arg =
+    Arg.(
+      value & opt_all string []
+      & info [ "case" ] ~docv:"LABEL"
+          ~doc:
+            "Run only this curated plan (repeatable, comma-separable); \
+             default: all of them.")
+  in
+  let max_loss_arg =
+    Arg.(
+      value & opt float 1.0
+      & info [ "max-loss" ] ~docv:"F"
+          ~doc:
+            "Accuracy-loss bound for the custom $(b,--faults) plan \
+             (1 - absolute overlap vs the healthy run).")
+  in
+  let action seeds scale jobs only case_labels faults_spec max_loss =
+    let split_commas xs =
+      List.filter
+        (fun s -> s <> "")
+        (List.concat_map (String.split_on_char ',') xs)
+    in
+    let seeds =
+      List.map
+        (fun s ->
+          match int_of_string_opt (String.trim s) with
+          | Some n -> n
+          | None ->
+              Printf.eprintf "--seed: %s is not an integer\n" s;
+              exit 2)
+        (split_commas [ seeds ])
+    in
+    let cases =
+      match split_commas case_labels with
+      | [] -> Exp_chaos.curated
+      | labels ->
+          List.map
+            (fun l ->
+              match
+                List.find_opt
+                  (fun (c : Exp_chaos.case) -> c.Exp_chaos.label = l)
+                  Exp_chaos.curated
+              with
+              | Some c -> c
+              | None ->
+                  Printf.eprintf "unknown chaos case %s; have: %s\n" l
+                    (String.concat " "
+                       (List.map
+                          (fun (c : Exp_chaos.case) -> c.Exp_chaos.label)
+                          Exp_chaos.curated));
+                  exit 2)
+            labels
+    in
+    let cases =
+      match parse_faults faults_spec with
+      | p when Fault_plan.is_empty p -> cases
+      | plan -> cases @ [ { Exp_chaos.label = "custom"; plan; max_loss } ]
+    in
+    let only = split_commas only in
+    List.iter (fun n -> ignore (find_workload n)) only;
+    let total = ref 0 and failures = ref 0 in
+    List.iter
+      (fun seed ->
+        let envs = Exp_pool.suite_envs ~scale ~jobs ~seed () in
+        let envs =
+          if only = [] then envs
+          else
+            List.filter
+              (fun (e : Exp_harness.env) ->
+                List.mem e.Exp_harness.workload.Workload.name only)
+              envs
+        in
+        Printf.printf "chaos: seed %d, %d workloads x %d plans x 2 engines\n%!"
+          seed (List.length envs) (List.length cases);
+        List.iter
+          (fun (r : Exp_chaos.report) ->
+            Fmt.pr "%a@." Exp_chaos.pp_report r;
+            incr total;
+            if r.Exp_chaos.violations <> [] then incr failures)
+          (Exp_chaos.sweep ~jobs ~cases envs))
+      seeds;
+    Printf.printf "chaos: %d/%d runs clean\n" (!total - !failures) !total;
+    if !failures > 0 then exit 1
+  in
+  Cmd.v
+    (Cmd.info "chaos"
+       ~doc:
+         "Sweep deterministic fault plans over the suite and check the \
+          graceful-degradation invariants")
+    Term.(
+      const action $ seeds_arg $ scale_arg $ jobs_arg $ only_arg $ case_arg
+      $ faults_arg $ max_loss_arg)
+
 let list_cmd =
   let action () =
     Printf.printf "workloads:\n";
@@ -816,17 +965,22 @@ let () =
     Cmd.info "pepsim" ~version:"1.0.0"
       ~doc:"Continuous path and edge profiling (PEP) simulator"
   in
-  exit
-    (Cmd.eval
-       (Cmd.group info
-          [
-            run_cmd;
-            workload_cmd;
-            experiments_cmd;
-            trace_cmd;
-            top_cmd;
-            check_cmd;
-            disasm_cmd;
-            profiles_cmd;
-            list_cmd;
-          ]))
+  (* cmdliner reports CLI usage errors as 124; pepsim documents 2 for
+     usage/parse errors and 1 for check/experiment failures *)
+  let code =
+    Cmd.eval
+      (Cmd.group info
+         [
+           run_cmd;
+           workload_cmd;
+           experiments_cmd;
+           trace_cmd;
+           top_cmd;
+           check_cmd;
+           disasm_cmd;
+           profiles_cmd;
+           chaos_cmd;
+           list_cmd;
+         ])
+  in
+  exit (if code = Cmd.Exit.cli_error then 2 else code)

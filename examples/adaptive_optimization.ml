@@ -57,6 +57,7 @@ let () =
       verify = true;
       engine = `Threaded;
       telemetry = None;
+      faults = None;
     }
   in
   let pep_driver, pep_iter2, pep_sum = run "PEP(64,17)" pep_opts program in

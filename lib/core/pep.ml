@@ -41,11 +41,12 @@ type tstats = {
   dropped : Metrics.counter;
   skipped : Metrics.counter;
   promotions : Metrics.counter;
+  overflowed : Metrics.counter;
   branches : Metrics.histogram;
   tel : Telemetry.t;
 }
 
-let create ?telemetry ?(eager = true)
+let create ?telemetry ?faults ?(eager = true)
     ?(number = fun _ dag -> Numbering.ball_larus dag) ~sampling st =
   let stats =
     match telemetry with
@@ -58,6 +59,7 @@ let create ?telemetry ?(eager = true)
             dropped = Metrics.counter m "pep.samples.dropped";
             skipped = Metrics.counter m "pep.samples.skipped";
             promotions = Metrics.counter m "pep.path.promotions";
+            overflowed = Metrics.counter m "pep.table_overflow";
             branches = Metrics.histogram m "pep.path.branches";
             tel;
           }
@@ -81,45 +83,96 @@ let create ?telemetry ?(eager = true)
   in
   let paths = Path_profile.create_table ~n_methods in
   let edges = Edge_profile.create_table ~n_methods in
+  (match faults with
+  | None -> ()
+  | Some inj ->
+      let plan = Fault_injector.plan inj in
+      Array.iter
+        (fun t -> Path_profile.set_capacity t plan.Fault_plan.path_capacity)
+        paths;
+      Array.iter
+        (fun t -> Edge_profile.set_capacity t plan.Fault_plan.edge_capacity)
+        edges);
+  let meth_name (st : Machine.t) meth =
+    st.Machine.methods.(meth).Machine.meth.Method.name
+  in
+  let note_overflow (st : Machine.t) kind meth =
+    (match stats with Some s -> Metrics.incr s.overflowed | None -> ());
+    match faults with
+    | None -> ()
+    | Some inj ->
+        Fault_injector.note_table_overflow inj ~ts:st.Machine.cycles ~kind
+          ~meth:(meth_name st meth)
+  in
   let sampler = Sampling.create sampling in
-  let update_edges meth path_edges =
+  let update_edges (st : Machine.t) meth path_edges =
+    let before = Edge_profile.overflow edges.(meth) in
     List.iter
       (fun (ce : Cfg.edge) ->
         match ce.attr with
         | Cfg.Taken br -> Edge_profile.incr edges.(meth) br ~taken:true
         | Cfg.Not_taken br -> Edge_profile.incr edges.(meth) br ~taken:false
         | Cfg.Seq -> ())
-      path_edges
+      path_edges;
+    for _ = before + 1 to Edge_profile.overflow edges.(meth) do
+      note_overflow st `Edge meth
+    done
   in
   let take_sample (st : Machine.t) meth path_id =
     Machine.add_cycles st st.cost.Cost_model.sample_handler;
     let plan = Option.get plans.(meth) in
-    (* A frame compiled before this method's plan was (re)installed can
-       deliver a stale register value once; drop such samples. *)
-    if path_id >= 0 && path_id < Numbering.n_paths plan.Instrument.numbering
+    let overrun =
+      match faults with
+      | None -> false
+      | Some inj ->
+          Fault_injector.fire_sample_overrun inj ~ts:st.Machine.cycles
+            ~meth:(meth_name st meth)
+    in
+    if overrun then begin
+      (* The handler blew its budget: the sample is discarded, but the
+         path register was already reset by the instrumentation steps,
+         so profiling continues cleanly at the next path start. *)
+      (match stats with Some s -> Metrics.incr s.dropped | None -> ());
+      sample_instant st "overrun" meth path_id;
+      Option.iter
+        (fun inj ->
+          Fault_injector.note_sample_dropped inj ~ts:st.Machine.cycles
+            ~meth:(meth_name st meth))
+        faults
+    end
+    else if
+      (* A frame compiled before this method's plan was (re)installed can
+         deliver a stale register value once; drop such samples. *)
+      path_id >= 0 && path_id < Numbering.n_paths plan.Instrument.numbering
     then begin
-      (match stats with Some s -> Metrics.incr s.taken | None -> ());
-      sample_instant st "sample" meth path_id;
-      let entry = Path_profile.entry paths.(meth) path_id in
-      entry.count <- entry.count + 1;
-      match entry.edges with
-      | Some path_edges -> update_edges meth path_edges
+      match Path_profile.entry_opt paths.(meth) path_id with
       | None ->
-          (* first sample of this path: reconstruct it from the P-DAG *)
-          let path_edges =
-            Reconstruct.cfg_edges plan.Instrument.numbering path_id
-          in
-          Machine.add_cycles st
-            (st.cost.Cost_model.reconstruct_per_edge
-            * (List.length path_edges + 1));
-          entry.edges <- Some path_edges;
-          entry.n_branches <- branch_count path_edges;
-          (match stats with
-          | Some s ->
-              Metrics.incr s.promotions;
-              Metrics.observe s.branches entry.n_branches
-          | None -> ());
-          update_edges meth path_edges
+          (* Fixed-size table is full: drop the sample, keep running. *)
+          (match stats with Some s -> Metrics.incr s.dropped | None -> ());
+          sample_instant st "overflow" meth path_id;
+          note_overflow st `Path meth
+      | Some entry -> (
+          (match stats with Some s -> Metrics.incr s.taken | None -> ());
+          sample_instant st "sample" meth path_id;
+          entry.count <- entry.count + 1;
+          match entry.edges with
+          | Some path_edges -> update_edges st meth path_edges
+          | None ->
+              (* first sample of this path: reconstruct it from the P-DAG *)
+              let path_edges =
+                Reconstruct.cfg_edges plan.Instrument.numbering path_id
+              in
+              Machine.add_cycles st
+                (st.cost.Cost_model.reconstruct_per_edge
+                * (List.length path_edges + 1));
+              entry.edges <- Some path_edges;
+              entry.n_branches <- branch_count path_edges;
+              (match stats with
+              | Some s ->
+                  Metrics.incr s.promotions;
+                  Metrics.observe s.branches entry.n_branches
+              | None -> ());
+              update_edges st meth path_edges)
     end
     else begin
       (match stats with Some s -> Metrics.incr s.dropped | None -> ());

@@ -33,12 +33,23 @@ type t = {
 
     With [telemetry], the profiler maintains the [pep.samples.taken] /
     [pep.samples.dropped] / [pep.samples.skipped] /
-    [pep.path.promotions] counters and the [pep.path.branches]
-    histogram, and emits a ["sample"]-category trace instant per
-    taken/dropped sample.  All recording is host-side: simulated cycle
-    charges are identical with or without a sink. *)
+    [pep.path.promotions] / [pep.table_overflow] counters and the
+    [pep.path.branches] histogram, and emits a ["sample"]-category
+    trace instant per taken/dropped sample.  All recording is
+    host-side: simulated cycle charges are identical with or without a
+    sink.
+
+    With [faults], the profiler degrades instead of growing without
+    bound: the plan's [path-cap]/[edge-cap] bound the profile tables
+    (drops counted in [pep.table_overflow] and the injector's
+    [degrade.path_overflow]/[degrade.edge_overflow]), and a
+    [sample-overrun] fault discards the sample after the handler's
+    cycles are charged ([degrade.sample_dropped]) — the path register
+    was already reset by the instrumentation steps, so the next path
+    records normally.  An empty or [noop] plan changes nothing. *)
 val create :
   ?telemetry:Telemetry.t ->
+  ?faults:Fault_injector.t ->
   ?eager:bool ->
   ?number:(int -> Dag.t -> Numbering.t) ->
   sampling:Sampling.config ->

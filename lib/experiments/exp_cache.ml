@@ -24,6 +24,14 @@ type t = {
 }
 
 let create ?(config = Exp_harness.default) ?cache_dir env =
+  (* surface an unusable cache directory once, at open; the cache still
+     works (every run recomputes) with the failure on record *)
+  let open_diags =
+    match cache_dir with
+    | None -> []
+    | Some dir -> (
+        match Exp_store.prepare_dir dir with Ok () -> [] | Error e -> [ e ])
+  in
   let digest v = Digest.to_hex (Digest.string (Marshal.to_string v [])) in
   let identity =
     Fmt.str "store-v%d|workload=%s|size=%d|seed=%d|prog=%s|cost=%s"
@@ -47,8 +55,8 @@ let create ?(config = Exp_harness.default) ?cache_dir env =
     memory_hits = 0;
     disk_hits = 0;
     executed = 0;
-    store_errors = 0;
-    diags = [];
+    store_errors = List.length open_diags;
+    diags = open_diags;
     m_hit = counter "exp.cache_hit";
     m_miss = counter "exp.cache_miss";
   }
@@ -70,8 +78,13 @@ let mincr = function Some c -> Metrics.incr c | None -> ()
 
 (* A [From_pep] optimizing compilation consults the live sampler state
    at each method's compile time, which a rebuild (precompile, no
-   execution) cannot reproduce — so those runs are never persisted. *)
-let persistable config =
+   execution) cannot reproduce — so those runs are never persisted.
+   Neither are runs under an execution-perturbing fault plan: a rebuild
+   precompiles in method-index order, re-ordering the fault-decision
+   stream relative to the live run's lazy compilation. *)
+let persistable (config : Exp_harness.config) =
+  (not (Fault_plan.perturbs_execution config.Exp_harness.faults))
+  &&
   match config.Exp_harness.opt_profile with
   | Driver.From_pep -> false
   | Driver.From_baseline | Driver.Fixed _ -> true
@@ -131,9 +144,10 @@ type outcome = {
    cache_dir), so concurrent [compute]s on one cache from several
    domains are safe; the only side effect is an atomic store write. *)
 let compute t config =
+  let faults = Exp_harness.injector_of config in
   let slot = file_and_key t config in
   let execute diags =
-    let r = Exp_harness.replay t.env config in
+    let r = Exp_harness.replay ?faults t.env config in
     let diags =
       match slot with
       | None -> diags
@@ -150,7 +164,24 @@ let compute t config =
       match Exp_store.load ~file ~key with
       | Ok None -> execute []
       | Ok (Some payload) -> (
-          match Exp_harness.rebuild t.env config payload with
+          match faults with
+          | Some inj when Fault_injector.fire_corrupt inj ~what:"store" ->
+              (* the plan says this load observed a corrupted entry:
+                 quarantine it and recompute, exactly as a real digest
+                 mismatch would *)
+              Fault_injector.note_quarantine inj ~what:"store"
+                ~reason:"fault plan corrupted this cache entry";
+              execute
+                [
+                  {
+                    Dcg.file = Some file;
+                    line = 0;
+                    text = "";
+                    reason = "cache entry quarantined by fault plan; recomputed";
+                  };
+                ]
+          | Some _ | None ->
+          match Exp_harness.rebuild ?faults t.env config payload with
           | Ok r -> { o_run = r; o_from_disk = true; o_diags = [] }
           | Error reason ->
               (* shape passed the digest but not the configuration:

@@ -12,14 +12,27 @@
     configuration key), and recalled on later sweeps by
     {!Exp_harness.rebuild} — zero application execution.  Stale or
     damaged entries surface as {!diagnostics} and are silently
-    recomputed and overwritten, never trusted or crashed on. *)
+    recomputed and overwritten, never trusted or crashed on.  An
+    unusable [cache_dir] (unwritable, or a path component that is not a
+    directory) is reported the same way, once, at {!create} — runs
+    still execute, they just are not persisted.
+
+    Fault plans: a configuration whose plan
+    {!Fault_plan.perturbs_execution} is never persisted (a rebuild's
+    precompile order would re-order the live run's fault-decision
+    stream); a [corrupt=P] plan additionally makes loads of persisted
+    entries observe deliberate corruption with probability [P] — the
+    entry is quarantined with a diagnostic and the run recomputed,
+    exercising exactly the real digest-mismatch path. *)
 
 type t
 
 (** [config] is the base configuration the convenience runs below (and
     {!config}-derived callers) build on — e.g. pass one carrying a
     telemetry sink to have every figure's runs traced.  [cache_dir]
-    (default: none, memory only) enables the persistent layer. *)
+    (default: none, memory only) enables the persistent layer; it is
+    prepared with {!Exp_store.prepare_dir}, any failure becoming the
+    cache's first diagnostic. *)
 val create : ?config:Exp_harness.config -> ?cache_dir:string -> Exp_harness.env -> t
 
 val env : t -> Exp_harness.env
@@ -69,7 +82,8 @@ val diagnostics : t -> Dcg.parse_error list
 
 (** Where [config] would be persisted ([None] if no [cache_dir], or the
     configuration is not persistable — [From_pep] opt-profiles consult
-    live sampler state and are always re-executed). *)
+    live sampler state, and execution-perturbing fault plans re-order
+    the decision stream under rebuild; both are always re-executed). *)
 val store_file : t -> Exp_harness.config -> string option
 
 (** {2 The shared convenience runs, derived from the base configuration} *)

@@ -659,6 +659,7 @@ let tab_hardware caches =
                   verify = true;
                   engine = (Exp_cache.config c).Exp_harness.engine;
                   telemetry = (Exp_cache.config c).Exp_harness.telemetry;
+                  faults = None;
                 }
               in
               let d = Driver.create ~extra_hooks:(Hw_profiler.hooks hw) opts st in
@@ -720,6 +721,7 @@ let tab_onetime_paths caches =
             verify = true;
             engine = (Exp_cache.config c).Exp_harness.engine;
             telemetry = (Exp_cache.config c).Exp_harness.telemetry;
+            faults = None;
           }
         in
         let d = Driver.create ~extra_hooks:hooks opts st in

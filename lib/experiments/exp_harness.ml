@@ -35,6 +35,7 @@ type config = {
   unroll : bool;
   engine : Driver.engine;
   telemetry : Telemetry.t option;
+  faults : Fault_plan.t;
 }
 
 let default =
@@ -45,7 +46,14 @@ let default =
     unroll = false;
     engine = `Threaded;
     telemetry = None;
+    faults = Fault_plan.empty;
   }
+
+(* One fresh injector per run: decision-stream ordinals and degradation
+   counts are per-run state, never shared across runs. *)
+let injector_of config =
+  if Fault_plan.is_empty config.faults then None
+  else Some (Fault_injector.create ?telemetry:config.telemetry config.faults)
 
 let profiling_key = function
   | Base -> "base"
@@ -80,6 +88,8 @@ let config_key c =
   (match c.telemetry with
   | Some _ -> Buffer.add_string buf "+tel"
   | None -> ());
+  if not (Fault_plan.is_empty c.faults) then
+    Buffer.add_string buf ("+faults=" ^ Fault_plan.key c.faults);
   Buffer.contents buf
 
 let begin_run config name =
@@ -121,6 +131,7 @@ type run = {
   ppaths : Profiler.path_profiler option;
   pedges : Profiler.edge_profiler option;
   driver : Driver.t;
+  faults : Fault_injector.t option;
   checks : Pep_check.diagnostic list;
 }
 
@@ -211,13 +222,44 @@ let mask_plans env (plans : Profile_hooks.plans) =
     (fun m level -> if level < 0 then plans.(m) <- None)
     env.advice.Advice.levels
 
+(* A [corrupt] fault models a damaged input detected at load time: the
+   input is quarantined and recomputed from scratch.  Advice (and its
+   DCG) is recomputed by re-running the deterministic warmup, so the
+   substitute is identical to the quarantined original — measurements
+   are unaffected; only host time and the [degrade.input_quarantined]
+   accounting change.  The run-cache analogue lives in [Exp_cache]. *)
+let quarantine_inputs env config faults =
+  match faults with
+  | None -> env
+  | Some inj ->
+      let bad_advice = Fault_injector.fire_corrupt inj ~what:"advice" in
+      let bad_dcg = Fault_injector.fire_corrupt inj ~what:"dcg" in
+      if not (bad_advice || bad_dcg) then env
+      else begin
+        let fresh =
+          (make_env ~size:env.size
+             ~config:{ default with engine = config.engine }
+             ~seed:env.seed env.workload)
+            .advice
+        in
+        if bad_advice then
+          Fault_injector.note_quarantine inj ~what:"advice"
+            ~reason:"corrupt advice quarantined; recomputed from warmup";
+        if bad_dcg then
+          Fault_injector.note_quarantine inj ~what:"dcg"
+            ~reason:"corrupt DCG quarantined; recomputed from warmup";
+        if bad_advice then { env with advice = fresh }
+        else
+          { env with advice = { env.advice with Advice.dcg = fresh.Advice.dcg } }
+      end
+
 (* Build the machine, profilers, hooks and driver for [config] —
    everything a replay does before the first application iteration.
    Shared between [replay] (which then executes) and [rebuild] (which
    precompiles and restores persisted profiles instead of executing);
    both must construct the state identically or cached runs would not
    be bit-identical to executed ones. *)
-let setup_replay env config =
+let setup_replay ~faults env config =
   let st = Machine.create ~seed:env.seed env.program in
   let pep_opts, extra =
     match config.profiling with
@@ -265,15 +307,17 @@ let setup_replay env config =
       verify = true;
       engine = config.engine;
       telemetry = config.telemetry;
+      faults;
     }
   in
   let driver = Driver.create ?extra_hooks opts st in
   (extra, driver)
 
-let run_of_driver ~meas ~extra driver =
+let run_of_driver ~meas ~extra ~faults driver =
   {
     meas;
     pep = Driver.pep driver;
+    faults;
     ppaths =
       (match extra with
       | Some (`Path p) -> Some p
@@ -286,10 +330,14 @@ let run_of_driver ~meas ~extra driver =
     checks = [];
   }
 
-let replay env config =
+let replay ?faults env config =
+  let faults =
+    match faults with Some _ as f -> f | None -> injector_of config
+  in
   begin_run config
     (Fmt.str "%s %s" env.workload.Workload.name (config_key config));
-  let extra, driver = setup_replay env config in
+  let env = quarantine_inputs env config faults in
+  let extra, driver = setup_replay ~faults env config in
   let iter1, c1 = Driver.run driver in
   let iter2, c2 = Driver.run driver in
   (* the two iterations see different PRNG draws, so combine both results
@@ -302,7 +350,7 @@ let replay env config =
       checksum = c1 lxor (c2 * 1_000_003);
     }
   in
-  let r = run_of_driver ~meas ~extra driver in
+  let r = run_of_driver ~meas ~extra ~faults driver in
   { r with checks = lint_run r }
 
 (* Rebuild a replay run from a persisted payload without executing the
@@ -314,10 +362,14 @@ let replay env config =
    recorded on disk is trusted beyond the raw counts.  [Error reason]
    means the payload does not fit the configuration (wrong sections,
    unparseable lines): callers fall back to executing. *)
-let rebuild env config (p : Exp_store.payload) =
+let rebuild ?faults env config (p : Exp_store.payload) =
+  let faults =
+    match faults with Some _ as f -> f | None -> injector_of config
+  in
   begin_run config
     (Fmt.str "cached %s %s" env.workload.Workload.name (config_key config));
-  let extra, driver = setup_replay env config in
+  let env = quarantine_inputs env config faults in
+  let extra, driver = setup_replay ~faults env config in
   Driver.precompile driver;
   let exception Bad of string in
   let fill what parse lines =
@@ -361,7 +413,7 @@ let rebuild env config (p : Exp_store.payload) =
           checksum = p.Exp_store.checksum;
         }
       in
-      let r = run_of_driver ~meas ~extra driver in
+      let r = run_of_driver ~meas ~extra ~faults driver in
       Ok { r with checks = lint_run ~expected_samples:p.Exp_store.n_samples r }
   | exception Bad reason -> Error reason
 
@@ -392,6 +444,7 @@ let replay_transformed_with_truth ?(config = { default with inline = true })
       verify = true;
       engine = config.engine;
       telemetry = config.telemetry;
+      faults = injector_of config;
     }
   in
   let driver = Driver.create opts st in
@@ -435,12 +488,14 @@ let adaptive_total ?(config = default) ~trial env =
           verify = true;
           engine = config.engine;
           telemetry = config.telemetry;
+          faults = injector_of config;
         }
     | Base | Perfect_path | Perfect_edge | Classic_blpp | Instr_back_edge ->
         {
           Driver.default_options with
           engine = config.engine;
           telemetry = config.telemetry;
+          faults = injector_of config;
         }
   in
   let driver = Driver.create opts st in

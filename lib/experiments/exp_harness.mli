@@ -62,6 +62,14 @@ type config = {
       (** host-side metrics/trace sink, threaded through the driver,
           engine and PEP; measurements are bit-identical with or
           without it *)
+  faults : Fault_plan.t;
+      (** deterministic fault plan ({!Fault_plan.empty} by default).  A
+          non-empty plan builds one fresh {!Fault_injector} per run and
+          threads it through the driver and PEP; the run degrades per
+          the plan's policies but never crashes, and its checksum is
+          unchanged (faults perturb profiling and compilation, never
+          application semantics).  The plan is part of {!config_key};
+          [Exp_cache] never persists faulted runs. *)
 }
 
 (** [Base] profiling, one-time opt profile, no transforms, threaded
@@ -89,6 +97,9 @@ type run = {
   ppaths : Profiler.path_profiler option;
   pedges : Profiler.edge_profiler option;
   driver : Driver.t;
+  faults : Fault_injector.t option;
+      (** the run's injector when [config.faults] was non-empty; read
+          {!Fault_injector.counts} for its degradation accounting *)
   checks : Pep_check.diagnostic list;
       (** {!Driver.checks} plus a {!Pep_check} lint of every profile the
           run collected (PEP's sampled edge and path profiles, the
@@ -108,9 +119,19 @@ val lint_pep : ?expected_samples:int -> Machine.t -> Pep.t -> Pep_check.diagnost
     built directly against a {!Driver.t}. *)
 val lint_run : ?expected_samples:int -> run -> Pep_check.diagnostic list
 
+(** One fresh {!Fault_injector} for [config.faults] ([None] when the
+    plan is empty), wired to [config.telemetry].  {!replay}/{!rebuild}
+    call it when no injector is passed; callers that fire host-side
+    faults of their own (e.g. [Exp_cache]'s store corruption) build the
+    injector here and pass it down so all accounting lands in one
+    place. *)
+val injector_of : config -> Fault_injector.t option
+
 (** One replay experiment under [config] (two deterministic iterations;
-    see the module comment). *)
-val replay : env -> config -> run
+    see the module comment).  With a non-empty fault plan, corrupt
+    advice/DCG inputs are quarantined and recomputed from the warmup
+    before the driver is built. *)
+val replay : ?faults:Fault_injector.t -> env -> config -> run
 
 (** Rebuild the {!run} that [replay env config] would produce, from a
     persisted payload, without executing the application: the driver is
@@ -124,7 +145,7 @@ val replay : env -> config -> run
     [From_pep] opt-profiles, whose compilation consults live sampler
     state. *)
 val rebuild :
-  env -> config -> Exp_store.payload -> (run, string) result
+  ?faults:Fault_injector.t -> env -> config -> Exp_store.payload -> (run, string) result
 
 (** Replay with body transformations (default config: inlining only),
     PEP(64,17), and a perfect path profiler over the same transformed

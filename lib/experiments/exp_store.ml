@@ -42,16 +42,58 @@ let filename ~dir file_key =
 let digest_lines lines =
   Digest.to_hex (Digest.string (String.concat "\n" lines))
 
-let rec ensure_dir dir =
-  if not (Sys.file_exists dir) then begin
-    let parent = Filename.dirname dir in
-    if parent <> dir then ensure_dir parent;
-    (* tolerate a concurrent worker creating it first *)
-    try Sys.mkdir dir 0o755 with Sys_error _ -> ()
-  end
-
 let err ?(line = 0) ?(text = "") file reason =
   { Dcg.file = Some file; line; text = String.trim text; reason }
+
+let rec ensure_dir dir =
+  if Sys.file_exists dir then
+    if Sys.is_directory dir then Ok ()
+    else Error (err dir "cache path exists but is not a directory")
+  else begin
+    let parent = Filename.dirname dir in
+    match if parent = dir then Ok () else ensure_dir parent with
+    | Error _ as e -> e
+    | Ok () -> (
+        match Sys.mkdir dir 0o755 with
+        | () -> Ok ()
+        | exception Sys_error m ->
+            (* tolerate a concurrent worker creating it first; anything
+               else (permissions, parent replaced by a file) surfaces *)
+            if Sys.file_exists dir && Sys.is_directory dir then Ok ()
+            else Error (err dir ("cannot create cache directory: " ^ m)))
+  end
+
+(* A crash between [Filename.temp_file] and the rename in [save] leaves
+   a stray [run-*.tmp] behind; it is never read (loads go by exact
+   [.run] name) but would accumulate, so sweep on cache open. *)
+let sweep_tmp dir =
+  match Sys.readdir dir with
+  | entries ->
+      Array.iter
+        (fun f ->
+          if
+            String.starts_with ~prefix:"run-" f
+            && Filename.check_suffix f ".tmp"
+          then
+            try Sys.remove (Filename.concat dir f) with Sys_error _ -> ())
+        entries
+  | exception Sys_error _ -> ()
+
+let prepare_dir dir =
+  match ensure_dir dir with
+  | Error _ as e -> e
+  | Ok () ->
+      sweep_tmp dir;
+      (* probe writability now, so an unusable --cache-dir surfaces as
+         one structured diagnostic at open instead of a silent
+         recompute-every-run *)
+      let probe = Filename.concat dir ".pepsim-writable" in
+      (match Out_channel.with_open_bin probe (fun _ -> ()) with
+      | () ->
+          (try Sys.remove probe with Sys_error _ -> ());
+          Ok ()
+      | exception Sys_error m ->
+          Error (err dir ("cache directory is not writable: " ^ m)))
 
 (* ------------------------------ save ------------------------------ *)
 
@@ -83,7 +125,9 @@ let save ~file ~key p =
   else
     try
       let dir = Filename.dirname file in
-      ensure_dir dir;
+      match ensure_dir dir with
+      | Error _ as e -> e
+      | Ok () ->
       let tmp = Filename.temp_file ~temp_dir:dir "run-" ".tmp" in
       let finish ok =
         if not ok then (try Sys.remove tmp with Sys_error _ -> ())

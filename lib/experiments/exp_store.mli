@@ -35,8 +35,23 @@ val filename : dir:string -> string -> string
     (exposed so tests can forge entries with valid digests). *)
 val digest_lines : string list -> string
 
+(** Create [dir] (and parents) if missing.  [Error] carries a
+    structured diagnostic: permission denied, or a path component that
+    exists but is not a directory.  Concurrent creation by another
+    worker is tolerated. *)
+val ensure_dir : string -> (unit, Dcg.parse_error) result
+
+(** {!ensure_dir}, plus: sweep stray [run-*.tmp] files left by a crash
+    between temp-write and rename (they are never read, only
+    accumulate), and probe that the directory is actually writable so
+    an unusable [--cache-dir] surfaces as one diagnostic at open
+    instead of a silent recompute on every run.  Call when opening a
+    cache directory. *)
+val prepare_dir : string -> (unit, Dcg.parse_error) result
+
 (** Atomically (write-then-rename) persist a payload under [key].
-    Creates missing directories. *)
+    Creates missing directories; all I/O failures are structured
+    errors, never exceptions. *)
 val save : file:string -> key:string -> payload -> (unit, Dcg.parse_error) result
 
 (** [Ok None] when no entry exists; [Error _] for stale (key or

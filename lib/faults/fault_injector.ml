@@ -1,0 +1,201 @@
+type counts = {
+  compile_fail : int;
+  sample_overrun : int;
+  store_corrupt : int;
+  backoffs : int;
+  gaveups : int;
+  samples_dropped : int;
+  path_overflow : int;
+  edge_overflow : int;
+  quarantined : int;
+}
+
+(* Mirrored metric: a plain int always (for invariant read-back), a
+   registry counter when a sink is attached. *)
+type cell = { mutable n : int; metric : Metrics.counter option }
+
+let cell metrics name =
+  { n = 0; metric = Option.map (fun m -> Metrics.counter m name) metrics }
+
+let bump c =
+  c.n <- c.n + 1;
+  match c.metric with Some m -> Metrics.incr m | None -> ()
+
+type t = {
+  plan : Fault_plan.t;
+  tel : Telemetry.t option;
+  (* per-site decision-stream ordinals; corrupt streams are per input
+     kind so e.g. "advice" and "store" decisions stay independent *)
+  mutable n_compile : int;
+  mutable n_sample : int;
+  n_corrupt : (string, int ref) Hashtbl.t;
+  c_compile_fail : cell;
+  c_sample_overrun : cell;
+  c_store_corrupt : cell;
+  c_backoff : cell;
+  c_gaveup : cell;
+  c_sample_dropped : cell;
+  c_path_overflow : cell;
+  c_edge_overflow : cell;
+  c_quarantined : cell;
+}
+
+let create ?telemetry plan =
+  let metrics = Option.map Telemetry.metrics telemetry in
+  {
+    plan;
+    tel = telemetry;
+    n_compile = 0;
+    n_sample = 0;
+    n_corrupt = Hashtbl.create 4;
+    c_compile_fail = cell metrics "fault.compile_fail";
+    c_sample_overrun = cell metrics "fault.sample_overrun";
+    c_store_corrupt = cell metrics "fault.store_corrupt";
+    c_backoff = cell metrics "degrade.compile_backoff";
+    c_gaveup = cell metrics "degrade.compile_gaveup";
+    c_sample_dropped = cell metrics "degrade.sample_dropped";
+    c_path_overflow = cell metrics "degrade.path_overflow";
+    c_edge_overflow = cell metrics "degrade.edge_overflow";
+    c_quarantined = cell metrics "degrade.input_quarantined";
+  }
+
+let plan t = t.plan
+
+(* SplitMix64 over (seed, site salt, ordinal): the same triple always
+   yields the same decision, independent of everything else in the
+   process. *)
+let mix seed salt n =
+  let z =
+    Int64.add
+      (Int64.mul (Int64.of_int seed) 0x9E3779B97F4A7C15L)
+      (Int64.add
+         (Int64.mul (Int64.of_int salt) 0xBF58476D1CE4E5B9L)
+         (Int64.mul (Int64.of_int (n + 1)) 0x94D049BB133111EBL))
+  in
+  let z = Int64.mul (Int64.logxor z (Int64.shift_right_logical z 30))
+      0xBF58476D1CE4E5B9L in
+  let z = Int64.mul (Int64.logxor z (Int64.shift_right_logical z 27))
+      0x94D049BB133111EBL in
+  Int64.logxor z (Int64.shift_right_logical z 31)
+
+let unit_float h =
+  (* top 53 bits -> [0,1) *)
+  Int64.to_float (Int64.shift_right_logical h 11) /. 9007199254740992.0
+
+let fires t ~salt ~p n =
+  if p <= 0. then false
+  else if p >= 1. then true
+  else unit_float (mix t.plan.Fault_plan.seed salt n) < p
+
+let instant t ~ts ~cat ~name args =
+  match t.tel with
+  | None -> ()
+  | Some tel -> Telemetry.instant tel ~ts ~cat ~name ~args ()
+
+let fire_compile_fail t ~ts ~meth =
+  let n = t.n_compile in
+  t.n_compile <- n + 1;
+  let hit = fires t ~salt:1 ~p:t.plan.Fault_plan.compile_fail n in
+  if hit then begin
+    bump t.c_compile_fail;
+    instant t ~ts ~cat:"fault" ~name:"compile_fail" [ ("method", meth) ]
+  end;
+  hit
+
+let fire_sample_overrun t ~ts ~meth =
+  let n = t.n_sample in
+  t.n_sample <- n + 1;
+  let hit = fires t ~salt:2 ~p:t.plan.Fault_plan.sample_overrun n in
+  if hit then begin
+    bump t.c_sample_overrun;
+    instant t ~ts ~cat:"fault" ~name:"sample_overrun" [ ("method", meth) ]
+  end;
+  hit
+
+(* FNV-1a, so the per-kind salt does not depend on [Hashtbl.hash]'s
+   implementation details. *)
+let str_hash s =
+  let h = ref 0x811c9dc5 in
+  String.iter
+    (fun c -> h := (!h lxor Char.code c) * 0x01000193 land 0x3FFFFFFF)
+    s;
+  !h
+
+let fire_corrupt t ~what =
+  let counter =
+    match Hashtbl.find_opt t.n_corrupt what with
+    | Some r -> r
+    | None ->
+        let r = ref 0 in
+        Hashtbl.replace t.n_corrupt what r;
+        r
+  in
+  let n = !counter in
+  incr counter;
+  let hit = fires t ~salt:(3 + (8 * str_hash what)) ~p:t.plan.Fault_plan.corrupt n in
+  if hit then begin
+    bump t.c_store_corrupt;
+    instant t ~ts:0 ~cat:"fault" ~name:"store_corrupt" [ ("what", what) ]
+  end;
+  hit
+
+let note_backoff t ~ts ~meth ~until ~attempt =
+  bump t.c_backoff;
+  instant t ~ts ~cat:"degrade" ~name:"compile_backoff"
+    [
+      ("method", meth);
+      ("until", string_of_int until);
+      ("attempt", string_of_int attempt);
+    ]
+
+let note_gaveup t ~ts ~meth =
+  bump t.c_gaveup;
+  instant t ~ts ~cat:"degrade" ~name:"compile_gaveup" [ ("method", meth) ]
+
+let note_sample_dropped t ~ts ~meth =
+  bump t.c_sample_dropped;
+  instant t ~ts ~cat:"degrade" ~name:"sample_dropped" [ ("method", meth) ]
+
+let note_table_overflow t ~ts ~kind ~meth =
+  let c, name =
+    match kind with
+    | `Path -> (t.c_path_overflow, "path_overflow")
+    | `Edge -> (t.c_edge_overflow, "edge_overflow")
+  in
+  bump c;
+  instant t ~ts ~cat:"degrade" ~name [ ("method", meth) ]
+
+let note_quarantine t ~what ~reason =
+  bump t.c_quarantined;
+  instant t ~ts:0 ~cat:"degrade" ~name:"input_quarantined"
+    [ ("what", what); ("reason", reason) ]
+
+let counts t =
+  {
+    compile_fail = t.c_compile_fail.n;
+    sample_overrun = t.c_sample_overrun.n;
+    store_corrupt = t.c_store_corrupt.n;
+    backoffs = t.c_backoff.n;
+    gaveups = t.c_gaveup.n;
+    samples_dropped = t.c_sample_dropped.n;
+    path_overflow = t.c_path_overflow.n;
+    edge_overflow = t.c_edge_overflow.n;
+    quarantined = t.c_quarantined.n;
+  }
+
+let accounted c =
+  if c.compile_fail <> c.backoffs + c.gaveups then
+    Error
+      (Fmt.str
+         "fault.compile_fail=%d but degrade.compile_backoff=%d + \
+          degrade.compile_gaveup=%d"
+         c.compile_fail c.backoffs c.gaveups)
+  else if c.sample_overrun <> c.samples_dropped then
+    Error
+      (Fmt.str "fault.sample_overrun=%d but degrade.sample_dropped=%d"
+         c.sample_overrun c.samples_dropped)
+  else if c.store_corrupt <> c.quarantined then
+    Error
+      (Fmt.str "fault.store_corrupt=%d but degrade.input_quarantined=%d"
+         c.store_corrupt c.quarantined)
+  else Ok ()

@@ -1,0 +1,84 @@
+(** Runtime half of a {!Fault_plan}: deterministic decision streams plus
+    the [fault.*] / [degrade.*] accounting every degradation must pass
+    through.
+
+    Each injection site draws from its own counter-indexed stream — a
+    SplitMix64 hash of (plan seed, site salt, event ordinal) — so
+    decisions depend only on the plan and on how many times the site was
+    consulted, never on wall-clock time, allocation addresses or domain
+    scheduling.  Two runs with the same plan and the same event order
+    fault identically; the empty stream (probability 0) never hashes at
+    all.
+
+    Faults ([fault.*]) are the injected events; degradations
+    ([degrade.*]) are the system's graceful responses.  The chaos sweep
+    holds them to an accounting identity: every fault must be matched by
+    a recorded degradation (e.g. [fault.compile_fail =
+    degrade.compile_backoff + degrade.compile_gaveup]).  All recording
+    is host-side: with a telemetry sink attached the counters and trace
+    instants appear, without one only the internal {!counts} are kept —
+    simulated cycles are identical either way. *)
+
+type t
+
+val create : ?telemetry:Telemetry.t -> Fault_plan.t -> t
+val plan : t -> Fault_plan.t
+
+(** {1 Decision streams}
+
+    Each consult consumes one slot of the site's stream.  A [true]
+    return has already been counted as the corresponding [fault.*]
+    event (with a trace instant at [ts] when tracing). *)
+
+val fire_compile_fail : t -> ts:int -> meth:string -> bool
+val fire_sample_overrun : t -> ts:int -> meth:string -> bool
+
+(** Host-side (no virtual timestamp): did this load of input kind
+    [what] ("advice", "dcg", "store") observe a corrupted record?  Each
+    kind draws from its own stream.  The caller must quarantine and
+    recompute on [true] — {!accounted} holds [fault.store_corrupt] to
+    [degrade.input_quarantined]. *)
+val fire_corrupt : t -> what:string -> bool
+
+(** {1 Degradation accounting} *)
+
+(** A failed optimizing compile was re-queued: the method retries no
+    earlier than virtual cycle [until] (exponential in [attempt]). *)
+val note_backoff : t -> ts:int -> meth:string -> until:int -> attempt:int -> unit
+
+(** The retry cap is exhausted: the method is pinned at baseline. *)
+val note_gaveup : t -> ts:int -> meth:string -> unit
+
+(** A sample was dropped (handler budget overrun); the path register
+    was still reset by the instrumentation. *)
+val note_sample_dropped : t -> ts:int -> meth:string -> unit
+
+(** A bounded profile table dropped an update (capacity reached). *)
+val note_table_overflow : t -> ts:int -> kind:[ `Path | `Edge ] -> meth:string -> unit
+
+(** A corrupt/truncated input (advice, DCG, store entry) was quarantined
+    with a structured diagnostic and the work recomputed. *)
+val note_quarantine : t -> what:string -> reason:string -> unit
+
+(** {1 Read-back for invariant checks} *)
+
+type counts = {
+  compile_fail : int;
+  sample_overrun : int;
+  store_corrupt : int;
+  backoffs : int;
+  gaveups : int;
+  samples_dropped : int;
+  path_overflow : int;
+  edge_overflow : int;
+  quarantined : int;
+}
+
+val counts : t -> counts
+
+(** [fault.compile_fail = degrade.compile_backoff + degrade.compile_gaveup],
+    [fault.sample_overrun = degrade.sample_dropped] and
+    [fault.store_corrupt = degrade.input_quarantined]: every injected
+    fault is matched by a recorded graceful response.  [Error] describes
+    the first violated identity. *)
+val accounted : counts -> (unit, string) result

@@ -1,0 +1,157 @@
+type t = {
+  seed : int;
+  noop : bool;
+  path_capacity : int option;
+  edge_capacity : int option;
+  compile_fail : float;
+  compile_retries : int;
+  compile_backoff : int;
+  sample_overrun : float;
+  corrupt : float;
+}
+
+let empty =
+  {
+    seed = 0;
+    noop = false;
+    path_capacity = None;
+    edge_capacity = None;
+    compile_fail = 0.;
+    compile_retries = 3;
+    compile_backoff = 50_000;
+    sample_overrun = 0.;
+    corrupt = 0.;
+  }
+
+let perturbs_execution t =
+  t.path_capacity <> None
+  || t.edge_capacity <> None
+  || t.compile_fail > 0.
+  || t.sample_overrun > 0.
+
+let is_empty t =
+  (not t.noop)
+  && t.path_capacity = None
+  && t.edge_capacity = None
+  && t.compile_fail = 0.
+  && t.sample_overrun = 0.
+  && t.corrupt = 0.
+
+(* Probabilities print with enough digits to round-trip exactly for the
+   precisions specs use; %.12g keeps 0.1 as "0.1". *)
+let pp_prob ppf p = Fmt.pf ppf "%.12g" p
+
+let key t =
+  if is_empty t then ""
+  else begin
+    let buf = Buffer.create 48 in
+    let add fmt = Fmt.kstr (fun s ->
+        if Buffer.length buf > 0 then Buffer.add_char buf ',';
+        Buffer.add_string buf s) fmt
+    in
+    if t.seed <> 0 then add "seed=%d" t.seed;
+    if t.noop then add "noop";
+    (match t.path_capacity with Some n -> add "path-cap=%d" n | None -> ());
+    (match t.edge_capacity with Some n -> add "edge-cap=%d" n | None -> ());
+    if t.compile_fail > 0. then begin
+      add "compile-fail=%a" pp_prob t.compile_fail;
+      if t.compile_retries <> empty.compile_retries then
+        add "compile-retries=%d" t.compile_retries;
+      if t.compile_backoff <> empty.compile_backoff then
+        add "compile-backoff=%d" t.compile_backoff
+    end;
+    if t.sample_overrun > 0. then add "sample-overrun=%a" pp_prob t.sample_overrun;
+    if t.corrupt > 0. then add "corrupt=%a" pp_prob t.corrupt;
+    Buffer.contents buf
+  end
+
+let pp ppf t =
+  if is_empty t then Fmt.string ppf "(no faults)" else Fmt.string ppf (key t)
+
+let clause_err clause reason =
+  Error (Fmt.str "bad fault clause %S: %s" clause reason)
+
+let parse_clauses clauses =
+  let int_of clause v ~min =
+    match int_of_string_opt v with
+    | Some n when n >= min -> Ok n
+    | Some _ | None ->
+        clause_err clause (Fmt.str "expected an integer >= %d" min)
+  in
+  let prob_of clause v =
+    match float_of_string_opt v with
+    | Some p when p >= 0. && p <= 1. -> Ok p
+    | Some _ | None -> clause_err clause "expected a probability in [0,1]"
+  in
+  let rec go t = function
+    | [] -> Ok t
+    | clause :: rest -> (
+        let bind r k = match r with Ok v -> k v | Error _ as e -> e in
+        let continue t = go t rest in
+        match String.index_opt clause '=' with
+        | None -> (
+            match clause with
+            | "noop" -> continue { t with noop = true }
+            | _ -> clause_err clause "unknown fault (no '=' value)")
+        | Some i -> (
+            let name = String.sub clause 0 i in
+            let v = String.sub clause (i + 1) (String.length clause - i - 1) in
+            match name with
+            | "seed" ->
+                bind (int_of clause v ~min:0) (fun n ->
+                    continue { t with seed = n })
+            | "path-cap" ->
+                bind (int_of clause v ~min:0) (fun n ->
+                    continue { t with path_capacity = Some n })
+            | "edge-cap" ->
+                bind (int_of clause v ~min:0) (fun n ->
+                    continue { t with edge_capacity = Some n })
+            | "compile-fail" ->
+                bind (prob_of clause v) (fun p ->
+                    continue { t with compile_fail = p })
+            | "compile-retries" ->
+                bind (int_of clause v ~min:0) (fun n ->
+                    continue { t with compile_retries = n })
+            | "compile-backoff" ->
+                bind (int_of clause v ~min:1) (fun n ->
+                    continue { t with compile_backoff = n })
+            | "sample-overrun" ->
+                bind (prob_of clause v) (fun p ->
+                    continue { t with sample_overrun = p })
+            | "corrupt" ->
+                bind (prob_of clause v) (fun p -> continue { t with corrupt = p })
+            | _ -> clause_err clause "unknown fault"))
+  in
+  go empty clauses
+
+let split_spec spec =
+  (* commas and newlines both separate clauses; '#' comments to end of line *)
+  let uncommented =
+    String.concat "\n"
+      (List.map
+         (fun line ->
+           match String.index_opt line '#' with
+           | Some i -> String.sub line 0 i
+           | None -> line)
+         (String.split_on_char '\n' spec))
+  in
+  List.filter
+    (fun c -> c <> "")
+    (List.map String.trim
+       (List.concat_map (String.split_on_char ',')
+          (String.split_on_char '\n' uncommented)))
+
+let parse spec =
+  let spec = String.trim spec in
+  if String.length spec > 0 && spec.[0] = '@' then begin
+    let file = String.sub spec 1 (String.length spec - 1) in
+    match In_channel.with_open_text file In_channel.input_all with
+    | contents -> parse_clauses (split_spec contents)
+    | exception Sys_error m -> Error ("unreadable fault-plan file: " ^ m)
+  end
+  else parse_clauses (split_spec spec)
+
+let parse_exn spec =
+  match parse spec with
+  | Ok t -> t
+  | Error reason -> invalid_arg ("Fault_plan.parse_exn: " ^ reason)

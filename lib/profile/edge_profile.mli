@@ -15,6 +15,21 @@ val incr : t -> Cfg.branch_id -> taken:bool -> unit
 val add : t -> Cfg.branch_id -> taken:bool -> int -> unit
 val counter : t -> Cfg.branch_id -> counter option
 
+(** {2 Bounded tables (degrade-don't-crash, paper §3.2)}
+
+    A capacity bounds the {e distinct branches} counted, modelling the
+    fixed-size profile tables of a production VM.  {!add}/{!incr}/
+    {!parse_line} on a full table drop updates that would create a new
+    counter (counted in {!overflow}); updates to present counters
+    always land.  Default: unbounded.  {!copy} preserves capacity and
+    overflow; {!clear} resets the overflow count. *)
+
+val set_capacity : t -> int option -> unit
+val capacity : t -> int option
+
+(** Updates dropped because the table was full. *)
+val overflow : t -> int
+
 (** Executions of the branch (taken + not-taken); 0 when never seen. *)
 val freq : t -> Cfg.branch_id -> int
 
@@ -37,6 +52,9 @@ val create_table : n_methods:int -> table
 val copy_table : table -> table
 val flip_table : table -> table
 val table_total : table -> int
+
+(** Total dropped updates across the table. *)
+val table_overflow : table -> int
 
 (** One line per branch: ["<method-index> <branch> <taken> <not-taken>"].
     [of_lines] is its inverse.

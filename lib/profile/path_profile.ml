@@ -5,40 +5,71 @@ type entry = {
   mutable n_branches : int;
 }
 
-type t = (int, entry) Hashtbl.t
+(* [capacity], when set, bounds the number of distinct paths the table
+   stores (the fixed-size table of paper §3.2): an update that would
+   create an entry past the bound is dropped and counted in [overflow].
+   Updates to already-present paths always land. *)
+type t = {
+  tbl : (int, entry) Hashtbl.t;
+  mutable capacity : int option;
+  mutable overflow : int;
+}
 
-let create () : t = Hashtbl.create 32
+let create () : t = { tbl = Hashtbl.create 32; capacity = None; overflow = 0 }
+
+let set_capacity t capacity = t.capacity <- capacity
+let capacity t = t.capacity
+let overflow t = t.overflow
+
+let entry_opt t path_id =
+  match Hashtbl.find_opt t.tbl path_id with
+  | Some e -> Some e
+  | None -> (
+      match t.capacity with
+      | Some cap when Hashtbl.length t.tbl >= cap ->
+          t.overflow <- t.overflow + 1;
+          None
+      | Some _ | None ->
+          let e = { path_id; count = 0; edges = None; n_branches = -1 } in
+          Hashtbl.replace t.tbl path_id e;
+          Some e)
 
 let entry t path_id =
-  match Hashtbl.find_opt t path_id with
+  match Hashtbl.find_opt t.tbl path_id with
   | Some e -> e
   | None ->
       let e = { path_id; count = 0; edges = None; n_branches = -1 } in
-      Hashtbl.replace t path_id e;
+      Hashtbl.replace t.tbl path_id e;
       e
 
 let add t path_id n =
-  let e = entry t path_id in
-  e.count <- e.count + n
+  match entry_opt t path_id with
+  | Some e -> e.count <- e.count + n
+  | None -> ()
 
 let incr t path_id = add t path_id 1
-let find t path_id = Hashtbl.find_opt t path_id
+let find t path_id = Hashtbl.find_opt t.tbl path_id
 
 let entries t =
   List.sort
     (fun a b -> compare a.path_id b.path_id)
-    (Hashtbl.fold (fun _ e acc -> e :: acc) t [])
+    (Hashtbl.fold (fun _ e acc -> e :: acc) t.tbl [])
 
-let total t = Hashtbl.fold (fun _ e acc -> acc + e.count) t 0
-let n_distinct t = Hashtbl.length t
-let is_empty t = Hashtbl.length t = 0
-let clear t = Hashtbl.reset t
-let iter f t = Hashtbl.iter (fun _ e -> f e) t
+let total t = Hashtbl.fold (fun _ e acc -> acc + e.count) t.tbl 0
+let n_distinct t = Hashtbl.length t.tbl
+let is_empty t = Hashtbl.length t.tbl = 0
+
+let clear t =
+  Hashtbl.reset t.tbl;
+  t.overflow <- 0
+
+let iter f t = Hashtbl.iter (fun _ e -> f e) t.tbl
 
 type table = t array
 
 let create_table ~n_methods = Array.init n_methods (fun _ -> create ())
 let table_total tbl = Array.fold_left (fun acc t -> acc + total t) 0 tbl
+let table_overflow tbl = Array.fold_left (fun acc t -> acc + overflow t) 0 tbl
 
 let to_lines tbl =
   let lines = ref [] in

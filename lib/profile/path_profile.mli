@@ -22,8 +22,28 @@ val incr : t -> int -> unit
 val add : t -> int -> int -> unit
 val find : t -> int -> entry option
 
-(** Entry, created with count 0 if absent. *)
+(** Entry, created with count 0 if absent — ignoring any capacity bound
+    (ground-truth profilers are never bounded).  Bounded writers use
+    {!entry_opt}. *)
 val entry : t -> int -> entry
+
+(** Like {!entry}, but respects the table's {!capacity}: [None] means
+    the update was dropped and counted in {!overflow}. *)
+val entry_opt : t -> int -> entry option
+
+(** {2 Bounded tables (degrade-don't-crash, paper §3.2)}
+
+    A capacity bounds the {e distinct paths} stored, modelling the
+    fixed-size profile tables of a production VM.  {!add}/{!incr}/
+    {!parse_line} on a full table drop updates that would create a new
+    entry (counted in {!overflow}); updates to present entries always
+    land.  Default: unbounded. *)
+
+val set_capacity : t -> int option -> unit
+val capacity : t -> int option
+
+(** Updates dropped because the table was full; {!clear} resets it. *)
+val overflow : t -> int
 
 val entries : t -> entry list
 
@@ -40,6 +60,9 @@ type table = t array
 
 val create_table : n_methods:int -> table
 val table_total : table -> int
+
+(** Total dropped updates across the table. *)
+val table_overflow : table -> int
 
 (** One line per path: ["<method-index> <path-id> <count>"] (memoized
     expansions are not serialized; they are re-derivable from the

@@ -21,6 +21,7 @@ type options = {
   verify : bool;  (* re-verify bytecode after every optimization pass *)
   engine : engine;  (* closure-threaded code by default; interp oracle *)
   telemetry : Telemetry.t option;  (* host-side metrics/trace sink *)
+  faults : Fault_injector.t option;  (* deterministic fault injection *)
 }
 
 let default_thresholds = [| 3; 12; 40 |]
@@ -35,6 +36,7 @@ let default_options =
     verify = true;
     engine = `Threaded;
     telemetry = None;
+    faults = None;
   }
 
 (* Trivial inlining takes any tiny callee; profile-guided inlining takes
@@ -70,6 +72,11 @@ type t = {
   samples : int array;
   dcg : Dcg.t;
   pep_state : Pep.t option;
+  (* compile-fail degradation state: consecutive failed opt-compile
+     attempts per method, and the virtual cycle before which the driver
+     must not retry (max_int once it has given up) *)
+  fault_attempts : int array;
+  fault_retry_at : int array;
   mutable compile_cycles : int;
   mutable recompilations : int;
   mutable inlined_sites : int;
@@ -213,7 +220,7 @@ let apply_transforms d midx ~level =
     end
   end
 
-let compile_opt d midx ~level =
+let do_compile_opt d midx ~level =
   let ts = d.st.Machine.cycles in
   apply_transforms d midx ~level;
   let cm = Machine.cmeth d.st midx in
@@ -309,6 +316,45 @@ let compile_opt d midx ~level =
           ]
         ()
 
+(* Optimizing compilation through the fault gate.  A [compile-fail]
+   fault burns the compile budget but leaves the method at its current
+   tier; the driver re-queues it with virtual-cycle exponential backoff
+   (retry_at = now + backoff * 2^(attempt-1)) and gives up for good
+   after [compile-retries] consecutive failures.  A successful compile
+   resets the attempt count. *)
+let fail_compile d inj midx ~level =
+  let cm = Machine.cmeth d.st midx in
+  let cost = d.st.Machine.cost in
+  (* the aborted compile still burned its budget *)
+  charge_compile d
+    (method_units cm.Machine.meth * cost.Cost_model.compile_cost_opt.(level));
+  let attempt = d.fault_attempts.(midx) + 1 in
+  d.fault_attempts.(midx) <- attempt;
+  let plan = Fault_injector.plan inj in
+  let mname = cm.Machine.meth.Method.name in
+  if attempt > plan.Fault_plan.compile_retries then begin
+    d.fault_retry_at.(midx) <- max_int;
+    Fault_injector.note_gaveup inj ~ts:d.st.Machine.cycles ~meth:mname
+  end
+  else begin
+    let backoff = plan.Fault_plan.compile_backoff * (1 lsl (attempt - 1)) in
+    let until = d.st.Machine.cycles + backoff in
+    d.fault_retry_at.(midx) <- until;
+    Fault_injector.note_backoff inj ~ts:d.st.Machine.cycles ~meth:mname ~until
+      ~attempt
+  end
+
+let compile_opt d midx ~level =
+  match d.opts.faults with
+  | Some inj
+    when Fault_injector.fire_compile_fail inj ~ts:d.st.Machine.cycles
+           ~meth:(Machine.cmeth d.st midx).Machine.meth.Method.name ->
+      fail_compile d inj midx ~level
+  | Some _ | None ->
+      do_compile_opt d midx ~level;
+      d.fault_attempts.(midx) <- 0;
+      d.fault_retry_at.(midx) <- 0
+
 let ensure_compiled d midx =
   match d.states.(midx) with
   | Baseline | Opt _ -> ()
@@ -335,8 +381,23 @@ let consider_promotion d midx =
       if
         next_level < Array.length thresholds
         && d.samples.(midx) >= thresholds.(next_level)
+        && d.st.Machine.cycles >= d.fault_retry_at.(midx)
         && not (Machine.cmeth d.st midx).meth.Method.uninterruptible
       then compile_opt d midx ~level:next_level
+
+(* Replay mode has no promotion path, so a method whose advised compile
+   failed is retried from the tick hook once its backoff expires. *)
+let maybe_retry_replay d advice midx =
+  if
+    d.fault_attempts.(midx) > 0
+    && d.fault_retry_at.(midx) <> max_int
+    && d.st.Machine.cycles >= d.fault_retry_at.(midx)
+  then begin
+    match d.states.(midx) with
+    | Baseline when advice.Advice.levels.(midx) >= 0 ->
+        compile_opt d midx ~level:advice.Advice.levels.(midx)
+    | Uncompiled | Baseline | Opt _ -> ()
+  end
 
 let create ?extra_hooks opts st =
   let n_methods = Array.length st.Machine.methods in
@@ -372,8 +433,8 @@ let create ?extra_hooks opts st =
     match opts.pep with
     | Some popts ->
         Some
-          (Pep.create ?telemetry:opts.telemetry ~eager:false
-             ~sampling:popts.sampling st)
+          (Pep.create ?telemetry:opts.telemetry ?faults:opts.faults
+             ~eager:false ~sampling:popts.sampling st)
     | None -> None
   in
   let d =
@@ -386,6 +447,8 @@ let create ?extra_hooks opts st =
       samples = Array.make n_methods 0;
       dcg = Dcg.create ();
       pep_state;
+      fault_attempts = Array.make n_methods 0;
+      fault_retry_at = Array.make n_methods 0;
       compile_cycles = 0;
       recompilations = 0;
       inlined_sites = 0;
@@ -403,6 +466,10 @@ let create ?extra_hooks opts st =
         (match d.tstats with Some s -> Metrics.incr s.ticks | None -> ());
         d.samples.(frame.fmeth) <- d.samples.(frame.fmeth) + 1;
         Dcg.record d.dcg ~caller:frame.fparent ~callee:frame.fmeth;
+        (match d.opts.mode with
+        | Replay advice when Option.is_some d.opts.faults ->
+            maybe_retry_replay d advice frame.fmeth
+        | Replay _ | Adaptive _ -> ());
         consider_promotion d frame.fmeth)
       ()
   in

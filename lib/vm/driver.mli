@@ -76,6 +76,23 @@ type options = {
           against virtual time.  All of it is host-side only:
           simulated cycles, checksums and profiles are bit-identical
           with the sink attached or absent. *)
+  faults : Fault_injector.t option;
+      (** deterministic fault injection ({!Fault_plan}).  When present:
+          the PEP profile tables are bounded by the plan's
+          [path-cap]/[edge-cap] (overflow drops counted, never crashes);
+          a [compile-fail] fault makes an optimizing compile burn its
+          budget and leave the method at its current tier, re-queued
+          with virtual-cycle exponential backoff
+          ([retry_at = now + compile-backoff * 2^(attempt-1)]) until
+          [compile-retries] consecutive failures make the driver give
+          up on the method for good — in adaptive mode the retry rides
+          the promotion check, in replay mode the tick hook; a
+          [sample-overrun] fault drops the PEP sample after its handler
+          cycles are charged.  Every decision is a pure function of
+          (plan seed, fault site, event ordinal) — deterministic and
+          engine-independent.  An injector with an empty or [noop]
+          plan changes nothing: cycles, checksums and profiles are
+          bit-identical to a run with [faults = None]. *)
 }
 
 val default_thresholds : int array

@@ -22,4 +22,5 @@ let () =
       ("check", Test_check.suite);
       ("telemetry", Test_telemetry.suite);
       ("pool", Test_pool.suite);
+      ("faults", Test_faults.suite);
     ]

@@ -402,10 +402,25 @@ let gen_opt_profile =
         map (fun t -> Driver.Fixed t) gen_table;
       ])
 
+let gen_faults =
+  QCheck.Gen.(
+    oneof
+      [
+        return Fault_plan.empty;
+        return { Fault_plan.empty with Fault_plan.noop = true };
+        map2
+          (fun seed cap ->
+            { Fault_plan.empty with Fault_plan.seed; path_capacity = Some cap })
+          (int_range 1 5) (int_range 1 64);
+        map
+          (fun p -> { Fault_plan.empty with Fault_plan.compile_fail = p })
+          (oneofl [ 0.25; 0.5; 1.0 ]);
+      ])
+
 let gen_config =
   QCheck.Gen.(
     map
-      (fun (profiling, opt_profile, (inline, unroll, engine)) ->
+      (fun (profiling, opt_profile, (inline, unroll, engine), faults) ->
         {
           Exp_harness.profiling;
           opt_profile;
@@ -413,9 +428,11 @@ let gen_config =
           unroll;
           engine;
           telemetry = None;
+          faults;
         })
-      (triple gen_profiling gen_opt_profile
-         (triple bool bool (oneofl [ `Oracle; `Threaded ]))))
+      (quad gen_profiling gen_opt_profile
+         (triple bool bool (oneofl [ `Oracle; `Threaded ]))
+         gen_faults))
 
 (* structural equivalence, comparing fixed tables by canonical content *)
 let same_opt a b =
@@ -427,10 +444,14 @@ let same_opt a b =
       Edge_profile.to_lines ta = Edge_profile.to_lines tb
   | _ -> false
 
+(* plans compare by canonical key: two plans the key cannot tell apart
+   (e.g. [empty] vs [empty] with another seed) must not be required to
+   produce distinct config keys *)
 let same_config (a : Exp_harness.config) (b : Exp_harness.config) =
   a.profiling = b.profiling
   && same_opt a.opt_profile b.opt_profile
   && a.inline = b.inline && a.unroll = b.unroll && a.engine = b.engine
+  && Fault_plan.key a.faults = Fault_plan.key b.faults
 
 (* a structurally-equal but physically-distinct copy (fixed tables
    rebuilt through the parse_line round trip) *)

@@ -158,6 +158,7 @@ let test_driver_with_pep () =
       verify = true;
       engine = `Threaded;
       telemetry = None;
+      faults = None;
     }
   in
   let d = Driver.create opts st in
