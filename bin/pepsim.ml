@@ -126,11 +126,17 @@ let print_cache_report caches =
 let print_diags diags =
   List.iter (fun d -> Fmt.pr "%a@." Pep_check.pp_diagnostic d) diags
 
-(* Static passes 1-3 over every method in both truncation modes, then —
-   unless [static_only] — one profiled run (PEP sampling plus an exact
-   edge profiler) whose collected profiles feed pass 4. *)
-let check_program ?(static_only = false) ~sampling ~seed program =
-  let diags = ref (Pep_check.check_program_static program) in
+(* Static passes 1-3 over every method in both truncation modes (plus,
+   when [deep], the pass-5 dataflow lints and unsafe-op justification),
+   then — unless [static_only] — one profiled run (PEP sampling plus an
+   exact edge profiler) whose collected profiles feed pass 4. *)
+let check_program ?(static_only = false) ?(deep = false) ~sampling ~seed program
+    =
+  let diags =
+    ref
+      (if deep then Pep_check.check_program_deep program
+       else Pep_check.check_program_static program)
+  in
   let add ds = diags := !diags @ ds in
   if not static_only then begin
     let st = Machine.create ~seed program in
@@ -244,7 +250,17 @@ let workload_cmd =
       & opt (some int) None
       & info [ "size" ] ~docv:"N" ~doc:"Workload size (default per benchmark).")
   in
-  let action name size sampling seed verify cache_dir no_cache faults_spec =
+  let deep_flag =
+    Arg.(
+      value & flag
+      & info [ "deep" ]
+          ~doc:
+            "Run the dataflow lints and unsafe-access justification on every \
+             compiled body and print the combined diagnostics (implies the \
+             reporting part of $(b,--verify)).")
+  in
+  let action name size sampling seed verify deep cache_dir no_cache faults_spec
+      =
     let faults = parse_faults faults_spec in
     match Suite.find name with
     | exception Not_found ->
@@ -256,7 +272,7 @@ let workload_cmd =
         let env = Exp_harness.make_env ~size ~seed w in
         let cache =
           Exp_cache.create
-            ~config:{ Exp_harness.default with Exp_harness.faults }
+            ~config:{ Exp_harness.default with Exp_harness.faults; deep }
             ?cache_dir env
         in
         let base = Exp_cache.base cache in
@@ -279,7 +295,7 @@ let workload_cmd =
              run.Exp_harness.meas.iter2);
         Option.iter (print_profiles env.Exp_harness.program) run.Exp_harness.pep;
         if cache_dir <> None then print_cache_report [ cache ];
-        if verify then begin
+        if verify || deep then begin
           let diags =
             Pep_check.check_program_static env.Exp_harness.program
             @ base.Exp_harness.checks @ run.Exp_harness.checks
@@ -292,7 +308,7 @@ let workload_cmd =
     (Cmd.info "workload" ~doc:"Run a suite benchmark under PEP")
     Term.(
       const action $ name_arg $ size_arg $ sampling_arg $ seed_arg $ verify_arg
-      $ cache_dir_arg $ no_cache_arg $ faults_arg)
+      $ deep_flag $ cache_dir_arg $ no_cache_arg $ faults_arg)
 
 (* --- experiments --------------------------------------------------- *)
 
@@ -739,12 +755,46 @@ let top_cmd =
 
 (* --- check --------------------------------------------------------- *)
 
+(* Deep mode's transform-validation sweep: replay the workload under
+   every transform configuration and both engines with the driver's
+   translation validation plus dataflow lints on, and collect what the
+   driver recorded.  Labels name the configuration so a rejection says
+   exactly which transform under which engine broke. *)
+let deep_transform_configs =
+  [
+    ("base", false, false);
+    ("inline", true, false);
+    ("unroll", false, true);
+    ("inline+unroll", true, true);
+  ]
+
+let deep_sweep ~size ~seed (w : Workload.t) =
+  let env = Exp_harness.make_env ~size ~seed w in
+  List.concat_map
+    (fun engine ->
+      List.map
+        (fun (key, inline, unroll) ->
+          let config =
+            { Exp_harness.default with inline; unroll; deep = true; engine }
+          in
+          let r = Exp_harness.replay env config in
+          let label =
+            Fmt.str "%s/%s"
+              (match engine with `Threaded -> "threaded" | `Oracle -> "oracle")
+              key
+          in
+          (label, Driver.checks r.Exp_harness.driver))
+        deep_transform_configs)
+    [ `Threaded; `Oracle ]
+
 let check_cmd =
   let sources_arg =
     Arg.(
       value & pos_all string []
       & info [] ~docv:"SOURCE"
-          ~doc:"Workload name or textual program file (repeatable).")
+          ~doc:
+            "Workload name, textual program file, or a directory whose \
+             $(b,.pep) files are all checked (repeatable).")
   in
   let suite_arg =
     Arg.(
@@ -757,7 +807,34 @@ let check_cmd =
     Arg.(
       value & flag
       & info [ "static-only" ]
-          ~doc:"Skip the profiled run; run only passes 1-3.")
+          ~doc:"Skip the profiled run; run only the static passes.")
+  in
+  let deep_arg =
+    Arg.(
+      value & flag
+      & info [ "deep" ]
+          ~doc:
+            "Also run the dataflow lints (liveness, intervals, effects), \
+             justify the threaded engine's unchecked array operations, and \
+             — for workload targets — replay every transform configuration \
+             under both engines with translation validation on.")
+  in
+  let all_arg =
+    Arg.(
+      value & flag
+      & info [ "all" ]
+          ~doc:
+            "Check every $(b,.pep) program under $(b,examples/programs/) \
+             in addition to the named targets.")
+  in
+  let bench_arg =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "bench-out" ] ~docv:"FILE"
+          ~doc:
+            "Write per-target analysis wall-clock times as JSON to \
+             $(i,FILE) (e.g. BENCH_check.json).")
   in
   let scale_arg =
     Arg.(
@@ -765,7 +842,7 @@ let check_cmd =
       & info [ "scale" ] ~docv:"F"
           ~doc:"Scale workload sizes by F for the profiled run.")
   in
-  let action sources suite static_only scale sampling seed =
+  let action sources suite static_only deep all bench_out scale sampling seed =
     let scaled (w : Workload.t) =
       max 1 (int_of_float (float_of_int w.default_size *. scale))
     in
@@ -780,54 +857,134 @@ let check_cmd =
               Printf.eprintf "unknown workload %s; try `pepsim list`\n" name;
               exit 2)
     in
+    let expand_dir dir =
+      match Sys.readdir dir with
+      | entries ->
+          let pep =
+            List.filter
+              (fun f -> Filename.check_suffix f ".pep")
+              (Array.to_list entries)
+          in
+          if pep = [] then begin
+            Printf.eprintf "%s: no .pep programs\n" dir;
+            exit 2
+          end;
+          List.map (Filename.concat dir) (List.sort compare pep)
+      | exception Sys_error msg ->
+          Printf.eprintf "%s\n" msg;
+          exit 2
+    in
+    let sources =
+      (if all then expand_dir (Filename.concat "examples" "programs") else [])
+      @ List.concat_map
+          (fun src ->
+            if
+              (not (List.mem src (Suite.names)))
+              && Sys.file_exists src && Sys.is_directory src
+            then expand_dir src
+            else [ src ])
+          sources
+    in
     let targets =
       List.map
         (fun src ->
           match Suite.find src with
-          | w -> (w.Workload.name, Workload.program ~size:(scaled w) w)
-          | exception Not_found -> (src, load_program_arg src))
+          | w -> (w.Workload.name, Workload.program ~size:(scaled w) w, Some w)
+          | exception Not_found -> (src, load_program_arg src, None))
         sources
       @ List.map
           (fun (w : Workload.t) ->
-            (w.Workload.name, Workload.program ~size:(scaled w) w))
+            (w.Workload.name, Workload.program ~size:(scaled w) w, Some w))
           suite_targets
     in
     if targets = [] then begin
-      Printf.eprintf "nothing to check: give a SOURCE or --suite\n";
+      Printf.eprintf "nothing to check: give a SOURCE, --suite or --all\n";
       exit 2
     end;
     let failed = ref false in
+    let t_start = Unix.gettimeofday () in
+    let bench_rows = ref [] in
     List.iter
-      (fun (label, program) ->
-        let diags = check_program ~static_only ~sampling ~seed program in
+      (fun (label, program, workload) ->
+        let t0 = Unix.gettimeofday () in
+        let diags = check_program ~static_only ~deep ~sampling ~seed program in
         print_diags diags;
-        let n_err = List.length (Pep_check.errors diags) in
+        let static_s = Unix.gettimeofday () -. t0 in
+        let t1 = Unix.gettimeofday () in
+        let sweep =
+          match workload with
+          | Some w when deep && not static_only ->
+              deep_sweep ~size:(scaled w) ~seed w
+          | Some _ | None -> []
+        in
+        let sweep_errs = ref 0 in
+        List.iter
+          (fun (cfg, ds) ->
+            let errs = Pep_check.errors ds in
+            sweep_errs := !sweep_errs + List.length errs;
+            List.iter
+              (fun d -> Fmt.pr "[%s] %a@." cfg Pep_check.pp_diagnostic d)
+              errs)
+          sweep;
+        let sweep_s = Unix.gettimeofday () -. t1 in
+        let n_err = List.length (Pep_check.errors diags) + !sweep_errs in
         let n_warn =
           List.length
             (List.filter
                (fun (d : Pep_check.diagnostic) -> d.severity = Pep_check.Warning)
                diags)
         in
+        bench_rows :=
+          (label, Program.n_methods program, static_s, sweep_s,
+           List.length sweep, n_err, n_warn)
+          :: !bench_rows;
         if n_err > 0 then begin
           failed := true;
           Printf.printf "%s: FAILED (%d error(s), %d warning(s))\n" label n_err
             n_warn
         end
         else
-          Printf.printf "%s: ok (%d methods%s)\n" label
+          Printf.printf "%s: ok (%d methods%s%s)\n" label
             (Program.n_methods program)
+            (if sweep <> [] then
+               Printf.sprintf ", %d config(s) validated" (List.length sweep)
+             else "")
             (if n_warn > 0 then Printf.sprintf ", %d warning(s)" n_warn else ""))
       targets;
+    (match bench_out with
+    | None -> ()
+    | Some file ->
+        let oc = open_out file in
+        Printf.fprintf oc
+          "{\n  \"seed\": %d,\n  \"deep\": %b,\n  \"wall_clock_s\": %.3f,\n\
+          \  \"targets\": [\n"
+          seed deep
+          (Unix.gettimeofday () -. t_start);
+        let rows = List.rev !bench_rows in
+        List.iteri
+          (fun j (label, methods, static_s, sweep_s, configs, errs, warns) ->
+            Printf.fprintf oc
+              "    { \"name\": \"%s\", \"methods\": %d, \"static_s\": %.3f, \
+               \"sweep_s\": %.3f, \"sweep_configs\": %d, \"errors\": %d, \
+               \"warnings\": %d }%s\n"
+              label methods static_s sweep_s configs errs warns
+              (if j = List.length rows - 1 then "" else ","))
+          rows;
+        Printf.fprintf oc "  ]\n}\n";
+        close_out oc;
+        Printf.printf "[check: %s written]\n" file);
     if !failed then exit 1
   in
   Cmd.v
     (Cmd.info "check"
        ~doc:
          "Verify programs: bytecode, CFG/DAG invariants and path numbering \
-          in both truncation modes, plus a profile lint over a profiled run")
+          in both truncation modes, plus a profile lint over a profiled run; \
+          $(b,--deep) adds dataflow lints and translation validation of the \
+          optimizer's transforms")
     Term.(
-      const action $ sources_arg $ suite_arg $ static_arg $ scale_arg
-      $ sampling_arg $ seed_arg)
+      const action $ sources_arg $ suite_arg $ static_arg $ deep_arg $ all_arg
+      $ bench_arg $ scale_arg $ sampling_arg $ seed_arg)
 
 (* --- list ---------------------------------------------------------- *)
 

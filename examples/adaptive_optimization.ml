@@ -55,6 +55,7 @@ let () =
       inline = false;
       unroll = false;
       verify = true;
+      deep_verify = false;
       engine = `Threaded;
       telemetry = None;
       faults = None;

@@ -1,0 +1,117 @@
+module type DOMAIN = sig
+  type t
+
+  val bottom : t
+  val equal : t -> t -> bool
+  val join : t -> t -> t
+  val pp : t Fmt.t
+end
+
+type direction = Forward | Backward
+
+module Solver (D : DOMAIN) = struct
+  type solution = { inb : D.t array; outb : D.t array; transfers : int }
+
+  let solve ~direction ~init ~transfer ?edge_refine ?widen cfg =
+    let n = Cfg.n_blocks cfg in
+    let refine = match edge_refine with Some f -> f | None -> fun _ d -> d in
+    let inb = Array.make n D.bottom and outb = Array.make n D.bottom in
+    (* Iteration order: reverse postorder forward, postorder backward —
+       both visit a block after (most of) the blocks feeding it. *)
+    let order =
+      match direction with
+      | Forward -> Order.reverse_postorder cfg
+      | Backward ->
+          let rpo = Order.reverse_postorder cfg in
+          let k = Array.length rpo in
+          Array.init k (fun i -> rpo.(k - 1 - i))
+    in
+    let rank = Array.make n max_int in
+    Array.iteri (fun i b -> rank.(b) <- i) order;
+    let boundary =
+      match direction with Forward -> Cfg.entry cfg | Backward -> Cfg.exit_ cfg
+    in
+    (* The joined input fact for [b]: boundary fact at the boundary
+       block, plus every incoming (forward) / outgoing (backward) edge's
+       refined neighbour fact. *)
+    let joined b =
+      let base = if b = boundary then init else D.bottom in
+      match direction with
+      | Forward ->
+          List.fold_left
+            (fun acc (e : Cfg.edge) -> D.join acc (refine e outb.(e.src)))
+            base (Cfg.predecessors cfg b)
+      | Backward ->
+          List.fold_left
+            (fun acc (e : Cfg.edge) -> D.join acc (refine e inb.(e.dst)))
+            base (Cfg.successors cfg b)
+    in
+    let in_queue = Array.make n false in
+    let visited = Array.make n false in
+    (* Deterministic worklist: a binary heap keyed by iteration rank
+       would be overkill at these sizes — a sorted re-scan per round
+       keeps the code obvious and the order exact. *)
+    let pending = ref [] in
+    let enqueue b =
+      if rank.(b) < max_int && not in_queue.(b) then begin
+        in_queue.(b) <- true;
+        pending := b :: !pending
+      end
+    in
+    Array.iter enqueue order;
+    let transfers = ref 0 in
+    let budget = (n + 1) * 1000 in
+    let step b =
+      in_queue.(b) <- false;
+      let j = joined b in
+      let j =
+        match widen with
+        | Some w when visited.(b) ->
+            let old =
+              match direction with Forward -> inb.(b) | Backward -> outb.(b)
+            in
+            w b ~old (D.join old j)
+        | Some _ | None -> j
+      in
+      let old_in, old_out =
+        match direction with
+        | Forward -> (inb.(b), outb.(b))
+        | Backward -> (outb.(b), inb.(b))
+      in
+      if visited.(b) && D.equal j old_in then ()
+      else begin
+        visited.(b) <- true;
+        incr transfers;
+        if !transfers > budget then
+          failwith
+            (Fmt.str "Dataflow.solve: no fixpoint after %d transfers on %s"
+               budget (Cfg.name cfg));
+        let out = transfer b j in
+        (match direction with
+        | Forward ->
+            inb.(b) <- j;
+            outb.(b) <- out
+        | Backward ->
+            outb.(b) <- j;
+            inb.(b) <- out);
+        if not (D.equal out old_out) then
+          match direction with
+          | Forward ->
+              List.iter
+                (fun (e : Cfg.edge) -> enqueue e.dst)
+                (Cfg.successors cfg b)
+          | Backward ->
+              List.iter
+                (fun (e : Cfg.edge) -> enqueue e.src)
+                (Cfg.predecessors cfg b)
+      end
+    in
+    while !pending <> [] do
+      let batch =
+        List.sort (fun a b -> compare rank.(a) rank.(b)) !pending
+      in
+      pending := [];
+      List.iter step batch
+    done;
+    { inb; outb; transfers = !transfers }
+end

@@ -1,0 +1,64 @@
+(** Generic dataflow / abstract-interpretation framework over {!Cfg}.
+
+    A client supplies a join-semilattice of abstract facts ({!DOMAIN})
+    and a per-block transfer function; {!Solver.solve} runs a
+    deterministic worklist to the least fixpoint.  Forward problems
+    propagate along edges from the entry; backward problems against
+    edges from the exit.  Domains of unbounded height (e.g. intervals)
+    terminate via the optional widening hook, which clients typically
+    apply at loop headers only.
+
+    Unreachable blocks are never seeded and keep {!DOMAIN.bottom}, which
+    must therefore mean "no execution reaches this point". *)
+
+(** A join-semilattice.  [join] must be associative, commutative and
+    idempotent with [bottom] as its unit; [equal] decides the induced
+    partial order's equality (the solver iterates until no fact
+    changes). *)
+module type DOMAIN = sig
+  type t
+
+  val bottom : t
+  val equal : t -> t -> bool
+  val join : t -> t -> t
+  val pp : t Fmt.t
+end
+
+type direction = Forward | Backward
+
+module Solver (D : DOMAIN) : sig
+  type solution = {
+    inb : D.t array;
+        (** fact at block entry: the join over incoming edges (forward)
+            or the result of the block transfer (backward) *)
+    outb : D.t array;
+        (** fact at block exit: the result of the block transfer
+            (forward) or the join over outgoing edges (backward) *)
+    transfers : int;  (** block-transfer applications until fixpoint *)
+  }
+
+  (** [solve ~direction ~init ~transfer cfg] computes the least fixpoint.
+      [init] is the boundary fact (at the entry for [Forward], the exit
+      for [Backward]).  [edge_refine] filters the fact flowing across a
+      specific edge (defaults to the identity).  [widen ~old joined],
+      when given, replaces the plain join result at every block on each
+      re-visit after the first — return [joined] to keep the exact
+      value, or an extrapolation to force convergence; clients that only
+      need widening at loop headers dispatch on the block id.
+
+      Iteration order is reverse postorder for forward problems and
+      postorder for backward ones, so reducible graphs converge in a
+      handful of sweeps.
+
+      @raise Failure if the fixpoint does not stabilise within a
+      generous bound (a non-monotone transfer or a widening that never
+      converges — a client bug, never an input property). *)
+  val solve :
+    direction:direction ->
+    init:D.t ->
+    transfer:(Cfg.block_id -> D.t -> D.t) ->
+    ?edge_refine:(Cfg.edge -> D.t -> D.t) ->
+    ?widen:(Cfg.block_id -> old:D.t -> D.t -> D.t) ->
+    Cfg.t ->
+    solution
+end

@@ -1,0 +1,127 @@
+type t = {
+  reads_global : bool;
+  writes_global : bool;
+  reads_heap : bool;
+  writes_heap : bool;
+  draws_rand : bool;
+  calls : bool;
+}
+
+let pure =
+  {
+    reads_global = false;
+    writes_global = false;
+    reads_heap = false;
+    writes_heap = false;
+    draws_rand = false;
+    calls = false;
+  }
+
+let union a b =
+  {
+    reads_global = a.reads_global || b.reads_global;
+    writes_global = a.writes_global || b.writes_global;
+    reads_heap = a.reads_heap || b.reads_heap;
+    writes_heap = a.writes_heap || b.writes_heap;
+    draws_rand = a.draws_rand || b.draws_rand;
+    calls = a.calls || b.calls;
+  }
+
+let equal (a : t) (b : t) = a = b
+
+let pp ppf e =
+  let flags =
+    List.filter_map
+      (fun (set, name) -> if set then Some name else None)
+      [
+        (e.reads_global, "g-read");
+        (e.writes_global, "g-write");
+        (e.reads_heap, "h-read");
+        (e.writes_heap, "h-write");
+        (e.draws_rand, "rand");
+        (e.calls, "call");
+      ]
+  in
+  if flags = [] then Fmt.string ppf "pure"
+  else Fmt.(list ~sep:(any "+") string) ppf flags
+
+let observable e = e.writes_global || e.writes_heap || e.draws_rand
+let fusable e = not e.calls
+
+let instr_effect (ins : Instr.t) =
+  match ins with
+  | Instr.GLoad _ -> { pure with reads_global = true }
+  | Instr.GStore _ -> { pure with writes_global = true }
+  | Instr.AGet -> { pure with reads_heap = true }
+  | Instr.ASet -> { pure with writes_heap = true }
+  | Instr.Rand _ -> { pure with draws_rand = true }
+  | Instr.Call _ -> { pure with calls = true }
+  | Instr.Const _ | Instr.Load _ | Instr.Store _ | Instr.Inc _
+  | Instr.Binop _ | Instr.Cmp _ | Instr.Neg | Instr.Not | Instr.Dup
+  | Instr.Pop ->
+      pure
+
+type summary = { blocks : t array array; methods : t array }
+
+let summarize (p : Program.t) =
+  let n = Program.n_methods p in
+  let blocks =
+    Array.init n (fun midx ->
+        let m = Program.method_of_index p midx in
+        Array.map
+          (fun (blk : Method.block) ->
+            Array.fold_left
+              (fun acc ins -> union acc (instr_effect ins))
+              pure blk.Method.body)
+          m.Method.blocks)
+  in
+  (* direct callees per method, as indices *)
+  let callees =
+    Array.init n (fun midx ->
+        let m = Program.method_of_index p midx in
+        let acc = Hashtbl.create 4 in
+        Array.iter
+          (fun (blk : Method.block) ->
+            Array.iter
+              (fun (ins : Instr.t) ->
+                match ins with
+                | Instr.Call (name, _) -> (
+                    match Program.index p name with
+                    | idx -> Hashtbl.replace acc idx ()
+                    | exception Not_found -> ())
+                | _ -> ())
+              blk.Method.body)
+          m.Method.blocks;
+        Hashtbl.fold (fun k () l -> k :: l) acc [])
+  in
+  let methods =
+    Array.init n (fun midx -> Array.fold_left union pure blocks.(midx))
+  in
+  (* close over the call graph; the boolean lattice converges in at most
+     n rounds, recursion included *)
+  let changed = ref true in
+  while !changed do
+    changed := false;
+    for midx = 0 to n - 1 do
+      let joined =
+        List.fold_left
+          (fun acc c -> union acc methods.(c))
+          methods.(midx) callees.(midx)
+      in
+      if not (equal joined methods.(midx)) then begin
+        methods.(midx) <- joined;
+        changed := true
+      end
+    done
+  done;
+  { blocks; methods }
+
+let block_effect s midx b = s.blocks.(midx).(b)
+let method_effect s midx = s.methods.(midx)
+
+let fusable_blocks s midx =
+  let acc = ref [] in
+  Array.iteri
+    (fun b e -> if fusable e then acc := b :: !acc)
+    s.blocks.(midx);
+  List.rev !acc

@@ -1,0 +1,433 @@
+type itv = { lo : int; hi : int }
+
+let top = { lo = min_int; hi = max_int }
+let const k = { lo = k; hi = k }
+let mem v i = i.lo <= v && v <= i.hi
+
+let pp_itv ppf i =
+  let bound ppf v =
+    if v = min_int then Fmt.string ppf "-inf"
+    else if v = max_int then Fmt.string ppf "+inf"
+    else Fmt.int ppf v
+  in
+  Fmt.pf ppf "[%a,%a]" bound i.lo bound i.hi
+
+(* Bound arithmetic: anything beyond +-2^60 saturates to the infinities,
+   which keeps every operation far from native overflow. *)
+let big = 1 lsl 60
+let is_fin v = v > -big && v < big
+let clamp v = if v >= big then max_int else if v <= -big then min_int else v
+let badd a b = if not (is_fin a) then a else if not (is_fin b) then b else clamp (a + b)
+let bneg v = if v = min_int then max_int else if v = max_int then min_int else clamp (-v)
+
+let join_itv a b = { lo = min a.lo b.lo; hi = max a.hi b.hi }
+let equal_itv a b = a.lo = b.lo && a.hi = b.hi
+
+let widen_itv ~old next =
+  {
+    lo = (if next.lo < old.lo then min_int else old.lo);
+    hi = (if next.hi > old.hi then max_int else old.hi);
+  }
+
+let add_itv a b = { lo = badd a.lo b.lo; hi = badd a.hi b.hi }
+let neg_itv a = { lo = bneg a.hi; hi = bneg a.lo }
+let sub_itv a b = add_itv a (neg_itv b)
+
+let small v = is_fin v && abs v < 1 lsl 30
+
+let mul_itv a b =
+  if small a.lo && small a.hi && small b.lo && small b.hi then begin
+    let p1 = a.lo * b.lo and p2 = a.lo * b.hi in
+    let p3 = a.hi * b.lo and p4 = a.hi * b.hi in
+    {
+      lo = clamp (min (min p1 p2) (min p3 p4));
+      hi = clamp (max (max p1 p2) (max p3 p4));
+    }
+  end
+  else top
+
+(* Division truncates toward zero and defines x/0 = 0 (see
+   {!Instr.eval_binop}). *)
+let div_itv a b =
+  if not (is_fin a.lo && is_fin a.hi && is_fin b.lo && is_fin b.hi) then top
+  else if b.lo > 0 || b.hi < 0 then begin
+    (* same-sign divisor: extremes at endpoint combinations *)
+    let p1 = a.lo / b.lo and p2 = a.lo / b.hi in
+    let p3 = a.hi / b.lo and p4 = a.hi / b.hi in
+    {
+      lo = min (min p1 p2) (min p3 p4);
+      hi = max (max p1 p2) (max p3 p4);
+    }
+  end
+  else begin
+    (* divisor may be zero (result 0) or +-1 (result +-a) *)
+    let m = max (abs a.lo) (abs a.hi) in
+    { lo = -m; hi = m }
+  end
+
+let rem_itv a b =
+  if not (is_fin b.lo && is_fin b.hi) then top
+  else begin
+    (* |a rem b| < max |b|, sign follows the dividend; rem by 0 is 0 *)
+    let m = max 1 (max (abs b.lo) (abs b.hi)) - 1 in
+    {
+      lo = (if a.lo >= 0 then 0 else -m);
+      hi = (if a.hi <= 0 then 0 else m);
+    }
+  end
+
+let nonneg a = a.lo >= 0
+
+let and_itv a b =
+  if nonneg a && nonneg b then { lo = 0; hi = min a.hi b.hi } else top
+
+(* a lor b <= a + b and a lxor b <= a + b for non-negative operands *)
+let or_itv a b =
+  if nonneg a && nonneg b then { lo = 0; hi = badd a.hi b.hi } else top
+
+let shl_itv a b =
+  if nonneg a && a.hi < 1 lsl 30 && b.lo = b.hi && b.lo >= 0 && b.lo <= 30 then
+    { lo = a.lo lsl b.lo; hi = a.hi lsl b.lo }
+  else top
+
+let shr_itv a b =
+  if is_fin a.lo && is_fin a.hi && b.lo = b.hi && b.lo >= 0 && b.lo <= 62 then
+    { lo = a.lo asr b.lo; hi = a.hi asr b.lo }
+  else
+    (* any masked count: x asr k lies in hull(x, [-1, 0]) *)
+    join_itv a { lo = -1; hi = 0 }
+
+let binop_itv (op : Instr.binop) a b =
+  match op with
+  | Instr.Add -> add_itv a b
+  | Instr.Sub -> sub_itv a b
+  | Instr.Mul -> mul_itv a b
+  | Instr.Div -> div_itv a b
+  | Instr.Rem -> rem_itv a b
+  | Instr.And -> and_itv a b
+  | Instr.Or | Instr.Xor -> or_itv a b
+  | Instr.Shl -> shl_itv a b
+  | Instr.Shr -> shr_itv a b
+
+(* Three-valued comparison: Some true / Some false when provable. *)
+let cmp_itv (op : Instr.cmp) a b =
+  let lt x y = if x.hi < y.lo then Some true else if x.lo >= y.hi then Some false else None in
+  let le x y = if x.hi <= y.lo then Some true else if x.lo > y.hi then Some false else None in
+  match op with
+  | Instr.Lt -> lt a b
+  | Instr.Le -> le a b
+  | Instr.Gt -> lt b a
+  | Instr.Ge -> le b a
+  | Instr.Eq ->
+      if a.lo = a.hi && b.lo = b.hi && a.lo = b.lo then Some true
+      else if a.hi < b.lo || b.hi < a.lo then Some false
+      else None
+  | Instr.Ne -> (
+      match
+        if a.lo = a.hi && b.lo = b.hi && a.lo = b.lo then Some true
+        else if a.hi < b.lo || b.hi < a.lo then Some false
+        else None
+      with
+      | Some v -> Some (not v)
+      | None -> None)
+
+let of_cmp = function Some true -> const 1 | Some false -> const 0 | None -> { lo = 0; hi = 1 }
+
+type state = { stack : itv list; locals : itv array }
+
+let equal_state a b =
+  List.length a.stack = List.length b.stack
+  && List.for_all2 equal_itv a.stack b.stack
+  && Array.length a.locals = Array.length b.locals
+  && Array.for_all2 equal_itv a.locals b.locals
+
+let map2_state f a b =
+  if List.length a.stack <> List.length b.stack then
+    failwith "Intervals: operand-stack depth mismatch at a join (unverified body?)";
+  {
+    stack = List.map2 f a.stack b.stack;
+    locals = Array.map2 f a.locals b.locals;
+  }
+
+module D = struct
+  type t = state option
+
+  let bottom = None
+  let equal a b =
+    match (a, b) with
+    | None, None -> true
+    | Some a, Some b -> equal_state a b
+    | None, Some _ | Some _, None -> false
+
+  let join a b =
+    match (a, b) with
+    | None, x | x, None -> x
+    | Some a, Some b -> Some (map2_state join_itv a b)
+
+  let pp ppf = function
+    | None -> Fmt.string ppf "unreachable"
+    | Some s ->
+        Fmt.pf ppf "stack=[%a] locals=[%a]"
+          Fmt.(list ~sep:semi pp_itv) s.stack
+          Fmt.(array ~sep:semi pp_itv) s.locals
+end
+
+module Solve = Dataflow.Solver (D)
+
+exception Underflow of int
+
+let transfer_instr (ins : Instr.t) (s : state) =
+  let pop = function
+    | v :: rest -> (v, rest)
+    | [] -> raise (Underflow 0)
+  in
+  match ins with
+  | Instr.Const k -> { s with stack = const k :: s.stack }
+  | Instr.Load l -> { s with stack = s.locals.(l) :: s.stack }
+  | Instr.Store l ->
+      let v, rest = pop s.stack in
+      let locals = Array.copy s.locals in
+      locals.(l) <- v;
+      { stack = rest; locals }
+  | Instr.Inc (l, k) ->
+      let locals = Array.copy s.locals in
+      locals.(l) <- add_itv locals.(l) (const k);
+      { s with locals }
+  | Instr.Binop op ->
+      let b, rest = pop s.stack in
+      let a, rest = pop rest in
+      { s with stack = binop_itv op a b :: rest }
+  | Instr.Cmp op ->
+      let b, rest = pop s.stack in
+      let a, rest = pop rest in
+      { s with stack = of_cmp (cmp_itv op a b) :: rest }
+  | Instr.Neg ->
+      let v, rest = pop s.stack in
+      { s with stack = neg_itv v :: rest }
+  | Instr.Not ->
+      let v, rest = pop s.stack in
+      let r =
+        if not (mem 0 v) then const 0
+        else if v.lo = 0 && v.hi = 0 then const 1
+        else { lo = 0; hi = 1 }
+      in
+      { s with stack = r :: rest }
+  | Instr.Dup ->
+      let v, rest = pop s.stack in
+      { s with stack = v :: v :: rest }
+  | Instr.Pop ->
+      let _, rest = pop s.stack in
+      { s with stack = rest }
+  | Instr.GLoad _ -> { s with stack = top :: s.stack }
+  | Instr.GStore _ ->
+      let _, rest = pop s.stack in
+      { s with stack = rest }
+  | Instr.AGet ->
+      let _, rest = pop s.stack in
+      { s with stack = top :: rest }
+  | Instr.ASet ->
+      let _, rest = pop s.stack in
+      let _, rest = pop rest in
+      { s with stack = rest }
+  | Instr.Call (_, argc) ->
+      let rest = ref s.stack in
+      for _ = 1 to argc do
+        let _, r = pop !rest in
+        rest := r
+      done;
+      { s with stack = top :: !rest }
+  | Instr.Rand k -> { s with stack = { lo = 0; hi = k - 1 } :: s.stack }
+
+let block_transfer (m : Method.t) b st =
+  match st with
+  | None -> None
+  | Some s ->
+      Some
+        (Array.fold_left
+           (fun s ins -> transfer_instr ins s)
+           s m.Method.blocks.(b).Method.body)
+
+type analysis = {
+  entry : state option array;
+  exits : state option array;
+  max_depth : int;
+}
+
+let analyze (m : Method.t) =
+  let cfg = To_cfg.cfg m in
+  let headers =
+    let hs = Hashtbl.create 8 in
+    List.iter
+      (fun (e : Cfg.edge) -> Hashtbl.replace hs e.dst ())
+      (Order.retreating_edges cfg);
+    hs
+  in
+  let widen b ~old next =
+    if not (Hashtbl.mem headers b) then next
+    else
+      match (old, next) with
+      | None, x | x, None -> x
+      | Some o, Some n -> Some (map2_state (fun a b -> widen_itv ~old:a b) o n)
+  in
+  let init =
+    Some
+      {
+        stack = [];
+        locals =
+          Array.init m.Method.nlocals (fun l ->
+              if l < m.Method.nparams then top else const 0);
+      }
+  in
+  (* [Br] consumes its condition: branch-edge successors see the stack
+     one shallower (mirrors {!Verify.block_depths}). *)
+  let edge_refine (e : Cfg.edge) st =
+    match (e.attr, st) with
+    | (Cfg.Taken _ | Cfg.Not_taken _), Some ({ stack = _ :: rest; _ } as s) ->
+        Some { s with stack = rest }
+    | _, st -> st
+  in
+  let sol =
+    Solve.solve ~direction:Dataflow.Forward ~init
+      ~transfer:(block_transfer m) ~edge_refine ~widen cfg
+  in
+  (* max depth over every reachable point, mid-block included *)
+  let max_depth = ref 0 in
+  Array.iteri
+    (fun b st ->
+      match st with
+      | None -> ()
+      | Some s ->
+          let depth = ref (List.length s.stack) in
+          max_depth := max !max_depth !depth;
+          Array.iter
+            (fun ins ->
+              let pops, pushes = Instr.stack_effect ins in
+              depth := !depth - pops + pushes;
+              max_depth := max !max_depth !depth)
+            m.Method.blocks.(b).Method.body)
+    sol.Solve.inb;
+  { entry = sol.Solve.inb; exits = sol.Solve.outb; max_depth = !max_depth }
+
+(* Replay a reachable block instruction by instruction, handing [f] the
+   state just before each instruction. *)
+let replay (m : Method.t) analysis b ~f =
+  match analysis.entry.(b) with
+  | None -> ()
+  | Some s ->
+      ignore
+        (Array.fold_left
+           (fun (i, s) ins ->
+             f i s ins;
+             (i + 1, transfer_instr ins s))
+           (0, s) m.Method.blocks.(b).Method.body
+          : int * state)
+
+type finding =
+  | Const_branch of { block : int; always_taken : bool }
+  | Heap_wrap of { block : int; index : int; itv : itv }
+  | Div_by_zero of { block : int; index : int }
+
+let findings ~heap_size (m : Method.t) analysis =
+  let acc = ref [] in
+  Array.iteri
+    (fun b (blk : Method.block) ->
+      replay m analysis b ~f:(fun i s ins ->
+          match (ins, s.stack) with
+          | Instr.AGet, idx :: _ | Instr.ASet, _ :: idx :: _ ->
+              if not (idx.lo >= 0 && idx.hi < heap_size) then
+                acc := Heap_wrap { block = b; index = i; itv = idx } :: !acc
+          | Instr.Binop (Instr.Div | Instr.Rem), divisor :: _ ->
+              if mem 0 divisor then
+                acc := Div_by_zero { block = b; index = i } :: !acc
+          | _ -> ());
+      match (blk.Method.term, analysis.exits.(b)) with
+      | Method.Br _, Some { stack = cond :: _; _ } ->
+          if not (mem 0 cond) then
+            acc := Const_branch { block = b; always_taken = true } :: !acc
+          else if cond.lo = 0 && cond.hi = 0 then
+            acc := Const_branch { block = b; always_taken = false } :: !acc
+      | _ -> ())
+    m.Method.blocks;
+  List.rev !acc
+
+type violation = { block : int; index : int; reason : string }
+
+let justify ~n_globals ~max_stack (m : Method.t) analysis =
+  let acc = ref [] in
+  let bad b i fmt =
+    Fmt.kstr (fun reason -> acc := { block = b; index = i; reason } :: !acc) fmt
+  in
+  Array.iteri
+    (fun b (blk : Method.block) ->
+      replay m analysis b ~f:(fun i s ins ->
+          let depth = List.length s.stack in
+          let pops, pushes = Instr.stack_effect ins in
+          if depth < pops then
+            bad b i "stack underflow: depth %d, %a pops %d" depth Instr.pp ins
+              pops;
+          if depth - pops + pushes > max_stack then
+            bad b i "stack depth %d exceeds the compiled bound %d"
+              (depth - pops + pushes) max_stack;
+          match ins with
+          | Instr.Load l | Instr.Store l | Instr.Inc (l, _) ->
+              if l < 0 || l >= m.Method.nlocals then
+                bad b i "local %d outside nlocals %d" l m.Method.nlocals
+          | Instr.GLoad g | Instr.GStore g ->
+              if g < 0 || g >= n_globals then
+                bad b i "global %d outside n_globals %d" g n_globals
+          | _ -> ());
+      (* the terminator's condition read is an unchecked access too *)
+      match (blk.Method.term, analysis.exits.(b)) with
+      | Method.Br _, Some { stack = []; _ } ->
+          bad b (Array.length blk.Method.body)
+            "branch condition read from an empty stack"
+      | _ -> ())
+    m.Method.blocks;
+  List.rev !acc
+
+let folds (m : Method.t) analysis =
+  let acc = ref [] in
+  Array.iteri
+    (fun b (_ : Method.block) ->
+      replay m analysis b ~f:(fun i s ins ->
+          match ins with
+          | Instr.Load l ->
+              let v = s.locals.(l) in
+              if v.lo = v.hi then acc := (b, i, v.lo) :: !acc
+          | _ -> ()))
+    m.Method.blocks;
+  List.rev !acc
+
+let check_fold (m : Method.t) analysis ~block ~index ~const:k =
+  if block < 0 || block >= Array.length m.Method.blocks then
+    Error (Fmt.str "block B%d out of range" block)
+  else begin
+    let body = m.Method.blocks.(block).Method.body in
+    if index < 0 || index >= Array.length body then
+      Error (Fmt.str "instruction %d out of range in B%d" index block)
+    else begin
+      let verdict = ref (Error (Fmt.str "B%d:%d is unreachable" block index)) in
+      replay m analysis block ~f:(fun i s ins ->
+          if i = index then
+            match ins with
+            | Instr.Load l ->
+                let v = s.locals.(l) in
+                if v.lo = k && v.hi = k then verdict := Ok ()
+                else
+                  verdict :=
+                    Error
+                      (Fmt.str
+                         "claimed constant %d but local %d is %a at B%d:%d" k l
+                         pp_itv v block index)
+            | _ ->
+                verdict :=
+                  Error
+                    (Fmt.str "B%d:%d is %a, not a Load" block index Instr.pp ins));
+      !verdict
+    end
+  end
+
+let result_interval (m : Method.t) analysis =
+  match analysis.exits.(m.Method.exit_) with
+  | Some { stack = v :: _; _ } -> Some v
+  | Some { stack = []; _ } | None -> None

@@ -1,0 +1,67 @@
+module S = Set.Make (Int)
+
+type t = { live_in : S.t array; live_out : S.t array }
+
+module D = struct
+  type t = S.t
+
+  let bottom = S.empty
+  let equal = S.equal
+  let join = S.union
+  let pp ppf s = Fmt.pf ppf "{%a}" Fmt.(list ~sep:comma int) (S.elements s)
+end
+
+module Solve = Dataflow.Solver (D)
+
+(* Backward transfer of one instruction: kill the write, then gen the
+   read.  [Inc] both reads and writes its local, so it gens. *)
+let instr_transfer (ins : Instr.t) live =
+  match ins with
+  | Instr.Load l -> S.add l live
+  | Instr.Store l -> S.remove l live
+  | Instr.Inc (l, _) -> S.add l live
+  | Instr.Const _ | Instr.Binop _ | Instr.Cmp _ | Instr.Neg | Instr.Not
+  | Instr.Dup | Instr.Pop | Instr.GLoad _ | Instr.GStore _ | Instr.AGet
+  | Instr.ASet | Instr.Call _ | Instr.Rand _ ->
+      live
+
+let block_transfer (m : Method.t) b live =
+  let body = m.Method.blocks.(b).Method.body in
+  let live = ref live in
+  for i = Array.length body - 1 downto 0 do
+    live := instr_transfer body.(i) !live
+  done;
+  !live
+
+let analyze (m : Method.t) =
+  let cfg = To_cfg.cfg m in
+  let sol =
+    Solve.solve ~direction:Dataflow.Backward ~init:S.empty
+      ~transfer:(block_transfer m) cfg
+  in
+  { live_in = sol.Solve.inb; live_out = sol.Solve.outb }
+
+type dead_store = {
+  block : int;
+  index : int;
+  local : int;
+  kind : [ `Store | `Inc ];
+}
+
+let dead_stores (m : Method.t) =
+  let { live_out; _ } = analyze m in
+  let acc = ref [] in
+  Array.iteri
+    (fun b (blk : Method.block) ->
+      let live = ref live_out.(b) in
+      for i = Array.length blk.Method.body - 1 downto 0 do
+        (match blk.Method.body.(i) with
+        | Instr.Store l when not (S.mem l !live) ->
+            acc := { block = b; index = i; local = l; kind = `Store } :: !acc
+        | Instr.Inc (l, _) when not (S.mem l !live) ->
+            acc := { block = b; index = i; local = l; kind = `Inc } :: !acc
+        | _ -> ());
+        live := instr_transfer blk.Method.body.(i) !live
+      done)
+    m.Method.blocks;
+  List.sort compare !acc

@@ -1,0 +1,34 @@
+(** Backward live-locals analysis over a method body, plus the
+    dead-store lint built on it.
+
+    A local is {e live} at a program point if some path from that point
+    reads it ([Load] or the read half of [Inc]) before writing it
+    ([Store] or [Inc]).  The analysis is a {!Dataflow} backward problem
+    over the method's CFG with set union as the join; soundness means
+    every local the interpreter actually reads after a point is in the
+    computed live set at that point (the fuzz suite cross-checks this by
+    deleting provably dead stores and comparing {!Interp} results). *)
+
+module S : Set.S with type elt = int
+
+type t = {
+  live_in : S.t array;  (** locals live at each block's entry *)
+  live_out : S.t array;  (** locals live at each block's exit *)
+}
+
+(** @raise Cfg.Malformed if the body has no CFG (callers run
+    {!Pep_check.verify_method} first). *)
+val analyze : Method.t -> t
+
+type dead_store = {
+  block : int;
+  index : int;  (** instruction index within the block *)
+  local : int;
+  kind : [ `Store | `Inc ];
+}
+
+(** Stores and increments whose written value no execution can observe:
+    the target local is dead immediately after the instruction.  A dead
+    [Store] can be replaced by [Pop], a dead [Inc] deleted, without
+    changing program behaviour. *)
+val dead_stores : Method.t -> dead_store list

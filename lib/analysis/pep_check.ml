@@ -1035,3 +1035,158 @@ let check_program_static (p : Program.t) =
             [ Dag.Back_edge; Dag.Loop_header ])
     p;
   !acc
+
+(* --- pass 5: dataflow lints ---------------------------------------- *)
+
+let lint_liveness (m : Method.t) =
+  let ctx = new_ctx "liveness" in
+  let name = m.Method.name in
+  (match Liveness.dead_stores m with
+  | ds ->
+      List.iter
+        (fun (d : Liveness.dead_store) ->
+          report ctx Warning
+            (Instr_loc (name, d.Liveness.block, d.Liveness.index))
+            "dead %s of local %d: no path reads it afterwards"
+            (match d.Liveness.kind with `Store -> "store" | `Inc -> "increment")
+            d.Liveness.local)
+        ds
+  | exception Cfg.Malformed msg ->
+      report ctx Error (Method_loc name) "no CFG to analyze: %s" msg);
+  finish ctx
+
+let lint_intervals (p : Program.t) (m : Method.t) =
+  let ctx = new_ctx "interval" in
+  let name = m.Method.name in
+  (match Intervals.analyze m with
+  | a ->
+      List.iter
+        (fun (f : Intervals.finding) ->
+          match f with
+          | Intervals.Const_branch { block; always_taken } ->
+              report ctx Info
+                (Block_loc (name, block))
+                "branch condition is provably %s"
+                (if always_taken then "non-zero (always taken)"
+                 else "zero (never taken)")
+          | Intervals.Heap_wrap { block; index; itv } ->
+              report ctx Info
+                (Instr_loc (name, block, index))
+                "heap index %a may leave [0, %d) and wrap" Intervals.pp_itv itv
+                p.Program.heap_size
+          | Intervals.Div_by_zero { block; index } ->
+              report ctx Info
+                (Instr_loc (name, block, index))
+                "divisor may be zero (defined as 0)")
+        (Intervals.findings ~heap_size:p.Program.heap_size m a)
+  | exception Cfg.Malformed msg ->
+      report ctx Error (Method_loc name) "no CFG to analyze: %s" msg
+  | exception Failure msg -> report ctx Error (Method_loc name) "%s" msg);
+  finish ctx
+
+(* The same bound {!Machine} compiles into each method: block-entry
+   depths from {!Verify.block_depths}, then the running maximum through
+   every body. *)
+let default_max_stack (p : Program.t) (m : Method.t) =
+  let depths = Verify.block_depths p m in
+  let worst = ref 0 in
+  Array.iteri
+    (fun b (blk : Method.block) ->
+      let d = ref depths.(b) in
+      worst := max !worst !d;
+      Array.iter
+        (fun ins ->
+          let pops, pushes = Instr.stack_effect ins in
+          d := !d - pops + pushes;
+          worst := max !worst !d)
+        blk.Method.body)
+    m.Method.blocks;
+  !worst
+
+let justify_unsafe (p : Program.t) ?max_stack (m : Method.t) =
+  let ctx = new_ctx "interval" in
+  let name = m.Method.name in
+  (match
+     let max_stack =
+       match max_stack with Some s -> s | None -> default_max_stack p m
+     in
+     (Intervals.analyze m, max_stack)
+   with
+  | a, max_stack ->
+      List.iter
+        (fun (v : Intervals.violation) ->
+          report ctx Error
+            (Instr_loc (name, v.Intervals.block, v.Intervals.index))
+            "unsafe-op justification failed: %s" v.Intervals.reason)
+        (Intervals.justify ~n_globals:p.Program.n_globals ~max_stack m a)
+  | exception Cfg.Malformed msg ->
+      report ctx Error (Method_loc name) "no CFG to analyze: %s" msg
+  | exception Verify.Error msg ->
+      report ctx Error (Method_loc name) "no stack bound to justify: %s" msg
+  | exception Failure msg -> report ctx Error (Method_loc name) "%s" msg);
+  finish ctx
+
+let lint_effects (p : Program.t) =
+  let ctx = new_ctx "effects" in
+  let s = Effects.summarize p in
+  Program.iter_methods
+    (fun midx (m : Method.t) ->
+      let e = Effects.method_effect s midx in
+      let n_fusable = List.length (Effects.fusable_blocks s midx) in
+      report ctx Info
+        (Method_loc m.Method.name)
+        "effect %a; %d of %d block(s) fusable" Effects.pp e n_fusable
+        (Array.length m.Method.blocks))
+    p;
+  finish ctx
+
+(* --- pass 6: translation validation -------------------------------- *)
+
+let report_cex ctx name (c : Transval.counterexample) =
+  let loc =
+    match (c.Transval.cblock, c.Transval.cinstr) with
+    | Some b, Some i -> Instr_loc (name, b, i)
+    | Some b, None -> Block_loc (name, b)
+    | None, _ -> Method_loc name
+  in
+  report ctx Error loc "simulation breaks: %s" c.Transval.reason
+
+let validate_inline p ~source ~witness transformed =
+  let ctx = new_ctx "transval" in
+  List.iter
+    (report_cex ctx transformed.Method.name)
+    (Transval.check_inline p ~source ~witness transformed);
+  finish ctx
+
+let validate_unroll ~source ~witness transformed =
+  let ctx = new_ctx "transval" in
+  List.iter
+    (report_cex ctx transformed.Method.name)
+    (Transval.check_unroll ~source ~witness transformed);
+  finish ctx
+
+let validate_layout cfg ~pos ~predict_taken ~edge_extra ~taken_penalty
+    ~mispredict_penalty =
+  let ctx = new_ctx "transval" in
+  List.iter
+    (report_cex ctx (Cfg.name cfg))
+    (Transval.check_layout cfg ~pos ~predict_taken ~edge_extra ~taken_penalty
+       ~mispredict_penalty);
+  finish ctx
+
+(* --- whole-program deep driver ------------------------------------- *)
+
+let check_program_deep (p : Program.t) =
+  let acc = ref (check_program_static p) in
+  let add ds = acc := !acc @ ds in
+  Program.iter_methods
+    (fun _ (m : Method.t) ->
+      (* the dataflow clients assume verified bodies *)
+      if not (has_errors (verify_method p m)) then begin
+        add (lint_liveness m);
+        add (lint_intervals p m);
+        add (justify_unsafe p m)
+      end)
+    p;
+  add (lint_effects p);
+  !acc

@@ -162,3 +162,71 @@ val lint_path_profile :
     unprofilable ([Warning]) exactly as the VM treats them.  [Error]-free
     output means the program is safe for the whole profiling pipeline. *)
 val check_program_static : Program.t -> diagnostic list
+
+(** {1 Pass 5 — dataflow lints}
+
+    Clients of the {!Dataflow} framework, reported as passes
+    ["liveness"], ["interval"] and ["effects"].  All three assume bodies
+    that pass {!verify_method}; on an unverifiable body they report a
+    single [Error] and stop. *)
+
+(** Dead stores and increments ({!Liveness.dead_stores}), as [Warning]s:
+    legal code, but each one is wasted work the optimizer may remove. *)
+val lint_liveness : Method.t -> diagnostic list
+
+(** Interval findings ({!Intervals.findings}) as [Info]: provably
+    constant branch conditions, heap indices that may wrap, divisors
+    that may be zero. *)
+val lint_intervals : Program.t -> Method.t -> diagnostic list
+
+(** Independent justification of the unchecked array operations the
+    threaded engine emits (see [lib/runtime/codegen.ml]): re-derives by
+    abstract interpretation that the operand stack never underflows nor
+    exceeds [max_stack] (default: the same bound {!Machine} compiles)
+    and that every local/global index is in bounds.  Any [Error] here
+    means the unchecked accesses are NOT justified. *)
+val justify_unsafe :
+  Program.t -> ?max_stack:int -> Method.t -> diagnostic list
+
+(** Per-method transitive effect summaries ({!Effects.summarize}) as
+    [Info] — the superinstruction-fusion precondition, surfaced so
+    [pepsim check --deep] documents what the fusion planner may assume. *)
+val lint_effects : Program.t -> diagnostic list
+
+(** {1 Pass 6 — translation validation}
+
+    Wraps {!Transval}: checks a transform's output against its source
+    via the witness the transform emitted, reporting every point where
+    the simulation relation breaks as an [Error] (pass ["transval"])
+    located in the transformed body.  An empty report is a proof of
+    semantic preservation — see {!Transval} for the argument. *)
+
+val validate_inline :
+  Program.t ->
+  source:Method.t ->
+  witness:Transval.inline_witness ->
+  Method.t ->
+  diagnostic list
+
+val validate_unroll :
+  source:Method.t ->
+  witness:Transval.unroll_witness ->
+  Method.t ->
+  diagnostic list
+
+val validate_layout :
+  Cfg.t ->
+  pos:int array ->
+  predict_taken:bool array ->
+  edge_extra:(int -> int -> int) ->
+  taken_penalty:int ->
+  mispredict_penalty:int ->
+  diagnostic list
+
+(** {1 Whole-program deep driver}
+
+    {!check_program_static} plus, for every method whose body verifies,
+    the pass-5 dataflow lints and the unsafe-op justification, and the
+    whole-program effect summary.  This is what [pepsim check --deep]
+    runs before the transform-validation replay sweep. *)
+val check_program_deep : Program.t -> diagnostic list

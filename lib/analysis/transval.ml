@@ -1,0 +1,416 @@
+type inline_site = {
+  callee : string;
+  argc : int;
+  base : int;
+  copy_ids : int array;
+  ret_block : int;
+}
+
+type inline_witness = {
+  first_piece : int array;
+  sites : ((int * int) * inline_site) list;
+  branch_map : ((string * Cfg.branch_id) * Cfg.branch_id) list;
+}
+
+let identity_inline (m : Method.t) =
+  {
+    first_piece = Array.init (Array.length m.Method.blocks) Fun.id;
+    sites = [];
+    branch_map = [];
+  }
+
+type unroll_witness = { src_of : int array }
+
+let identity_unroll (m : Method.t) =
+  { src_of = Array.init (Array.length m.Method.blocks) Fun.id }
+
+type counterexample = {
+  cblock : int option;
+  cinstr : int option;
+  reason : string;
+}
+
+let pp_counterexample ppf c =
+  (match (c.cblock, c.cinstr) with
+  | Some b, Some i -> Fmt.pf ppf "B%d:%d: " b i
+  | Some b, None -> Fmt.pf ppf "B%d: " b
+  | None, _ -> ());
+  Fmt.string ppf c.reason
+
+(* Stop checking a source block at its first mismatch: everything after
+   a broken simulation point would only cascade. *)
+exception Break
+
+let shift_local base (ins : Instr.t) =
+  match ins with
+  | Instr.Load l -> Instr.Load (base + l)
+  | Instr.Store l -> Instr.Store (base + l)
+  | Instr.Inc (l, k) -> Instr.Inc (base + l, k)
+  | Instr.Const _ | Instr.Binop _ | Instr.Cmp _ | Instr.Neg | Instr.Not
+  | Instr.Dup | Instr.Pop | Instr.GLoad _ | Instr.GStore _ | Instr.AGet
+  | Instr.ASet | Instr.Call _ | Instr.Rand _ ->
+      ins
+
+let check_inline (p : Program.t) ~(source : Method.t) ~witness
+    (transformed : Method.t) =
+  let cex = ref [] in
+  let bad ?block ?instr fmt =
+    Fmt.kstr
+      (fun reason ->
+        cex := { cblock = block; cinstr = instr; reason } :: !cex)
+      fmt
+  in
+  let n_s = Array.length source.Method.blocks in
+  let n_t = Array.length transformed.Method.blocks in
+  if Array.length witness.first_piece <> n_s then begin
+    bad "witness maps %d source blocks, method has %d"
+      (Array.length witness.first_piece)
+      n_s;
+    List.rev !cex
+  end
+  else begin
+    if transformed.Method.nparams <> source.Method.nparams then
+      bad "nparams changed: %d -> %d" source.Method.nparams
+        transformed.Method.nparams;
+    if transformed.Method.nlocals < source.Method.nlocals then
+      bad "nlocals shrank: %d -> %d" source.Method.nlocals
+        transformed.Method.nlocals;
+    (* every transformed block must play exactly one role in the
+       simulation; leftovers or double bookings break the argument *)
+    let claimed = Array.make n_t None in
+    let claim id role =
+      if id < 0 || id >= n_t then bad "witness block id %d out of range (%s)" id role
+      else
+        match claimed.(id) with
+        | None -> claimed.(id) <- Some role
+        | Some prior -> bad ~block:id "block claimed as both %s and %s" prior role
+    in
+    Array.iteri (fun b id -> claim id (Fmt.str "piece of source B%d" b)) witness.first_piece;
+    let sites = Hashtbl.create 8 in
+    List.iter
+      (fun ((b, i), site) ->
+        Hashtbl.replace sites (b, i) site;
+        Array.iteri
+          (fun cb id ->
+            claim id (Fmt.str "copy of %s B%d at B%d:%d" site.callee cb b i))
+          site.copy_ids;
+        claim site.ret_block (Fmt.str "continuation of the call at B%d:%d" b i))
+      witness.sites;
+    Array.iteri
+      (fun id role ->
+        if role = None then
+          bad ~block:id "transformed block plays no role in the witness")
+      claimed;
+    (* fresh branch ids: injective, and disjoint from the caller's *)
+    let branch = Hashtbl.create 8 in
+    let seen_fresh = Hashtbl.create 8 in
+    let caller_branches = Method.branch_ids source in
+    List.iter
+      (fun ((callee, orig), fresh) ->
+        Hashtbl.replace branch (callee, orig) fresh;
+        if Hashtbl.mem seen_fresh fresh then
+          bad "fresh branch id %d assigned twice" fresh;
+        Hashtbl.replace seen_fresh fresh ();
+        if List.mem fresh caller_branches then
+          bad "fresh branch id %d collides with a caller branch" fresh)
+      witness.branch_map;
+    if transformed.Method.entry <> witness.first_piece.(source.Method.entry) then
+      bad "entry is B%d, expected the first piece B%d of source B%d"
+        transformed.Method.entry
+        witness.first_piece.(source.Method.entry)
+        source.Method.entry;
+    (* one inlinee copy region per site *)
+    let check_copies (b, i) site (callee : Method.t) =
+      if Array.length site.copy_ids <> Array.length callee.Method.blocks then begin
+        bad "site B%d:%d copies %d blocks, callee %s has %d" b i
+          (Array.length site.copy_ids) site.callee
+          (Array.length callee.Method.blocks);
+        raise Break
+      end;
+      Array.iteri
+        (fun cb (cblk : Method.block) ->
+          let id = site.copy_ids.(cb) in
+          if id < 0 || id >= n_t then raise Break;
+          let tblk = transformed.Method.blocks.(id) in
+          let want = Array.map (shift_local site.base) cblk.Method.body in
+          if Array.length tblk.Method.body <> Array.length want then
+            bad ~block:id "copy of %s B%d has %d instructions, expected %d"
+              site.callee cb
+              (Array.length tblk.Method.body)
+              (Array.length want)
+          else
+            Array.iteri
+              (fun k w ->
+                if tblk.Method.body.(k) <> w then
+                  bad ~block:id ~instr:k
+                    "copy of %s B%d diverges: %a, expected %a" site.callee cb
+                    Instr.pp
+                    tblk.Method.body.(k)
+                    Instr.pp w)
+              want;
+          let expect_term (want : Method.term) =
+            if tblk.Method.term <> want then
+              bad ~block:id "copy of %s B%d ends in the wrong terminator"
+                site.callee cb
+          in
+          match cblk.Method.term with
+          | Method.Ret -> expect_term (Method.Jmp site.ret_block)
+          | Method.Jmp d -> expect_term (Method.Jmp site.copy_ids.(d))
+          | Method.Br { branch = br; on_true; on_false } -> (
+              match Hashtbl.find_opt branch (site.callee, br) with
+              | None ->
+                  bad ~block:id
+                    "no fresh branch id for %s branch %d in the witness"
+                    site.callee br
+              | Some fresh ->
+                  expect_term
+                    (Method.Br
+                       {
+                         branch = fresh;
+                         on_true = site.copy_ids.(on_true);
+                         on_false = site.copy_ids.(on_false);
+                       })))
+        callee.Method.blocks
+    in
+    (* walk each source block through its piece chain *)
+    let walk b (sblk : Method.block) =
+      let cur = ref witness.first_piece.(b) in
+      let pos = ref 0 in
+      let cur_body () = transformed.Method.blocks.(!cur).Method.body in
+      let expect_instr ?(what = "instruction") (want : Instr.t) =
+        let body = cur_body () in
+        if !pos >= Array.length body then begin
+          bad ~block:!cur "piece ends early: expected %s %a" what Instr.pp want;
+          raise Break
+        end;
+        if body.(!pos) <> want then begin
+          bad ~block:!cur ~instr:!pos "found %a, expected %s %a" Instr.pp
+            body.(!pos) what Instr.pp want;
+          raise Break
+        end;
+        incr pos
+      in
+      Array.iteri
+        (fun i (ins : Instr.t) ->
+          match Hashtbl.find_opt sites (b, i) with
+          | None -> expect_instr ins
+          | Some site ->
+              let argc =
+                match ins with
+                | Instr.Call (name, argc) when name = site.callee -> argc
+                | _ ->
+                    bad ~block:!cur
+                      "witness marks B%d:%d as an inlined call to %s, source \
+                       has %a"
+                      b i site.callee Instr.pp ins;
+                    raise Break
+              in
+              if argc <> site.argc then begin
+                bad "site B%d:%d records argc %d, call pops %d" b i site.argc
+                  argc;
+                raise Break
+              end;
+              let callee =
+                match Program.find p site.callee with
+                | callee -> callee
+                | exception Not_found ->
+                    bad "inlined callee %s not in the program" site.callee;
+                    raise Break
+              in
+              if site.base < source.Method.nlocals
+                 || site.base + callee.Method.nlocals
+                    > transformed.Method.nlocals
+              then
+                bad "site B%d:%d local base %d overlaps the caller frame" b i
+                  site.base;
+              (* calling convention: args stored last-on-top first, then
+                 the callee's remaining locals zeroed *)
+              for j = argc - 1 downto 0 do
+                expect_instr ~what:"argument store"
+                  (Instr.Store (site.base + j))
+              done;
+              for j = argc to callee.Method.nlocals - 1 do
+                expect_instr ~what:"zero-init" (Instr.Const 0);
+                expect_instr ~what:"zero-init" (Instr.Store (site.base + j))
+              done;
+              if !pos <> Array.length (cur_body ()) then begin
+                bad ~block:!cur ~instr:!pos
+                  "piece continues past the inlined call at B%d:%d" b i;
+                raise Break
+              end;
+              (match transformed.Method.blocks.(!cur).Method.term with
+              | Method.Jmp d when d = site.copy_ids.(callee.Method.entry) -> ()
+              | _ ->
+                  bad ~block:!cur
+                    "piece must jump to the callee entry copy B%d"
+                    site.copy_ids.(callee.Method.entry));
+              check_copies (b, i) site callee;
+              cur := site.ret_block;
+              pos := 0)
+        sblk.Method.body;
+      if !pos <> Array.length (cur_body ()) then begin
+        bad ~block:!cur ~instr:!pos "piece has %d extra instruction(s)"
+          (Array.length (cur_body ()) - !pos);
+        raise Break
+      end;
+      let retarget : Method.term -> Method.term = function
+        | Method.Ret -> Method.Ret
+        | Method.Jmp d -> Method.Jmp witness.first_piece.(d)
+        | Method.Br { branch = br; on_true; on_false } ->
+            Method.Br
+              {
+                branch = br;
+                on_true = witness.first_piece.(on_true);
+                on_false = witness.first_piece.(on_false);
+              }
+      in
+      let want = retarget sblk.Method.term in
+      if transformed.Method.blocks.(!cur).Method.term <> want then
+        bad ~block:!cur
+          "chain for source B%d ends in the wrong terminator" b
+    in
+    Array.iteri
+      (fun b sblk -> try walk b sblk with Break -> ())
+      source.Method.blocks;
+    List.rev !cex
+  end
+
+let check_unroll ~(source : Method.t) ~witness (transformed : Method.t) =
+  let cex = ref [] in
+  let bad ?block ?instr fmt =
+    Fmt.kstr
+      (fun reason ->
+        cex := { cblock = block; cinstr = instr; reason } :: !cex)
+      fmt
+  in
+  let n_s = Array.length source.Method.blocks in
+  let n_t = Array.length transformed.Method.blocks in
+  let sigma = witness.src_of in
+  if Array.length sigma <> n_t then begin
+    bad "witness maps %d blocks, transformed method has %d"
+      (Array.length sigma) n_t;
+    List.rev !cex
+  end
+  else begin
+    if transformed.Method.nparams <> source.Method.nparams then
+      bad "nparams changed: %d -> %d" source.Method.nparams
+        transformed.Method.nparams;
+    if transformed.Method.nlocals <> source.Method.nlocals then
+      bad "nlocals changed: %d -> %d" source.Method.nlocals
+        transformed.Method.nlocals;
+    let ok_range t =
+      let s = sigma.(t) in
+      if s < 0 || s >= n_s then begin
+        bad ~block:t "witness maps B%d to out-of-range source B%d" t s;
+        false
+      end
+      else true
+    in
+    if
+      Array.length sigma > transformed.Method.entry
+      && ok_range transformed.Method.entry
+      && sigma.(transformed.Method.entry) <> source.Method.entry
+    then
+      bad ~block:transformed.Method.entry
+        "entry simulates source B%d, expected the source entry B%d"
+        sigma.(transformed.Method.entry)
+        source.Method.entry;
+    for t = 0 to n_t - 1 do
+      if ok_range t then begin
+        let s = sigma.(t) in
+        let tblk = transformed.Method.blocks.(t) in
+        let sblk = source.Method.blocks.(s) in
+        (if tblk.Method.body != sblk.Method.body then begin
+           if Array.length tblk.Method.body <> Array.length sblk.Method.body
+           then
+             bad ~block:t "body has %d instructions, source B%d has %d"
+               (Array.length tblk.Method.body)
+               s
+               (Array.length sblk.Method.body)
+           else
+             Array.iteri
+               (fun i ins ->
+                 if tblk.Method.body.(i) <> ins then
+                   bad ~block:t ~instr:i
+                     "body diverges from source B%d: %a, expected %a" s
+                     Instr.pp
+                     tblk.Method.body.(i)
+                     Instr.pp ins)
+               sblk.Method.body
+         end);
+        match (tblk.Method.term, sblk.Method.term) with
+        | Method.Ret, Method.Ret -> ()
+        | Method.Jmp a, Method.Jmp b ->
+            if a < 0 || a >= n_t then
+              bad ~block:t "jump target B%d out of range" a
+            else if sigma.(a) <> b then
+              bad ~block:t
+                "jump target B%d simulates source B%d, source jumps to B%d" a
+                sigma.(a) b
+        | ( Method.Br { branch = br_t; on_true = t1; on_false = t0 },
+            Method.Br { branch = br_s; on_true = s1; on_false = s0 } ) ->
+            if br_t <> br_s then
+              bad ~block:t "branch id %d, source B%d has %d" br_t s br_s;
+            List.iter
+              (fun (arm, ta, sa) ->
+                if ta < 0 || ta >= n_t then
+                  bad ~block:t "%s target B%d out of range" arm ta
+                else if sigma.(ta) <> sa then
+                  bad ~block:t
+                    "%s target B%d simulates source B%d, source goes to B%d"
+                    arm ta sigma.(ta) sa)
+              [ ("taken", t1, s1); ("not-taken", t0, s0) ]
+        | (Method.Ret | Method.Jmp _ | Method.Br _), _ ->
+            bad ~block:t "terminator kind differs from source B%d" s
+      end
+    done;
+    List.rev !cex
+  end
+
+let check_layout cfg ~pos ~predict_taken ~edge_extra ~taken_penalty
+    ~mispredict_penalty =
+  let cex = ref [] in
+  let bad ?block ?instr fmt =
+    Fmt.kstr
+      (fun reason ->
+        cex := { cblock = block; cinstr = instr; reason } :: !cex)
+      fmt
+  in
+  let n = Cfg.n_blocks cfg in
+  if Array.length pos <> n then
+    bad "position map covers %d blocks, CFG has %d (stale layout?)"
+      (Array.length pos) n
+  else if Array.length predict_taken <> n then
+    bad "prediction vector covers %d blocks, CFG has %d"
+      (Array.length predict_taken)
+      n
+  else begin
+    let seen = Array.make n false in
+    Array.iteri
+      (fun b p ->
+        if p < 0 || p >= n then
+          bad ~block:b "position %d out of range (stale layout?)" p
+        else if seen.(p) then
+          bad ~block:b "position %d assigned twice (stale layout?)" p
+        else seen.(p) <- true)
+      pos;
+    if not (Array.for_all Fun.id seen) then
+      bad "position map is not a permutation of the blocks";
+    Cfg.iter_edges
+      (fun (e : Cfg.edge) ->
+        let expected =
+          (if pos.(e.dst) <> pos.(e.src) + 1 then taken_penalty else 0)
+          +
+          match e.attr with
+          | Cfg.Taken _ when not predict_taken.(e.src) -> mispredict_penalty
+          | Cfg.Not_taken _ when predict_taken.(e.src) -> mispredict_penalty
+          | Cfg.Taken _ | Cfg.Not_taken _ | Cfg.Seq -> 0
+        in
+        let got = edge_extra e.src (Instrument.succ_index e.attr) in
+        if got <> expected then
+          bad ~block:e.src
+            "edge B%d->B%d carries extra cost %d, layout formula gives %d"
+            e.src e.dst got expected)
+      cfg
+  end;
+  List.rev !cex

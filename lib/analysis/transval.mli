@@ -1,0 +1,87 @@
+(** Translation validation of the optimizer's body transforms.
+
+    Each transform ({!Inline}, {!Unroll}, {!Layout}) emits a {e witness}
+    describing the simulation relation between its output and its input;
+    the checkers here verify, block by block, that the output really is
+    the input modulo that relation.  A validated witness is a proof of
+    semantic preservation:
+
+    - {b unroll} — [src_of] maps every transformed block to a source
+      block with a structurally identical body and a terminator whose
+      targets agree under the map (same branch ids, so profiles
+      accumulate into the same counters).  Matched blocks execute
+      identical instruction sequences from equal states, so the two
+      methods bisimulate — results, effects and PRNG draws coincide.
+    - {b inline} — a stuttering simulation: each source block maps to a
+      chain of pieces in the output, where an inlined [Call] expands
+      into argument stores, zero-initialisation of the callee's
+      remaining locals, a jump into a copy of the callee body (locals
+      shifted by the site's base, branches renamed injectively, [Ret]
+      rewired to the continuation piece), matching the interpreter's
+      calling convention exactly.
+    - {b layout} — the position map is a permutation of the blocks and
+      every edge's extra cost equals the straightening/misprediction
+      penalty formula for that permutation; a stale map (computed
+      against a different CFG) fails the permutation or formula check.
+
+    Checkers return structured counterexamples — the first place the
+    simulation breaks, in transformed-output coordinates — which
+    {!Pep_check} renders as located diagnostics. *)
+
+type inline_site = {
+  callee : string;
+  argc : int;
+  base : int;  (** first local of the callee's shifted frame *)
+  copy_ids : int array;  (** callee block -> transformed block id *)
+  ret_block : int;  (** continuation piece the copies' [Ret] jumps to *)
+}
+
+type inline_witness = {
+  first_piece : int array;  (** source block -> its first transformed piece *)
+  sites : ((int * int) * inline_site) list;
+      (** (source block, source instruction index) of each inlined call *)
+  branch_map : ((string * Cfg.branch_id) * Cfg.branch_id) list;
+      (** (callee, callee branch) -> fresh branch id in the output *)
+}
+
+(** The identity witness for a caller the inliner left untouched. *)
+val identity_inline : Method.t -> inline_witness
+
+type unroll_witness = {
+  src_of : int array;  (** transformed block -> simulated source block *)
+}
+
+val identity_unroll : Method.t -> unroll_witness
+
+type counterexample = {
+  cblock : int option;  (** transformed block where the simulation breaks *)
+  cinstr : int option;
+  reason : string;
+}
+
+val pp_counterexample : counterexample Fmt.t
+
+(** Empty result = [transformed] simulates [source] under [witness].
+    [program] resolves inlined callees by name. *)
+val check_inline :
+  Program.t ->
+  source:Method.t ->
+  witness:inline_witness ->
+  Method.t ->
+  counterexample list
+
+val check_unroll :
+  source:Method.t -> witness:unroll_witness -> Method.t -> counterexample list
+
+(** [check_layout cfg ~pos ~predict_taken ~edge_extra ~taken_penalty
+    ~mispredict_penalty] re-derives every edge's extra cost from the
+    position map and prediction vector and compares with what
+    [edge_extra src (succ index)] reports. *)
+val check_layout :
+  Cfg.t ->
+  pos:int array ->
+  predict_taken:bool array ->
+  edge_extra:(int -> int -> int) ->
+  taken_penalty:int ->
+  mispredict_penalty:int ->
+  counterexample list

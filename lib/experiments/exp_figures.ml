@@ -657,6 +657,7 @@ let tab_hardware caches =
                   inline = false;
                   unroll = false;
                   verify = true;
+                  deep_verify = false;
                   engine = (Exp_cache.config c).Exp_harness.engine;
                   telemetry = (Exp_cache.config c).Exp_harness.telemetry;
                   faults = None;
@@ -719,6 +720,7 @@ let tab_onetime_paths caches =
             inline = false;
             unroll = false;
             verify = true;
+            deep_verify = false;
             engine = (Exp_cache.config c).Exp_harness.engine;
             telemetry = (Exp_cache.config c).Exp_harness.telemetry;
             faults = None;

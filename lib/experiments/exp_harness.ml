@@ -33,6 +33,7 @@ type config = {
   opt_profile : Driver.opt_profile_source;
   inline : bool;
   unroll : bool;
+  deep : bool;
   engine : Driver.engine;
   telemetry : Telemetry.t option;
   faults : Fault_plan.t;
@@ -44,6 +45,7 @@ let default =
     opt_profile = Driver.From_baseline;
     inline = false;
     unroll = false;
+    deep = false;
     engine = `Threaded;
     telemetry = None;
     faults = Fault_plan.empty;
@@ -82,6 +84,7 @@ let config_key c =
       Buffer.add_string buf ("+opt=fixed:" ^ String.sub digest 0 8));
   if c.inline then Buffer.add_string buf "+inline";
   if c.unroll then Buffer.add_string buf "+unroll";
+  if c.deep then Buffer.add_string buf "+deep";
   (match c.engine with
   | `Oracle -> Buffer.add_string buf "+oracle"
   | `Threaded -> ());
@@ -305,6 +308,7 @@ let setup_replay ~faults env config =
       inline = config.inline;
       unroll = config.unroll;
       verify = true;
+      deep_verify = config.deep;
       engine = config.engine;
       telemetry = config.telemetry;
       faults;
@@ -442,6 +446,7 @@ let replay_transformed_with_truth ?(config = { default with inline = true })
       inline = config.inline;
       unroll = config.unroll;
       verify = true;
+      deep_verify = config.deep;
       engine = config.engine;
       telemetry = config.telemetry;
       faults = injector_of config;
@@ -486,6 +491,7 @@ let adaptive_total ?(config = default) ~trial env =
           inline = false;
           unroll = false;
           verify = true;
+          deep_verify = config.deep;
           engine = config.engine;
           telemetry = config.telemetry;
           faults = injector_of config;

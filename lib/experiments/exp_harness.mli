@@ -55,6 +55,11 @@ type config = {
           one-time profile) *)
   inline : bool;  (** enable the optimizer's inliner *)
   unroll : bool;  (** enable the optimizer's loop unroller *)
+  deep : bool;
+      (** run the driver with {!Driver.options.deep_verify}: dataflow
+          lints and unsafe-op justification on every compiled body, on
+          top of the always-on translation validation.  Part of
+          {!config_key} (["+deep"]); [pepsim check --deep] flips it on *)
   engine : Driver.engine;
       (** [`Threaded] by default — pass [`Oracle] to run the reference
           interpreter, as the differential tests do for both *)

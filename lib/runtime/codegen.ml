@@ -158,7 +158,11 @@ and translate eng ~hooked (cm : Machine.cmeth) : body =
      method) and [prep] sizes the arrays, so stack/local accesses use
      unsafe reads; heap indices are wrapped into range before use.  The
      primitives are applied directly (not aliased) so non-flambda
-     builds still compile them inline. *)
+     builds still compile them inline.  [Pep_check.justify_unsafe]
+     re-derives these bounds independently (interval analysis against
+     the same [max_stack]/[nlocals]/[n_globals] limits), so the elision
+     is machine-checked under [Driver.options.deep_verify] and
+     [pepsim check --deep] rather than only argued here. *)
   let st = eng.st in
   let hooks = eng.hooks in
   let stats = eng.stats in

@@ -19,6 +19,7 @@ type options = {
   inline : bool;  (* inline small/hot callees *)
   unroll : bool;  (* unroll small innermost loops at opt levels >= 1 *)
   verify : bool;  (* re-verify bytecode after every optimization pass *)
+  deep_verify : bool;  (* also run the dataflow lints on every compiled body *)
   engine : engine;  (* closure-threaded code by default; interp oracle *)
   telemetry : Telemetry.t option;  (* host-side metrics/trace sink *)
   faults : Fault_injector.t option;  (* deterministic fault injection *)
@@ -34,6 +35,7 @@ let default_options =
     inline = false;
     unroll = false;
     verify = true;
+    deep_verify = false;
     engine = `Threaded;
     telemetry = None;
     faults = None;
@@ -61,6 +63,9 @@ type tstats = {
   check_errors : Metrics.counter;
   check_warnings : Metrics.counter;
   plan_unprofilable : Metrics.counter;
+  transval_ok : Metrics.counter;
+  transval_rejected : Metrics.counter;
+  deep_methods : Metrics.counter;
 }
 
 type t = {
@@ -108,6 +113,45 @@ let verify_body d ~stage (meth : Method.t) =
     record_checks d
       (Pep_check.with_pass ("bytecode@" ^ stage)
          (Pep_check.verify_method d.st.Machine.program meth))
+
+(* Translation validation: check a transform's output against its input
+   via the witness it emitted.  Gated on [verify] like [verify_body] —
+   the dataflow passes below are the [deep_verify] extra. *)
+let record_transval d ~stage ds =
+  let ds = Pep_check.with_pass ("transval@" ^ stage) ds in
+  (match d.tstats with
+  | None -> ()
+  | Some s ->
+      if Pep_check.has_errors ds then Metrics.incr s.transval_rejected
+      else Metrics.incr s.transval_ok);
+  record_checks d ds
+
+let validate_inline_body d ~source ~witness meth =
+  if d.opts.verify then
+    record_transval d ~stage:"inline"
+      (Pep_check.validate_inline d.st.Machine.program ~source ~witness meth)
+
+let validate_unroll_body d ~source ~witness meth =
+  if d.opts.verify then
+    record_transval d ~stage:"unroll"
+      (Pep_check.validate_unroll ~source ~witness meth)
+
+(* Deep verification of the body the machine actually compiled: dataflow
+   lints plus an independent justification of the unchecked array
+   operations the threaded engine emits, against the exact [max_stack]
+   bound the compiled method carries. *)
+let deep_verify_body d (cm : Machine.cmeth) =
+  if d.opts.deep_verify then begin
+    let p = d.st.Machine.program in
+    let meth = cm.Machine.meth in
+    (match d.tstats with
+    | None -> ()
+    | Some s -> Metrics.incr s.deep_methods);
+    record_checks d (Pep_check.lint_liveness meth);
+    record_checks d (Pep_check.lint_intervals p meth);
+    record_checks d
+      (Pep_check.justify_unsafe p ~max_stack:cm.Machine.max_stack meth)
+  end
 
 let charge_compile d cycles =
   d.compile_cycles <- d.compile_cycles + cycles;
@@ -199,6 +243,7 @@ let apply_transforms d midx ~level =
         let r = Inline.expand d.st.Machine.program pristine ~should_inline in
         let meth = r.Inline.meth in
         verify_body d ~stage:"inline" meth;
+        validate_inline_body d ~source:pristine ~witness:r.Inline.witness meth;
         ( meth,
           r.Inline.no_yieldpoint,
           List.fold_left (fun acc (_, n) -> acc + n) 0 r.Inline.inlined )
@@ -209,6 +254,8 @@ let apply_transforms d midx ~level =
       if d.opts.unroll && level >= 1 then begin
         let r = Unroll.expand ~no_yieldpoint meth in
         verify_body d ~stage:"unroll" r.Unroll.meth;
+        validate_unroll_body d ~source:meth ~witness:r.Unroll.witness
+          r.Unroll.meth;
         (r.Unroll.meth, r.Unroll.no_yieldpoint, r.Unroll.unrolled)
       end
       else (meth, no_yieldpoint, 0)
@@ -236,8 +283,18 @@ let do_compile_opt d midx ~level =
   Machine.set_speed d.st midx ~percent:cost.Cost_model.opt_speedup_percent.(level);
   d.baseline_active.(midx) <- false;
   let profile = opt_profile_for d midx in
-  Layout.apply d.st midx (Layout.compute cm.cfg profile);
+  let lay = Layout.compute cm.cfg profile in
+  Layout.apply d.st midx lay;
   verify_body d ~stage:"layout" (Machine.cmeth d.st midx).Machine.meth;
+  (if d.opts.verify then
+     let cm = Machine.cmeth d.st midx in
+     record_transval d ~stage:"layout"
+       (Pep_check.validate_layout cm.Machine.cfg ~pos:(Layout.positions lay)
+          ~predict_taken:(Layout.predicted lay)
+          ~edge_extra:(fun b idx -> cm.Machine.edge_extra.(b).(idx))
+          ~taken_penalty:cost.Cost_model.taken_branch_penalty
+          ~mispredict_penalty:cost.Cost_model.mispredict_penalty));
+  deep_verify_body d (Machine.cmeth d.st midx);
   (match (d.pep_state, d.opts.pep) with
   | Some p, Some popts ->
       let number _ dag =
@@ -427,6 +484,9 @@ let create ?extra_hooks opts st =
             check_errors = Metrics.counter m "vm.check.errors";
             check_warnings = Metrics.counter m "vm.check.warnings";
             plan_unprofilable = Metrics.counter m "vm.plan.unprofilable";
+            transval_ok = Metrics.counter m "vm.check.transval.validated";
+            transval_rejected = Metrics.counter m "vm.check.transval.rejected";
+            deep_methods = Metrics.counter m "vm.check.deep.methods";
           }
   in
   let pep_state =

@@ -61,9 +61,18 @@ type options = {
   verify : bool;
       (** run {!Pep_check.verify_method} on every body an optimization
           pass produces (after inlining, after unrolling, and after
-          layout), recording the diagnostics — see {!checks}.  On by
-          default; verification is host-side and charges no simulated
-          cycles. *)
+          layout), plus translation validation of each transform against
+          the witness it emitted ({!Pep_check.validate_inline} /
+          [validate_unroll] / [validate_layout], pass fields
+          ["transval@inline"] etc.), recording the diagnostics — see
+          {!checks}.  On by default; verification is host-side and
+          charges no simulated cycles. *)
+  deep_verify : bool;
+      (** additionally run the dataflow lints (liveness, intervals) and
+          the unsafe-array-op justification on every body the optimizing
+          compiler installs — including adaptive mid-flight recompiles
+          and fault-injected retries.  Off by default: the lints cost
+          real host time per compile. *)
   engine : engine;
   telemetry : Telemetry.t option;
       (** host-side metrics/trace sink.  When present the driver
@@ -144,10 +153,13 @@ val precompile : t -> unit
 (** Diagnostics accumulated so far, oldest first: bytecode
     re-verification after each optimization pass (pass fields
     ["bytecode@inline"], ["bytecode@unroll"], ["bytecode@layout"], when
-    [options.verify] is on) and PEP planning failures (pass ["plan"],
-    [Warning] marking the method unprofilable — a path count over the
-    numbering limit or an unsupported truncation; always recorded).  Any
-    [Error] here means an optimization pass miscompiled a method. *)
+    [options.verify] is on), translation validation of each transform
+    (["transval@inline"], ["transval@unroll"], ["transval@layout"]),
+    the [deep_verify] dataflow lints (["liveness"], ["interval"]) and
+    PEP planning failures (pass ["plan"], [Warning] marking the method
+    unprofilable — a path count over the numbering limit or an
+    unsupported truncation; always recorded).  Any [Error] here means an
+    optimization pass miscompiled a method. *)
 val checks : t -> Pep_check.diagnostic list
 
 (** Call sites expanded by the inliner so far. *)

@@ -2,6 +2,7 @@ type result = {
   meth : Method.t;
   no_yieldpoint : bool array;
   inlined : (string * int) list;
+  witness : Transval.inline_witness;
 }
 
 let small_enough ~limit (m : Method.t) = Method.size m <= limit
@@ -59,7 +60,8 @@ let expand program (caller : Method.t) ~should_inline =
         fresh
   in
   let inlined_counts : (string, int) Hashtbl.t = Hashtbl.create 8 in
-  let splice piece (callee : Method.t) argc =
+  let sites = ref [] in
+  let splice ~site piece (callee : Method.t) argc =
     let base = base_for callee in
     for j = argc - 1 downto 0 do
       emit piece (Instr.Store (base + j))
@@ -105,6 +107,16 @@ let expand program (caller : Method.t) ~should_inline =
       callee.blocks;
     Hashtbl.replace inlined_counts callee.name
       (1 + Option.value ~default:0 (Hashtbl.find_opt inlined_counts callee.name));
+    sites :=
+      ( site,
+        {
+          Transval.callee = callee.name;
+          argc;
+          base;
+          copy_ids;
+          ret_block = ret_piece;
+        } )
+      :: !sites;
     ret_piece
   in
   let first_piece = Array.make (Array.length caller.blocks) (-1) in
@@ -112,13 +124,13 @@ let expand program (caller : Method.t) ~should_inline =
     (fun b (cblk : Method.block) ->
       let piece = ref (new_block ~no_yp:false) in
       first_piece.(b) <- !piece;
-      Array.iter
-        (fun (ins : Instr.t) ->
+      Array.iteri
+        (fun i (ins : Instr.t) ->
           match ins with
           | Instr.Call (cname, argc) when cname <> caller.name -> (
               match Program.find program cname with
               | callee when should_inline callee ->
-                  piece := splice !piece callee argc
+                  piece := splice ~site:(b, i) !piece callee argc
               | _ -> emit !piece ins
               | exception Not_found -> emit !piece ins)
           | _ -> emit !piece ins)
@@ -130,6 +142,7 @@ let expand program (caller : Method.t) ~should_inline =
       meth = caller;
       no_yieldpoint = Array.make (Array.length caller.blocks) false;
       inlined = [];
+      witness = Transval.identity_inline caller;
     }
   else begin
     let retarget : Method.term -> Method.term = function
@@ -171,5 +184,13 @@ let expand program (caller : Method.t) ~should_inline =
       inlined =
         List.sort compare
           (Hashtbl.fold (fun name n acc -> (name, n) :: acc) inlined_counts []);
+      witness =
+        {
+          Transval.first_piece;
+          sites = List.sort compare !sites;
+          branch_map =
+            List.sort compare
+              (Hashtbl.fold (fun k v acc -> (k, v) :: acc) branch_map []);
+        };
     }
   end

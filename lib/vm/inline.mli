@@ -22,6 +22,9 @@ type result = {
   no_yieldpoint : bool array;
       (** per block of [meth]: copied from an uninterruptible callee *)
   inlined : (string * int) list;  (** callee name, call sites expanded *)
+  witness : Transval.inline_witness;
+      (** simulation relation for {!Transval.check_inline}; the identity
+          witness when nothing was inlined *)
 }
 
 (** [expand program meth ~should_inline] inlines every call site in

@@ -76,6 +76,7 @@ let natural cfg =
   }
 
 let positions t = Array.copy t.pos
+let predicted t = Array.copy t.predict_taken
 
 let apply st meth t =
   let cm = Machine.cmeth st meth in

@@ -26,5 +26,8 @@ val natural : Cfg.t -> t
 (** Position of each block in the layout. *)
 val positions : t -> int array
 
+(** Per-block speculated branch direction ([true] = predicted taken). *)
+val predicted : t -> bool array
+
 (** Install the layout's penalties into the method's [edge_extra]. *)
 val apply : Machine.t -> int -> t -> unit

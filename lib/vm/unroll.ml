@@ -1,4 +1,9 @@
-type result = { meth : Method.t; no_yieldpoint : bool array; unrolled : int }
+type result = {
+  meth : Method.t;
+  no_yieldpoint : bool array;
+  unrolled : int;
+  witness : Transval.unroll_witness;
+}
 
 let retarget f : Method.term -> Method.term = function
   | Method.Ret -> Method.Ret
@@ -12,7 +17,14 @@ let expand ?(max_body_blocks = 12) ?no_yieldpoint (m : Method.t) =
     | Some a -> Array.copy a
     | None -> Array.make (Array.length m.blocks) false
   in
-  let unchanged = { meth = m; no_yieldpoint = no_yp; unrolled = 0 } in
+  let unchanged =
+    {
+      meth = m;
+      no_yieldpoint = no_yp;
+      unrolled = 0;
+      witness = Transval.identity_unroll m;
+    }
+  in
   match To_cfg.cfg m with
   | exception Cfg.Malformed _ -> unchanged
   | cfg ->
@@ -56,6 +68,9 @@ let expand ?(max_body_blocks = 12) ?no_yieldpoint (m : Method.t) =
       else begin
         let blocks = ref (Array.to_list m.blocks) in
         let flags = ref (Array.to_list no_yp) in
+        let srcs =
+          ref (List.init (Array.length m.blocks) (fun b -> b))
+        in
         let n = ref (Array.length m.blocks) in
         List.iter
           (fun (header, (back : Cfg.edge), body) ->
@@ -101,6 +116,7 @@ let expand ?(max_body_blocks = 12) ?no_yieldpoint (m : Method.t) =
                 !blocks
               @ copies;
             flags := !flags @ List.map (fun b -> no_yp.(b)) body;
+            srcs := !srcs @ body;
             n := !n + List.length body)
           chosen;
         let meth = { m with Method.blocks = Array.of_list !blocks } in
@@ -108,5 +124,6 @@ let expand ?(max_body_blocks = 12) ?no_yieldpoint (m : Method.t) =
           meth;
           no_yieldpoint = Array.of_list !flags;
           unrolled = List.length chosen;
+          witness = { Transval.src_of = Array.of_list !srcs };
         }
       end

@@ -27,6 +27,9 @@ type result = {
       (** per block of [meth]: the input's suppression flags, extended to
           the duplicated blocks *)
   unrolled : int;  (** loops unrolled *)
+  witness : Transval.unroll_witness;
+      (** block map for {!Transval.check_unroll}; the identity witness
+          when no loop was unrolled *)
 }
 
 (** [no_yieldpoint] marks blocks whose loop headers must keep their shape

@@ -1,0 +1,350 @@
+(* The dataflow framework and its clients: solver fixpoints, hand-checked
+   liveness and interval results, and — the soundness contract — QCheck
+   differentials that rewrite programs along what the analyses claim
+   (folding provably-constant loads, deleting provably-dead stores) and
+   demand bit-identical interpreter results. *)
+
+open Ast
+
+let check = Alcotest.check
+let ci = Alcotest.int
+let cb = Alcotest.bool
+
+let compile mdefs = Compile.program ~name:"t" ~main:"main" mdefs
+
+let run_program ?(seed = 3) program =
+  Interp.run Interp.no_hooks (Machine.create ~seed program)
+
+(* Re-run with some methods' bodies rewritten in the machine (the
+   program itself is immutable) — the recompile path every transform
+   test uses. *)
+let run_rewritten ?(seed = 3) program rewrite =
+  let st = Machine.create ~seed program in
+  Program.iter_methods
+    (fun midx m ->
+      match rewrite m with Some m' -> Machine.recompile st midx m' | None -> ())
+    program;
+  Interp.run Interp.no_hooks st
+
+let clone_meth (m : Method.t) =
+  {
+    m with
+    Method.blocks =
+      Array.map
+        (fun (b : Method.block) ->
+          { b with Method.body = Array.copy b.Method.body })
+        m.Method.blocks;
+  }
+
+(* --- solver -------------------------------------------------------- *)
+
+(* Forward reachability: bottom = unreached, init = reached.  Every
+   CFG block is reachable by construction, so the solution is [true]
+   everywhere, and solving twice gives identical transfer counts
+   (the worklist is deterministic). *)
+module Reach = struct
+  type t = bool
+
+  let bottom = false
+  let equal = Bool.equal
+  let join = ( || )
+  let pp = Fmt.bool
+end
+
+module Reach_solver = Dataflow.Solver (Reach)
+
+let loopy_method () =
+  let p =
+    compile
+      [
+        mdef "main" ~params:[]
+          [
+            set "s" (i 0);
+            for_ "k" (i 0) (i 10)
+              [ if_ (gt (v "k") (i 5)) [ set "s" (add (v "s") (v "k")) ] [] ];
+            ret (v "s");
+          ];
+      ]
+  in
+  Program.find p "main"
+
+let test_solver_forward_reach () =
+  let cfg = To_cfg.cfg (loopy_method ()) in
+  let solve () =
+    Reach_solver.solve ~direction:Dataflow.Forward ~init:true
+      ~transfer:(fun _ s -> s)
+      cfg
+  in
+  let s1 = solve () and s2 = solve () in
+  Array.iteri
+    (fun b r -> check cb (Fmt.str "block %d reached" b) true r)
+    s1.Reach_solver.inb;
+  check ci "deterministic transfer count" s1.transfers s2.transfers;
+  check cb "did some work" true (s1.transfers >= Cfg.n_blocks cfg)
+
+let test_solver_backward_direction () =
+  (* backward with init at the exit: still reaches every block, since
+     every block co-reaches the exit in a well-formed CFG *)
+  let cfg = To_cfg.cfg (loopy_method ()) in
+  let s =
+    Reach_solver.solve ~direction:Dataflow.Backward ~init:true
+      ~transfer:(fun _ s -> s)
+      cfg
+  in
+  Array.iteri
+    (fun b r -> check cb (Fmt.str "block %d co-reaches exit" b) true r)
+    s.Reach_solver.inb
+
+(* --- liveness ------------------------------------------------------ *)
+
+let test_dead_store_found () =
+  let p =
+    compile
+      [ mdef "main" ~params:[] [ set "a" (i 1); set "a" (i 2); ret (v "a") ] ]
+  in
+  let m = Program.find p "main" in
+  match Liveness.dead_stores m with
+  | [ d ] ->
+      check ci "dead store local" 0 d.Liveness.local;
+      check cb "kind is store" true (d.Liveness.kind = `Store)
+  | ds -> Alcotest.failf "expected exactly one dead store, got %d" (List.length ds)
+
+let test_live_loop_clean () =
+  (* every store in a straightforward accumulation loop is read later *)
+  check ci "no dead stores" 0 (List.length (Liveness.dead_stores (loopy_method ())))
+
+let test_liveness_loop_carried () =
+  (* the accumulator is live around the back edge: at the loop-header
+     entry it must be in the live set *)
+  let m = loopy_method () in
+  let cfg = To_cfg.cfg m in
+  let loops = Loops.compute cfg in
+  let live = Liveness.analyze m in
+  List.iter
+    (fun h ->
+      check cb
+        (Fmt.str "accumulator live at loop header %d" h)
+        true
+        (Liveness.S.mem 0 live.Liveness.live_in.(h)))
+    (Loops.headers loops)
+
+(* --- intervals ----------------------------------------------------- *)
+
+let test_const_branch_detected () =
+  let p =
+    compile
+      [
+        mdef "main" ~params:[]
+          [
+            set "x" (i 5);
+            if_ (gt (v "x") (i 3)) [ ret (i 1) ] [ ret (i 0) ];
+          ];
+      ]
+  in
+  let m = Program.find p "main" in
+  let a = Intervals.analyze m in
+  let found =
+    List.exists
+      (function
+        | Intervals.Const_branch { always_taken = true; _ } -> true | _ -> false)
+      (Intervals.findings ~heap_size:p.Program.heap_size m a)
+  in
+  check cb "always-taken branch found" true found
+
+let test_widening_terminates () =
+  (* a million iterations: without widening at the header the interval
+     of [i] would grow one step per solver round *)
+  let p =
+    compile
+      [
+        mdef "main" ~params:[]
+          [
+            set "n" (i 0);
+            while_ (lt (v "n") (i 1000000)) [ set "n" (add (v "n") (i 1)) ];
+            ret (v "n");
+          ];
+      ]
+  in
+  let m = Program.find p "main" in
+  let a = Intervals.analyze m in
+  (* soundness: the actual return value lies in the result interval *)
+  (match Intervals.result_interval m a with
+  | Some itv -> check cb "1000000 in result interval" true (Intervals.mem 1000000 itv)
+  | None -> Alcotest.fail "exit unreachable");
+  check cb "tracked some stack depth" true (a.Intervals.max_depth >= 1)
+
+let test_check_fold_validates () =
+  let p =
+    compile [ mdef "main" ~params:[] [ set "x" (i 5); ret (add (v "x") (i 1)) ] ]
+  in
+  let m = Program.find p "main" in
+  let a = Intervals.analyze m in
+  match Intervals.folds m a with
+  | [] -> Alcotest.fail "expected a provably-constant load"
+  | (b, idx, k) :: _ ->
+      check ci "folded constant" 5 k;
+      (match Intervals.check_fold m a ~block:b ~index:idx ~const:k with
+      | Ok () -> ()
+      | Error e -> Alcotest.failf "valid fold rejected: %s" e);
+      (* a miscompiled fold — wrong constant — must be rejected *)
+      (match Intervals.check_fold m a ~block:b ~index:idx ~const:(k + 1) with
+      | Ok () -> Alcotest.fail "wrong constant accepted"
+      | Error _ -> ())
+
+(* --- pass-5 lints over the whole suite: zero false positives ------- *)
+
+let test_justify_suite_clean () =
+  List.iter
+    (fun (w : Workload.t) ->
+      let p = Workload.program ~size:2 w in
+      Program.iter_methods
+        (fun _ m ->
+          match Pep_check.errors (Pep_check.justify_unsafe p m) with
+          | [] -> ()
+          | d :: _ ->
+              Alcotest.failf "%s/%s: %a" w.Workload.name m.Method.name
+                Pep_check.pp_diagnostic d)
+        p)
+    Suite.all
+
+let test_deep_suite_clean () =
+  List.iter
+    (fun (w : Workload.t) ->
+      match Pep_check.errors (Pep_check.check_program_deep (Workload.program ~size:2 w)) with
+      | [] -> ()
+      | d :: _ ->
+          Alcotest.failf "%s: %a" w.Workload.name Pep_check.pp_diagnostic d)
+    Suite.all
+
+(* --- effects ------------------------------------------------------- *)
+
+let test_effects_transitive () =
+  let p =
+    compile
+      [
+        mdef "w" ~params:[ "x" ] [ gset 0 (v "x"); ret (i 0) ];
+        mdef "mid" ~params:[ "x" ] [ ret (call "w" [ v "x" ]) ];
+        mdef "pure" ~params:[ "x" ] [ ret (mul (v "x") (v "x")) ];
+        mdef "main" ~params:[]
+          [ expr (call "mid" [ i 1 ]); ret (call "pure" [ i 2 ]) ];
+      ]
+  in
+  let s = Effects.summarize p in
+  let e name = Effects.method_effect s (Program.index p name) in
+  check cb "w writes globals" true (e "w").Effects.writes_global;
+  check cb "mid inherits the write" true (e "mid").Effects.writes_global;
+  check cb "pure is pure" true (Effects.equal (e "pure") Effects.pure);
+  check cb "pure is unobservable" false (Effects.observable (e "pure"));
+  check cb "main inherits transitively" true (e "main").Effects.writes_global;
+  (* block-level fusability: blocks containing calls are excluded *)
+  let midx = Program.index p "main" in
+  let m = Program.find p "main" in
+  check cb "main has non-fusable blocks" true
+    (List.length (Effects.fusable_blocks s midx) < Array.length m.Method.blocks)
+
+(* --- QCheck differentials vs the interpreter ----------------------- *)
+
+let seed_gen = QCheck.make QCheck.Gen.(int_range 500 579)
+
+(* Folding every provably-constant load must not change the program's
+   result (interval soundness: the interval really contains every value
+   the load can push). *)
+let prop_fold_differential =
+  QCheck.Test.make ~count:80 ~name:"interval folds preserve results" seed_gen
+    (fun seed ->
+      let p = Compile.pdef (Synthetic.program ~seed ()) in
+      let expected = run_program p in
+      let rewrite (m : Method.t) =
+        match Intervals.folds m (Intervals.analyze m) with
+        | [] -> None
+        | folds ->
+            let m' = clone_meth m in
+            List.iter
+              (fun (b, idx, k) ->
+                m'.Method.blocks.(b).Method.body.(idx) <- Instr.Const k)
+              folds;
+            Some m'
+      in
+      run_rewritten p rewrite = expected)
+
+(* Deleting every provably-dead store must not change the result
+   (liveness soundness: no execution reads the stored value).  A dead
+   [Store] becomes [Pop] to preserve the stack discipline; a dead [Inc]
+   (no stack effect) is deleted outright. *)
+let prop_dead_store_differential =
+  QCheck.Test.make ~count:80 ~name:"dead-store deletion preserves results"
+    seed_gen (fun seed ->
+      let p = Compile.pdef (Synthetic.program ~seed ()) in
+      let expected = run_program p in
+      let rewrite (m : Method.t) =
+        match Liveness.dead_stores m with
+        | [] -> None
+        | ds ->
+            let m' = clone_meth m in
+            (* per block, highest index first, so deletions keep the
+               remaining indices valid *)
+            List.iter
+              (fun (d : Liveness.dead_store) ->
+                let blk = m'.Method.blocks.(d.Liveness.block) in
+                match d.Liveness.kind with
+                | `Store -> blk.Method.body.(d.Liveness.index) <- Instr.Pop
+                | `Inc ->
+                    let body = Array.to_list blk.Method.body in
+                    let body =
+                      List.filteri (fun j _ -> j <> d.Liveness.index) body
+                    in
+                    m'.Method.blocks.(d.Liveness.block) <-
+                      { blk with Method.body = Array.of_list body })
+              (List.sort
+                 (fun (a : Liveness.dead_store) b ->
+                   compare (b.block, b.index) (a.block, a.index))
+                 ds);
+            Some m'
+      in
+      run_rewritten p rewrite = expected)
+
+(* Effect-summary soundness: a program whose transitive entry effect
+   claims no global/heap writes must leave globals/heap untouched. *)
+let prop_effects_sound =
+  QCheck.Test.make ~count:80 ~name:"effect summaries sound vs execution"
+    seed_gen (fun seed ->
+      let p = Compile.pdef (Synthetic.program ~seed ()) in
+      let s = Effects.summarize p in
+      let main = Effects.method_effect s (Program.index p p.Program.main) in
+      let st = Machine.create ~seed:3 p in
+      ignore (Interp.run Interp.no_hooks st);
+      let untouched a = Array.for_all (fun x -> x = 0) a in
+      (main.Effects.writes_global || untouched st.Machine.globals)
+      && (main.Effects.writes_heap || untouched st.Machine.heap))
+
+(* Interval soundness at method exit, observed via the return value of
+   the whole program (main's result interval must contain it). *)
+let prop_result_interval_sound =
+  QCheck.Test.make ~count:80 ~name:"result interval contains the result"
+    seed_gen (fun seed ->
+      let p = Compile.pdef (Synthetic.program ~seed ()) in
+      let result = run_program p in
+      let m = Program.find p p.Program.main in
+      match Intervals.result_interval m (Intervals.analyze m) with
+      | Some itv -> Intervals.mem result itv
+      | None -> false)
+
+let suite =
+  [
+    Alcotest.test_case "solver forward reach" `Quick test_solver_forward_reach;
+    Alcotest.test_case "solver backward direction" `Quick
+      test_solver_backward_direction;
+    Alcotest.test_case "dead store found" `Quick test_dead_store_found;
+    Alcotest.test_case "live loop clean" `Quick test_live_loop_clean;
+    Alcotest.test_case "loop-carried liveness" `Quick test_liveness_loop_carried;
+    Alcotest.test_case "const branch detected" `Quick test_const_branch_detected;
+    Alcotest.test_case "widening terminates" `Quick test_widening_terminates;
+    Alcotest.test_case "check_fold validates" `Quick test_check_fold_validates;
+    Alcotest.test_case "justify suite clean" `Quick test_justify_suite_clean;
+    Alcotest.test_case "deep suite clean" `Quick test_deep_suite_clean;
+    Alcotest.test_case "effects transitive" `Quick test_effects_transitive;
+    QCheck_alcotest.to_alcotest prop_fold_differential;
+    QCheck_alcotest.to_alcotest prop_dead_store_differential;
+    QCheck_alcotest.to_alcotest prop_effects_sound;
+    QCheck_alcotest.to_alcotest prop_result_interval_sound;
+  ]

@@ -23,4 +23,6 @@ let () =
       ("telemetry", Test_telemetry.suite);
       ("pool", Test_pool.suite);
       ("faults", Test_faults.suite);
+      ("dataflow", Test_dataflow.suite);
+      ("transval", Test_transval.suite);
     ]

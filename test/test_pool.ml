@@ -426,6 +426,7 @@ let gen_config =
           opt_profile;
           inline;
           unroll;
+          deep = false;
           engine;
           telemetry = None;
           faults;

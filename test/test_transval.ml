@@ -1,0 +1,492 @@
+(* Translation validation: valid witnesses are accepted, and every
+   seeded miscompile — a mutation of a transform's output that the
+   witness no longer justifies — is rejected by the named pass with a
+   located counterexample.  The final test is the other half of the
+   contract: across the whole workload suite, every transform
+   configuration under both engines validates with zero errors (no
+   false positives). *)
+
+open Ast
+
+let check = Alcotest.check
+let cb = Alcotest.bool
+
+let clone_meth (m : Method.t) =
+  {
+    m with
+    Method.blocks =
+      Array.map
+        (fun (b : Method.block) ->
+          { b with Method.body = Array.copy b.Method.body })
+        m.Method.blocks;
+  }
+
+let no_errors what diags =
+  match Pep_check.errors diags with
+  | [] -> ()
+  | d :: _ -> Alcotest.failf "%s: unexpected %a" what Pep_check.pp_diagnostic d
+
+let rejected_by pass what diags =
+  if
+    not
+      (List.exists
+         (fun (d : Pep_check.diagnostic) ->
+           d.Pep_check.severity = Pep_check.Error && d.Pep_check.pass = pass)
+         diags)
+  then
+    Alcotest.failf "%s: expected an %s error; got:@.%a" what pass
+      Pep_check.pp_report diags
+
+(* --- inline -------------------------------------------------------- *)
+
+(* A two-argument callee with a loop (so its copies carry an [Inc] and a
+   [Br]) inlined into main. *)
+let inline_setup () =
+  let program =
+    Compile.program ~name:"t" ~main:"main"
+      [
+        mdef "acc" ~params:[ "x"; "y" ]
+          [
+            set "s" (v "y");
+            for_ "k" (i 0) (v "x") [ set "s" (add (v "s") (v "k")) ];
+            ret (v "s");
+          ];
+        mdef "main" ~params:[] [ ret (call "acc" [ i 7; i 2 ]) ];
+      ]
+  in
+  let caller = Program.find program "main" in
+  let r = Inline.expand program caller ~should_inline:(fun _ -> true) in
+  check cb "setup inlined something" true (r.Inline.inlined <> []);
+  (program, caller, r)
+
+let validate_inline (program, caller, (r : Inline.result)) meth =
+  Pep_check.validate_inline program ~source:caller ~witness:r.Inline.witness
+    meth
+
+let the_site (r : Inline.result) =
+  match r.Inline.witness.Transval.sites with
+  | [ (key, site) ] -> (key, site)
+  | sites -> Alcotest.failf "expected one inline site, got %d" (List.length sites)
+
+let test_inline_witness_accepted () =
+  let ((_, _, r) as s) = inline_setup () in
+  no_errors "pristine inline output" (validate_inline s r.Inline.meth)
+
+(* mutant 1: dropped increment inside a callee copy *)
+let test_inline_dropped_inc () =
+  let ((_, _, r) as s) = inline_setup () in
+  let _, site = the_site r in
+  let m = clone_meth r.Inline.meth in
+  let mutated = ref false in
+  Array.iter
+    (fun id ->
+      let blk = m.Method.blocks.(id) in
+      if not !mutated then
+        match
+          Array.to_list blk.Method.body
+          |> List.filter (function Instr.Inc _ -> false | _ -> true)
+        with
+        | body when List.length body < Array.length blk.Method.body ->
+            m.Method.blocks.(id) <-
+              { blk with Method.body = Array.of_list body };
+            mutated := true
+        | _ -> ())
+    site.Transval.copy_ids;
+  check cb "found an Inc to drop" true !mutated;
+  rejected_by "transval" "dropped increment" (validate_inline s m)
+
+(* mutant 2: swapped branch arms inside a callee copy *)
+let test_inline_swapped_arms () =
+  let ((_, _, r) as s) = inline_setup () in
+  let _, site = the_site r in
+  let m = clone_meth r.Inline.meth in
+  let mutated = ref false in
+  Array.iter
+    (fun id ->
+      let blk = m.Method.blocks.(id) in
+      if not !mutated then
+        match blk.Method.term with
+        | Method.Br { branch; on_true; on_false } ->
+            m.Method.blocks.(id) <-
+              {
+                blk with
+                Method.term =
+                  Method.Br { branch; on_true = on_false; on_false = on_true };
+              };
+            mutated := true
+        | Method.Ret | Method.Jmp _ -> ())
+    site.Transval.copy_ids;
+  check cb "found a Br to swap" true !mutated;
+  rejected_by "transval" "swapped branch arms" (validate_inline s m)
+
+(* the piece that performs the inlined call: ends with the argument
+   stores and zero-inits, then jumps into the entry copy *)
+let call_piece (r : Inline.result) =
+  let (b, _), _ = the_site r in
+  r.Inline.witness.Transval.first_piece.(b)
+
+(* mutant 3: argument stores in the wrong order *)
+let test_inline_swapped_arg_stores () =
+  let ((_, _, r) as s) = inline_setup () in
+  let m = clone_meth r.Inline.meth in
+  let piece = call_piece r in
+  let body = m.Method.blocks.(piece).Method.body in
+  (* the two argument stores are the first consecutive Store pair *)
+  let swapped = ref false in
+  for j = 0 to Array.length body - 2 do
+    if not !swapped then
+      match (body.(j), body.(j + 1)) with
+      | Instr.Store a, Instr.Store b when a <> b ->
+          body.(j) <- Instr.Store b;
+          body.(j + 1) <- Instr.Store a;
+          swapped := true
+      | _ -> ()
+  done;
+  check cb "found the arg stores" true !swapped;
+  rejected_by "transval" "swapped argument stores" (validate_inline s m)
+
+(* mutant 4: missing zero-initialisation of a callee local *)
+let test_inline_missing_zero_init () =
+  let ((_, _, r) as s) = inline_setup () in
+  let m = clone_meth r.Inline.meth in
+  let piece = call_piece r in
+  let blk = m.Method.blocks.(piece) in
+  let dropped = ref false in
+  let body =
+    Array.to_list blk.Method.body
+    |> List.filter (fun ins ->
+           if (not !dropped) && ins = Instr.Const 0 then begin
+             dropped := true;
+             false
+           end
+           else true)
+  in
+  check cb "found a zero-init" true !dropped;
+  m.Method.blocks.(piece) <- { blk with Method.body = Array.of_list body };
+  rejected_by "transval" "missing zero-init" (validate_inline s m)
+
+(* mutant 5: a copy reuses one of the caller's own branch ids — path and
+   edge counters would alias between caller code and the inlined body *)
+let test_inline_stale_branch_id () =
+  let program =
+    Compile.program ~name:"t" ~main:"main"
+      [
+        mdef "acc" ~params:[ "x"; "y" ]
+          [
+            set "s" (v "y");
+            for_ "k" (i 0) (v "x") [ set "s" (add (v "s") (v "k")) ];
+            ret (v "s");
+          ];
+        mdef "main" ~params:[]
+          [
+            set "t" (i 1);
+            if_
+              (gt (v "t") (i 0))
+              [ set "r" (call "acc" [ i 7; i 2 ]) ]
+              [ set "r" (i 0) ];
+            ret (v "r");
+          ];
+      ]
+  in
+  let caller = Program.find program "main" in
+  let caller_branch = List.hd (Method.branch_ids caller) in
+  let r = Inline.expand program caller ~should_inline:(fun _ -> true) in
+  check cb "inlined something" true (r.Inline.inlined <> []);
+  let _, site = the_site r in
+  let m = clone_meth r.Inline.meth in
+  let mutated = ref false in
+  Array.iter
+    (fun id ->
+      let blk = m.Method.blocks.(id) in
+      if not !mutated then
+        match blk.Method.term with
+        | Method.Br b when b.branch <> caller_branch ->
+            m.Method.blocks.(id) <-
+              {
+                blk with
+                Method.term = Method.Br { b with branch = caller_branch };
+              };
+            mutated := true
+        | Method.Br _ | Method.Ret | Method.Jmp _ -> ())
+    site.Transval.copy_ids;
+  check cb "found a copy branch" true !mutated;
+  rejected_by "transval" "aliased branch id"
+    (Pep_check.validate_inline program ~source:caller
+       ~witness:r.Inline.witness m)
+
+(* mutant 6: the callee's Ret copy jumps somewhere other than the
+   continuation — the return value would flow to the wrong point *)
+let test_inline_wrong_ret_target () =
+  let ((program, _, r) as s) = inline_setup () in
+  let _, site = the_site r in
+  let callee = Program.find program "acc" in
+  let ret_copy = site.Transval.copy_ids.(callee.Method.exit_) in
+  let m = clone_meth r.Inline.meth in
+  let blk = m.Method.blocks.(ret_copy) in
+  m.Method.blocks.(ret_copy) <-
+    { blk with Method.term = Method.Jmp site.Transval.copy_ids.(callee.Method.entry) };
+  rejected_by "transval" "wrong return target" (validate_inline s m)
+
+(* --- unroll -------------------------------------------------------- *)
+
+let unroll_setup () =
+  let program =
+    Compile.program ~name:"t" ~main:"main"
+      [
+        mdef "main" ~params:[]
+          [
+            set "s" (i 0);
+            for_ "k" (i 0) (i 40)
+              [ if_ (gt (v "k") (i 9)) [ set "s" (add (v "s") (v "k")) ] [] ];
+            ret (v "s");
+          ];
+      ]
+  in
+  let m = Program.find program "main" in
+  let r = Unroll.expand m in
+  check cb "setup unrolled a loop" true (r.Unroll.unrolled > 0);
+  (m, r)
+
+let validate_unroll (source, (r : Unroll.result)) meth =
+  Pep_check.validate_unroll ~source ~witness:r.Unroll.witness meth
+
+let n_source (m : Method.t) = Array.length m.Method.blocks
+
+let test_unroll_witness_accepted () =
+  let m, r = unroll_setup () in
+  no_errors "pristine unroll output" (validate_unroll (m, r) r.Unroll.meth)
+
+(* mutant 7: swapped branch arms in a duplicated block *)
+let test_unroll_swapped_arms () =
+  let src, r = unroll_setup () in
+  let m = clone_meth r.Unroll.meth in
+  let mutated = ref false in
+  for id = n_source src to Array.length m.Method.blocks - 1 do
+    let blk = m.Method.blocks.(id) in
+    if not !mutated then
+      match blk.Method.term with
+      | Method.Br { branch; on_true; on_false } when on_true <> on_false ->
+          m.Method.blocks.(id) <-
+            {
+              blk with
+              Method.term =
+                Method.Br { branch; on_true = on_false; on_false = on_true };
+            };
+          mutated := true
+      | Method.Br _ | Method.Ret | Method.Jmp _ -> ()
+  done;
+  check cb "found a copied Br" true !mutated;
+  rejected_by "transval" "unroll swapped arms" (validate_unroll (src, r) m)
+
+(* mutant 8: an instruction dropped from a duplicated body *)
+let test_unroll_dropped_instr () =
+  let src, r = unroll_setup () in
+  let m = clone_meth r.Unroll.meth in
+  let mutated = ref false in
+  for id = n_source src to Array.length m.Method.blocks - 1 do
+    let blk = m.Method.blocks.(id) in
+    if (not !mutated) && Array.length blk.Method.body > 0 then begin
+      m.Method.blocks.(id) <-
+        {
+          blk with
+          Method.body =
+            Array.sub blk.Method.body 0 (Array.length blk.Method.body - 1);
+        };
+      mutated := true
+    end
+  done;
+  check cb "found a copied body" true !mutated;
+  rejected_by "transval" "unroll dropped instruction" (validate_unroll (src, r) m)
+
+(* mutant 9: wrong epilogue — the original tail jumps past the copied
+   header into the middle of the copied body, skipping the trip test *)
+let test_unroll_wrong_epilogue () =
+  let src, r = unroll_setup () in
+  let n = n_source src in
+  let sigma = r.Unroll.witness.Transval.src_of in
+  let m = clone_meth r.Unroll.meth in
+  (* the copied header is whatever the retargeted original back edge now
+     points at; redirect it to a different copy *)
+  let mutated = ref false in
+  Array.iteri
+    (fun id (blk : Method.block) ->
+      if id < n && not !mutated then
+        let redirect t =
+          if t >= n && not !mutated then begin
+            match
+              Array.to_list
+                (Array.init (Array.length sigma - n) (fun j -> j + n))
+              |> List.find_opt (fun c -> sigma.(c) <> sigma.(t))
+            with
+            | Some other ->
+                mutated := true;
+                other
+            | None -> t
+          end
+          else t
+        in
+        let term =
+          match blk.Method.term with
+          | Method.Ret -> Method.Ret
+          | Method.Jmp d -> Method.Jmp (redirect d)
+          | Method.Br { branch; on_true; on_false } ->
+              let on_true = redirect on_true in
+              let on_false = redirect on_false in
+              Method.Br { branch; on_true; on_false }
+        in
+        m.Method.blocks.(id) <- { blk with Method.term = term })
+    r.Unroll.meth.Method.blocks;
+  check cb "found the unroll epilogue edge" true !mutated;
+  rejected_by "transval" "unroll wrong epilogue" (validate_unroll (src, r) m)
+
+(* --- layout -------------------------------------------------------- *)
+
+let layout_setup () =
+  let w = Suite.find "compress" in
+  let program = Workload.program ~size:40 w in
+  let st = Machine.create ~seed:5 program in
+  (* pick a method with a branch so prediction matters *)
+  let midx =
+    let found = ref (-1) in
+    Program.iter_methods
+      (fun i m -> if !found < 0 && Method.n_branches m > 0 then found := i)
+      program;
+    !found
+  in
+  let cm = Machine.cmeth st midx in
+  let lay = Layout.natural cm.Machine.cfg in
+  Layout.apply st midx lay;
+  (st, midx, cm, lay)
+
+let validate_layout (st : Machine.t) (cm : Machine.cmeth) ~pos ~predict =
+  let cost = st.Machine.cost in
+  Pep_check.validate_layout cm.Machine.cfg ~pos ~predict_taken:predict
+    ~edge_extra:(fun b idx -> cm.Machine.edge_extra.(b).(idx))
+    ~taken_penalty:cost.Cost_model.taken_branch_penalty
+    ~mispredict_penalty:cost.Cost_model.mispredict_penalty
+
+let test_layout_witness_accepted () =
+  let st, _, cm, lay = layout_setup () in
+  no_errors "pristine layout"
+    (validate_layout st cm ~pos:(Layout.positions lay)
+       ~predict:(Layout.predicted lay))
+
+(* mutant 10: stale layout map — computed against a smaller CFG *)
+let test_layout_stale_map () =
+  let st, _, cm, lay = layout_setup () in
+  let pos = Layout.positions lay in
+  let stale = Array.sub pos 0 (Array.length pos - 1) in
+  rejected_by "transval" "stale layout map"
+    (validate_layout st cm ~pos:stale ~predict:(Layout.predicted lay))
+
+(* mutant 11: position map that is not a permutation *)
+let test_layout_not_permutation () =
+  let st, _, cm, lay = layout_setup () in
+  let pos = Layout.positions lay in
+  pos.(0) <- pos.(1);
+  rejected_by "transval" "non-permutation layout"
+    (validate_layout st cm ~pos ~predict:(Layout.predicted lay))
+
+(* mutant 12: tampered edge penalty — the installed cost disagrees with
+   the formula for the claimed layout *)
+let test_layout_tampered_extra () =
+  let st, _, cm, lay = layout_setup () in
+  let b =
+    let found = ref (-1) in
+    Cfg.iter_blocks
+      (fun b ->
+        if !found < 0 && Cfg.successors cm.Machine.cfg b <> [] then found := b)
+      cm.Machine.cfg;
+    !found
+  in
+  cm.Machine.edge_extra.(b).(0) <- cm.Machine.edge_extra.(b).(0) + 1;
+  rejected_by "transval" "tampered edge penalty"
+    (validate_layout st cm ~pos:(Layout.positions lay)
+       ~predict:(Layout.predicted lay))
+
+(* --- driver integration -------------------------------------------- *)
+
+(* Through the driver, a full adaptive run over a transformed workload
+   validates cleanly: witnesses flow from the transforms into the
+   stage-labelled transval passes and none reports an error. *)
+let test_driver_transval_labels () =
+  let w = Suite.find "jack" in
+  let env = Exp_harness.make_env ~size:120 ~seed:11 w in
+  let config =
+    { Exp_harness.default with inline = true; unroll = true; deep = true }
+  in
+  let r = Exp_harness.replay env config in
+  let checks = Driver.checks r.Exp_harness.driver in
+  no_errors "transformed jack replay" checks;
+  check cb "no transval pass errored" true
+    (List.for_all
+       (fun (d : Pep_check.diagnostic) ->
+         d.Pep_check.severity <> Pep_check.Error)
+       checks)
+
+(* --- zero false positives across the suite ------------------------- *)
+
+let engine_name = function `Threaded -> "threaded" | `Oracle -> "oracle"
+
+let test_suite_no_false_positives () =
+  List.iter
+    (fun (w : Workload.t) ->
+      let size = max 1 (w.Workload.default_size / 5) in
+      let env = Exp_harness.make_env ~size ~seed:11 w in
+      List.iter
+        (fun engine ->
+          List.iter
+            (fun (key, inline, unroll) ->
+              let config =
+                { Exp_harness.default with inline; unroll; deep = true; engine }
+              in
+              let r = Exp_harness.replay env config in
+              match Pep_check.errors (Driver.checks r.Exp_harness.driver) with
+              | [] -> ()
+              | d :: _ ->
+                  Alcotest.failf "%s %s/%s: %a" w.Workload.name
+                    (engine_name engine) key Pep_check.pp_diagnostic d)
+            [
+              ("base", false, false);
+              ("inline", true, false);
+              ("unroll", false, true);
+              ("inline+unroll", true, true);
+            ])
+        [ `Threaded; `Oracle ])
+    Suite.all
+
+let suite =
+  [
+    Alcotest.test_case "inline witness accepted" `Quick
+      test_inline_witness_accepted;
+    Alcotest.test_case "inline: dropped increment" `Quick test_inline_dropped_inc;
+    Alcotest.test_case "inline: swapped branch arms" `Quick
+      test_inline_swapped_arms;
+    Alcotest.test_case "inline: swapped arg stores" `Quick
+      test_inline_swapped_arg_stores;
+    Alcotest.test_case "inline: missing zero-init" `Quick
+      test_inline_missing_zero_init;
+    Alcotest.test_case "inline: stale branch id" `Quick
+      test_inline_stale_branch_id;
+    Alcotest.test_case "inline: wrong return target" `Quick
+      test_inline_wrong_ret_target;
+    Alcotest.test_case "unroll witness accepted" `Quick
+      test_unroll_witness_accepted;
+    Alcotest.test_case "unroll: swapped branch arms" `Quick
+      test_unroll_swapped_arms;
+    Alcotest.test_case "unroll: dropped instruction" `Quick
+      test_unroll_dropped_instr;
+    Alcotest.test_case "unroll: wrong epilogue" `Quick
+      test_unroll_wrong_epilogue;
+    Alcotest.test_case "layout witness accepted" `Quick
+      test_layout_witness_accepted;
+    Alcotest.test_case "layout: stale map" `Quick test_layout_stale_map;
+    Alcotest.test_case "layout: not a permutation" `Quick
+      test_layout_not_permutation;
+    Alcotest.test_case "layout: tampered penalty" `Quick
+      test_layout_tampered_extra;
+    Alcotest.test_case "driver transval labels" `Quick
+      test_driver_transval_labels;
+    Alcotest.test_case "suite: no false positives" `Slow
+      test_suite_no_false_positives;
+  ]

@@ -156,6 +156,7 @@ let test_driver_with_pep () =
       inline = false;
       unroll = false;
       verify = true;
+      deep_verify = false;
       engine = `Threaded;
       telemetry = None;
       faults = None;
