@@ -9,13 +9,15 @@
    Recognized extra flags: --scale F (resize workloads), --seed N,
    --jobs N (shard runs over N worker domains), --cache-dir DIR
    (persistent on-disk run cache), --no-cache (ignore --cache-dir),
-   --micro (microbenchmarks only).  --micro also writes the execution
-   engine comparison (interpreter oracle vs closure-threaded code) to
-   BENCH_engine.json. *)
+   --micro (microbenchmarks only), --json-out FILE (where the engine
+   comparison JSON goes; default BENCH_engine.json).  The micro pass
+   also writes the execution engine comparison (interpreter oracle vs
+   flat threaded code, fused and unfused) to that file. *)
 
 let parse_args () =
   let ids = ref [] and scale = ref 1.0 and seed = ref 42 and micro = ref false in
   let jobs = ref 1 and cache_dir = ref None and no_cache = ref false in
+  let json_out = ref "BENCH_engine.json" in
   let rec go = function
     | [] -> ()
     | "--scale" :: v :: rest ->
@@ -36,6 +38,9 @@ let parse_args () =
     | "--micro" :: rest ->
         micro := true;
         go rest
+    | "--json-out" :: v :: rest ->
+        json_out := v;
+        go rest
     | id :: rest ->
         if not (List.mem id Exp_figures.ids) then begin
           Printf.eprintf "unknown experiment %s (known: %s)\n" id
@@ -47,7 +52,7 @@ let parse_args () =
   in
   go (List.tl (Array.to_list Sys.argv));
   let cache_dir = if !no_cache then None else !cache_dir in
-  (List.rev !ids, !scale, !seed, !jobs, cache_dir, !micro)
+  (List.rev !ids, !scale, !seed, !jobs, cache_dir, !micro, !json_out)
 
 let print_cache_report caches =
   let tot f = List.fold_left (fun acc c -> acc + f (Exp_cache.stats c)) 0 caches in
@@ -85,6 +90,28 @@ let run_figures ids scale seed jobs cache_dir =
 
 open Bechamel
 open Toolkit
+
+(* Each micro is measured in its own Bechamel run, preceded by a major
+   GC + compaction so one test's garbage never lands in another's
+   measurement window.  Sub-100ns operations are additionally batched:
+   the staged closure runs the operation [batch] times and the OLS
+   estimate is divided back down, which pushes the per-run cost far
+   above the clock/loop overhead that otherwise dominates the residue
+   (prng-next used to report r² 0.03; batched it is ~1.0). *)
+type micro = { mtest : Test.t; batch : int }
+
+let one ?(batch = 1) ~name fn =
+  if batch = 1 then { mtest = Test.make ~name (Staged.stage fn); batch }
+  else
+    {
+      mtest =
+        Test.make ~name
+          (Staged.stage (fun () ->
+               for _ = 1 to batch do
+                 fn ()
+               done));
+      batch;
+    }
 
 let micro_tests () =
   (* a mid-sized method with loops and branches as the common subject *)
@@ -127,139 +154,328 @@ let micro_tests () =
   let sampler = Sampling.create (Sampling.pep ~samples:64 ~stride:17) in
   [
     (* fig6/fig7 machinery: instrumentation plan construction per compile *)
-    Test.make ~name:"pass/dag-build"
-      (Staged.stage (fun () -> ignore (Dag.build Dag.Loop_header cfg)));
-    Test.make ~name:"pass/ball-larus-numbering"
-      (Staged.stage (fun () -> ignore (Numbering.ball_larus dag)));
-    Test.make ~name:"pass/smart-numbering"
-      (Staged.stage (fun () -> ignore (Numbering.smart ~freq dag)));
-    Test.make ~name:"pass/instrument-plan"
-      (Staged.stage (fun () -> ignore (Instrument.of_numbering numbering)));
+    one ~batch:4 ~name:"pass/dag-build" (fun () -> ignore (Dag.build Dag.Loop_header cfg));
+    one ~batch:64 ~name:"pass/ball-larus-numbering" (fun () ->
+        ignore (Numbering.ball_larus dag));
+    one ~batch:16 ~name:"pass/smart-numbering" (fun () ->
+        ignore (Numbering.smart ~freq dag));
+    one ~batch:32 ~name:"pass/instrument-plan" (fun () ->
+        ignore (Instrument.of_numbering numbering));
     (* fig8/fig9 machinery: what a sample costs the runtime *)
-    Test.make ~name:"sample/reconstruct-path"
-      (Staged.stage (fun () ->
-           ignore (Reconstruct.cfg_edges numbering (n_paths / 2))));
-    Test.make ~name:"sample/sampler-step"
-      (Staged.stage (fun () ->
-           if not (Sampling.active sampler) then Sampling.activate sampler;
-           ignore (Sampling.step sampler)));
-    Test.make ~name:"sample/static-ops"
-      (Staged.stage (fun () -> ignore (Instrument.static_ops plan)));
+    one ~batch:128 ~name:"sample/reconstruct-path" (fun () ->
+        ignore (Reconstruct.cfg_edges numbering (n_paths / 2)));
+    one ~batch:4096 ~name:"sample/sampler-step" (fun () ->
+        if not (Sampling.active sampler) then Sampling.activate sampler;
+        ignore (Sampling.step sampler));
+    one ~batch:64 ~name:"sample/static-ops" (fun () ->
+        ignore (Instrument.static_ops plan));
     (* the substrate itself *)
-    Test.make ~name:"vm/interp-100-iter-loop"
-      (Staged.stage (fun () ->
-           let st = Machine.create ~seed:1 tiny_program in
-           ignore (Interp.run Interp.no_hooks st)));
-    Test.make ~name:"vm/prng-next"
-      (let prng = Prng.create ~seed:9 in
-       Staged.stage (fun () -> ignore (Prng.next prng)));
+    one ~batch:4 ~name:"vm/interp-100-iter-loop" (fun () ->
+        let st = Machine.create ~seed:1 tiny_program in
+        ignore (Interp.run Interp.no_hooks st));
+    (let prng = Prng.create ~seed:9 in
+     one ~batch:4096 ~name:"vm/prng-next" (fun () -> ignore (Prng.next prng)));
     (* fig10/fig11 machinery: layout computation per opt-compile *)
-    Test.make ~name:"opt/layout-compute"
-      (let prof = (fst profile_pair).(0) in
-       Staged.stage (fun () -> ignore (Layout.compute cfg prof)));
+    (let prof = (fst profile_pair).(0) in
+     one ~batch:2 ~name:"opt/layout-compute" (fun () -> ignore (Layout.compute cfg prof)));
     (* accuracy metrics over a 64-branch profile *)
-    Test.make ~name:"metric/relative-overlap"
-      (let actual, estimated = profile_pair in
-       Staged.stage (fun () ->
-           ignore (Accuracy.relative_overlap ~actual ~estimated)));
-    Test.make ~name:"metric/absolute-overlap"
-      (let actual, estimated = profile_pair in
-       Staged.stage (fun () ->
-           ignore (Accuracy.absolute_overlap ~actual ~estimated)));
+    (let actual, estimated = profile_pair in
+     one ~batch:8 ~name:"metric/relative-overlap" (fun () ->
+         ignore (Accuracy.relative_overlap ~actual ~estimated)));
+    (let actual, estimated = profile_pair in
+     one ~batch:4 ~name:"metric/absolute-overlap" (fun () ->
+         ignore (Accuracy.absolute_overlap ~actual ~estimated)));
   ]
 
 (* Oracle-vs-threaded engine comparison (DESIGN.md "Execution engine").
    Machines are created once, outside the staged closures, so the
    measured cost is steady-state execution: the interpreter's dispatch
-   loop vs compiled closure chains with warm inline caches. *)
-let engine_tests () =
-  let call_heavy =
-    Compile.program ~name:"call_heavy" ~main:"main"
-      Ast.
-        [
-          mdef "fib" ~params:[ "n" ]
-            [
-              if_ (lt (v "n") (i 2))
-                [ ret (v "n") ]
-                [
-                  ret
-                    (add
-                       (call "fib" [ sub (v "n") (i 1) ])
-                       (call "fib" [ sub (v "n") (i 2) ]));
-                ];
-            ];
-          mdef "leaf" ~params:[ "a"; "b" ]
-            [ ret (add (mul (v "a") (i 3)) (band (v "b") (i 1023))) ];
-          mdef "main" ~params:[]
-            [
-              set "s" (call "fib" [ i 14 ]);
-              for_ "k" (i 0) (i 300)
-                [ set "s" (add (v "s") (call "leaf" [ v "k"; v "s" ])) ];
-              ret (v "s");
-            ];
-        ]
-  in
-  let branch_heavy =
-    Compile.program ~name:"branch_heavy" ~main:"main"
-      Ast.
-        [
-          mdef "main" ~params:[]
-            [
-              set "s" (i 0);
-              for_ "k" (i 0) (i 500)
-                [
-                  if_ (eq (band (v "k") (i 1)) (i 0))
-                    [ set "s" (add (v "s") (v "k")) ]
-                    [
-                      if_ (lt (v "s") (i 100_000))
-                        [ set "s" (mul (v "s") (i 2)) ]
-                        [ set "s" (sub (v "s") (v "k")) ];
-                    ];
-                  switch
-                    (band (v "k") (i 3))
-                    [
-                      (0, [ set "s" (add (v "s") (i 1)) ]);
-                      (1, [ set "s" (bxor (v "s") (i 21)) ]);
-                      (2, [ set "s" (add (v "s") (i 3)) ]);
-                    ]
-                    [ set "s" (sub (v "s") (i 1)) ];
-                ];
-              ret (v "s");
-            ];
-        ]
-  in
-  let pair tag program =
-    let st_o = Machine.create ~seed:7 program in
-    let st_t = Machine.create ~seed:7 program in
-    let eng = Codegen.create st_t in
-    ignore (Codegen.run eng) (* translate up front; caches warm *);
-    [
-      Test.make
-        ~name:(Printf.sprintf "engine/oracle-%s" tag)
-        (Staged.stage (fun () -> ignore (Interp.run Interp.no_hooks st_o)));
-      Test.make
-        ~name:(Printf.sprintf "engine/threaded-%s" tag)
-        (Staged.stage (fun () -> ignore (Codegen.run eng)));
-    ]
-  in
-  pair "call-heavy" call_heavy @ pair "branch-heavy" branch_heavy
+   loop vs flat threaded code with warm inline caches, with and without
+   profile-guided superinstruction fusion. *)
 
-let write_engine_json ~seed ~wall rows =
-  let ns suffix =
-    match
-      List.find_opt (fun (n, _, _) -> String.ends_with ~suffix n) rows
-    with
-    | Some (_, e, _) -> e
+(* Hot-block masks for the fusion planner, derived the same way the
+   driver derives them — from the VM's own PEP edge profile, collected
+   by a short PEP(64,17)-profiled run of the same program. *)
+let pep_hot_masks program =
+  let st = Machine.create ~seed:7 program in
+  let d =
+    Driver.create
+      {
+        Driver.default_options with
+        opt_profile = Driver.From_pep;
+        pep =
+          Some
+            {
+              Driver.sampling = Sampling.pep ~samples:64 ~stride:17;
+              zero = `Hottest;
+              numbering = `Smart;
+            };
+      }
+      st
+  in
+  ignore (Driver.run d);
+  ignore (Driver.run d);
+  let n_methods = Program.n_methods program in
+  let edges =
+    match Driver.pep d with
+    | Some p -> p.Pep.edges
+    | None -> Edge_profile.create_table ~n_methods
+  in
+  Array.init n_methods (fun midx ->
+      let cfg = To_cfg.cfg (Program.method_of_index program midx) in
+      let freqs = Freq_estimate.block_freqs cfg edges.(midx) in
+      let top = Array.fold_left Float.max 0.0 freqs in
+      Array.map (fun f -> f > 0.0 && f >= 0.02 *. top) freqs)
+
+(* The two gated engine micros.  call-heavy: ~1300 calls per run (a
+   call every ~25 bytecode instructions) through recursive fib plus a
+   polymorphic-helper loop whose leaves carry realistic branchy bodies;
+   branch-heavy: a tight loop of data-dependent if/else and switch
+   dispatch with no calls at all. *)
+let call_heavy_program () =
+  Compile.program ~name:"call_heavy" ~main:"main"
+    Ast.
+      [
+        mdef "fib" ~params:[ "n" ]
+          [
+            if_ (lt (v "n") (i 2))
+              [ ret (v "n") ]
+              [
+                ret
+                  (add
+                     (call "fib" [ sub (v "n") (i 1) ])
+                     (call "fib" [ sub (v "n") (i 2) ]));
+              ];
+          ];
+        mdef "clamp" ~params:[ "x"; "lo"; "hi" ]
+          [
+            if_ (lt (v "x") (v "lo")) [ ret (v "lo") ] [];
+            if_ (gt (v "x") (v "hi")) [ ret (v "hi") ] [];
+            ret (v "x");
+          ];
+        mdef "mix" ~params:[ "a"; "b" ]
+          [
+            set "x" (add (mul (v "a") (i 3)) (band (v "b") (i 1023)));
+            switch
+              (band (v "x") (i 15))
+              [
+                (0, [ set "x" (add (v "x") (v "b")) ]);
+                (1, [ set "x" (bxor (v "x") (v "a")) ]);
+                (2, [ set "x" (sub (v "x") (i 5)) ]);
+                (3, [ set "x" (add (v "x") (i 9)) ]);
+                (4, [ set "x" (bxor (v "x") (i 255)) ]);
+                (5, [ set "x" (add (v "x") (v "a")) ]);
+                (6, [ set "x" (sub (v "x") (v "a")) ]);
+                (7, [ set "x" (bxor (v "x") (i 85)) ]);
+                (8, [ set "x" (add (v "x") (i 17)) ]);
+                (9, [ set "x" (bxor (v "x") (i 51)) ]);
+                (10, [ set "x" (sub (v "x") (i 2)) ]);
+                (11, [ set "x" (add (v "x") (i 33)) ]);
+              ]
+              [ set "x" (sub (v "x") (v "b")) ];
+            switch
+              (band (v "b") (i 3))
+              [
+                (0, [ set "x" (add (v "x") (i 1)) ]);
+                (1, [ set "x" (bxor (v "x") (i 21)) ]);
+                (2, [ set "x" (add (v "x") (i 3)) ]);
+              ]
+              [ set "x" (sub (v "x") (i 1)) ];
+            if_ (eq (band (v "x") (i 1)) (i 0))
+              [ set "x" (add (v "x") (v "b")) ]
+              [ set "x" (bxor (v "x") (v "a")) ];
+            ret (band (v "x") (i 0xFFFFF));
+          ];
+        mdef "main" ~params:[]
+          [
+            set "s" (call "fib" [ i 9 ]);
+            for_ "k" (i 0) (i 300)
+              [
+                set "s" (call "mix" [ v "k"; v "s" ]);
+                set "t" (call "mix" [ v "s"; v "k" ]);
+                set "s" (add (v "s") (call "clamp" [ v "t"; i 0; i 65535 ]));
+                set "s" (call "mix" [ v "s"; v "t" ]);
+              ];
+            ret (v "s");
+          ];
+      ]
+
+let branch_heavy_program () =
+  Compile.program ~name:"branch_heavy" ~main:"main"
+    Ast.
+      [
+        mdef "main" ~params:[]
+          [
+            set "s" (i 0);
+            for_ "k" (i 0) (i 500)
+              [
+                if_ (eq (band (v "k") (i 1)) (i 0))
+                  [ set "s" (add (v "s") (v "k")) ]
+                  [
+                    if_ (lt (v "s") (i 100_000))
+                      [ set "s" (mul (v "s") (i 2)) ]
+                      [ set "s" (sub (v "s") (v "k")) ];
+                  ];
+                switch
+                  (band (v "k") (i 3))
+                  [
+                    (0, [ set "s" (add (v "s") (i 1)) ]);
+                    (1, [ set "s" (bxor (v "s") (i 21)) ]);
+                    (2, [ set "s" (add (v "s") (i 3)) ]);
+                  ]
+                  [ set "s" (sub (v "s") (i 1)) ];
+              ];
+            ret (v "s");
+          ];
+      ]
+
+(* Per-micro machines and engines, shared by the Bechamel rows and the
+   speedup measurement.  [batches] are the Bechamel batching factors
+   (oracle, fused, nofuse), sized so each staged call runs long enough
+   for a clean OLS fit. *)
+type engine_setup = {
+  etag : string;
+  oracle_st : Machine.t;
+  e_fused : Codegen.t;
+  e_nofuse : Codegen.t;
+  batches : int * int * int;
+}
+
+let nofuse_tiers = { Codegen.default_tiers with Codegen.fuse = false }
+
+let engine_setups () =
+  List.map
+    (fun (etag, program, batches) ->
+      let masks = pep_hot_masks program in
+      let engine_with tiers =
+        let st = Machine.create ~seed:7 program in
+        let eng = Codegen.create ~tiers st in
+        Array.iteri (fun midx hot -> Codegen.set_hot_blocks eng midx hot) masks;
+        ignore (Codegen.run eng) (* translate up front; caches warm *);
+        eng
+      in
+      {
+        etag;
+        oracle_st = Machine.create ~seed:7 program;
+        e_fused = engine_with Codegen.default_tiers;
+        e_nofuse = engine_with nofuse_tiers;
+        batches;
+      })
+    [
+      ("call-heavy", call_heavy_program (), (1, 4, 2));
+      ("branch-heavy", branch_heavy_program (), (4, 8, 4));
+    ]
+
+let engine_tests setups =
+  List.concat_map
+    (fun s ->
+      let bo, bf, bn = s.batches in
+      [
+        one ~batch:bo
+          ~name:(Printf.sprintf "engine/oracle-%s" s.etag)
+          (fun () -> ignore (Interp.run Interp.no_hooks s.oracle_st));
+        one ~batch:bf
+          ~name:
+            (Printf.sprintf "engine/%s-%s"
+               (Codegen.tier_name Codegen.default_tiers)
+               s.etag)
+          (fun () -> ignore (Codegen.run s.e_fused));
+        (* fusion ablation: same flat engine, superinstructions off *)
+        one ~batch:bn
+          ~name:
+            (Printf.sprintf "engine/%s-%s" (Codegen.tier_name nofuse_tiers)
+               s.etag)
+          (fun () -> ignore (Codegen.run s.e_nofuse));
+      ])
+    setups
+
+(* The official speedup numbers.  Per-variant Bechamel runs happen in
+   disjoint time windows, so host interference between windows lands
+   directly in any ratio of their estimates.  Instead the variants are
+   timed round-robin in small chunks inside the same window and the
+   reported speedup is the ratio of per-variant minima: on a
+   steal-noisy virtualized host the minimum chunk is each variant's
+   uninterrupted cost, which is the quantity the ratio is about.  The
+   median of per-round ratios is reported alongside as a
+   drift-conservative second opinion. *)
+let time_group iters fns =
+  let k = Array.length fns in
+  Array.iter (fun f -> ignore (f ()); ignore (f ())) fns;
+  let rounds = 96 in
+  let per = max 1 (iters / rounds) in
+  let dts = Array.make_matrix rounds k infinity in
+  for r = 0 to rounds - 1 do
+    for j = 0 to k - 1 do
+      let f = fns.(j) in
+      let t0 = Unix.gettimeofday () in
+      for _ = 1 to per do
+        ignore (f ())
+      done;
+      dts.(r).(j) <- (Unix.gettimeofday () -. t0) /. float_of_int per
+    done
+  done;
+  dts
+
+let min_ratio dts num den =
+  let best j =
+    Array.fold_left (fun acc (row : float array) -> Float.min acc row.(j))
+      infinity dts
+  in
+  best num /. best den
+
+let median_ratio dts num den =
+  let rs = Array.map (fun (row : float array) -> row.(num) /. row.(den)) dts in
+  Array.sort compare rs;
+  rs.(Array.length rs / 2)
+
+(* (tag, fused speedup, nofuse speedup, fused median-of-ratios).
+   Three independent passes per workload, minima pooled across all
+   rounds: a steal burst long enough to taint one whole pass still
+   leaves the others' minima intact. *)
+let engine_speedups setups =
+  List.map
+    (fun s ->
+      let fns =
+        [|
+          (fun () -> Interp.run Interp.no_hooks s.oracle_st);
+          (fun () -> Codegen.run s.e_fused);
+          (fun () -> Codegen.run s.e_nofuse);
+        |]
+      in
+      let dts =
+        Array.concat
+          (List.init 3 (fun _ ->
+               Gc.compact ();
+               time_group 4800 fns))
+      in
+      (s.etag, min_ratio dts 0 1, min_ratio dts 0 2, median_ratio dts 0 1))
+    setups
+
+let write_engine_json ~seed ~wall ~json_out ~speedups rows =
+  let tier = Codegen.tier_name Codegen.default_tiers in
+  let pick f tag =
+    match List.find_opt (fun (t, _, _, _) -> t = tag) speedups with
+    | Some s -> f s
     | None -> nan
   in
-  let speedup tag =
-    ns ("engine/oracle-" ^ tag) /. ns ("engine/threaded-" ^ tag)
-  in
-  let oc = open_out "BENCH_engine.json" in
+  let speedup = pick (fun (_, f, _, _) -> f) in
+  let speedup_nofuse = pick (fun (_, _, n, _) -> n) in
+  let speedup_median = pick (fun (_, _, _, m) -> m) in
+  let oc = open_out json_out in
   Printf.fprintf oc "{\n  \"seed\": %d,\n  \"suite_wall_clock_s\": %.3f,\n"
     seed wall;
-  Printf.fprintf oc "  \"speedup\": { \"call_heavy\": %.2f, \"branch_heavy\": %.2f },\n"
+  Printf.fprintf oc "  \"engine_tier\": \"%s\",\n" tier;
+  Printf.fprintf oc
+    "  \"speedup\": { \"call_heavy\": %.2f, \"branch_heavy\": %.2f },\n"
     (speedup "call-heavy") (speedup "branch-heavy");
+  Printf.fprintf oc
+    "  \"speedup_nofuse\": { \"call_heavy\": %.2f, \"branch_heavy\": %.2f },\n"
+    (speedup_nofuse "call-heavy")
+    (speedup_nofuse "branch-heavy");
+  Printf.fprintf oc
+    "  \"speedup_median\": { \"call_heavy\": %.2f, \"branch_heavy\": %.2f },\n"
+    (speedup_median "call-heavy")
+    (speedup_median "branch-heavy");
   Printf.fprintf oc "  \"results\": [\n";
   let rows = List.sort compare rows in
   List.iteri
@@ -272,47 +488,71 @@ let write_engine_json ~seed ~wall rows =
   Printf.fprintf oc "  ]\n}\n";
   close_out oc;
   Printf.printf
-    "\n[engine: threaded is %.2fx (call-heavy) / %.2fx (branch-heavy) vs \
-     oracle; BENCH_engine.json written]\n%!"
-    (speedup "call-heavy") (speedup "branch-heavy")
+    "\n[engine: %s is %.2fx (call-heavy) / %.2fx (branch-heavy) vs oracle; \
+     %s written]\n%!"
+    tier (speedup "call-heavy") (speedup "branch-heavy") json_out
 
-let run_micro ~seed () =
+let run_micro ~seed ~json_out () =
   let t0 = Unix.gettimeofday () in
   Printf.printf "\n=== microbenchmarks (Bechamel, ns/run) ===\n%!";
-  let tests =
-    Test.make_grouped ~name:"pep" (micro_tests () @ engine_tests ())
-  in
-  let cfg =
-    Benchmark.cfg ~limit:2000 ~quota:(Time.second 0.4) ~kde:None ()
-  in
-  let raw = Benchmark.all cfg [ Instance.monotonic_clock ] tests in
+  let cfg = Benchmark.cfg ~limit:3000 ~quota:(Time.second 1.0) ~kde:None () in
   let ols =
     Analyze.ols ~bootstrap:0 ~r_square:true ~predictors:[| Measure.run |]
   in
-  let results = Analyze.all ols Instance.monotonic_clock raw in
-  let rows =
+  let setups = engine_setups () in
+  (* One Bechamel run per test, each from a compacted heap, so the
+     allocation profile of one measurement never pollutes the next.  A
+     run whose OLS fit comes back poor was interrupted by the host
+     (steal time lands in the residuals, not the slope), so it is
+     retried a few times and the best-fitting attempt kept. *)
+  let measure m =
+    Gc.compact ();
+    let grouped = Test.make_grouped ~name:"pep" [ m.mtest ] in
+    let raw = Benchmark.all cfg [ Instance.monotonic_clock ] grouped in
+    let results = Analyze.all ols Instance.monotonic_clock raw in
     Hashtbl.fold
       (fun name ols acc ->
         let estimate =
           match Analyze.OLS.estimates ols with
-          | Some (e :: _) -> e
+          | Some (e :: _) -> e /. float_of_int m.batch
           | Some [] | None -> nan
         in
         let r2 = Option.value ~default:nan (Analyze.OLS.r_square ols) in
         (name, estimate, r2) :: acc)
       results []
   in
+  let rec best_of m tries best =
+    let rows = measure m in
+    let r2_of rows =
+      List.fold_left (fun acc (_, _, r2) -> Float.min acc r2) infinity rows
+    in
+    let best =
+      match best with
+      | Some prev when r2_of prev >= r2_of rows -> Some prev
+      | _ -> Some rows
+    in
+    if r2_of (Option.get best) >= 0.9 || tries >= 5 then Option.get best
+    else best_of m (tries + 1) best
+  in
+  let rows =
+    List.concat_map
+      (fun m -> best_of m 1 None)
+      (micro_tests () @ engine_tests setups)
+  in
   List.iter
     (fun (name, estimate, r2) ->
-      Printf.printf "%-32s %12.1f ns/run   r²=%.4f\n" name estimate r2)
+      Printf.printf "%-40s %12.1f ns/run   r²=%.4f\n" name estimate r2)
     (List.sort compare rows);
-  write_engine_json ~seed ~wall:(Unix.gettimeofday () -. t0) rows
+  let speedups = engine_speedups setups in
+  write_engine_json ~seed
+    ~wall:(Unix.gettimeofday () -. t0)
+    ~json_out ~speedups rows
 
 let () =
-  let ids, scale, seed, jobs, cache_dir, micro_only = parse_args () in
-  if micro_only then run_micro ~seed ()
+  let ids, scale, seed, jobs, cache_dir, micro_only, json_out = parse_args () in
+  if micro_only then run_micro ~seed ~json_out ()
   else if ids <> [] then run_figures ids scale seed jobs cache_dir
   else begin
     run_figures Exp_figures.ids scale seed jobs cache_dir;
-    run_micro ~seed ()
+    run_micro ~seed ~json_out ()
   end

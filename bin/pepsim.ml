@@ -934,9 +934,18 @@ let check_cmd =
                (fun (d : Pep_check.diagnostic) -> d.severity = Pep_check.Warning)
                diags)
         in
+        (* deep runs audit one worst-case fusion table per method; the
+           count lets CI assert the pass actually covered the target *)
+        let n_fusion =
+          List.length
+            (List.filter
+               (fun (d : Pep_check.diagnostic) ->
+                 d.pass = "fusion" && d.severity = Pep_check.Info)
+               diags)
+        in
         bench_rows :=
           (label, Program.n_methods program, static_s, sweep_s,
-           List.length sweep, n_err, n_warn)
+           List.length sweep, n_err, n_warn, n_fusion)
           :: !bench_rows;
         if n_err > 0 then begin
           failed := true;
@@ -962,12 +971,12 @@ let check_cmd =
           (Unix.gettimeofday () -. t_start);
         let rows = List.rev !bench_rows in
         List.iteri
-          (fun j (label, methods, static_s, sweep_s, configs, errs, warns) ->
+          (fun j (label, methods, static_s, sweep_s, configs, errs, warns, fus) ->
             Printf.fprintf oc
               "    { \"name\": \"%s\", \"methods\": %d, \"static_s\": %.3f, \
                \"sweep_s\": %.3f, \"sweep_configs\": %d, \"errors\": %d, \
-               \"warnings\": %d }%s\n"
-              label methods static_s sweep_s configs errs warns
+               \"warnings\": %d, \"fusion_tables\": %d }%s\n"
+              label methods static_s sweep_s configs errs warns fus
               (if j = List.length rows - 1 then "" else ","))
           rows;
         Printf.fprintf oc "  ]\n}\n";

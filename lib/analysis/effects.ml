@@ -61,6 +61,11 @@ let instr_effect (ins : Instr.t) =
   | Instr.Pop ->
       pure
 
+let block_summary (blk : Method.block) =
+  Array.fold_left
+    (fun acc ins -> union acc (instr_effect ins))
+    pure blk.Method.body
+
 type summary = { blocks : t array array; methods : t array }
 
 let summarize (p : Program.t) =

@@ -41,6 +41,11 @@ val observable : t -> bool
     superinstruction?  Requires no call; everything else folds. *)
 val fusable : t -> bool
 
+(** Syntactic effect of one block in isolation — no program context, so
+    it works on optimizer-transformed bodies that exist only inside the
+    machine.  Agrees with {!block_effect} on program members. *)
+val block_summary : Method.block -> t
+
 type summary
 
 val summarize : Program.t -> summary

@@ -35,6 +35,7 @@ type config = {
   unroll : bool;
   deep : bool;
   engine : Driver.engine;
+  tiers : Codegen.tiers;
   telemetry : Telemetry.t option;
   faults : Fault_plan.t;
 }
@@ -47,6 +48,7 @@ let default =
     unroll = false;
     deep = false;
     engine = `Threaded;
+    tiers = Codegen.default_tiers;
     telemetry = None;
     faults = Fault_plan.empty;
   }
@@ -87,7 +89,7 @@ let config_key c =
   if c.deep then Buffer.add_string buf "+deep";
   (match c.engine with
   | `Oracle -> Buffer.add_string buf "+oracle"
-  | `Threaded -> ());
+  | `Threaded -> Buffer.add_string buf ("+" ^ Codegen.tier_name c.tiers));
   (match c.telemetry with
   | Some _ -> Buffer.add_string buf "+tel"
   | None -> ());
@@ -111,6 +113,7 @@ let make_env ?size ?(config = default) ~seed workload =
       {
         Driver.default_options with
         engine = config.engine;
+        tiers = config.tiers;
         telemetry = config.telemetry;
       }
       st
@@ -310,6 +313,7 @@ let setup_replay ~faults env config =
       verify = true;
       deep_verify = config.deep;
       engine = config.engine;
+      tiers = config.tiers;
       telemetry = config.telemetry;
       faults;
     }
@@ -448,6 +452,7 @@ let replay_transformed_with_truth ?(config = { default with inline = true })
       verify = true;
       deep_verify = config.deep;
       engine = config.engine;
+      tiers = config.tiers;
       telemetry = config.telemetry;
       faults = injector_of config;
     }
@@ -493,6 +498,7 @@ let adaptive_total ?(config = default) ~trial env =
           verify = true;
           deep_verify = config.deep;
           engine = config.engine;
+          tiers = config.tiers;
           telemetry = config.telemetry;
           faults = injector_of config;
         }
@@ -500,6 +506,7 @@ let adaptive_total ?(config = default) ~trial env =
         {
           Driver.default_options with
           engine = config.engine;
+          tiers = config.tiers;
           telemetry = config.telemetry;
           faults = injector_of config;
         }

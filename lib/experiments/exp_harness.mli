@@ -63,6 +63,11 @@ type config = {
   engine : Driver.engine;
       (** [`Threaded] by default — pass [`Oracle] to run the reference
           interpreter, as the differential tests do for both *)
+  tiers : Codegen.tiers;
+      (** engine-v2 tier policy ({!Codegen.default_tiers} by default):
+          superinstruction fusion and the PIC ladder.  Part of
+          {!config_key} via {!Codegen.tier_name} (["+v2-flat"] etc.);
+          tiers change host-side speed only, never measurements *)
   telemetry : Telemetry.t option;
       (** host-side metrics/trace sink, threaded through the driver,
           engine and PEP; measurements are bit-identical with or
@@ -82,9 +87,9 @@ type config = {
 val default : config
 
 (** Deterministic human-readable key identifying a configuration, e.g.
-    ["PEP(64,17)-hot-smart+opt=pep+oracle"].  Fixed opt-profile tables
-    are digested into the key, so e.g. a continuous and a flipped table
-    cannot alias. *)
+    ["PEP(64,17)-hot-smart+opt=pep+oracle"] or
+    ["base+v2-flat"].  Fixed opt-profile tables are digested into the
+    key, so e.g. a continuous and a flipped table cannot alias. *)
 val config_key : config -> string
 
 (** Compile the workload and produce advice from a two-iteration adaptive

@@ -21,7 +21,7 @@
    [Dcg.parse_error] and recomputes; a load never crashes and never
    returns a partially-filled payload. *)
 
-let version = 1
+let version = 2
 let magic = "pepsim-run-cache"
 
 type payload = {

@@ -40,7 +40,7 @@ type mode =
   | Replay of Advice.t
 
 (** Which execution engine carries the application's instructions.
-    [`Threaded] is {!Codegen}'s closure-threaded code (the default);
+    [`Threaded] is {!Codegen}'s flat threaded code (the default);
     [`Oracle] is the {!Interp} reference interpreter.  Both are
     bit-identical in cycle counts, checksums and collected profiles —
     the differential test suite holds them to that. *)
@@ -72,8 +72,18 @@ type options = {
           the unsafe-array-op justification on every body the optimizing
           compiler installs — including adaptive mid-flight recompiles
           and fault-injected retries.  Off by default: the lints cost
-          real host time per compile. *)
+          real host time per compile.  Also validates the engine's
+          current fusion table for every optimized body
+          ({!Pep_check.validate_fusion}, pass ["fusion"]). *)
   engine : engine;
+  tiers : Codegen.tiers;
+      (** engine-v2 tier policy: profile-guided superinstruction fusion
+          and the PIC promotion/demotion ladder.  When [fuse] is on the
+          driver derives a per-method hot-block mask from the same edge
+          profile the layout pass uses (blocks at least half as frequent
+          as the hottest) and feeds it to the engine at every optimizing
+          compile.  Tier choices never affect simulated semantics — only
+          host-side speed. *)
   telemetry : Telemetry.t option;
       (** host-side metrics/trace sink.  When present the driver
           registers the [vm.*] metrics (yieldpoint polls, ticks,

@@ -391,6 +391,151 @@ let test_replay_checks_clean () =
     run.Exp_harness.checks;
   no_errors "driver checks" (Driver.checks run.Exp_harness.driver)
 
+(* --- pass 7 rejections: fusion tables ------------------------------- *)
+
+(* The fusion validator re-derives every invariant the engine's compiler
+   relies on; each seeded corruption of a genuine planned table must be
+   rejected with a located ["fusion"] error mentioning the broken
+   invariant. *)
+
+let fusion_method () =
+  let p =
+    Compile.program ~name:"fw" ~main:"main"
+      Ast.
+        [
+          mdef "main" ~params:[]
+            [
+              set "s" (i 0);
+              for_ "k" (i 0) (i 9)
+                [
+                  if_ (eq (band (v "k") (i 3)) (i 0))
+                    [ set "s" (add (v "s") (v "k")) ]
+                    [ set "s" (sub (v "s") (i 1)) ];
+                ];
+              ret (v "s");
+            ];
+        ]
+  in
+  let m = Program.find p "main" in
+  let hot = Array.make (Array.length m.Method.blocks) true in
+  (m, Fusion.plan ~gen:0 ~hot m)
+
+let contains hay needle =
+  let n = String.length needle and h = String.length hay in
+  let rec go i = i + n <= h && (String.sub hay i n = needle || go (i + 1)) in
+  go 0
+
+let fusion_error what ~expect mutate =
+  let m, w = fusion_method () in
+  has_error_at what
+    (fun d -> d.pass = "fusion" && contains d.message expect)
+    (Pep_check.validate_fusion ~witness:(mutate w) m)
+
+let first_entry w = List.hd w.Fusion.fentries
+
+let test_fusion_plan_accepted () =
+  let m, w = fusion_method () in
+  if w.Fusion.fentries = [] then Alcotest.fail "planner found nothing to fuse";
+  no_errors "planned table" (Pep_check.validate_fusion ~witness:w m)
+
+let test_reject_fusion_cold_block () =
+  fusion_error "entry in cold block" ~expect:"not marked hot" (fun w ->
+      let fhot = Array.copy w.Fusion.fhot in
+      fhot.((first_entry w).Fusion.fblock) <- false;
+      { w with Fusion.fhot })
+
+let test_reject_fusion_wrong_pattern () =
+  fusion_error "claimed pattern differs from bytecode" ~expect:"mismatch"
+    (fun w ->
+      let e = first_entry w in
+      let other =
+        if e.Fusion.fpattern = Fusion.KStore then Fusion.LStore
+        else Fusion.KStore
+      in
+      {
+        w with
+        Fusion.fentries =
+          { e with Fusion.fpattern = other } :: List.tl w.Fusion.fentries;
+      })
+
+let test_reject_fusion_overlap () =
+  fusion_error "duplicated entry" ~expect:"out of order or overlapping"
+    (fun w -> { w with Fusion.fentries = first_entry w :: w.Fusion.fentries })
+
+let test_reject_fusion_out_of_range () =
+  fusion_error "entry outside the body" ~expect:"outside body" (fun w ->
+      let e = first_entry w in
+      {
+        w with
+        Fusion.fentries =
+          { e with Fusion.fstart = e.Fusion.fstart + 1000 }
+          :: List.tl w.Fusion.fentries;
+      })
+
+let test_reject_fusion_stale_mask () =
+  fusion_error "mask from an older body" ~expect:"stale mask" (fun w ->
+      { w with Fusion.fhot = Array.make (Array.length w.Fusion.fhot + 1) true })
+
+let test_reject_fusion_dropped_entry () =
+  fusion_error "table is not the deterministic plan" ~expect:"deterministic"
+    (fun w -> { w with Fusion.fentries = List.tl w.Fusion.fentries })
+
+(* An entry whose shape is genuine but whose block contains a call must
+   be rejected via the independent effect summary, not trusted because
+   the pattern matches. *)
+let test_reject_fusion_call_block () =
+  let p =
+    Compile.program ~name:"fwc" ~main:"main"
+      Ast.
+        [
+          mdef "main" ~params:[]
+            [ set "s" (add (call "g" [ i 1 ]) (i 1)); ret (v "s") ];
+          mdef "g" ~params:[ "a" ] [ ret (v "a") ];
+        ]
+  in
+  let m = Program.find p "main" in
+  let b, blk =
+    let found = ref None in
+    Array.iteri
+      (fun i (blk : Method.block) ->
+        if
+          !found = None
+          && Array.exists
+               (function Instr.Call _ -> true | _ -> false)
+               blk.Method.body
+        then found := Some (i, blk))
+      m.Method.blocks;
+    Option.get !found
+  in
+  let start, (pat, len, term) =
+    let rec scan i =
+      if i >= Array.length blk.Method.body then
+        Alcotest.fail "no catalog pattern in the call block"
+      else
+        match Fusion.match_at blk i with Some r -> (i, r) | None -> scan (i + 1)
+    in
+    scan 0
+  in
+  let witness =
+    {
+      Fusion.fgen = 0;
+      fhot = Array.make (Array.length m.Method.blocks) true;
+      fentries =
+        [
+          {
+            Fusion.fblock = b;
+            fstart = start;
+            flen = len;
+            fterm = term;
+            fpattern = pat;
+          };
+        ];
+    }
+  in
+  has_error_at "call block forbids fusion"
+    (fun d -> d.pass = "fusion" && contains d.message "forbids fusion")
+    (Pep_check.validate_fusion ~witness m)
+
 let suite =
   [
     Alcotest.test_case "suite accepted" `Quick test_suite_accepted;
@@ -414,4 +559,20 @@ let suite =
     Alcotest.test_case "stack_effect matches interp" `Quick
       test_stack_effect_matches_interp;
     Alcotest.test_case "replay checks clean" `Quick test_replay_checks_clean;
+    Alcotest.test_case "fusion: planned table accepted" `Quick
+      test_fusion_plan_accepted;
+    Alcotest.test_case "fusion: reject cold block" `Quick
+      test_reject_fusion_cold_block;
+    Alcotest.test_case "fusion: reject wrong pattern" `Quick
+      test_reject_fusion_wrong_pattern;
+    Alcotest.test_case "fusion: reject overlap" `Quick
+      test_reject_fusion_overlap;
+    Alcotest.test_case "fusion: reject out-of-range entry" `Quick
+      test_reject_fusion_out_of_range;
+    Alcotest.test_case "fusion: reject stale hot mask" `Quick
+      test_reject_fusion_stale_mask;
+    Alcotest.test_case "fusion: reject dropped entry" `Quick
+      test_reject_fusion_dropped_entry;
+    Alcotest.test_case "fusion: reject call block" `Quick
+      test_reject_fusion_call_block;
   ]

@@ -251,6 +251,159 @@ let test_hook_switch () =
   check ci "same result bare again" r1 r3;
   check ci "bare run fires no hooks" fired !edges
 
+(* ------------------------- PIC tier ladder ------------------------- *)
+
+(* A call site climbs mono -> poly -> megamorphic as the callee is
+   recompiled under it: every [set_speed] bumps the callee's generation
+   stamp, so the next dispatch through the site misses its cache.  Eight
+   distinct generations flow through one site, the site's tier is
+   observed at each rung, and a long stable megamorphic run earns the
+   demotion back to monomorphic.  The oracle must agree bit-for-bit at
+   every step. *)
+let pic_program () =
+  Compile.program ~name:"pic" ~main:"main"
+    [
+      mdef "main" ~params:[]
+        [
+          set "s" (i 0);
+          for_ "k" (i 0) (i 40) [ set "s" (add (v "s") (call "f" [ v "k" ])) ];
+          ret (v "s");
+        ];
+      mdef "f" ~params:[ "a" ] [ ret (add (mul (v "a") (i 3)) (i 1)) ];
+    ]
+
+let test_pic_tier_ladder () =
+  let p = pic_program () in
+  let st_o = Machine.create ~seed:3 p and st_t = Machine.create ~seed:3 p in
+  let tel = Telemetry.create () in
+  let eng = Codegen.create ~telemetry:tel st_t in
+  let fidx = Machine.index st_t "f" in
+  let agree label =
+    let r_o = Interp.run Interp.no_hooks st_o in
+    let r_t = Codegen.run eng in
+    check ci (label ^ " result") r_o r_t;
+    check ci (label ^ " cycles") st_o.Machine.cycles st_t.Machine.cycles
+  in
+  let bump pct =
+    Machine.set_speed st_o fidx ~percent:pct;
+    Machine.set_speed st_t fidx ~percent:pct
+  in
+  let tiers () = Codegen.ic_tiers eng "main" in
+  agree "gen 1";
+  check csl "fresh site is monomorphic" [ "mono" ] (tiers ());
+  (* three more generations: the 4th mono miss promotes to poly *)
+  for g = 2 to 4 do
+    bump (100 + (10 * g));
+    agree (Fmt.str "gen %d" g)
+  done;
+  check csl "4 mono misses promote to poly" [ "poly" ] (tiers ());
+  (* four generations beyond the 4-way cache: promote to megamorphic *)
+  for g = 5 to 8 do
+    bump (100 + (10 * g));
+    agree (Fmt.str "gen %d" g)
+  done;
+  check csl "4 poly misses promote to mega" [ "mega" ] (tiers ());
+  (* no further recompiles: stable same-generation hits accumulate
+     across runs until the demotion threshold *)
+  agree "stable 1";
+  agree "stable 2";
+  check csl "stable megamorphic run demotes to mono" [ "mono" ] (tiers ());
+  let m = Telemetry.metrics tel in
+  let cval name = Metrics.value (Metrics.counter m name) in
+  check cb "promote_poly counted" true (cval "engine.pic.promote_poly" >= 1);
+  check cb "promote_mega counted" true (cval "engine.pic.promote_mega" >= 1);
+  check cb "demote counted" true (cval "engine.pic.demote" >= 1)
+
+(* ---------------------- superinstruction fusion ---------------------- *)
+
+(* A program whose bytecode exercises the block-transfer patterns of the
+   fusion catalog: the switch header ends [Load; Jmp] (ljmp), its
+   compare chain is [Const; Cmp; Br] (kcmpbr), if-arm stores end
+   [Store; Jmp] to the join (stjmp), and the for-latch is [Inc; Jmp]
+   (incjmp).  Fused all-hot, the engine must stay bit-identical to the
+   oracle, and the compiled tables must validate. *)
+let fusion_program () =
+  Compile.program ~name:"fuse" ~main:"main"
+    [
+      mdef "main" ~params:[]
+        [
+          set "s" (i 1);
+          set "x" (i 3);
+          for_ "k" (i 0) (i 60)
+            [
+              switch (v "x")
+                [
+                  (0, [ set "s" (add (v "s") (v "k")) ]);
+                  (1, [ set "s" (bxor (v "s") (i 21)) ]);
+                  (2, [ set "s" (add (v "s") (i 3)) ]);
+                  (3, [ set "s" (sub (v "s") (i 1)) ]);
+                ]
+                [ set "s" (add (v "s") (i 7)) ];
+              if_ (eq (band (v "k") (i 3)) (i 0))
+                [ set "x" (add (v "x") (i 1)) ]
+                [ set "x" (sub (v "x") (v "k")) ];
+              set "x" (band (v "x") (i 7));
+            ];
+          set "s" (add (v "s") (v "x"));
+          ret (v "s");
+        ];
+    ]
+
+let all_hot_engine ?tiers st =
+  let eng = Codegen.create ?tiers st in
+  for midx = 0 to Program.n_methods st.Machine.program - 1 do
+    let m = Program.method_of_index st.Machine.program midx in
+    Codegen.set_hot_blocks eng midx
+      (Array.make (Array.length m.Method.blocks) true)
+  done;
+  eng
+
+let test_fusion_patterns_differential () =
+  let p = fusion_program () in
+  let st_o = Machine.create ~seed:3 p
+  and st_f = Machine.create ~seed:3 p
+  and st_n = Machine.create ~seed:3 p in
+  let fused = all_hot_engine st_f in
+  let nofuse =
+    all_hot_engine
+      ~tiers:{ Codegen.default_tiers with Codegen.fuse = false }
+      st_n
+  in
+  let r_o = Interp.run Interp.no_hooks st_o in
+  let r_f = Codegen.run fused in
+  let r_n = Codegen.run nofuse in
+  check ci "fused result" r_o r_f;
+  check ci "nofuse result" r_o r_n;
+  check ci "fused cycles" st_o.Machine.cycles st_f.Machine.cycles;
+  check ci "nofuse cycles" st_o.Machine.cycles st_n.Machine.cycles;
+  (* the compiled tables really contain the block-transfer patterns *)
+  let names =
+    List.concat_map
+      (fun midx ->
+        List.map
+          (fun (e : Fusion.entry) -> Fusion.pattern_name e.Fusion.fpattern)
+          (Codegen.fused_entries fused midx))
+      (List.init (Program.n_methods p) Fun.id)
+  in
+  List.iter
+    (fun pat ->
+      check cb (pat ^ " compiled") true (List.mem pat names))
+    [ "kcmpbr-eq"; "ljmp"; "stjmp"; "incjmp" ];
+  check cb "nothing fused with the tier off" true
+    (List.for_all
+       (fun midx -> Codegen.fused_entries nofuse midx = [])
+       (List.init (Program.n_methods p) Fun.id));
+  (* every planned table passes the independent validator *)
+  Program.iter_methods
+    (fun midx m ->
+      let witness = Codegen.fusion_witness fused midx in
+      match Pep_check.errors (Pep_check.validate_fusion ~witness m) with
+      | [] -> ()
+      | d :: _ ->
+          Alcotest.failf "%s: fusion table rejected: %a" m.Method.name
+            Pep_check.pp_diagnostic d)
+    p
+
 (* ------------------------- allocation tests ------------------------- *)
 
 let calls_program ~argc =
@@ -317,6 +470,10 @@ let suite =
         test_recompile_invalidates;
       Alcotest.test_case "hook event parity" `Quick test_hook_parity;
       Alcotest.test_case "hook respecialization" `Quick test_hook_switch;
+      Alcotest.test_case "PIC tier ladder (mono/poly/mega/demote)" `Quick
+        test_pic_tier_ladder;
+      Alcotest.test_case "fusion patterns differential" `Quick
+        test_fusion_patterns_differential;
       Alcotest.test_case "oracle: no per-call argument copy" `Quick
         test_oracle_no_arg_copy;
       Alcotest.test_case "threaded: steady state allocation-free" `Quick

@@ -158,6 +158,7 @@ let test_driver_with_pep () =
       verify = true;
       deep_verify = false;
       engine = `Threaded;
+      tiers = Codegen.default_tiers;
       telemetry = None;
       faults = None;
     }
