@@ -8,6 +8,7 @@
      top          render PEP's continuous profile as folded stacks
      check        run the static verifier and profile lint
      chaos        fault-injection sweep with degradation invariants
+     fleet        continuous profiling over a simulated fleet (run/query/diff)
      list         enumerate workloads and experiment ids
 
    Exit codes: 0 success; 1 a check, experiment or chaos invariant
@@ -15,91 +16,8 @@
 
 open Cmdliner
 
-let sampling_conv =
-  let parse s =
-    let fail () = Error (`Msg (Printf.sprintf "bad sampling spec %S" s)) in
-    match String.lowercase_ascii s with
-    | "none" | "instr-only" -> Ok Sampling.never
-    | "timer" -> Ok Sampling.timer_based
-    | spec -> (
-        (* pep:SAMPLES:STRIDE or ag:SAMPLES:STRIDE *)
-        match String.split_on_char ':' spec with
-        | [ "pep"; a; b ] -> (
-            match (int_of_string_opt a, int_of_string_opt b) with
-            | Some samples, Some stride when samples > 0 && stride > 0 ->
-                Ok (Sampling.pep ~samples ~stride)
-            | _ -> fail ())
-        | [ "ag"; a; b ] -> (
-            match (int_of_string_opt a, int_of_string_opt b) with
-            | Some samples, Some stride when samples > 0 && stride > 0 ->
-                Ok (Sampling.arnold_grove ~samples ~stride)
-            | _ -> fail ())
-        | _ -> fail ())
-  in
-  let print ppf c = Fmt.string ppf (Sampling.name c) in
-  Arg.conv (parse, print)
-
-let sampling_arg =
-  let doc =
-    "Sampling configuration: $(b,pep:SAMPLES:STRIDE), $(b,ag:SAMPLES:STRIDE), \
-     $(b,timer), or $(b,instr-only)."
-  in
-  Arg.(
-    value
-    & opt sampling_conv (Sampling.pep ~samples:64 ~stride:17)
-    & info [ "sampling" ] ~docv:"SPEC" ~doc)
-
-let seed_arg =
-  Arg.(value & opt int 42 & info [ "seed" ] ~docv:"N" ~doc:"Workload PRNG seed.")
-
-let verify_arg =
-  Arg.(
-    value & flag
-    & info [ "verify" ]
-        ~doc:
-          "Run the $(b,Pep_check) static passes and profile lint over the \
-           results and exit nonzero on any error.")
-
-let faults_arg =
-  let doc =
-    "Deterministic fault plan: comma-separated clauses like \
-     $(b,seed=7,path-cap=64,compile-fail=0.2,sample-overrun=0.1,corrupt=0.5) \
-     (also $(b,noop), $(b,edge-cap=N), $(b,compile-retries=N), \
-     $(b,compile-backoff=N)); $(b,@FILE) reads clauses from a file.  The \
-     empty spec injects nothing and is bit-identical to omitting the flag."
-  in
-  Arg.(value & opt string "" & info [ "faults" ] ~docv:"SPEC" ~doc)
-
-let parse_faults spec =
-  match Fault_plan.parse spec with
-  | Ok plan -> plan
-  | Error msg ->
-      Printf.eprintf "--faults: %s\n" msg;
-      exit 2
-
-let jobs_arg =
-  Arg.(
-    value & opt int 1
-    & info [ "jobs"; "j" ] ~docv:"N"
-        ~doc:
-          "Shard experiment runs across N parallel worker domains.  \
-           Results are bit-identical to $(b,--jobs) $(i,1).")
-
-let cache_dir_arg =
-  Arg.(
-    value
-    & opt (some string) None
-    & info [ "cache-dir" ] ~docv:"DIR"
-        ~doc:
-          "Persist completed runs to $(i,DIR) and recall them on later \
-           invocations without re-executing.  Stale or damaged entries \
-           are reported and recomputed.")
-
-let no_cache_arg =
-  Arg.(
-    value & flag
-    & info [ "no-cache" ]
-        ~doc:"Ignore $(b,--cache-dir): neither read nor write persisted runs.")
+(* Shared flags come from {!Cli}, the one spec table every subcommand
+   draws from. *)
 
 (* One aggregated accounting line (the exp.cache_hit / exp.cache_miss
    counters CI asserts on), plus any store diagnostics. *)
@@ -233,23 +151,11 @@ let run_cmd =
   in
   Cmd.v
     (Cmd.info "run" ~doc:"Profile a textual program with PEP")
-    Term.(const action $ file_arg $ sampling_arg $ seed_arg $ verify_arg)
+    Term.(const action $ file_arg $ Cli.sampling_arg $ Cli.seed_arg $ Cli.verify_arg)
 
 (* --- workload ------------------------------------------------------ *)
 
 let workload_cmd =
-  let name_arg =
-    Arg.(
-      required
-      & pos 0 (some string) None
-      & info [] ~docv:"NAME" ~doc:"Benchmark name (see $(b,pepsim list)).")
-  in
-  let size_arg =
-    Arg.(
-      value
-      & opt (some int) None
-      & info [ "size" ] ~docv:"N" ~doc:"Workload size (default per benchmark).")
-  in
   let deep_flag =
     Arg.(
       value & flag
@@ -261,7 +167,7 @@ let workload_cmd =
   in
   let action name size sampling seed verify deep cache_dir no_cache faults_spec
       =
-    let faults = parse_faults faults_spec in
+    let faults = Cli.parse_faults faults_spec in
     match Suite.find name with
     | exception Not_found ->
         Printf.eprintf "unknown workload %s; try `pepsim list`\n" name;
@@ -307,8 +213,8 @@ let workload_cmd =
   Cmd.v
     (Cmd.info "workload" ~doc:"Run a suite benchmark under PEP")
     Term.(
-      const action $ name_arg $ size_arg $ sampling_arg $ seed_arg $ verify_arg
-      $ deep_flag $ cache_dir_arg $ no_cache_arg $ faults_arg)
+      const action $ Cli.workload_name_arg $ Cli.size_arg $ Cli.sampling_arg $ Cli.seed_arg $ Cli.verify_arg
+      $ deep_flag $ Cli.cache_dir_arg $ Cli.no_cache_arg $ Cli.faults_arg)
 
 (* --- experiments --------------------------------------------------- *)
 
@@ -321,11 +227,7 @@ let experiments_cmd =
             "Run only this experiment (repeatable, comma-separable); \
              default: all.")
   in
-  let scale_arg =
-    Arg.(
-      value & opt float 1.0
-      & info [ "scale" ] ~docv:"F" ~doc:"Scale workload sizes by F.")
-  in
+  let scale_arg = Cli.scale_arg ~default:1.0 in
   let trace_arg =
     Arg.(
       value
@@ -337,7 +239,7 @@ let experiments_cmd =
   in
   let action only scale seed verify trace_out jobs cache_dir no_cache
       faults_spec =
-    let faults = parse_faults faults_spec in
+    let faults = Cli.parse_faults faults_spec in
     let cache_dir = if no_cache then None else cache_dir in
     let only =
       List.filter
@@ -403,8 +305,8 @@ let experiments_cmd =
     (Cmd.info "experiments"
        ~doc:"Regenerate the paper's tables and figures")
     Term.(
-      const action $ only_arg $ scale_arg $ seed_arg $ verify_arg $ trace_arg
-      $ jobs_arg $ cache_dir_arg $ no_cache_arg $ faults_arg)
+      const action $ only_arg $ scale_arg $ Cli.seed_arg $ Cli.verify_arg $ trace_arg
+      $ Cli.jobs_arg $ Cli.cache_dir_arg $ Cli.no_cache_arg $ Cli.faults_arg)
 
 (* --- disasm -------------------------------------------------------- *)
 
@@ -490,26 +392,11 @@ let disasm_cmd =
 (* --- profiles ------------------------------------------------------ *)
 
 let profiles_cmd =
-  let name_arg =
-    Arg.(
-      required
-      & pos 0 (some string) None
-      & info [] ~docv:"NAME" ~doc:"Benchmark name.")
-  in
   let out_arg =
-    Arg.(
-      value
-      & opt (some string) None
-      & info [ "out" ] ~docv:"PREFIX"
-          ~doc:
-            "Write $(i,PREFIX).paths, $(i,PREFIX).edges and \
-             $(i,PREFIX).advice instead of printing a summary.")
-  in
-  let size_arg =
-    Arg.(
-      value
-      & opt (some int) None
-      & info [ "size" ] ~docv:"N" ~doc:"Workload size.")
+    Cli.out_arg ~docv:"PREFIX"
+      ~doc:
+        "Write $(i,PREFIX).paths, $(i,PREFIX).edges and $(i,PREFIX).advice \
+         instead of printing a summary."
   in
   let action name out size sampling seed =
     match Suite.find name with
@@ -556,16 +443,11 @@ let profiles_cmd =
   Cmd.v
     (Cmd.info "profiles"
        ~doc:"Collect PEP profiles for a benchmark; optionally save them")
-    Term.(const action $ name_arg $ out_arg $ size_arg $ sampling_arg $ seed_arg)
+    Term.(
+      const action $ Cli.workload_name_arg $ out_arg $ Cli.size_arg
+      $ Cli.sampling_arg $ Cli.seed_arg)
 
 (* --- trace / top --------------------------------------------------- *)
-
-let find_workload name =
-  match Suite.find name with
-  | w -> w
-  | exception Not_found ->
-      Printf.eprintf "unknown workload %s; try `pepsim list`\n" name;
-      exit 2
 
 (* Parse an advice file, reporting malformed lines with their position
    the same way unreadable paths are reported. *)
@@ -621,39 +503,10 @@ let telemetry_run ~tracing ~size ~seed ~sampling ~iters ~advice_file
   done;
   (tel, d)
 
-let iters_arg =
-  Arg.(
-    value & opt int 2
-    & info [ "iters" ] ~docv:"N" ~doc:"Application iterations to run.")
-
-let advice_arg =
-  Arg.(
-    value
-    & opt (some file) None
-    & info [ "advice" ] ~docv:"FILE"
-        ~doc:
-          "Replay this advice file (see $(b,pepsim profiles --out)) \
-           instead of running the adaptive system.")
-
-let size_opt_arg =
-  Arg.(
-    value
-    & opt (some int) None
-    & info [ "size" ] ~docv:"N" ~doc:"Workload size (default per benchmark).")
-
 let trace_cmd =
-  let name_arg =
-    Arg.(
-      required
-      & pos 0 (some string) None
-      & info [] ~docv:"NAME" ~doc:"Benchmark name (see $(b,pepsim list)).")
-  in
   let out_arg =
-    Arg.(
-      value
-      & opt (some string) None
-      & info [ "out" ] ~docv:"FILE"
-          ~doc:"Write the trace JSON to $(i,FILE) instead of stdout.")
+    Cli.out_arg ~docv:"FILE"
+      ~doc:"Write the trace JSON to $(i,FILE) instead of stdout."
   in
   let metrics_arg =
     Arg.(
@@ -661,8 +514,8 @@ let trace_cmd =
       & info [ "metrics" ] ~doc:"Also print the metrics registry.")
   in
   let action name out metrics size sampling seed iters advice_file faults_spec =
-    let w = find_workload name in
-    let faults = parse_faults faults_spec in
+    let w = Cli.find_workload name in
+    let faults = Cli.parse_faults faults_spec in
     let tel, _d =
       telemetry_run ~tracing:true ~size ~seed ~sampling ~iters ~advice_file
         ~faults w
@@ -687,42 +540,12 @@ let trace_cmd =
           trace-event JSON of its virtual timeline (open in \
           about:tracing or ui.perfetto.dev)")
     Term.(
-      const action $ name_arg $ out_arg $ metrics_arg $ size_opt_arg
-      $ sampling_arg $ seed_arg $ iters_arg $ advice_arg $ faults_arg)
+      const action $ Cli.workload_name_arg $ out_arg $ metrics_arg $ Cli.size_arg
+      $ Cli.sampling_arg $ Cli.seed_arg $ Cli.iters_arg $ Cli.advice_arg $ Cli.faults_arg)
 
 let top_cmd =
-  let name_arg =
-    Arg.(
-      required
-      & pos 0 (some string) None
-      & info [] ~docv:"NAME" ~doc:"Benchmark name (see $(b,pepsim list)).")
-  in
-  let kind_arg =
-    Arg.(
-      value
-      & opt
-          (enum
-             [ ("paths", `Paths); ("edges", `Edges); ("dcg", `Dcg) ])
-          `Paths
-      & info [ "kind" ] ~docv:"KIND"
-          ~doc:
-            "Profile to render: $(b,paths) (sampled path profile), \
-             $(b,edges) (sampled edge profile) or $(b,dcg) (tick-sampled \
-             call graph).")
-  in
-  let json_arg =
-    Arg.(
-      value & flag
-      & info [ "json" ] ~doc:"Emit JSON instead of folded-stack text.")
-  in
-  let limit_arg =
-    Arg.(
-      value
-      & opt (some int) None
-      & info [ "limit" ] ~docv:"N" ~doc:"Show only the N hottest stacks.")
-  in
   let action name kind json limit size sampling seed iters advice_file =
-    let w = find_workload name in
+    let w = Cli.find_workload name in
     let _tel, d =
       telemetry_run ~tracing:false ~size ~seed ~sampling ~iters ~advice_file w
     in
@@ -750,8 +573,9 @@ let top_cmd =
           flamegraph.pl / speedscope input format), methods hung under \
           their hottest sampled call chain")
     Term.(
-      const action $ name_arg $ kind_arg $ json_arg $ limit_arg $ size_opt_arg
-      $ sampling_arg $ seed_arg $ iters_arg $ advice_arg)
+      const action $ Cli.workload_name_arg $ Cli.kind_arg $ Cli.json_arg
+      $ Cli.limit_arg $ Cli.size_arg
+      $ Cli.sampling_arg $ Cli.seed_arg $ Cli.iters_arg $ Cli.advice_arg)
 
 (* --- check --------------------------------------------------------- *)
 
@@ -993,7 +817,7 @@ let check_cmd =
           optimizer's transforms")
     Term.(
       const action $ sources_arg $ suite_arg $ static_arg $ deep_arg $ all_arg
-      $ bench_arg $ scale_arg $ sampling_arg $ seed_arg)
+      $ bench_arg $ scale_arg $ Cli.sampling_arg $ Cli.seed_arg)
 
 (* --- list ---------------------------------------------------------- *)
 
@@ -1006,11 +830,7 @@ let chaos_cmd =
       & info [ "seed" ] ~docv:"N[,N...]"
           ~doc:"Input seed(s) to sweep (comma-separable).")
   in
-  let scale_arg =
-    Arg.(
-      value & opt float 0.5
-      & info [ "scale" ] ~docv:"F" ~doc:"Scale workload sizes by F.")
-  in
+  let scale_arg = Cli.scale_arg ~default:0.5 in
   let only_arg =
     Arg.(
       value & opt_all string []
@@ -1036,11 +856,7 @@ let chaos_cmd =
              (1 - absolute overlap vs the healthy run).")
   in
   let action seeds scale jobs only case_labels faults_spec max_loss =
-    let split_commas xs =
-      List.filter
-        (fun s -> s <> "")
-        (List.concat_map (String.split_on_char ',') xs)
-    in
+    let split_commas xs = Cli.split_commas xs in
     let seeds =
       List.map
         (fun s ->
@@ -1073,12 +889,12 @@ let chaos_cmd =
             labels
     in
     let cases =
-      match parse_faults faults_spec with
+      match Cli.parse_faults faults_spec with
       | p when Fault_plan.is_empty p -> cases
       | plan -> cases @ [ { Exp_chaos.label = "custom"; plan; max_loss } ]
     in
     let only = split_commas only in
-    List.iter (fun n -> ignore (find_workload n)) only;
+    List.iter (fun n -> ignore (Cli.find_workload n)) only;
     let total = ref 0 and failures = ref 0 in
     List.iter
       (fun seed ->
@@ -1109,8 +925,320 @@ let chaos_cmd =
          "Sweep deterministic fault plans over the suite and check the \
           graceful-degradation invariants")
     Term.(
-      const action $ seeds_arg $ scale_arg $ jobs_arg $ only_arg $ case_arg
-      $ faults_arg $ max_loss_arg)
+      const action $ seeds_arg $ scale_arg $ Cli.jobs_arg $ only_arg $ case_arg
+      $ Cli.faults_arg $ max_loss_arg)
+
+(* --- fleet --------------------------------------------------------- *)
+
+(* `pepsim fleet` — the in-process continuous-profiling service:
+   `run` simulates a fleet of VM instances and lands windowed profile
+   segments, `query` answers hotspots / folded stacks over them, and
+   `diff` triages a baseline/current pair with the drift rules. *)
+
+let fleet_dir_arg =
+  Arg.(
+    value & opt string "_fleet"
+    & info [ "dir" ] ~docv:"DIR" ~doc:"Segment store directory.")
+
+let fleet_cohort_arg =
+  Arg.(
+    value
+    & opt (some string) None
+    & info [ "cohort" ] ~docv:"NAME"
+        ~doc:"Restrict to this cohort (default: all cohorts).")
+
+let fleet_from_arg =
+  Arg.(
+    value
+    & opt (some int) None
+    & info [ "from" ] ~docv:"W" ~doc:"First window index to include.")
+
+let fleet_to_arg =
+  Arg.(
+    value
+    & opt (some int) None
+    & info [ "to" ] ~docv:"W" ~doc:"Last window index to include.")
+
+(* the fleet's drift workload first, then the regular suite *)
+let find_fleet_workload name =
+  match Phased.find name with
+  | Some w -> w
+  | None -> Cli.find_workload name
+
+let load_segments ~dir =
+  let segments, diags = Fleet_store.load_all ~dir in
+  List.iter (fun e -> Fmt.epr "fleet: %a@." Dcg.pp_parse_error e) diags;
+  if segments = [] then begin
+    Printf.eprintf "%s: no segments (run `pepsim fleet run` first)\n" dir;
+    exit 2
+  end;
+  segments
+
+let fleet_run_cmd =
+  let workload_arg =
+    Arg.(
+      value & opt string "drift"
+      & info [ "workload" ] ~docv:"NAME"
+          ~doc:
+            "Workload the instances run: $(b,drift) (the phased \
+             drift-detection workload) or any suite benchmark.")
+  in
+  let instances_arg =
+    Arg.(
+      value & opt int 8
+      & info [ "instances" ] ~docv:"N" ~doc:"Simulated VM instances per cohort.")
+  in
+  let windows_arg =
+    Arg.(
+      value & opt int 4
+      & info [ "windows" ] ~docv:"N"
+          ~doc:"Collection windows (one application iteration each).")
+  in
+  let samples_arg =
+    Arg.(
+      value & opt int 64
+      & info [ "samples" ] ~docv:"N" ~doc:"PEP sampling burst length.")
+  in
+  let stride_arg =
+    Arg.(
+      value & opt int 17
+      & info [ "stride" ] ~docv:"N" ~doc:"PEP sampling stride.")
+  in
+  let tick_shrink_arg =
+    Arg.(
+      value & opt int 8
+      & info [ "tick-shrink" ] ~docv:"N"
+          ~doc:
+            "Compress the simulated timer period by N so short windows \
+             still sample every hot method.")
+  in
+  let drift_at_arg =
+    Arg.(
+      value
+      & opt (some int) None
+      & info [ "drift-at" ] ~docv:"W"
+          ~doc:
+            "Window at which the drifting cohort shifts phase \
+             (default: halfway).")
+  in
+  let keep_raw_arg =
+    Arg.(
+      value & flag
+      & info [ "keep-raw" ]
+          ~doc:"Skip compaction: keep one segment per (instance, window).")
+  in
+  let retain_arg =
+    Arg.(
+      value
+      & opt (some int) None
+      & info [ "retain" ] ~docv:"N"
+          ~doc:"Keep only each cohort's newest N windows after compaction.")
+  in
+  let action dir workload size seed samples stride jobs instances windows
+      tick_shrink drift_at keep_raw retain =
+    let w = find_fleet_workload workload in
+    let at_window = Option.value ~default:(windows / 2) drift_at in
+    let cohorts =
+      [
+        ("steady", Fleet.Drift.No_drift);
+        ("shift", Fleet.Drift.Phase_shift { at_window; phase = 1 });
+      ]
+    in
+    let spec =
+      Fleet_collector.default_spec ?size ~seed ~samples ~stride ~instances
+        ~windows ~tick_shrink ~keep_raw ?retain_windows:retain ~cohorts w
+    in
+    match Fleet_collector.run ~jobs ~dir spec with
+    | Error e ->
+        Fmt.epr "fleet: %a@." Dcg.pp_parse_error e;
+        exit 1
+    | Ok r ->
+        List.iter
+          (fun e -> Fmt.epr "fleet: %a@." Dcg.pp_parse_error e)
+          r.Fleet_collector.diags;
+        Printf.printf
+          "[fleet] cohorts=%d instances=%d windows=%d simulated=%d \
+           skipped=%d snapshots=%d samples=%d merged=%d store_bytes=%d\n"
+          r.Fleet_collector.cohorts r.Fleet_collector.instances
+          r.Fleet_collector.windows r.Fleet_collector.simulated
+          r.Fleet_collector.skipped r.Fleet_collector.snapshots
+          r.Fleet_collector.samples_taken r.Fleet_collector.merged
+          r.Fleet_collector.store_bytes;
+        if r.Fleet_collector.diags <> [] then exit 1
+  in
+  Cmd.v
+    (Cmd.info "run"
+       ~doc:
+         "Simulate a fleet of VM instances and ingest their windowed \
+          profile snapshots into the segment store")
+    Term.(
+      const action $ fleet_dir_arg $ workload_arg $ Cli.size_arg $ Cli.seed_arg
+      $ samples_arg $ stride_arg $ Cli.jobs_arg $ instances_arg $ windows_arg
+      $ tick_shrink_arg $ drift_at_arg $ keep_raw_arg $ retain_arg)
+
+let fleet_query_cmd =
+  let top_arg =
+    Arg.(
+      value & opt int 10
+      & info [ "top" ] ~docv:"N" ~doc:"Hotspots to list (default 10).")
+  in
+  let decay_arg =
+    Arg.(
+      value & opt float 0.75
+      & info [ "decay" ] ~docv:"F"
+          ~doc:
+            "Per-window score decay: a count W windows before the newest \
+             weighs $(i,F)^W.")
+  in
+  let folded_arg =
+    Arg.(
+      value & flag
+      & info [ "folded" ]
+          ~doc:
+            "Emit folded stacks ($(b,pepsim top)'s format) instead of the \
+             hotspot table.")
+  in
+  let action dir cohort lo hi kind top decay folded json limit =
+    let segments = load_segments ~dir in
+    let selected =
+      Fleet_query.select segments { Fleet_query.cohort; lo; hi }
+    in
+    if selected = [] then begin
+      Printf.eprintf "no segments match the filter\n";
+      exit 2
+    end;
+    let v = Fleet_query.view selected in
+    if folded || json then begin
+      let f = Fleet_query.folded kind v in
+      if json then print_string (Folded.to_json f)
+      else begin
+        let lines = Folded.to_lines f in
+        let lines =
+          match limit with
+          | Some n -> List.filteri (fun i _ -> i < n) lines
+          | None -> lines
+        in
+        List.iter print_endline lines
+      end
+    end
+    else begin
+      Printf.printf "[fleet-query] cohort=%s windows=%s segments=%d samples=%d\n"
+        (Option.value ~default:"all" cohort)
+        (match v.Fleet_query.span with
+        | Some w -> Fleet.Window.key w
+        | None -> "none")
+        v.Fleet_query.segments v.Fleet_query.samples;
+      List.iteri
+        (fun i (label, score) ->
+          Printf.printf "%3d. %12.1f  %s\n" (i + 1) score label)
+        (Fleet_query.top ~decay ~n:top kind selected)
+    end
+  in
+  Cmd.v
+    (Cmd.info "query"
+       ~doc:
+         "Answer top-N hotspots or folded stacks over the stored segments")
+    Term.(
+      const action $ fleet_dir_arg $ fleet_cohort_arg $ fleet_from_arg
+      $ fleet_to_arg $ Cli.kind_arg $ top_arg $ decay_arg $ folded_arg
+      $ Cli.json_arg $ Cli.limit_arg)
+
+let fleet_diff_cmd =
+  let cohort_arg =
+    Arg.(
+      value & opt string "shift"
+      & info [ "cohort" ] ~docv:"NAME" ~doc:"Cohort under triage.")
+  in
+  let baseline_cohort_arg =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "baseline-cohort" ] ~docv:"NAME"
+          ~doc:
+            "Diff against this cohort over the same windows instead of \
+             the cohort's own early windows.")
+  in
+  let split_arg =
+    Arg.(
+      value
+      & opt (some int) None
+      & info [ "split" ] ~docv:"W"
+          ~doc:
+            "First window of the current side for a temporal diff \
+             (default: halfway).")
+  in
+  let new_share_arg =
+    Arg.(
+      value & opt float Fleet_query.default_thresholds.Fleet_query.new_share
+      & info [ "new-share" ] ~docv:"F"
+          ~doc:"Path share making an unseen path a new-hot-path finding.")
+  in
+  let edge_shift_arg =
+    Arg.(
+      value & opt float Fleet_query.default_thresholds.Fleet_query.edge_shift
+      & info [ "edge-shift" ] ~docv:"F"
+          ~doc:"Taken-bias delta flagging an edge-flow shift.")
+  in
+  let action dir cohort baseline_cohort split new_share edge_shift =
+    let segments = load_segments ~dir in
+    let max_hi =
+      List.fold_left
+        (fun acc (s : Fleet_store.segment) ->
+          max acc s.Fleet_store.window.Fleet.Window.hi)
+        0 segments
+    in
+    let select c lo hi =
+      Fleet_query.select segments { Fleet_query.cohort = Some c; lo; hi }
+    in
+    let (base_desc, base_segs), (cur_desc, cur_segs) =
+      match baseline_cohort with
+      | Some b ->
+          ( (Fmt.str "cohort=%s" b, select b None None),
+            (Fmt.str "cohort=%s" cohort, select cohort None None) )
+      | None ->
+          (* temporal: early windows are the baseline *)
+          let split = Option.value ~default:((max_hi + 1) / 2) split in
+          ( ( Fmt.str "cohort=%s win=0-%d" cohort (split - 1),
+              select cohort None (Some (split - 1)) ),
+            ( Fmt.str "cohort=%s win=%d-%d" cohort split max_hi,
+              select cohort (Some split) None ) )
+    in
+    if base_segs = [] || cur_segs = [] then begin
+      Printf.eprintf "diff needs segments on both sides (%s: %d, %s: %d)\n"
+        base_desc (List.length base_segs) cur_desc (List.length cur_segs);
+      exit 2
+    end;
+    let thresholds =
+      { Fleet_query.default_thresholds with Fleet_query.new_share; edge_shift }
+    in
+    let findings =
+      Fleet_query.diff ~thresholds
+        ~baseline:(Fleet_query.view base_segs)
+        ~current:(Fleet_query.view cur_segs) ()
+    in
+    Printf.printf "[fleet-diff] baseline=%s current=%s findings=%d\n" base_desc
+      cur_desc (List.length findings);
+    List.iter
+      (fun f -> print_endline ("  " ^ Fleet_query.render_finding f))
+      findings;
+    if findings <> [] then exit 1
+  in
+  Cmd.v
+    (Cmd.info "diff"
+       ~doc:
+         "Triage profile drift between two time windows or cohorts; \
+          exits 1 when the rules flag a regression")
+    Term.(
+      const action $ fleet_dir_arg $ cohort_arg $ baseline_cohort_arg
+      $ split_arg $ new_share_arg $ edge_shift_arg)
+
+let fleet_cmd =
+  Cmd.group
+    (Cmd.info "fleet"
+       ~doc:
+         "Continuous-profiling service over a simulated fleet: ingest, \
+          query, diff")
+    [ fleet_run_cmd; fleet_query_cmd; fleet_diff_cmd ]
 
 let list_cmd =
   let action () =
@@ -1146,6 +1274,7 @@ let () =
            disasm_cmd;
            profiles_cmd;
            chaos_cmd;
+           fleet_cmd;
            list_cmd;
          ])
   in

@@ -71,6 +71,7 @@ type stats = {
   disk_hits : int;  (** rebuilt from a persisted entry, no execution *)
   executed : int;  (** actually simulated *)
   store_errors : int;  (** stale/corrupt/unwritable entries (see {!diagnostics}) *)
+  migrated : int;  (** legacy-codec entries re-encoded with the current codec *)
 }
 
 val stats : t -> stats
@@ -85,6 +86,11 @@ val diagnostics : t -> Dcg.parse_error list
     live sampler state, and execution-perturbing fault plans re-order
     the decision stream under rebuild; both are always re-executed). *)
 val store_file : t -> Exp_harness.config -> string option
+
+(** Like {!store_file}, but also the composite identity key the entry
+    is (or would be) persisted under — e.g. to forge or inspect entries
+    in tests and migration tooling. *)
+val store_slot : t -> Exp_harness.config -> (string * string) option
 
 (** {2 The shared convenience runs, derived from the base configuration} *)
 

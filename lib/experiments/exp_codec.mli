@@ -1,0 +1,103 @@
+(** Versioned codecs for persisted run payloads.
+
+    {!Exp_store} frames every on-disk entry through a [codec]: v2 is the
+    current compact binary format, v1 the legacy line-oriented text
+    format, kept readable so caches written before the binary store
+    migrate transparently.  Both protect their content with an MD5
+    digest and embed the composite identity key, so a damaged entry
+    fails the digest check and a stale one fails the key comparison —
+    always as a structured {!Dcg.parse_error}, never a silent miss.
+
+    The {!Bin} submodule exposes the binary primitives (zigzag varints,
+    length-prefixed strings, digest trailer) so other stores — the
+    fleet's profile segments ({!Fleet_store}) — share one wire
+    vocabulary. *)
+
+(** Everything needed to rebuild an [Exp_harness.run] without executing
+    the application: the measurement, the sample count, and the
+    collected profile tables in their [to_lines] serialization. *)
+type payload = {
+  iter1 : int;
+  iter2 : int;
+  compile : int;
+  checksum : int;
+  n_samples : int;
+  pep_paths : string list;
+  pep_edges : string list;
+  ppaths : string list;
+  pedges : string list;
+}
+
+(** Low-level binary wire format: unsigned LEB128 varints over
+    zigzag-mapped ints (small magnitudes stay short, negatives legal),
+    length-prefixed strings, and an MD5 trailer over everything that
+    precedes it.  Readers are bounds-checked: malformed input raises
+    {!Bin.Malformed}, which the codecs turn into a structured error. *)
+module Bin : sig
+  type writer
+
+  val writer : unit -> writer
+  val byte : writer -> int -> unit
+
+  (** Append bytes verbatim, no length prefix (file magics). *)
+  val raw : writer -> string -> unit
+
+  val int : writer -> int -> unit
+  val str : writer -> string -> unit
+
+  (** The accumulated bytes plus a 16-byte raw MD5 digest of them. *)
+  val contents_with_digest : writer -> string
+
+  exception Malformed of string
+
+  type reader
+
+  (** [reader ~pos s] reads [s] from [pos] up to [limit] (default: end
+      of [s]). *)
+  val reader : ?pos:int -> ?limit:int -> string -> reader
+
+  val rbyte : reader -> int
+  val rint : reader -> int
+  val rstr : reader -> string
+  val pos : reader -> int
+  val at_end : reader -> bool
+
+  (** Verify the 16-byte digest trailer of [s] over [s[0..len-17]];
+      [false] when too short or mismatched. *)
+  val check_digest : string -> bool
+end
+
+(** MD5 hex over the lines joined with ["\n"] — the legacy text
+    format's integrity trailer (exposed so tests can forge v1 entries
+    with valid digests). *)
+val digest_lines : string list -> string
+
+type codec = {
+  version : int;
+  name : string;
+  encode : key:string -> payload -> string;
+      (** full file bytes for a payload under its identity key *)
+  decode :
+    file:string -> key:string -> string -> (payload, Dcg.parse_error) result;
+      (** decode full file bytes, verifying digest, shape and key;
+          [file] only labels diagnostics *)
+}
+
+(** The legacy line-oriented text format ([pepsim-run-cache v1]/[v2]
+    files).  Decoding tolerates the historical ["store-v<N>|"] key
+    prefix; encoding writes it, so forged legacy entries in tests are
+    byte-faithful. *)
+val v1_text : codec
+
+(** The compact binary format: profile lines whose fields are all
+    integers are packed as varint rows; anything else falls back to
+    length-prefixed strings, so [encode]∘[decode] is the identity on
+    arbitrary payloads. *)
+val v2_binary : codec
+
+(** The codec {!Exp_store.save} writes with (currently {!v2_binary}). *)
+val current : codec
+
+(** Identify which codec wrote [contents] (by magic, then version). *)
+val sniff :
+  string -> [ `Codec of codec | `Unknown_version of int | `Not_a_store_file ]

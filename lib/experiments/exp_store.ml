@@ -2,29 +2,20 @@
 
    One file per (workload, size, seed, configuration) run, named by the
    MD5 of that identity so a cache directory can be shared across
-   sweeps.  The file is a line-oriented text record:
-
-     pepsim-run-cache v<version>
-     key <composite key>
-     meas <iter1> <iter2> <compile> <checksum>
-     nsamples <n>
-     pep.paths <k>   followed by k serialized Path_profile lines
-     pep.edges <k>   followed by k serialized Edge_profile lines
-     ppaths <k>      (perfect/classic path profiler table)
-     pedges <k>      (perfect edge profiler table)
-     digest <md5 hex of every preceding line>
+   sweeps.  The bytes inside are framed by a versioned [Exp_codec]
+   codec: writes use the current compact binary codec, loads sniff the
+   file's magic and dispatch — legacy line-oriented text entries (v1)
+   stay readable and are transparently re-encoded by [Exp_cache].
 
    The composite key embeds digests of the compiled program and the
    cost model (see Exp_cache), so a stale entry — same file name,
    different program — fails the key comparison; a damaged entry fails
-   the digest or shape checks.  Either way the caller gets a structured
-   [Dcg.parse_error] and recomputes; a load never crashes and never
-   returns a partially-filled payload. *)
+   the digest or shape checks; an entry written by a future codec is
+   reported as an unsupported version.  Either way the caller gets a
+   structured [Dcg.parse_error] and recomputes; a load never crashes
+   and never returns a partially-filled payload. *)
 
-let version = 2
-let magic = "pepsim-run-cache"
-
-type payload = {
+type payload = Exp_codec.payload = {
   iter1 : int;
   iter2 : int;
   compile : int;
@@ -36,11 +27,12 @@ type payload = {
   pedges : string list;
 }
 
+let version = Exp_codec.current.Exp_codec.version
+
 let filename ~dir file_key =
   Filename.concat dir (Digest.to_hex (Digest.string file_key) ^ ".run")
 
-let digest_lines lines =
-  Digest.to_hex (Digest.string (String.concat "\n" lines))
+let digest_lines = Exp_codec.digest_lines
 
 let err ?(line = 0) ?(text = "") file reason =
   { Dcg.file = Some file; line; text = String.trim text; reason }
@@ -63,16 +55,17 @@ let rec ensure_dir dir =
             else Error (err dir ("cannot create cache directory: " ^ m)))
   end
 
-(* A crash between [Filename.temp_file] and the rename in [save] leaves
-   a stray [run-*.tmp] behind; it is never read (loads go by exact
-   [.run] name) but would accumulate, so sweep on cache open. *)
+(* A crash between [Filename.temp_file] and the rename in [write_file]
+   leaves a stray [*.tmp] behind; it is never read (loads go by exact
+   final name) but would accumulate, so sweep on store open. *)
 let sweep_tmp dir =
   match Sys.readdir dir with
   | entries ->
       Array.iter
         (fun f ->
           if
-            String.starts_with ~prefix:"run-" f
+            (String.starts_with ~prefix:"run-" f
+            || String.starts_with ~prefix:"fleet-" f)
             && Filename.check_suffix f ".tmp"
           then
             try Sys.remove (Filename.concat dir f) with Sys_error _ -> ())
@@ -95,24 +88,35 @@ let prepare_dir dir =
       | exception Sys_error m ->
           Error (err dir ("cache directory is not writable: " ^ m)))
 
-(* ------------------------------ save ------------------------------ *)
+(* --------------------------- raw file I/O -------------------------- *)
 
-let to_lines ~key p =
-  let section name lines = Fmt.str "%s %d" name (List.length lines) :: lines in
-  let body =
-    (magic ^ " v" ^ string_of_int version)
-    :: ("key " ^ key)
-    :: Fmt.str "meas %d %d %d %d" p.iter1 p.iter2 p.compile p.checksum
-    :: Fmt.str "nsamples %d" p.n_samples
-    :: List.concat
-         [
-           section "pep.paths" p.pep_paths;
-           section "pep.edges" p.pep_edges;
-           section "ppaths" p.ppaths;
-           section "pedges" p.pedges;
-         ]
-  in
-  body @ [ "digest " ^ digest_lines body ]
+let read_file file =
+  try
+    Ok
+      (In_channel.with_open_bin file (fun ic ->
+           In_channel.input_all ic))
+  with Sys_error m -> Error (err file ("unreadable: " ^ m))
+
+(* Atomic byte-level write (temp file in the target directory, then
+   rename), shared by the run cache and the fleet segment store. *)
+let write_file ?(tmp_prefix = "run-") ~file contents =
+  try
+    let dir = Filename.dirname file in
+    match ensure_dir dir with
+    | Error _ as e -> e
+    | Ok () -> (
+        let tmp = Filename.temp_file ~temp_dir:dir tmp_prefix ".tmp" in
+        try
+          Out_channel.with_open_bin tmp (fun oc ->
+              Out_channel.output_string oc contents);
+          Sys.rename tmp file;
+          Ok ()
+        with Sys_error m ->
+          (try Sys.remove tmp with Sys_error _ -> ());
+          Error (err file ("write failed: " ^ m)))
+  with Sys_error m -> Error (err file ("write failed: " ^ m))
+
+(* ---------------------------- save / load -------------------------- *)
 
 let save ~file ~key p =
   let flat =
@@ -123,136 +127,34 @@ let save ~file ~key p =
   if not flat then
     Error (err file "refusing to save: payload line contains a newline")
   else
-    try
-      let dir = Filename.dirname file in
-      match ensure_dir dir with
-      | Error _ as e -> e
-      | Ok () ->
-      let tmp = Filename.temp_file ~temp_dir:dir "run-" ".tmp" in
-      let finish ok =
-        if not ok then (try Sys.remove tmp with Sys_error _ -> ())
-      in
-      (try
-         let oc = open_out tmp in
-         List.iter
-           (fun l ->
-             output_string oc l;
-             output_char oc '\n')
-           (to_lines ~key p);
-         close_out oc;
-         Sys.rename tmp file;
-         Ok ()
-       with Sys_error m ->
-         finish false;
-         Error (err file ("write failed: " ^ m)))
-    with Sys_error m -> Error (err file ("write failed: " ^ m))
+    write_file ~file (Exp_codec.current.Exp_codec.encode ~key p)
 
-(* ------------------------------ load ------------------------------ *)
-
-exception Fail of Dcg.parse_error
-
-let read_lines file =
-  let ic = open_in file in
-  Fun.protect
-    ~finally:(fun () -> close_in_noerr ic)
-    (fun () ->
-      let acc = ref [] in
-      (try
-         while true do
-           acc := input_line ic :: !acc
-         done
-       with End_of_file -> ());
-      List.rev !acc)
-
-let load ~file ~key =
+(* [load_versioned] also reports which codec decoded the entry, so
+   [Exp_cache] can transparently re-encode legacy entries in place. *)
+let load_versioned ~file ~key =
   if not (Sys.file_exists file) then Ok None
   else
-    try
-      let lines = try read_lines file with Sys_error m ->
-        raise (Fail (err file ("unreadable: " ^ m)))
-      in
-      let arr = Array.of_list lines in
-      let n = Array.length arr in
-      let fail ?line ?text reason = raise (Fail (err ?line ?text file reason)) in
-      (* shape: magic/version first, self-consistent digest last *)
-      if n < 2 then fail "truncated cache entry";
-      (match String.split_on_char ' ' arr.(0) with
-      | [ m; v ] when m = magic ->
-          if v <> "v" ^ string_of_int version then
-            fail ~line:1 ~text:arr.(0)
-              (Fmt.str "unsupported cache version %s (want v%d)" v version)
-      | _ -> fail ~line:1 ~text:arr.(0) "not a pepsim run-cache file");
-      (match String.index_opt arr.(n - 1) ' ' with
-      | Some 6 when String.sub arr.(n - 1) 0 6 = "digest" ->
-          let stored = String.sub arr.(n - 1) 7 (String.length arr.(n - 1) - 7) in
-          let body = Array.to_list (Array.sub arr 0 (n - 1)) in
-          if digest_lines body <> stored then
-            fail ~line:n ~text:arr.(n - 1)
-              "corrupt cache entry (content digest mismatch)"
-      | _ ->
-          fail ~line:n ~text:arr.(n - 1)
-            "truncated cache entry (missing digest trailer)");
-      (* cursor over the verified body *)
-      let pos = ref 1 in
-      let next what =
-        if !pos >= n - 1 then
-          fail ~line:n (Fmt.str "truncated cache entry (missing %s)" what);
-        let l = arr.(!pos) in
-        incr pos;
-        l
-      in
-      let field name l =
-        let prefix = name ^ " " in
-        if String.starts_with ~prefix l then
-          String.sub l (String.length prefix) (String.length l - String.length prefix)
-        else fail ~line:!pos ~text:l (Fmt.str "expected a %S line" name)
-      in
-      let int_field name l =
-        match int_of_string_opt (field name l) with
-        | Some v -> v
-        | None -> fail ~line:!pos ~text:l (Fmt.str "bad %s value" name)
-      in
-      let stored_key = field "key" (next "key") in
-      if stored_key <> key then
-        fail ~line:2
-          (Fmt.str
-             "stale cache entry: key mismatch (expected %S, found %S) — \
-              program, cost model or format changed since it was written"
-             key stored_key);
-      let meas_line = next "meas" in
-      let iter1, iter2, compile, checksum =
-        match
-          List.map int_of_string_opt
-            (String.split_on_char ' ' (field "meas" meas_line))
-        with
-        | [ Some a; Some b; Some c; Some d ] -> (a, b, c, d)
-        | _ -> fail ~line:!pos ~text:meas_line "bad meas line"
-      in
-      let n_samples = int_field "nsamples" (next "nsamples") in
-      let section name =
-        let k = int_field name (next name) in
-        if k < 0 then fail (Fmt.str "negative %s section length" name);
-        List.init k (fun _ -> next (name ^ " line"))
-      in
-      let pep_paths = section "pep.paths" in
-      let pep_edges = section "pep.edges" in
-      let ppaths = section "ppaths" in
-      let pedges = section "pedges" in
-      if !pos <> n - 1 then
-        fail ~line:(!pos + 1) ~text:arr.(!pos) "trailing garbage in cache entry";
-      Ok
-        (Some
-           {
-             iter1;
-             iter2;
-             compile;
-             checksum;
-             n_samples;
-             pep_paths;
-             pep_edges;
-             ppaths;
-             pedges;
-           })
-    with
-    | Fail e -> Error e
-    | Sys_error m -> Error (err file ("unreadable: " ^ m))
+    match read_file file with
+    | Error _ as e -> e
+    | Ok contents -> (
+        match Exp_codec.sniff contents with
+        | `Codec c -> (
+            match c.Exp_codec.decode ~file ~key contents with
+            | Ok p -> Ok (Some (p, c.Exp_codec.version))
+            | Error _ as e -> e)
+        | `Unknown_version v ->
+            Error
+              (err file
+                 (Fmt.str "unsupported cache version v%d (want v%d)" v version))
+        | `Not_a_store_file ->
+            Error
+              (err file
+                 ~text:
+                   (String.sub contents 0 (min 32 (String.length contents)))
+                 "not a pepsim run-cache file"))
+
+let load ~file ~key =
+  match load_versioned ~file ~key with
+  | Ok None -> Ok None
+  | Ok (Some (p, _)) -> Ok (Some p)
+  | Error _ as e -> e

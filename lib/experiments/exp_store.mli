@@ -1,21 +1,22 @@
 (** On-disk storage for experiment run payloads.
 
-    One versioned text file per (workload, size, seed, configuration)
-    run, digest-protected and keyed by a composite identity that embeds
-    digests of the compiled program and cost model (built by
-    {!Exp_cache}).  Loading validates version, content digest, identity
-    key and record shape before returning anything; every failure is a
-    structured {!Dcg.parse_error} so callers recompute with a
-    diagnostic instead of trusting or crashing on a bad entry. *)
+    One file per (workload, size, seed, configuration) run, keyed by a
+    composite identity that embeds digests of the compiled program and
+    cost model (built by {!Exp_cache}).  The bytes inside are framed by
+    a versioned {!Exp_codec} codec: writes use the current compact
+    binary codec, loads sniff the magic and dispatch, so legacy text
+    entries stay readable.  Loading validates version, content digest,
+    identity key and record shape before returning anything; every
+    failure is a structured {!Dcg.parse_error} so callers recompute
+    with a diagnostic instead of trusting or crashing on a bad entry. *)
 
-(** Bumped whenever the file layout or the meaning of a persisted field
-    changes; older entries are reported stale and recomputed. *)
+(** The current codec's version ({!Exp_codec.current}); entries written
+    by a future codec are reported stale and recomputed. *)
 val version : int
 
-(** Everything needed to rebuild an {!Exp_harness.run} without
-    executing the application: the measurement, the sample count, and
-    the collected profile tables in their [to_lines] serialization. *)
-type payload = {
+(** Re-export of {!Exp_codec.payload}: everything needed to rebuild an
+    {!Exp_harness.run} without executing the application. *)
+type payload = Exp_codec.payload = {
   iter1 : int;
   iter2 : int;
   compile : int;
@@ -31,8 +32,9 @@ type payload = {
     [dir/<md5 hex of file_key>.run]. *)
 val filename : dir:string -> string -> string
 
-(** MD5 hex over the lines joined with ["\n"] — the integrity trailer
-    (exposed so tests can forge entries with valid digests). *)
+(** MD5 hex over the lines joined with ["\n"] — the legacy text
+    format's integrity trailer (re-exported from {!Exp_codec} for
+    tests that forge v1 entries). *)
 val digest_lines : string list -> string
 
 (** Create [dir] (and parents) if missing.  [Error] carries a
@@ -41,21 +43,35 @@ val digest_lines : string list -> string
     worker is tolerated. *)
 val ensure_dir : string -> (unit, Dcg.parse_error) result
 
-(** {!ensure_dir}, plus: sweep stray [run-*.tmp] files left by a crash
-    between temp-write and rename (they are never read, only
-    accumulate), and probe that the directory is actually writable so
-    an unusable [--cache-dir] surfaces as one diagnostic at open
+(** {!ensure_dir}, plus: sweep stray [run-*.tmp]/[fleet-*.tmp] files
+    left by a crash between temp-write and rename (they are never read,
+    only accumulate), and probe that the directory is actually writable
+    so an unusable store directory surfaces as one diagnostic at open
     instead of a silent recompute on every run.  Call when opening a
-    cache directory. *)
+    store directory. *)
 val prepare_dir : string -> (unit, Dcg.parse_error) result
 
-(** Atomically (write-then-rename) persist a payload under [key].
-    Creates missing directories; all I/O failures are structured
-    errors, never exceptions. *)
+(** Read a whole file as bytes; [Error] is a structured diagnostic. *)
+val read_file : string -> (string, Dcg.parse_error) result
+
+(** Atomically (temp file in the target directory, then rename) write
+    [contents] to [file], creating missing directories.  Shared by the
+    run cache and the fleet segment store ([tmp_prefix] defaults to
+    ["run-"]; {!prepare_dir} sweeps both prefixes). *)
+val write_file :
+  ?tmp_prefix:string -> file:string -> string -> (unit, Dcg.parse_error) result
+
+(** Persist a payload under [key] with the current codec.  All I/O
+    failures are structured errors, never exceptions. *)
 val save : file:string -> key:string -> payload -> (unit, Dcg.parse_error) result
 
 (** [Ok None] when no entry exists; [Error _] for stale (key or
     version mismatch), corrupt (digest mismatch), truncated or
-    unreadable entries. *)
+    unreadable entries — whichever codec wrote them. *)
 val load :
   file:string -> key:string -> (payload option, Dcg.parse_error) result
+
+(** Like {!load}, but also reports the codec version that decoded the
+    entry, so callers can migrate legacy entries in place. *)
+val load_versioned :
+  file:string -> key:string -> ((payload * int) option, Dcg.parse_error) result

@@ -1,0 +1,337 @@
+(* The continuous-profiling collector.
+
+   Drives N simulated VM instances per cohort through W collection
+   windows of one application iteration each, snapshotting the
+   per-window delta of every profile table into the segment store.
+
+   Determinism contract (the fleet inherits Exp_pool's): instances
+   shard across domains with [Exp_pool.map], which returns results in
+   input order; each instance is a pure function of its
+   [Fleet.Instance_id] (seeded PRNG, virtual time, replay advice), and
+   all store writes happen on the main domain after the join — so a
+   run at [--jobs 4] is byte-identical to [--jobs 1], and a rerun with
+   the same seeds is byte-identical to the first.
+
+   Two deliberate choices:
+
+   - Replay mode.  Instances compile per advice at first invocation
+     and never re-instrument, so the cumulative PEP tables are
+     monotone and per-window deltas are exact (an adaptive recompile
+     would clear the method's path slot mid-stream).  The advice comes
+     from a per-cohort two-iteration adaptive warmup, phase 0.
+
+   - Compressed timer.  One application iteration is a window; at the
+     default tick period a small iteration sees too few ticks to
+     promote (and hence PEP-instrument) the minority methods drift
+     detection depends on.  The collector divides the tick period by
+     [tick_shrink] (default 8) for warmup and collection alike —
+     virtual time stays exact, there are just more samples per cycle,
+     which is precisely what a continuous profiler wants from a short
+     window. *)
+
+type spec = {
+  workload : Workload.t;
+  size : int option;
+  seed : int;
+  samples : int;
+  stride : int;
+  cohorts : (string * Fleet.Drift.t) list;
+  instances : int;
+  windows : int;
+  tick_shrink : int;
+  keep_raw : bool;
+  retain_windows : int option;
+}
+
+let default_cohorts ~windows =
+  [
+    ("steady", Fleet.Drift.No_drift);
+    ("shift", Fleet.Drift.Phase_shift { at_window = windows / 2; phase = 1 });
+  ]
+
+let default_spec ?size ?(seed = 42) ?(samples = 64) ?(stride = 17)
+    ?(instances = 8) ?(windows = 4) ?(tick_shrink = 8) ?(keep_raw = false)
+    ?retain_windows ?cohorts workload =
+  {
+    workload;
+    size;
+    seed;
+    samples;
+    stride;
+    cohorts =
+      (match cohorts with Some c -> c | None -> default_cohorts ~windows);
+    instances;
+    windows;
+    tick_shrink;
+    keep_raw;
+    retain_windows;
+  }
+
+type report = {
+  cohorts : int;
+  instances : int;
+  windows : int;
+  simulated : int;  (* instances executed this run *)
+  skipped : int;  (* instances already covered by stored segments *)
+  snapshots : int;  (* raw snapshots written *)
+  samples_taken : int;  (* PEP samples across new snapshots *)
+  merged : int;  (* merged segments written by compaction *)
+  retained_deleted : int;  (* segments dropped by retention *)
+  store_bytes : int;
+  diags : Dcg.parse_error list;
+}
+
+let size_of spec = Option.value ~default:spec.workload.Workload.default_size spec.size
+
+let cost_of spec =
+  {
+    Cost_model.default with
+    Cost_model.tick_period =
+      max 1 (Cost_model.default.Cost_model.tick_period / max 1 spec.tick_shrink);
+  }
+
+let sampling_of spec = Sampling.pep ~samples:spec.samples ~stride:spec.stride
+
+(* The fleet's run configuration, identified the same way the run
+   cache identifies it. *)
+let config_key spec =
+  Exp_harness.config_key
+    {
+      Exp_harness.default with
+      Exp_harness.profiling =
+        Exp_harness.Pep_profiled
+          { sampling = sampling_of spec; zero = `Hottest; numbering = `Smart };
+    }
+
+let cohort_of spec (name, drift) =
+  {
+    Fleet.Cohort.name;
+    workload = spec.workload.Workload.name;
+    size = size_of spec;
+    seed = spec.seed;
+    config_key = config_key spec;
+    drift;
+  }
+
+(* Per-cohort warmup: Exp_harness.make_env with the compressed timer —
+   adaptive two-iteration run in phase 0, advice captured.  Shared
+   across cohorts (steady and shift run the same program and seed; the
+   drift only applies to collection windows). *)
+let warmup_env spec =
+  let program = Workload.program ~size:(size_of spec) spec.workload in
+  Verify.program program;
+  let st = Machine.create ~cost:(cost_of spec) ~seed:spec.seed program in
+  let driver =
+    Driver.create
+      {
+        Driver.default_options with
+        Driver.mode =
+          Driver.Adaptive { thresholds = Driver.default_thresholds };
+      }
+      st
+  in
+  ignore (Driver.run driver);
+  ignore (Driver.run driver);
+  (program, Driver.advice driver)
+
+(* ------------------------ one instance's run ----------------------- *)
+
+(* Cursors over the cumulative tables, so each window snapshots its
+   delta.  All three tables are monotone in replay mode; [max 0] is
+   belt and braces. *)
+type cursors = {
+  c_paths : (int * int, int) Hashtbl.t;
+  c_edges : (int * int, int * int) Hashtbl.t;
+  c_dcg : (int * int, int) Hashtbl.t;
+  mutable c_samples : int;
+}
+
+let delta3 tbl rows =
+  List.filter_map
+    (fun (a, b, c) ->
+      let prev = Option.value ~default:0 (Hashtbl.find_opt tbl (a, b)) in
+      Hashtbl.replace tbl (a, b) c;
+      if c - prev > 0 then Some (a, b, c - prev) else None)
+    rows
+
+let delta4 tbl rows =
+  List.filter_map
+    (fun (a, b, c, d) ->
+      let pc, pd = Option.value ~default:(0, 0) (Hashtbl.find_opt tbl (a, b)) in
+      Hashtbl.replace tbl (a, b) (c, d);
+      let dc = max 0 (c - pc) and dd = max 0 (d - pd) in
+      if dc > 0 || dd > 0 then Some (a, b, dc, dd) else None)
+    rows
+
+let cumulative_paths (pep : Pep.t) =
+  let rows = ref [] in
+  Array.iteri
+    (fun mi prof ->
+      Path_profile.iter
+        (fun (e : Path_profile.entry) ->
+          if e.Path_profile.count > 0 then
+            rows := (mi, e.Path_profile.path_id, e.Path_profile.count) :: !rows)
+        prof)
+    pep.Pep.paths;
+  List.sort compare !rows
+
+let cumulative_edges (pep : Pep.t) =
+  let rows = ref [] in
+  Array.iteri
+    (fun mi prof ->
+      List.iter
+        (fun (br, (tk, nt)) -> rows := (mi, br, tk, nt) :: !rows)
+        (Edge_profile.entries prof))
+    pep.Pep.edges;
+  List.sort compare !rows
+
+let cumulative_dcg dcg = List.sort compare (Dcg.edges dcg)
+
+(* Run one instance through every window, returning its raw segments
+   (worker-domain safe: touches only its own machine and tables). *)
+let run_instance spec ~program ~advice instance =
+  let cohort = instance.Fleet.Instance_id.cohort in
+  let st =
+    Machine.create ~cost:(cost_of spec)
+      ~seed:(Fleet.Instance_id.seed instance)
+      program
+  in
+  let driver =
+    Driver.create
+      {
+        Driver.default_options with
+        Driver.mode = Driver.Replay advice;
+        pep =
+          Some
+            { Driver.sampling = sampling_of spec;
+              zero = `Hottest;
+              numbering = `Smart };
+        verify = false;
+      }
+      st
+  in
+  let pep = Option.get (Driver.pep driver) in
+  let methods =
+    Array.map (fun cm -> cm.Machine.meth.Method.name) st.Machine.methods
+  in
+  let cursors =
+    {
+      c_paths = Hashtbl.create 256;
+      c_edges = Hashtbl.create 256;
+      c_dcg = Hashtbl.create 64;
+      c_samples = 0;
+    }
+  in
+  List.init spec.windows (fun w ->
+      (* the drift plan is applied between windows, like a deploy or
+         traffic shift landing in production *)
+      let phase = Fleet.Drift.phase cohort.Fleet.Cohort.drift ~window:w in
+      if Array.length st.Machine.globals > Phased.phase_global then
+        st.Machine.globals.(Phased.phase_global) <- phase;
+      let start_cycle = st.Machine.cycles in
+      ignore (Driver.run driver);
+      let end_cycle = st.Machine.cycles in
+      let paths = delta3 cursors.c_paths (cumulative_paths pep) in
+      let edges = delta4 cursors.c_edges (cumulative_edges pep) in
+      let dcg = delta3 cursors.c_dcg (cumulative_dcg (Driver.dcg driver)) in
+      let total_samples = Pep.n_samples pep in
+      let samples = max 0 (total_samples - cursors.c_samples) in
+      cursors.c_samples <- total_samples;
+      {
+        Fleet_store.cohort;
+        window = Fleet.Window.raw ~index:w ~start_cycle ~end_cycle;
+        origin = instance.Fleet.Instance_id.ordinal;
+        instances = 1;
+        samples;
+        methods;
+        paths;
+        edges;
+        dcg;
+      })
+
+(* --------------------------- the fleet run ------------------------- *)
+
+(* A cohort is warm when every window 0..W-1 already has a merged
+   segment with the full instance count — then this run simulates
+   nothing for it (the CI smoke asserts simulated=0 on a re-run). *)
+let covered ~existing (spec : spec) cohort =
+  let windows =
+    List.filter_map
+      (fun (s : Fleet_store.segment) ->
+        if
+          s.Fleet_store.origin < 0
+          && Fleet.Cohort.equal s.Fleet_store.cohort cohort
+          && s.Fleet_store.instances = spec.instances
+          && s.Fleet_store.window.Fleet.Window.lo
+             = s.Fleet_store.window.Fleet.Window.hi
+        then Some s.Fleet_store.window.Fleet.Window.lo
+        else None)
+      existing
+  in
+  List.for_all (fun w -> List.mem w windows)
+    (List.init spec.windows (fun w -> w))
+
+let run ?(jobs = 1) ~dir spec =
+  match Fleet_store.open_ dir with
+  | Error e -> Error e
+  | Ok () ->
+      let existing, diags0 = Fleet_store.load_all ~dir in
+      let program, advice = warmup_env spec in
+      let cohorts = List.map (cohort_of spec) spec.cohorts in
+      let cold =
+        List.filter (fun c -> not (covered ~existing spec c)) cohorts
+      in
+      let skipped =
+        (List.length cohorts - List.length cold) * spec.instances
+      in
+      (* one flat instance list across cold cohorts: the pool shards
+         round-robin, results come back in input order *)
+      let instances =
+        List.concat_map
+          (fun cohort ->
+            List.init spec.instances (fun ordinal ->
+                { Fleet.Instance_id.cohort; ordinal }))
+          cold
+      in
+      let snapshots =
+        Exp_pool.map ~jobs
+          (fun _sink inst -> run_instance spec ~program ~advice inst)
+          instances
+        |> List.concat
+      in
+      (* all writes from the main domain, in deterministic order *)
+      let diags = ref diags0 in
+      List.iter
+        (fun s ->
+          match Fleet_store.save ~dir s with
+          | Ok () -> ()
+          | Error e -> diags := !diags @ [ e ])
+        snapshots;
+      let merged, _deleted, cerrs =
+        if spec.keep_raw then (0, 0, []) else Fleet_store.compact ~dir
+      in
+      diags := !diags @ cerrs;
+      let retained_deleted =
+        match spec.retain_windows with
+        | Some max_windows when max_windows > 0 ->
+            Fleet_store.retain ~dir ~max_windows
+        | Some _ | None -> 0
+      in
+      Ok
+        {
+          cohorts = List.length cohorts;
+          instances = List.length cohorts * spec.instances;
+          windows = spec.windows;
+          simulated = List.length instances;
+          skipped;
+          snapshots = List.length snapshots;
+          samples_taken =
+            List.fold_left
+              (fun acc (s : Fleet_store.segment) ->
+                acc + s.Fleet_store.samples)
+              0 snapshots;
+          merged;
+          retained_deleted;
+          store_bytes = Fleet_store.store_bytes ~dir;
+          diags = !diags;
+        }

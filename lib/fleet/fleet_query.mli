@@ -1,0 +1,90 @@
+(** Queries over the fleet's segment store: hotspots, folded-stack
+    export, and rule-based diff triage.
+
+    Every function is a pure function of the segments it is given, and
+    every result is deterministically ordered — reruns, job counts and
+    store layouts never change query output. *)
+
+(** Segment selection: by cohort name and/or an inclusive window-index
+    range (a segment qualifies when its window overlaps the range). *)
+type filter = { cohort : string option; lo : int option; hi : int option }
+
+(** No constraints. *)
+val any : filter
+
+(** Filtered segments, with raw segments shadowed by any same-cohort
+    merged segment covering their window. *)
+val select : Fleet_store.segment list -> filter -> Fleet_store.segment list
+
+(** Aggregated profile over a segment list, rows re-keyed through a
+    unified method-name table (segments may disagree on dense
+    indexes). *)
+type view = {
+  methods : string array;
+  paths : (int * int * int) list;  (** method idx, path id, count *)
+  edges : (int * int * int * int) list;
+      (** method idx, branch, taken, not-taken *)
+  dcg : (int * int * int) list;  (** caller idx (-1 root), callee, weight *)
+  samples : int;
+  segments : int;
+  span : Fleet.Window.t option;
+}
+
+val view : Fleet_store.segment list -> view
+val name_of : view -> int -> string
+
+type kind = Profile_export.kind
+
+(** Top-[n] hotspots, scored with per-window exponential decay
+    ([count * decay^(latest_window - window)]): recent windows
+    dominate, sustained heat still beats a one-window spike.  Labels
+    are ["method/path#id"], ["method/br#id"] or ["caller->callee"];
+    ordered by score descending, ties by label. *)
+val top :
+  ?decay:float ->
+  n:int ->
+  kind ->
+  Fleet_store.segment list ->
+  (string * float) list
+
+(** Folded stacks over a view, in [pepsim top]'s exact frame
+    vocabulary ({!Profile_export.paths_of} and friends). *)
+val folded : kind -> view -> Folded.t
+
+(** Triage thresholds. *)
+type thresholds = {
+  new_share : float;
+      (** share of current path executions making an unseen path hot *)
+  edge_shift : float;  (** taken-bias delta flagging a flow shift *)
+  min_edge : int;  (** branch traffic below this is noise *)
+  min_dcg : int;  (** callee weight below this is noise *)
+}
+
+val default_thresholds : thresholds
+
+type finding =
+  | New_hot_path of { meth : string; path_id : int; share : float }
+      (** a path never recorded in the baseline now carries a
+          non-trivial share of all path executions *)
+  | Edge_shift of {
+      meth : string;
+      branch : int;
+      from_bias : float;
+      to_bias : float;
+    }  (** a branch's taken-bias moved by at least [edge_shift] *)
+  | Caller_change of {
+      callee : string;
+      from_caller : string;
+      to_caller : string;
+    }  (** a callee's dominant sampled caller moved *)
+
+val render_finding : finding -> string
+
+(** Rule-based triage of [current] against [baseline]; joins are by
+    method name, findings sorted by rendering. *)
+val diff :
+  ?thresholds:thresholds ->
+  baseline:view ->
+  current:view ->
+  unit ->
+  finding list

@@ -1,0 +1,401 @@
+(* Time-windowed, digest-protected profile segments.
+
+   One binary file per segment, reusing the run cache's wire
+   vocabulary (Exp_codec.Bin varints + raw MD5 trailer) and directory
+   discipline (Exp_store.prepare_dir / atomic write_file).  A segment
+   carries per-window *deltas* of the three profile tables — paths,
+   edges, DCG — plus the method-name table of the program that
+   produced them, so queries never rebuild a program or machine.
+
+   Lifecycle: the collector writes one raw segment per (instance,
+   window); [compact] folds the raws of each (cohort, window) into one
+   merged segment (origin = -1) and deletes them; [retain] trims the
+   oldest windows.  Everything is deterministic: file names are MD5s
+   of the segment's identity key, loads come back sorted by key. *)
+
+type segment = {
+  cohort : Fleet.Cohort.t;
+  window : Fleet.Window.t;
+  origin : int;  (* contributing instance ordinal; -1 once merged *)
+  instances : int;
+  samples : int;
+  methods : string array;
+  paths : (int * int * int) list;  (* method, path id, count *)
+  edges : (int * int * int * int) list;  (* method, branch, taken, not-taken *)
+  dcg : (int * int * int) list;  (* caller (-1 = root), callee, weight *)
+}
+
+let magic = "PEPSEG"
+let version = 1
+
+let segment_key s =
+  Fmt.str "%s|%s|origin=%d"
+    (Fleet.Cohort.key s.cohort)
+    (Fleet.Window.key s.window)
+    s.origin
+
+let filename ~dir s =
+  Filename.concat dir (Digest.to_hex (Digest.string (segment_key s)) ^ ".seg")
+
+let open_ dir = Exp_store.prepare_dir dir
+
+let err ?(text = "") file reason =
+  { Dcg.file = Some file; line = 0; text; reason }
+
+(* ------------------------------ encode ----------------------------- *)
+
+let encode s =
+  let w = Exp_codec.Bin.writer () in
+  Exp_codec.Bin.raw w magic;
+  Exp_codec.Bin.byte w version;
+  Exp_codec.Bin.str w (segment_key s);
+  Exp_codec.Bin.str w s.cohort.Fleet.Cohort.name;
+  Exp_codec.Bin.str w s.cohort.Fleet.Cohort.workload;
+  Exp_codec.Bin.int w s.cohort.Fleet.Cohort.size;
+  Exp_codec.Bin.int w s.cohort.Fleet.Cohort.seed;
+  Exp_codec.Bin.str w s.cohort.Fleet.Cohort.config_key;
+  (match s.cohort.Fleet.Cohort.drift with
+  | Fleet.Drift.No_drift -> Exp_codec.Bin.byte w 0
+  | Fleet.Drift.Phase_shift { at_window; phase } ->
+      Exp_codec.Bin.byte w 1;
+      Exp_codec.Bin.int w at_window;
+      Exp_codec.Bin.int w phase);
+  Exp_codec.Bin.int w s.window.Fleet.Window.lo;
+  Exp_codec.Bin.int w s.window.Fleet.Window.hi;
+  Exp_codec.Bin.int w s.window.Fleet.Window.start_cycle;
+  Exp_codec.Bin.int w s.window.Fleet.Window.end_cycle;
+  Exp_codec.Bin.int w s.origin;
+  Exp_codec.Bin.int w s.instances;
+  Exp_codec.Bin.int w s.samples;
+  Exp_codec.Bin.int w (Array.length s.methods);
+  Array.iter (Exp_codec.Bin.str w) s.methods;
+  let rows3 rows =
+    Exp_codec.Bin.int w (List.length rows);
+    List.iter
+      (fun (a, b, c) ->
+        Exp_codec.Bin.int w a;
+        Exp_codec.Bin.int w b;
+        Exp_codec.Bin.int w c)
+      rows
+  in
+  rows3 s.paths;
+  Exp_codec.Bin.int w (List.length s.edges);
+  List.iter
+    (fun (a, b, c, d) ->
+      Exp_codec.Bin.int w a;
+      Exp_codec.Bin.int w b;
+      Exp_codec.Bin.int w c;
+      Exp_codec.Bin.int w d)
+    s.edges;
+  rows3 s.dcg;
+  Exp_codec.Bin.contents_with_digest w
+
+(* ------------------------------ decode ----------------------------- *)
+
+exception Fail of Dcg.parse_error
+
+let decode ~file contents =
+  let fail reason = raise (Fail (err file reason)) in
+  try
+    let n = String.length contents in
+    if n < String.length magic + 1 then fail "truncated fleet segment";
+    if String.sub contents 0 (String.length magic) <> magic then
+      fail "not a pepsim fleet segment";
+    let v = Char.code contents.[String.length magic] in
+    if v <> version then
+      fail (Fmt.str "unsupported segment version v%d (want v%d)" v version);
+    if n < String.length magic + 1 + 16 then
+      fail "truncated fleet segment (missing digest trailer)";
+    if not (Exp_codec.Bin.check_digest contents) then
+      fail "corrupt fleet segment (content digest mismatch)";
+    let r =
+      Exp_codec.Bin.reader ~pos:(String.length magic + 1) ~limit:(n - 16)
+        contents
+    in
+    let stored_key = Exp_codec.Bin.rstr r in
+    let name = Exp_codec.Bin.rstr r in
+    let workload = Exp_codec.Bin.rstr r in
+    let size = Exp_codec.Bin.rint r in
+    let seed = Exp_codec.Bin.rint r in
+    let config_key = Exp_codec.Bin.rstr r in
+    let drift =
+      match Exp_codec.Bin.rbyte r with
+      | 0 -> Fleet.Drift.No_drift
+      | 1 ->
+          let at_window = Exp_codec.Bin.rint r in
+          let phase = Exp_codec.Bin.rint r in
+          Fleet.Drift.Phase_shift { at_window; phase }
+      | t -> fail (Fmt.str "unknown drift tag %d" t)
+    in
+    let lo = Exp_codec.Bin.rint r in
+    let hi = Exp_codec.Bin.rint r in
+    let start_cycle = Exp_codec.Bin.rint r in
+    let end_cycle = Exp_codec.Bin.rint r in
+    let origin = Exp_codec.Bin.rint r in
+    let instances = Exp_codec.Bin.rint r in
+    let samples = Exp_codec.Bin.rint r in
+    let n_methods = Exp_codec.Bin.rint r in
+    if n_methods < 0 then fail "negative method table length";
+    let methods =
+      Array.init n_methods (fun _ -> Exp_codec.Bin.rstr r)
+    in
+    let count what =
+      let k = Exp_codec.Bin.rint r in
+      if k < 0 then fail (Fmt.str "negative %s section length" what);
+      k
+    in
+    let paths =
+      List.init (count "paths") (fun _ ->
+          let a = Exp_codec.Bin.rint r in
+          let b = Exp_codec.Bin.rint r in
+          let c = Exp_codec.Bin.rint r in
+          (a, b, c))
+    in
+    let edges =
+      List.init (count "edges") (fun _ ->
+          let a = Exp_codec.Bin.rint r in
+          let b = Exp_codec.Bin.rint r in
+          let c = Exp_codec.Bin.rint r in
+          let d = Exp_codec.Bin.rint r in
+          (a, b, c, d))
+    in
+    let dcg =
+      List.init (count "dcg") (fun _ ->
+          let a = Exp_codec.Bin.rint r in
+          let b = Exp_codec.Bin.rint r in
+          let c = Exp_codec.Bin.rint r in
+          (a, b, c))
+    in
+    if not (Exp_codec.Bin.at_end r) then fail "trailing garbage in segment";
+    let s =
+      {
+        cohort =
+          { Fleet.Cohort.name; workload; size; seed; config_key; drift };
+        window = { Fleet.Window.lo; hi; start_cycle; end_cycle };
+        origin;
+        instances;
+        samples;
+        methods;
+        paths;
+        edges;
+        dcg;
+      }
+    in
+    (* self-check: the stored identity must match the decoded fields
+       (catches a segment renamed or spliced across stores) *)
+    if segment_key s <> stored_key then
+      fail
+        (Fmt.str "segment identity mismatch (stored %S, decoded %S)" stored_key
+           (segment_key s));
+    Ok s
+  with
+  | Fail e -> Error e
+  | Exp_codec.Bin.Malformed m ->
+      Error (err file ("truncated fleet segment (" ^ m ^ ")"))
+
+(* ---------------------------- save / load -------------------------- *)
+
+let save ~dir s =
+  let flat a = not (String.contains a '\n' || String.contains a '\r') in
+  if
+    not
+      (Array.for_all flat s.methods
+      && flat (Fleet.Cohort.key s.cohort))
+  then
+    Error
+      (err (filename ~dir s) "refusing to save: segment field contains a newline")
+  else Exp_store.write_file ~tmp_prefix:"fleet-" ~file:(filename ~dir s) (encode s)
+
+let compare_segments a b =
+  compare
+    (Fleet.Cohort.key a.cohort, a.window.Fleet.Window.lo,
+     a.window.Fleet.Window.hi, a.origin)
+    (Fleet.Cohort.key b.cohort, b.window.Fleet.Window.lo,
+     b.window.Fleet.Window.hi, b.origin)
+
+(* Every [*.seg] in [dir], decoded, sorted by identity; unreadable or
+   corrupt files are collected as diagnostics, never trusted. *)
+let load_all ~dir =
+  match Sys.readdir dir with
+  | exception Sys_error m -> ([], [ err dir ("unreadable store: " ^ m) ])
+  | entries ->
+      let files =
+        Array.to_list entries
+        |> List.filter (fun f -> Filename.check_suffix f ".seg")
+        |> List.sort compare
+      in
+      let segs, errs =
+        List.fold_left
+          (fun (segs, errs) f ->
+            let file = Filename.concat dir f in
+            match Exp_store.read_file file with
+            | Error e -> (segs, e :: errs)
+            | Ok contents -> (
+                match decode ~file contents with
+                | Ok s -> (s :: segs, errs)
+                | Error e -> (segs, e :: errs)))
+          ([], []) files
+      in
+      (List.sort compare_segments segs, List.rev errs)
+
+(* ------------------------------ merge ------------------------------ *)
+
+let sum_rows3 rows =
+  let tbl = Hashtbl.create 64 in
+  List.iter
+    (fun (a, b, c) ->
+      let k = (a, b) in
+      Hashtbl.replace tbl k (c + Option.value ~default:0 (Hashtbl.find_opt tbl k)))
+    rows;
+  Hashtbl.fold (fun (a, b) c acc -> (a, b, c) :: acc) tbl []
+  |> List.sort compare
+
+let sum_rows4 rows =
+  let tbl = Hashtbl.create 64 in
+  List.iter
+    (fun (a, b, c, d) ->
+      let k = (a, b) in
+      let c0, d0 = Option.value ~default:(0, 0) (Hashtbl.find_opt tbl k) in
+      Hashtbl.replace tbl k (c + c0, d + d0))
+    rows;
+  Hashtbl.fold (fun (a, b) (c, d) acc -> (a, b, c, d) :: acc) tbl []
+  |> List.sort compare
+
+(* Fold same-cohort segments into one: windows spanned, instance
+   counts summed for distinct origins (raws) or taken as the fleet
+   width (merged inputs), rows summed.  Raising on mixed cohorts keeps
+   merge bugs loud — callers always group by cohort first. *)
+let merge = function
+  | [] -> invalid_arg "Fleet_store.merge: empty"
+  | first :: _ as segs ->
+      List.iter
+        (fun s ->
+          if not (Fleet.Cohort.equal s.cohort first.cohort) then
+            invalid_arg "Fleet_store.merge: mixed cohorts")
+        segs;
+      let window =
+        List.fold_left
+          (fun acc s -> Fleet.Window.span acc s.window)
+          first.window segs
+      in
+      let all_raw = List.for_all (fun s -> s.origin >= 0) segs in
+      let instances =
+        if all_raw then List.fold_left (fun acc s -> acc + s.instances) 0 segs
+        else List.fold_left (fun acc s -> max acc s.instances) 0 segs
+      in
+      let methods =
+        List.fold_left
+          (fun acc s ->
+            if Array.length s.methods > Array.length acc then s.methods else acc)
+          first.methods segs
+      in
+      {
+        cohort = first.cohort;
+        window;
+        origin = -1;
+        instances;
+        samples = List.fold_left (fun acc s -> acc + s.samples) 0 segs;
+        methods;
+        paths = sum_rows3 (List.concat_map (fun s -> s.paths) segs);
+        edges = sum_rows4 (List.concat_map (fun s -> s.edges) segs);
+        dcg = sum_rows3 (List.concat_map (fun s -> s.dcg) segs);
+      }
+
+(* Fold every (cohort, window)'s raw segments into one merged segment
+   and delete the raws.  Windows that already have a merged segment
+   keep it (their raws are stale leftovers and are still deleted).
+   Returns (merged written, raws deleted). *)
+let compact ~dir =
+  let segs, errs = load_all ~dir in
+  let raws = List.filter (fun s -> s.origin >= 0) segs in
+  let merged_keys =
+    List.filter_map
+      (fun s ->
+        if s.origin < 0 then
+          Some (Fleet.Cohort.key s.cohort, s.window.Fleet.Window.lo,
+                s.window.Fleet.Window.hi)
+        else None)
+      segs
+  in
+  let groups = Hashtbl.create 16 in
+  let order = ref [] in
+  List.iter
+    (fun s ->
+      let k =
+        (Fleet.Cohort.key s.cohort, s.window.Fleet.Window.lo,
+         s.window.Fleet.Window.hi)
+      in
+      (match Hashtbl.find_opt groups k with
+      | Some l -> Hashtbl.replace groups k (s :: l)
+      | None ->
+          order := k :: !order;
+          Hashtbl.replace groups k [ s ]))
+    raws;
+  let written = ref 0 and deleted = ref 0 and errs = ref errs in
+  List.iter
+    (fun k ->
+      let group = List.rev (Hashtbl.find groups k) in
+      let ok =
+        if List.mem k merged_keys then true
+        else
+          match save ~dir (merge group) with
+          | Ok () ->
+              incr written;
+              true
+          | Error e ->
+              errs := !errs @ [ e ];
+              false
+      in
+      if ok then
+        List.iter
+          (fun s ->
+            try
+              Sys.remove (filename ~dir s);
+              incr deleted
+            with Sys_error _ -> ())
+          group)
+    (List.rev !order);
+  (!written, !deleted, !errs)
+
+(* Keep only the newest [max_windows] window indexes per cohort
+   (merged and raw alike); returns segments deleted. *)
+let retain ~dir ~max_windows =
+  let segs, _errs = load_all ~dir in
+  let latest = Hashtbl.create 8 in
+  List.iter
+    (fun s ->
+      let k = Fleet.Cohort.key s.cohort in
+      let hi = s.window.Fleet.Window.hi in
+      match Hashtbl.find_opt latest k with
+      | Some h when h >= hi -> ()
+      | _ -> Hashtbl.replace latest k hi)
+    segs;
+  let deleted = ref 0 in
+  List.iter
+    (fun s ->
+      let cutoff =
+        Hashtbl.find latest (Fleet.Cohort.key s.cohort) - max_windows + 1
+      in
+      if s.window.Fleet.Window.hi < cutoff then
+        try
+          Sys.remove (filename ~dir s);
+          incr deleted
+        with Sys_error _ -> ())
+    segs;
+  !deleted
+
+let store_bytes ~dir =
+  match Sys.readdir dir with
+  | exception Sys_error _ -> 0
+  | entries ->
+      Array.fold_left
+        (fun acc f ->
+          if Filename.check_suffix f ".seg" then
+            match
+              In_channel.with_open_bin (Filename.concat dir f)
+                In_channel.length
+            with
+            | sz -> acc + Int64.to_int sz
+            | exception Sys_error _ -> acc
+          else acc)
+        0 entries

@@ -1,0 +1,65 @@
+(** Time-windowed, digest-protected profile segments.
+
+    The fleet's profile store: one compact binary file per segment
+    (reusing {!Exp_codec.Bin} and {!Exp_store}'s directory discipline),
+    each carrying per-window {e deltas} of the path / edge / DCG tables
+    plus the method-name table — queries never rebuild a program.
+
+    Lifecycle: the collector saves one raw segment per (instance,
+    window); {!compact} folds each (cohort, window)'s raws into one
+    merged segment ([origin = -1]) and deletes them; {!retain} trims
+    the oldest windows.  File names are MD5s of the identity key;
+    {!load_all} returns segments sorted by identity, so every store
+    scan is deterministic. *)
+
+type segment = {
+  cohort : Fleet.Cohort.t;
+  window : Fleet.Window.t;
+  origin : int;  (** contributing instance ordinal; -1 once merged *)
+  instances : int;  (** instances contributing to the rows *)
+  samples : int;  (** PEP samples taken in the window *)
+  methods : string array;  (** dense method index → name *)
+  paths : (int * int * int) list;  (** method, path id, count *)
+  edges : (int * int * int * int) list;
+      (** method, branch, taken, not-taken *)
+  dcg : (int * int * int) list;  (** caller (-1 = root), callee, weight *)
+}
+
+(** Canonical identity: cohort key + window key + origin. *)
+val segment_key : segment -> string
+
+(** [dir/<md5 of segment_key>.seg]. *)
+val filename : dir:string -> segment -> string
+
+(** Prepare the store directory ({!Exp_store.prepare_dir}: create,
+    sweep temp files, probe writability). *)
+val open_ : string -> (unit, Dcg.parse_error) result
+
+(** Atomic digest-protected write under the segment's identity name. *)
+val save : dir:string -> segment -> (unit, Dcg.parse_error) result
+
+(** Decode one segment's bytes: magic, version, digest, shape and
+    identity self-check all validated before anything is returned. *)
+val decode : file:string -> string -> (segment, Dcg.parse_error) result
+
+(** Every [*.seg] in [dir], sorted by identity key; unreadable,
+    corrupt or future-versioned files come back as diagnostics. *)
+val load_all : dir:string -> segment list * Dcg.parse_error list
+
+(** Fold same-cohort segments into one ([origin = -1]): windows
+    spanned, rows summed; instance counts are summed over raw inputs
+    and maxed over merged ones.
+    @raise Invalid_argument on an empty list or mixed cohorts. *)
+val merge : segment list -> segment
+
+(** Merge every (cohort, window)'s raw segments and delete them
+    (windows that already have a merged segment keep it); returns
+    (merged written, raws deleted, diagnostics). *)
+val compact : dir:string -> int * int * Dcg.parse_error list
+
+(** Delete segments older than the newest [max_windows] window indexes
+    of their cohort; returns segments deleted. *)
+val retain : dir:string -> max_windows:int -> int
+
+(** Total size of the store's segment files, in bytes. *)
+val store_bytes : dir:string -> int

@@ -52,6 +52,14 @@ let bias t branch =
 let branch_ids t =
   List.sort compare (Hashtbl.fold (fun b _ acc -> b :: acc) t.tbl [])
 
+let entries t =
+  List.filter_map
+    (fun b ->
+      match Hashtbl.find_opt t.tbl b with
+      | Some c -> Some (b, (c.taken, c.not_taken))
+      | None -> None)
+    (branch_ids t)
+
 let total t = Hashtbl.fold (fun _ c acc -> acc + c.taken + c.not_taken) t.tbl 0
 let is_empty t = total t = 0
 

@@ -37,6 +37,12 @@ val freq : t -> Cfg.branch_id -> int
 val bias : t -> Cfg.branch_id -> float option
 
 val branch_ids : t -> Cfg.branch_id list
+
+(** [(branch, (taken, not_taken))] for every branch seen, sorted by
+    branch id — the deterministic bulk accessor the fleet collector
+    diffs consecutive snapshots with. *)
+val entries : t -> (Cfg.branch_id * (int * int)) list
+
 val total : t -> int
 val is_empty : t -> bool
 val copy : t -> t

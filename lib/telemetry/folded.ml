@@ -18,6 +18,16 @@ let add t ~stack value =
     | None -> Hashtbl.add t.tbl key (ref value)
   end
 
+(* Accumulate every stack of [src] into [into] (used to merge
+   per-window or per-cohort exports into one flamegraph). *)
+let merge ~into src =
+  Hashtbl.iter
+    (fun key v ->
+      match Hashtbl.find_opt into.tbl key with
+      | Some r -> r := !r + !v
+      | None -> Hashtbl.add into.tbl key (ref !v))
+    src.tbl
+
 let entries t =
   let l = Hashtbl.fold (fun k v acc -> (k, !v) :: acc) t.tbl [] in
   (* Hottest first; tie-break on the stack string for determinism. *)

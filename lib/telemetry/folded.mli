@@ -13,6 +13,10 @@ val create : unit -> t
     first).  Non-positive values are ignored. *)
 val add : t -> stack:string list -> int -> unit
 
+(** [merge ~into src] accumulates every stack of [src] into [into]
+    (e.g. per-window fleet exports into one flamegraph). *)
+val merge : into:t -> t -> unit
+
 (** Stacks with accumulated values, hottest first (ties broken by
     stack string, so output is deterministic). *)
 val entries : t -> (string * int) list

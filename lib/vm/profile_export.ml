@@ -6,7 +6,12 @@
    method executing the path, not to a call stack — so calling context
    is approximated the way a DCG-driven flame view would: each method
    is hung under its hot chain, the walk from the method to a root
-   that at every step follows the heaviest sampled caller edge. *)
+   that at every step follows the heaviest sampled caller edge.
+
+   The core exporters work from raw profile tables and a method-naming
+   function, so they serve both a live machine ([of_driver]) and the
+   fleet store's persisted segments (which carry their own name
+   tables — no program rebuild needed to answer a query). *)
 
 let root_frame = "<root>"
 let max_chain = 32
@@ -27,23 +32,23 @@ let best_callers dcg =
 
 (* Hot chain of [midx], root frame first.  A visited guard cuts cycles
    (the DCG is sampled, so mutual recursion shows up as a cycle). *)
-let hot_chain st best midx =
+let hot_chain ~name best midx =
   let rec up acc visited midx n =
     if n >= max_chain then root_frame :: acc
     else
       match Hashtbl.find_opt best midx with
       | Some (caller, _) when caller >= 0 && not (List.mem caller visited) ->
-          up (method_name st caller :: acc) (caller :: visited) caller (n + 1)
+          up (name caller :: acc) (caller :: visited) caller (n + 1)
       | Some _ | None -> root_frame :: acc
   in
-  up [ method_name st midx ] [ midx ] midx 0
+  up [ name midx ] [ midx ] midx 0
 
-let paths st dcg (pep : Pep.t) =
+let paths_of ~name dcg (table : Path_profile.table) =
   let best = best_callers dcg in
   let f = Folded.create () in
   Array.iteri
     (fun midx prof ->
-      let chain = lazy (hot_chain st best midx) in
+      let chain = lazy (hot_chain ~name best midx) in
       Path_profile.iter
         (fun (e : Path_profile.entry) ->
           let frame =
@@ -53,40 +58,43 @@ let paths st dcg (pep : Pep.t) =
           in
           Folded.add f ~stack:(Lazy.force chain @ [ frame ]) e.count)
         prof)
-    pep.Pep.paths;
+    table;
   f
 
-let edges st dcg (pep : Pep.t) =
+let edges_of ~name dcg (table : Edge_profile.table) =
   let best = best_callers dcg in
   let f = Folded.create () in
   Array.iteri
     (fun midx prof ->
-      let chain = lazy (hot_chain st best midx) in
+      let chain = lazy (hot_chain ~name best midx) in
       List.iter
-        (fun br ->
-          match Edge_profile.counter prof br with
-          | None -> ()
-          | Some c ->
-              let stack arm =
-                Lazy.force chain @ [ Fmt.str "br#%d:%s" br arm ]
-              in
-              Folded.add f ~stack:(stack "taken") c.Edge_profile.taken;
-              Folded.add f ~stack:(stack "not-taken") c.Edge_profile.not_taken)
-        (Edge_profile.branch_ids prof))
-    pep.Pep.edges;
+        (fun (br, (taken, not_taken)) ->
+          let stack arm = Lazy.force chain @ [ Fmt.str "br#%d:%s" br arm ] in
+          Folded.add f ~stack:(stack "taken") taken;
+          Folded.add f ~stack:(stack "not-taken") not_taken)
+        (Edge_profile.entries prof))
+    table;
   f
 
-let dcg st dcg =
+let dcg_of ~name dcg =
   let best = best_callers dcg in
   let f = Folded.create () in
   List.iter
     (fun (caller, callee, w) ->
       let prefix =
-        if caller < 0 then [ root_frame ] else hot_chain st best caller
+        if caller < 0 then [ root_frame ] else hot_chain ~name best caller
       in
-      Folded.add f ~stack:(prefix @ [ method_name st callee ]) w)
+      Folded.add f ~stack:(prefix @ [ name callee ]) w)
     (Dcg.edges dcg);
   f
+
+let paths st dcg (pep : Pep.t) =
+  paths_of ~name:(method_name st) dcg pep.Pep.paths
+
+let edges st dcg (pep : Pep.t) =
+  edges_of ~name:(method_name st) dcg pep.Pep.edges
+
+let dcg st g = dcg_of ~name:(method_name st) g
 
 type kind = [ `Paths | `Edges | `Dcg ]
 

@@ -14,6 +14,26 @@ type kind = [ `Paths | `Edges | `Dcg ]
 
 val kind_name : kind -> string
 
+(** {2 Table-level exporters}
+
+    Work from raw profile tables and a [name] function over dense
+    method indexes, so callers that persisted profiles with their own
+    name table (the fleet segment store) can export without rebuilding
+    a program or machine. *)
+
+(** One stack per recorded path, leaf frame ["path#<id> (<n> br)"]
+    (branch count omitted when the entry carries none). *)
+val paths_of : name:(int -> string) -> Dcg.t -> Path_profile.table -> Folded.t
+
+(** Per-branch-arm counts, leaf frame ["br#<id>:taken" / ":not-taken"]. *)
+val edges_of : name:(int -> string) -> Dcg.t -> Edge_profile.table -> Folded.t
+
+(** DCG edge weights: each sampled caller→callee edge under the
+    caller's hot chain. *)
+val dcg_of : name:(int -> string) -> Dcg.t -> Folded.t
+
+(** {2 Machine-level exporters (live runs)} *)
+
 (** Per-path sample counts: one stack per sampled path, leaf frame
     ["path#<id> (<n> br)"]. *)
 val paths : Machine.t -> Dcg.t -> Pep.t -> Folded.t

@@ -1,0 +1,112 @@
+open Ast
+
+(* A phase-shifting workload for fleet mode: traffic whose hot paths
+   drift over (virtual) time, which the static suite cannot model.
+
+   Global [phase_global] is the phase knob.  The fleet collector flips
+   it mid-run (the program never writes it, so a steady cohort stays in
+   phase 0 forever):
+
+   - phase 0: [dispatch] sends ~80% of requests to [worker_a] (a
+     leaf-calling loop — [leaf]'s heaviest DCG caller) and ~20% to
+     [worker_b], which takes its cheap arithmetic arm;
+   - phase 1: the dispatch split flips to ~20/80 and [worker_b] takes
+     its other arm — a longer, leaf-calling loop whose paths were never
+     executed in phase 0.
+
+   So a phase shift injects all three regression signatures the triage
+   rules look for: brand-new hot paths (worker_b's phase-1 arm), a
+   large bias shift on dispatch's and worker_b's branches, and a change
+   of leaf's dominant caller (worker_a → worker_b).  Phase 0 still
+   sends enough traffic through worker_b that every method is warm
+   enough to be opt-compiled — and therefore PEP-instrumented — when
+   the replay advice is derived from a phase-0 warmup. *)
+
+let phase_global = 0
+
+let drift =
+  let build size =
+    let leaf =
+      mdef "leaf" ~params:[ "x" ]
+        [
+          set "t" (band (mul (v "x") (i 7)) (i 255));
+          for_ "k" (i 0) (i 3)
+            [ set "t" (add (v "t") (band (shr (v "x") (v "k")) (i 15))) ];
+          ret (v "t");
+        ]
+    in
+    let worker_a =
+      mdef "worker_a" ~params:[ "r" ]
+        [
+          set "t" (v "r");
+          for_ "j" (i 0) (i 6)
+            [
+              if_
+                (eq (band (v "t") (i 1)) (i 1))
+                [ set "t" (add (v "t") (call "leaf" [ v "t" ])) ]
+                [ set "t" (bxor (v "t") (add (mul (v "j") (i 3)) (i 1))) ];
+            ];
+          ret (v "t");
+        ]
+    in
+    let worker_b =
+      mdef "worker_b" ~params:[ "r" ]
+        [
+          set "t" (v "r");
+          if_
+            (gt (g phase_global) (i 0))
+            [
+              (* phase-1 arm: paths that never run in phase 0, every
+                 iteration calling leaf *)
+              for_ "j" (i 0) (i 10)
+                [ set "t" (bxor (v "t") (call "leaf" [ add (v "t") (v "j") ])) ];
+            ]
+            [
+              (* phase-0 arm: moderate arithmetic — cheap, but hot
+                 enough at ~20% of traffic to get opt-compiled *)
+              for_ "j" (i 0) (i 5)
+                [
+                  set "t" (add (v "t") (band (mul (v "t") (i 5)) (i 63)));
+                  if_
+                    (eq (band (v "t") (i 3)) (i 0))
+                    [ set "t" (bxor (v "t") (v "j")) ]
+                    [];
+                ];
+            ];
+          ret (v "t");
+        ]
+    in
+    let dispatch =
+      mdef "dispatch" ~params:[ "r" ]
+        [
+          (* threshold 80 in phase 0, 20 in phase 1 *)
+          if_
+            (lt (v "r") (sub (i 80) (mul (g phase_global) (i 60))))
+            [ ret (call "worker_a" [ v "r" ]) ]
+            [ ret (call "worker_b" [ v "r" ]) ];
+        ]
+    in
+    let main =
+      mdef "main" ~params:[]
+        [
+          set "sum" (i 0);
+          for_ "it" (i 0)
+            (i (size * 32))
+            [ set "sum" (bxor (v "sum") (call "dispatch" [ rnd 100 ])) ];
+          ret (v "sum");
+        ]
+    in
+    pdef "drift" [ main; dispatch; worker_a; worker_b; leaf ]
+  in
+  {
+    Workload.name = "drift";
+    description =
+      "phase-shifting request mix; hot paths, branch biases and leaf's \
+       dominant caller all flip when the fleet collector advances the phase \
+       global";
+    default_size = 400;
+    build;
+  }
+
+let all = [ drift ]
+let find name = List.find_opt (fun (w : Workload.t) -> w.name = name) all

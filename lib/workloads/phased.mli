@@ -1,0 +1,19 @@
+(** Phase-shifting workloads for fleet mode.
+
+    Deliberately {e not} part of {!Suite.all}: the static suite is the
+    paper's fixed benchmark set (figures, deep checks and the
+    differential engine suite all enumerate it), while these workloads
+    exist to be driven through externally-injected phase shifts by the
+    fleet collector. *)
+
+(** Index of the global the collector writes to advance the phase
+    (workload code only reads it). *)
+val phase_global : int
+
+(** ~80/20 dispatch mix whose split, the active arm of the minority
+    worker, and the leaf method's dominant caller all flip when the
+    phase global goes 0→1 — one phase shift trips every triage rule. *)
+val drift : Workload.t
+
+val all : Workload.t list
+val find : string -> Workload.t option

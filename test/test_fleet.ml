@@ -1,0 +1,344 @@
+(* The fleet service, locked down the same way the experiment pool is:
+
+   - determinism: a collector run at jobs=1 and jobs=4 produces
+     byte-identical segment files, and identical query output (top,
+     folded, diff) — and a warm rerun simulates nothing and leaves the
+     store untouched;
+   - the segment codec: save/load round-trips arbitrary segments
+     (QCheck), a flipped byte is rejected by the digest before any row
+     is believed, a forged future version and junk files come back as
+     structured diagnostics;
+   - compaction and retention: merge sums rows and spans windows,
+     compact leaves exactly one merged segment per (cohort, window),
+     retain drops the oldest windows;
+   - triage golden: on the seeded drifting cohort the diff flags a new
+     hot path in worker_b, the dispatch edge-flow shift and leaf's
+     caller change; the steady control reports nothing. *)
+
+let check = Alcotest.check
+let ci = Alcotest.int
+let cb = Alcotest.bool
+let csl = Alcotest.(list string)
+
+let fresh_dir =
+  let n = ref 0 in
+  fun () ->
+    let f = Filename.temp_file "pepsim-fleet" "" in
+    Sys.remove f;
+    incr n;
+    f ^ ".d" ^ string_of_int !n
+
+let read_all file = In_channel.with_open_bin file In_channel.input_all
+let write_all file s = Out_channel.with_open_bin file (fun oc -> Out_channel.output_string oc s)
+
+(* One small collector spec shared by the whole suite; every run of it
+   must be bit-identical, so tests can compare stores freely. *)
+let spec =
+  Fleet_collector.default_spec ~size:150 ~seed:21 ~instances:2 ~windows:4
+    Phased.drift
+
+let store_fingerprint dir =
+  List.sort compare
+    (List.filter_map
+       (fun f ->
+         if Filename.check_suffix f ".seg" then
+           Some (f, Digest.to_hex (Digest.string (read_all (Filename.concat dir f))))
+         else None)
+       (Array.to_list (Sys.readdir dir)))
+
+let run_ok ?jobs dir =
+  match Fleet_collector.run ?jobs ~dir spec with
+  | Ok r -> r
+  | Error e -> Alcotest.failf "fleet run: %a" Dcg.pp_parse_error e
+
+let segments_of dir =
+  let segs, diags = Fleet_store.load_all ~dir in
+  List.iter (fun e -> Alcotest.failf "load_all: %a" Dcg.pp_parse_error e) diags;
+  segs
+
+(* ------------------- determinism & warm skip ---------------------- *)
+
+let query_repr dir =
+  let segs = segments_of dir in
+  let shift = Fleet_query.select segs { Fleet_query.any with cohort = Some "shift" } in
+  let top k = List.map (fun (l, s) -> Fmt.str "%s=%h" l s) (Fleet_query.top ~n:10 k segs) in
+  let folded = Folded.to_lines (Fleet_query.folded `Paths (Fleet_query.view shift)) in
+  let diff =
+    Fleet_query.diff
+      ~baseline:(Fleet_query.view (Fleet_query.select segs
+        { Fleet_query.cohort = Some "shift"; lo = None; hi = Some 1 }))
+      ~current:(Fleet_query.view (Fleet_query.select segs
+        { Fleet_query.cohort = Some "shift"; lo = Some 2; hi = None }))
+      ()
+  in
+  top `Paths @ top `Edges @ top `Dcg @ folded
+  @ List.map Fleet_query.render_finding diff
+
+let test_jobs_deterministic () =
+  let d1 = fresh_dir () and d4 = fresh_dir () in
+  let r1 = run_ok ~jobs:1 d1 and r4 = run_ok ~jobs:4 d4 in
+  check ci "simulated" r1.Fleet_collector.simulated r4.Fleet_collector.simulated;
+  check ci "snapshots" r1.Fleet_collector.snapshots r4.Fleet_collector.snapshots;
+  check ci "samples" r1.Fleet_collector.samples_taken r4.Fleet_collector.samples_taken;
+  Alcotest.(check (list (pair string string)))
+    "segment files byte-identical" (store_fingerprint d1) (store_fingerprint d4);
+  check csl "query output identical" (query_repr d1) (query_repr d4)
+
+let test_warm_rerun () =
+  let dir = fresh_dir () in
+  let cold = run_ok dir in
+  check cb "cold simulated" true (cold.Fleet_collector.simulated > 0);
+  let before = store_fingerprint dir in
+  let warm = run_ok ~jobs:3 dir in
+  check ci "warm simulated" 0 warm.Fleet_collector.simulated;
+  check ci "warm skipped"
+    (cold.Fleet_collector.cohorts * spec.Fleet_collector.instances)
+    warm.Fleet_collector.skipped;
+  check ci "warm snapshots" 0 warm.Fleet_collector.snapshots;
+  Alcotest.(check (list (pair string string)))
+    "store untouched" before (store_fingerprint dir)
+
+(* --------------------------- triage golden ------------------------ *)
+
+let diff_of dir ~cohort =
+  let segs = segments_of dir in
+  Fleet_query.diff
+    ~baseline:(Fleet_query.view (Fleet_query.select segs
+      { Fleet_query.cohort = Some cohort; lo = None; hi = Some 1 }))
+    ~current:(Fleet_query.view (Fleet_query.select segs
+      { Fleet_query.cohort = Some cohort; lo = Some 2; hi = None }))
+    ()
+
+let shared_dir = lazy (let d = fresh_dir () in ignore (run_ok ~jobs:2 d); d)
+
+let test_triage_drift () =
+  let findings = diff_of (Lazy.force shared_dir) ~cohort:"shift" in
+  let rendered = List.map Fleet_query.render_finding findings in
+  let has prefix =
+    check cb (Fmt.str "finding %s" prefix) true
+      (List.exists
+         (fun r -> String.length r >= String.length prefix
+                   && String.sub r 0 (String.length prefix) = prefix)
+         rendered)
+  in
+  (* the phase shift moves dispatch toward worker_b: its new paths get
+     hot, dispatch's branch bias flips, and leaf's dominant caller
+     moves — all three rule families must fire *)
+  has "new-hot-path worker_b/path#";
+  has "edge-shift dispatch/br#0";
+  has "caller-change leaf: worker_a -> worker_b";
+  (* and they are all the drift explains: nothing else regresses *)
+  let contains hay needle =
+    let nh = String.length hay and nn = String.length needle in
+    let rec go i = i + nn <= nh && (String.sub hay i nn = needle || go (i + 1)) in
+    go 0
+  in
+  List.iter
+    (fun r ->
+      check cb (Fmt.str "finding %s names worker_b, dispatch or leaf" r) true
+        (List.exists (contains r) [ "worker_b"; "dispatch"; "leaf" ]))
+    rendered
+
+let test_triage_steady_clean () =
+  check ci "steady findings" 0
+    (List.length (diff_of (Lazy.force shared_dir) ~cohort:"steady"))
+
+(* ------------------------ segment codec --------------------------- *)
+
+let seg ~cohort_name ~window ~origin rows =
+  {
+    Fleet_store.cohort =
+      {
+        Fleet.Cohort.name = cohort_name;
+        workload = "drift";
+        size = 10;
+        seed = 7;
+        config_key = "cfg";
+        drift = Fleet.Drift.No_drift;
+      };
+    window = Fleet.Window.raw ~index:window ~start_cycle:(window * 100)
+        ~end_cycle:((window + 1) * 100);
+    origin;
+    instances = 1;
+    samples = List.length rows;
+    methods = [| "alpha"; "beta" |];
+    paths = rows;
+    edges = List.map (fun (a, b, c) -> (a, b, c, c + 1)) rows;
+    dcg = (if rows = [] then [] else [ (-1, 0, 5); (0, 1, 3) ]);
+  }
+
+let test_segment_roundtrip () =
+  let dir = fresh_dir () in
+  Alcotest.(check (result unit reject)) "open" (Ok ()) (Fleet_store.open_ dir);
+  let s = seg ~cohort_name:"a" ~window:2 ~origin:3 [ (0, 1, 42); (1, 9, 7) ] in
+  (match Fleet_store.save ~dir s with
+  | Ok () -> ()
+  | Error e -> Alcotest.failf "save: %a" Dcg.pp_parse_error e);
+  match segments_of dir with
+  | [ s' ] -> check cb "roundtrip equal" true (s = s')
+  | l -> Alcotest.failf "expected 1 segment, got %d" (List.length l)
+
+let test_segment_tamper_rejected () =
+  let dir = fresh_dir () in
+  ignore (Fleet_store.open_ dir);
+  let s = seg ~cohort_name:"a" ~window:0 ~origin:0 [ (0, 3, 9) ] in
+  ignore (Fleet_store.save ~dir s);
+  let file = Fleet_store.filename ~dir s in
+  let bytes = read_all file in
+  let i = String.length bytes / 2 in
+  let flipped = Bytes.of_string bytes in
+  Bytes.set flipped i (Char.chr (Char.code bytes.[i] lxor 1));
+  write_all file (Bytes.to_string flipped);
+  let segs, diags = Fleet_store.load_all ~dir in
+  check ci "no segment believed" 0 (List.length segs);
+  check ci "one diagnostic" 1 (List.length diags)
+
+let test_segment_junk_rejected () =
+  let dir = fresh_dir () in
+  ignore (Fleet_store.open_ dir);
+  write_all (Filename.concat dir "junk.seg") "not a segment at all";
+  let segs, diags = Fleet_store.load_all ~dir in
+  check ci "no segment" 0 (List.length segs);
+  check ci "diagnostic" 1 (List.length diags)
+
+let gen_segment =
+  let open QCheck in
+  (* segment fields must be newline-free (the store refuses them) *)
+  let str =
+    map
+      (String.map (fun c -> if c = '\n' then '_' else c))
+      (string_gen_of_size (Gen.int_range 0 12) Gen.printable)
+  in
+  let rows3 = small_list (triple small_nat small_nat small_nat) in
+  let rows4 =
+    small_list (quad small_nat small_nat small_nat small_nat)
+  in
+  quad str (small_list str) rows3 rows4
+
+let prop_segment_codec =
+  QCheck.Test.make ~count:100 ~name:"segment codec: save/load = id, tamper rejected"
+    gen_segment (fun (name, methods, rows3, rows4) ->
+      let dir = fresh_dir () in
+      ignore (Fleet_store.open_ dir);
+      let s =
+        {
+          Fleet_store.cohort =
+            {
+              Fleet.Cohort.name = "c|" ^ name;
+              workload = name;
+              size = 3;
+              seed = 1;
+              config_key = "k=" ^ name;
+              drift = Fleet.Drift.Phase_shift { at_window = 1; phase = 2 };
+            };
+          window = Fleet.Window.raw ~index:1 ~start_cycle:0 ~end_cycle:9;
+          origin = 0;
+          instances = 1;
+          samples = List.length rows3;
+          methods = Array.of_list methods;
+          paths = rows3;
+          edges = rows4;
+          dcg = List.map (fun (a, b, c) -> (a - 1, b, c)) rows3;
+        }
+      in
+      match Fleet_store.save ~dir s with
+      | Error e -> QCheck.Test.fail_reportf "save: %a" Dcg.pp_parse_error e
+      | Ok () -> (
+          let file = Fleet_store.filename ~dir s in
+          let bytes = read_all file in
+          match Fleet_store.decode ~file bytes with
+          | Error e ->
+              QCheck.Test.fail_reportf "decode: %a" Dcg.pp_parse_error e
+          | Ok s' ->
+              if s <> s' then QCheck.Test.fail_report "roundtrip mismatch";
+              let i = String.length bytes / 2 in
+              let t = Bytes.of_string bytes in
+              Bytes.set t i (Char.chr (Char.code bytes.[i] lxor (1 lsl (i mod 8))));
+              if Bytes.to_string t = bytes then true
+              else
+                match Fleet_store.decode ~file (Bytes.to_string t) with
+                | Ok _ -> QCheck.Test.fail_report "tampered bytes accepted"
+                | Error _ -> true))
+
+(* --------------------- merge / compact / retain ------------------- *)
+
+let test_merge_sums () =
+  let a = seg ~cohort_name:"m" ~window:0 ~origin:0 [ (0, 1, 10) ] in
+  let b = seg ~cohort_name:"m" ~window:1 ~origin:1 [ (0, 1, 5); (1, 2, 2) ] in
+  let m = Fleet_store.merge [ a; b ] in
+  check ci "origin" (-1) m.Fleet_store.origin;
+  check ci "instances summed" 2 m.Fleet_store.instances;
+  check ci "window lo" 0 m.Fleet_store.window.Fleet.Window.lo;
+  check ci "window hi" 1 m.Fleet_store.window.Fleet.Window.hi;
+  check cb "paths summed" true
+    (List.mem (0, 1, 15) m.Fleet_store.paths
+     && List.mem (1, 2, 2) m.Fleet_store.paths);
+  check cb "mixed cohorts rejected" true
+    (try
+       ignore (Fleet_store.merge [ a; seg ~cohort_name:"x" ~window:0 ~origin:0 [] ]);
+       false
+     with Invalid_argument _ -> true)
+
+let test_compact_and_retain () =
+  let dir = fresh_dir () in
+  ignore (Fleet_store.open_ dir);
+  List.iter
+    (fun s -> match Fleet_store.save ~dir s with
+      | Ok () -> ()
+      | Error e -> Alcotest.failf "save: %a" Dcg.pp_parse_error e)
+    [
+      seg ~cohort_name:"c" ~window:0 ~origin:0 [ (0, 1, 1) ];
+      seg ~cohort_name:"c" ~window:0 ~origin:1 [ (0, 1, 2) ];
+      seg ~cohort_name:"c" ~window:1 ~origin:0 [ (0, 1, 4) ];
+      seg ~cohort_name:"c" ~window:1 ~origin:1 [ (0, 1, 8) ];
+    ];
+  let written, deleted, errs = Fleet_store.compact ~dir in
+  check ci "no errors" 0 (List.length errs);
+  check ci "merged written" 2 written;
+  check ci "raws deleted" 4 deleted;
+  let segs = segments_of dir in
+  check ci "two merged remain" 2 (List.length segs);
+  List.iter
+    (fun (s : Fleet_store.segment) ->
+      check ci "merged origin" (-1) s.Fleet_store.origin;
+      check ci "merged instances" 2 s.Fleet_store.instances)
+    segs;
+  (* retention: keep only the newest window *)
+  check ci "retain deletes" 1 (Fleet_store.retain ~dir ~max_windows:1);
+  match segments_of dir with
+  | [ s ] -> check ci "newest kept" 1 s.Fleet_store.window.Fleet.Window.lo
+  | l -> Alcotest.failf "expected 1 segment, got %d" (List.length l)
+
+let test_select_prefers_merged () =
+  let raw = seg ~cohort_name:"c" ~window:0 ~origin:0 [ (0, 1, 1) ] in
+  let merged = { (Fleet_store.merge [ raw ]) with Fleet_store.instances = 2 } in
+  let picked = Fleet_query.select [ raw; merged ] Fleet_query.any in
+  check ci "raw shadowed" 1 (List.length picked);
+  check ci "merged picked" (-1) (List.hd picked).Fleet_store.origin
+
+(* ----------------------------- suite ------------------------------ *)
+
+let qcheck = QCheck_alcotest.to_alcotest
+
+let suite =
+  [
+    Alcotest.test_case "jobs 1 = jobs 4 (segments + queries)" `Slow
+      test_jobs_deterministic;
+    Alcotest.test_case "warm rerun simulates nothing" `Slow test_warm_rerun;
+    Alcotest.test_case "triage flags the drifting cohort" `Slow
+      test_triage_drift;
+    Alcotest.test_case "triage is silent on the steady cohort" `Slow
+      test_triage_steady_clean;
+    Alcotest.test_case "segment save/load roundtrip" `Quick
+      test_segment_roundtrip;
+    Alcotest.test_case "flipped byte rejected by digest" `Quick
+      test_segment_tamper_rejected;
+    Alcotest.test_case "junk segment file is a diagnostic" `Quick
+      test_segment_junk_rejected;
+    qcheck prop_segment_codec;
+    Alcotest.test_case "merge sums rows and spans windows" `Quick
+      test_merge_sums;
+    Alcotest.test_case "compact then retain" `Quick test_compact_and_retain;
+    Alcotest.test_case "query prefers merged segments" `Quick
+      test_select_prefers_merged;
+  ]

@@ -22,6 +22,7 @@ let () =
       ("check", Test_check.suite);
       ("telemetry", Test_telemetry.suite);
       ("pool", Test_pool.suite);
+      ("fleet", Test_fleet.suite);
       ("faults", Test_faults.suite);
       ("dataflow", Test_dataflow.suite);
       ("transval", Test_transval.suite);

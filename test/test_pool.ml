@@ -5,10 +5,11 @@
      cold on-disk cache, warm on-disk cache) is bit-identical — float
      bits, not tolerances — to the serial on-demand build, and so is
      every cached run's measurement;
-   - robustness: truncated, bit-flipped, wrong-version and stale-keyed
-     store entries are recomputed with a structured diagnostic, never
-     trusted and never crashed on, and a digest-valid tamper is caught
-     by the re-lint;
+   - robustness: truncated, bit-flipped, wrong-version (text and
+     binary) and stale-keyed store entries are recomputed with a
+     structured diagnostic, never trusted and never crashed on; a
+     digest-valid tamper is caught by the re-lint; legacy text entries
+     load transparently and migrate to the binary codec in place;
    - the memoization contract: a config runs exactly once per cache,
      disk hits included;
    - config_key injectivity over randomized configurations, and the
@@ -153,35 +154,23 @@ let rob_config =
         };
   }
 
-(* run once against a fresh store, returning the run and its entry *)
+(* run once against a fresh store, returning the run, its entry file
+   and its composite identity key *)
 let populate dir =
   let cache = Exp_cache.create ~cache_dir:dir (Lazy.force rob_env) in
   let run = Exp_cache.run cache rob_config in
-  let file = Option.get (Exp_cache.store_file cache rob_config) in
+  let file, key = Option.get (Exp_cache.store_slot cache rob_config) in
   check cb "entry persisted" true (Sys.file_exists file);
-  (run, file)
+  (run, file, key)
 
-let read_lines file =
-  let ic = open_in file in
-  Fun.protect
-    ~finally:(fun () -> close_in_noerr ic)
-    (fun () ->
-      let acc = ref [] in
-      (try
-         while true do
-           acc := input_line ic :: !acc
-         done
-       with End_of_file -> ());
-      List.rev !acc)
+let read_all file = In_channel.with_open_bin file In_channel.input_all
+
+let write_all file contents =
+  Out_channel.with_open_bin file (fun oc ->
+      Out_channel.output_string oc contents)
 
 let write_lines file lines =
-  let oc = open_out file in
-  List.iter
-    (fun l ->
-      output_string oc l;
-      output_char oc '\n')
-    lines;
-  close_out oc
+  write_all file (String.concat "\n" lines ^ "\n")
 
 let diag_mentions substring caches_diags =
   List.exists
@@ -198,8 +187,8 @@ let diag_mentions substring caches_diags =
    (identical measurement), with a diagnostic mentioning [expect] *)
 let recompute_after ~expect corrupt =
   let dir = fresh_dir () in
-  let orig, file = populate dir in
-  corrupt file;
+  let orig, file, key = populate dir in
+  corrupt file key;
   let cache = Exp_cache.create ~cache_dir:dir (Lazy.force rob_env) in
   let r = Exp_cache.run cache rob_config in
   check_meas ("recomputed after " ^ expect) orig.Exp_harness.meas
@@ -220,45 +209,36 @@ let recompute_after ~expect corrupt =
     (Exp_cache.stats again).Exp_cache.disk_hits
 
 let test_store_truncated () =
-  recompute_after ~expect:"truncated" (fun file ->
-      let lines = read_lines file in
-      write_lines file
-        (List.filteri (fun i _ -> i < 3) lines))
+  recompute_after ~expect:"truncated" (fun file _key ->
+      (* cut the binary entry off before its digest trailer can fit *)
+      write_all file (String.sub (read_all file) 0 20))
 
 let test_store_bit_flip () =
-  recompute_after ~expect:"digest mismatch" (fun file ->
-      let lines = read_lines file in
-      (* flip one content byte on the key line *)
-      let lines =
-        List.mapi
-          (fun i l ->
-            if i <> 1 then l
-            else begin
-              let b = Bytes.of_string l in
-              let j = Bytes.length b - 1 in
-              Bytes.set b j (Char.chr (Char.code (Bytes.get b j) lxor 1));
-              Bytes.to_string b
-            end)
-          lines
-      in
-      write_lines file lines)
+  recompute_after ~expect:"digest mismatch" (fun file _key ->
+      let b = Bytes.of_string (read_all file) in
+      let j = Bytes.length b / 2 in
+      Bytes.set b j (Char.chr (Char.code (Bytes.get b j) lxor 1));
+      write_all file (Bytes.to_string b))
 
 (* a forged digest does not save a wrong version: the version check runs
-   even on digest-consistent files *)
+   even on digest-consistent files — here a legacy text entry claiming a
+   version the text codec never wrote *)
 let test_store_wrong_version () =
-  recompute_after ~expect:"unsupported cache version" (fun file ->
-      let lines = read_lines file in
-      let body =
-        ("pepsim-run-cache v99" :: List.tl lines)
-        |> List.filteri (fun i _ -> i < List.length lines - 1)
-      in
+  recompute_after ~expect:"unsupported cache version" (fun file key ->
+      let body = [ "pepsim-run-cache v99"; "key store-v2|" ^ key ] in
       write_lines file (body @ [ "digest " ^ Exp_store.digest_lines body ]))
+
+(* same for the binary frame: a future codec version is a structured
+   diagnostic, not a silent miss or a misparse *)
+let test_store_future_binary_version () =
+  recompute_after ~expect:"unsupported cache version" (fun file _key ->
+      write_all file ("PEPRUN" ^ String.make 1 (Char.chr 99) ^ "future bytes"))
 
 (* same workload name, size and seed — so the same store file — but a
    different program: the composite key catches the stale entry *)
 let test_store_stale_program () =
   let dir = fresh_dir () in
-  let _orig, file = populate dir in
+  let _orig, file, _key = populate dir in
   let w = Suite.find "compress" in
   let w' = { w with Workload.build = (Suite.find "db").Workload.build } in
   let env' = Exp_harness.make_env ~seed:33 ~size:20 w' in
@@ -284,31 +264,34 @@ let test_store_stale_program () =
    the re-lint, because disk-loaded profiles are never trusted *)
 let test_store_lint_catches_valid_digest_tamper () =
   let dir = fresh_dir () in
-  let orig, file = populate dir in
+  let orig, file, key = populate dir in
   check cb "original run lints clean" false
     (Pep_check.has_errors orig.Exp_harness.checks);
-  let lines = read_lines file in
-  let body = List.filteri (fun i _ -> i < List.length lines - 1) lines in
-  (* inflate the first recorded path count far past the sample bound *)
-  let seen_section = ref false and inflated = ref false in
-  let body =
+  (* decode the entry, inflate the first recorded path count far past
+     the sample bound, and re-save — digest and key both valid *)
+  let p =
+    match Exp_store.load ~file ~key with
+    | Ok (Some p) -> p
+    | Ok None -> Alcotest.fail "entry vanished"
+    | Error e -> Alcotest.failf "entry unreadable: %s" e.Dcg.reason
+  in
+  let inflated = ref false in
+  let pep_paths =
     List.map
       (fun l ->
-        if String.starts_with ~prefix:"pep.paths " l then begin
-          seen_section := true;
-          l
-        end
-        else if !seen_section && not !inflated then begin
+        if !inflated then l
+        else begin
           inflated := true;
           match String.split_on_char ' ' l with
           | [ mi; pid; _count ] -> Printf.sprintf "%s %s %d" mi pid 1_000_000
           | _ -> Alcotest.failf "unexpected pep.paths line %S" l
-        end
-        else l)
-      body
+        end)
+      p.Exp_store.pep_paths
   in
   check cb "inflated a count" true !inflated;
-  write_lines file (body @ [ "digest " ^ Exp_store.digest_lines body ]);
+  (match Exp_store.save ~file ~key { p with Exp_store.pep_paths } with
+  | Ok () -> ()
+  | Error e -> Alcotest.failf "tampered save failed: %s" e.Dcg.reason);
   let cache = Exp_cache.create ~cache_dir:dir (Lazy.force rob_env) in
   let r = Exp_cache.run cache rob_config in
   (* the store accepted it (digest and key are fine)... *)
@@ -317,6 +300,32 @@ let test_store_lint_catches_valid_digest_tamper () =
   (* ...and the re-lint flags the impossible profile *)
   check cb "re-lint catches inflated counts" true
     (Pep_check.has_errors r.Exp_harness.checks)
+
+(* a legacy text (v1) entry is read transparently, served as a disk
+   hit, and re-encoded in place with the current binary codec *)
+let test_store_migrates_legacy_text () =
+  let dir = fresh_dir () in
+  let orig, file, key = populate dir in
+  let p =
+    match Exp_store.load ~file ~key with
+    | Ok (Some p) -> p
+    | Ok None -> Alcotest.fail "entry vanished"
+    | Error e -> Alcotest.failf "entry unreadable: %s" e.Dcg.reason
+  in
+  write_all file (Exp_codec.v1_text.Exp_codec.encode ~key p);
+  check cb "forged entry is text" true
+    (String.starts_with ~prefix:"pepsim-run-cache" (read_all file));
+  let cache = Exp_cache.create ~cache_dir:dir (Lazy.force rob_env) in
+  let r = Exp_cache.run cache rob_config in
+  check_meas "legacy entry serves the run" orig.Exp_harness.meas
+    r.Exp_harness.meas;
+  let s = Exp_cache.stats cache in
+  check ci "legacy entry is a disk hit" 1 s.Exp_cache.disk_hits;
+  check ci "no execution" 0 s.Exp_cache.executed;
+  check ci "no store errors" 0 s.Exp_cache.store_errors;
+  check ci "one migration" 1 s.Exp_cache.migrated;
+  check cb "entry re-encoded as binary" true
+    (String.starts_with ~prefix:"PEPRUN" (read_all file))
 
 (* ------------------- memoization contract ------------------- *)
 
@@ -516,6 +525,29 @@ let gen_payload =
             (list_size (int_range 0 8) gen_flat_string)
             (list_size (int_range 0 8) gen_flat_string))))
 
+(* the binary codec in memory: encode∘decode is the identity on
+   arbitrary payloads, and any single flipped bit — body, digest
+   trailer, magic or version byte — is rejected, never misparsed *)
+let prop_codec_binary =
+  QCheck.Test.make ~count:200 ~name:"binary codec round trip and tamper"
+    (QCheck.make
+       QCheck.Gen.(triple gen_payload gen_flat_string (int_range 0 100000)))
+    (fun (p, key, i) ->
+      let key = "k|" ^ key in
+      let c = Exp_codec.v2_binary in
+      let enc = c.Exp_codec.encode ~key p in
+      (match c.Exp_codec.decode ~file:"mem" ~key enc with
+      | Ok p' when p' = p -> ()
+      | Ok _ -> QCheck.Test.fail_report "payload changed through binary codec"
+      | Error e -> QCheck.Test.fail_reportf "decode failed: %s" e.Dcg.reason);
+      let b = Bytes.of_string enc in
+      let j = i mod Bytes.length b in
+      Bytes.set b j (Char.chr (Char.code (Bytes.get b j) lxor (1 lsl (i mod 8))));
+      (match c.Exp_codec.decode ~file:"mem" ~key (Bytes.to_string b) with
+      | Error _ -> ()
+      | Ok _ -> QCheck.Test.fail_report "tampered byte not rejected");
+      true)
+
 let rt_dir = lazy (fresh_dir ())
 
 let prop_store_round_trip =
@@ -548,12 +580,17 @@ let suite =
     Alcotest.test_case "bit-flipped entry recomputed" `Slow test_store_bit_flip;
     Alcotest.test_case "wrong-version entry recomputed" `Slow
       test_store_wrong_version;
+    Alcotest.test_case "future binary version recomputed" `Slow
+      test_store_future_binary_version;
     Alcotest.test_case "stale program digest recomputed" `Slow
       test_store_stale_program;
     Alcotest.test_case "digest-valid tamper caught by re-lint" `Slow
       test_store_lint_catches_valid_digest_tamper;
+    Alcotest.test_case "legacy text entry migrates to binary" `Slow
+      test_store_migrates_legacy_text;
     Alcotest.test_case "all_runs records each run once" `Slow
       test_all_runs_records_once;
     QCheck_alcotest.to_alcotest prop_config_key_injective;
+    QCheck_alcotest.to_alcotest prop_codec_binary;
     QCheck_alcotest.to_alcotest prop_store_round_trip;
   ]
