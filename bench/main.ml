@@ -178,6 +178,12 @@ let micro_tests () =
     (* fig10/fig11 machinery: layout computation per opt-compile *)
     (let prof = (fst profile_pair).(0) in
      one ~batch:2 ~name:"opt/layout-compute" (fun () -> ignore (Layout.compute cfg prof)));
+    (* the workload generator: spec codec and program synthesis *)
+    (let s = Wgen.print Wgen.default in
+     one ~batch:256 ~name:"gen/spec-parse" (fun () ->
+         ignore (Result.get_ok (Wgen.parse s))));
+    one ~batch:4 ~name:"gen/build-program" (fun () ->
+        ignore (Workload.program ~size:5 (Wgen.workload Wgen.default)));
     (* accuracy metrics over a 64-branch profile *)
     (let actual, estimated = profile_pair in
      one ~batch:8 ~name:"metric/relative-overlap" (fun () ->

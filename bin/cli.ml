@@ -152,17 +152,36 @@ let workload_name_arg =
   Arg.(
     required
     & pos 0 (some string) None
-    & info [] ~docv:"NAME" ~doc:"Benchmark name (see $(b,pepsim list)).")
+    & info [] ~docv:"NAME"
+        ~doc:
+          "Benchmark name (see $(b,pepsim list)), a phased workload, or a \
+           $(b,gen:) spec string (see $(b,pepsim gen)).")
 
 (* --- shared helpers ------------------------------------------------ *)
 
 let find_workload name =
-  match Suite.find name with
-  | w -> w
-  | exception Not_found ->
-      Printf.eprintf "unknown workload %s; try `pepsim list`\n" name;
+  match Suite.resolve name with
+  | Ok w -> w
+  | Error msg ->
+      Printf.eprintf "%s; try `pepsim list` or `pepsim gen describe`\n" msg;
       exit 2
 
 (* Repeatable, comma-separable option values, blanks dropped. *)
 let split_commas xs =
   List.filter (fun s -> s <> "") (List.concat_map (String.split_on_char ',') xs)
+
+(* Comma-separable *workload* lists: a [gen:] spec itself contains
+   commas, so axis fragments (key=value, not themselves a spec) are
+   re-attached to the preceding gen: fragment instead of being taken
+   for workload names. *)
+let split_workloads xs =
+  List.rev
+    (List.fold_left
+       (fun acc part ->
+         match acc with
+         | prev :: rest
+           when Wgen.is_spec prev && (not (Wgen.is_spec part))
+                && String.contains part '=' ->
+             (prev ^ "," ^ part) :: rest
+         | _ -> part :: acc)
+       [] (split_commas xs))

@@ -168,10 +168,7 @@ let workload_cmd =
   let action name size sampling seed verify deep cache_dir no_cache faults_spec
       =
     let faults = Cli.parse_faults faults_spec in
-    match Suite.find name with
-    | exception Not_found ->
-        Printf.eprintf "unknown workload %s; try `pepsim list`\n" name;
-        exit 2
+    match Cli.find_workload name with
     | w ->
         let cache_dir = if no_cache then None else cache_dir in
         let size = Option.value ~default:w.Workload.default_size size in
@@ -311,10 +308,11 @@ let experiments_cmd =
 (* --- disasm -------------------------------------------------------- *)
 
 let load_program_arg source =
-  (* SOURCE is a workload name or a path to a textual program *)
-  match Suite.find source with
-  | w -> Workload.program ~size:2 w
-  | exception Not_found ->
+  (* SOURCE is a workload name (suite, phased or gen: spec) or a path
+     to a textual program *)
+  match Suite.resolve source with
+  | Ok w -> Workload.program ~size:2 w
+  | Error _ ->
       if Sys.file_exists source && not (Sys.is_directory source) then begin
         match
           let src = In_channel.with_open_text source In_channel.input_all in
@@ -399,10 +397,7 @@ let profiles_cmd =
          instead of printing a summary."
   in
   let action name out size sampling seed =
-    match Suite.find name with
-    | exception Not_found ->
-        Printf.eprintf "unknown workload %s\n" name;
-        exit 2
+    match Cli.find_workload name with
     | w ->
         let env = Exp_harness.make_env ?size ~seed w in
         let run =
@@ -674,12 +669,7 @@ let check_cmd =
       match suite with
       | None -> []
       | Some "all" -> Suite.all
-      | Some name -> (
-          match Suite.find name with
-          | w -> [ w ]
-          | exception Not_found ->
-              Printf.eprintf "unknown workload %s; try `pepsim list`\n" name;
-              exit 2)
+      | Some name -> [ Cli.find_workload name ]
     in
     let expand_dir dir =
       match Sys.readdir dir with
@@ -712,9 +702,9 @@ let check_cmd =
     let targets =
       List.map
         (fun src ->
-          match Suite.find src with
-          | w -> (w.Workload.name, Workload.program ~size:(scaled w) w, Some w)
-          | exception Not_found -> (src, load_program_arg src, None))
+          match Suite.resolve src with
+          | Ok w -> (w.Workload.name, Workload.program ~size:(scaled w) w, Some w)
+          | Error _ -> (src, load_program_arg src, None))
         sources
       @ List.map
           (fun (w : Workload.t) ->
@@ -893,8 +883,15 @@ let chaos_cmd =
       | p when Fault_plan.is_empty p -> cases
       | plan -> cases @ [ { Exp_chaos.label = "custom"; plan; max_loss } ]
     in
-    let only = split_commas only in
-    List.iter (fun n -> ignore (Cli.find_workload n)) only;
+    let only = Cli.split_workloads only in
+    (* non-suite targets (phased workloads, gen: specs) get their own
+       envs; suite names filter the pooled suite sweep as before *)
+    let extra =
+      List.filter_map
+        (fun n ->
+          if List.mem n Suite.names then None else Some (Cli.find_workload n))
+        only
+    in
     let total = ref 0 and failures = ref 0 in
     List.iter
       (fun seed ->
@@ -906,6 +903,14 @@ let chaos_cmd =
               (fun (e : Exp_harness.env) ->
                 List.mem e.Exp_harness.workload.Workload.name only)
               envs
+            @ List.map
+                (fun (w : Workload.t) ->
+                  let size =
+                    max 1
+                      (int_of_float (float_of_int w.Workload.default_size *. scale))
+                  in
+                  Exp_harness.make_env ~size ~seed w)
+                extra
         in
         Printf.printf "chaos: seed %d, %d workloads x %d plans x 2 engines\n%!"
           seed (List.length envs) (List.length cases);
@@ -959,11 +964,25 @@ let fleet_to_arg =
     & opt (some int) None
     & info [ "to" ] ~docv:"W" ~doc:"Last window index to include.")
 
-(* the fleet's drift workload first, then the regular suite *)
-let find_fleet_workload name =
-  match Phased.find name with
-  | Some w -> w
-  | None -> Cli.find_workload name
+(* "NAME=steady" or "NAME=shift@W=P", the grammar Fleet.Drift.key
+   prints — so a cohort list can be round-tripped from any report *)
+let parse_cohort spec =
+  match String.index_opt spec '=' with
+  | None -> Error (Fmt.str "bad cohort %S: expected NAME=DRIFT" spec)
+  | Some i -> (
+      let name = String.sub spec 0 i in
+      let drift = String.sub spec (i + 1) (String.length spec - i - 1) in
+      match drift with
+      | "" | "steady" -> Ok (name, Fleet.Drift.No_drift)
+      | _ -> (
+          match Scanf.sscanf_opt drift "shift@%d=%d" (fun w p -> (w, p)) with
+          | Some (at_window, phase) when at_window >= 0 && phase > 0 ->
+              Ok (name, Fleet.Drift.Phase_shift { at_window; phase })
+          | Some _ | None ->
+              Error
+                (Fmt.str
+                   "bad cohort %S: drift must be `steady' or `shift@W=P'"
+                   spec)))
 
 let load_segments ~dir =
   let segments, diags = Fleet_store.load_all ~dir in
@@ -981,7 +1000,17 @@ let fleet_run_cmd =
       & info [ "workload" ] ~docv:"NAME"
           ~doc:
             "Workload the instances run: $(b,drift) (the phased \
-             drift-detection workload) or any suite benchmark.")
+             drift-detection workload), any suite benchmark, or a \
+             $(b,gen:) spec string.")
+  in
+  let cohorts_arg =
+    Arg.(
+      value & opt_all string []
+      & info [ "cohort" ] ~docv:"NAME=DRIFT"
+          ~doc:
+            "Add a cohort (repeatable, comma-separable): $(i,NAME=steady) \
+             or $(i,NAME=shift@W=P) (shift to phase P at window W).  \
+             Default: the steady/shift pair.")
   in
   let instances_arg =
     Arg.(
@@ -1035,14 +1064,25 @@ let fleet_run_cmd =
           ~doc:"Keep only each cohort's newest N windows after compaction.")
   in
   let action dir workload size seed samples stride jobs instances windows
-      tick_shrink drift_at keep_raw retain =
-    let w = find_fleet_workload workload in
+      tick_shrink drift_at keep_raw retain cohort_specs =
+    let w = Cli.find_workload workload in
     let at_window = Option.value ~default:(windows / 2) drift_at in
     let cohorts =
-      [
-        ("steady", Fleet.Drift.No_drift);
-        ("shift", Fleet.Drift.Phase_shift { at_window; phase = 1 });
-      ]
+      match Cli.split_commas cohort_specs with
+      | [] ->
+          [
+            ("steady", Fleet.Drift.No_drift);
+            ("shift", Fleet.Drift.Phase_shift { at_window; phase = 1 });
+          ]
+      | specs ->
+          List.map
+            (fun s ->
+              match parse_cohort s with
+              | Ok c -> c
+              | Error msg ->
+                  Printf.eprintf "--cohort: %s\n" msg;
+                  exit 2)
+            specs
     in
     let spec =
       Fleet_collector.default_spec ?size ~seed ~samples ~stride ~instances
@@ -1074,7 +1114,8 @@ let fleet_run_cmd =
     Term.(
       const action $ fleet_dir_arg $ workload_arg $ Cli.size_arg $ Cli.seed_arg
       $ samples_arg $ stride_arg $ Cli.jobs_arg $ instances_arg $ windows_arg
-      $ tick_shrink_arg $ drift_at_arg $ keep_raw_arg $ retain_arg)
+      $ tick_shrink_arg $ drift_at_arg $ keep_raw_arg $ retain_arg
+      $ cohorts_arg)
 
 let fleet_query_cmd =
   let top_arg =
@@ -1240,6 +1281,228 @@ let fleet_cmd =
           query, diff")
     [ fleet_run_cmd; fleet_query_cmd; fleet_diff_cmd ]
 
+(* --- gen ----------------------------------------------------------- *)
+
+(* `pepsim gen` — the seeded adversarial workload generator: describe
+   or emit a spec's program, run it under PEP, sweep a generated
+   corpus, and measure accuracy over time under its drift schedule. *)
+
+let gen_spec_arg =
+  Arg.(
+    required
+    & pos 0 (some string) None
+    & info [] ~docv:"SPEC"
+        ~doc:
+          "Workload spec string, e.g. \
+           $(b,gen:seed=7,phases=3,mega=6,diamonds=12).  Omitted axes \
+           take their defaults; $(b,gen:) alone is the default spec.")
+
+let parse_gen_spec s =
+  match Wgen.parse s with
+  | Ok spec -> spec
+  | Error e ->
+      Printf.eprintf "%s\n" (Wgen.error_to_string e);
+      exit 2
+
+let gen_windows_arg =
+  Arg.(
+    value
+    & opt (some int) None
+    & info [ "windows" ] ~docv:"N"
+        ~doc:
+          "Collection windows for the drift schedule (default: two per \
+           phase, at least 6).")
+
+let gen_windows spec = function
+  | Some w -> w
+  | None -> max 6 (2 * spec.Wgen.phases)
+
+let gen_describe_cmd =
+  let action s windows =
+    let spec = parse_gen_spec s in
+    let windows = gen_windows spec windows in
+    let w = Wgen.workload spec in
+    let program = Workload.program ~size:2 w in
+    Printf.printf "spec:     %s\n" (Wgen.print spec);
+    Printf.printf "axes:     %s\n" w.Workload.description;
+    Printf.printf "methods:  %d (%s)\n"
+      (Program.n_methods program)
+      (String.concat " "
+         (List.of_seq
+            (Seq.map
+               (fun i -> (Program.method_of_index program i).Method.name)
+               (Seq.init (Program.n_methods program) Fun.id))));
+    Printf.printf "schedule: %s  (shifts at %s)\n"
+      (String.concat " "
+         (List.map string_of_int (Wgen.schedule spec ~windows)))
+      (match Wgen.shifts spec ~windows with
+      | [] -> "none"
+      | s -> String.concat " " (List.map string_of_int s))
+  in
+  Cmd.v
+    (Cmd.info "describe"
+       ~doc:"Validate a spec and show its axes, methods and drift schedule")
+    Term.(const action $ gen_spec_arg $ gen_windows_arg)
+
+let gen_emit_cmd =
+  let action s out =
+    let spec = parse_gen_spec s in
+    let program = Workload.program (Wgen.workload spec) in
+    Verify.program program;
+    let pp ppf () =
+      Fmt.pf ppf "; %s@." (Wgen.print spec);
+      Program.iter_methods (fun _ m -> Fmt.pf ppf "%a@." Method.pp m) program
+    in
+    match out with
+    | None -> Fmt.pr "%a" pp ()
+    | Some file ->
+        Out_channel.with_open_text file (fun oc ->
+            Fmt.pf (Format.formatter_of_out_channel oc) "%a@?" pp ())
+  in
+  Cmd.v
+    (Cmd.info "emit"
+       ~doc:"Compile a spec and emit its program's bytecode listing")
+    Term.(
+      const action $ gen_spec_arg
+      $ Cli.out_arg ~docv:"FILE" ~doc:"Write the listing to FILE (default: stdout).")
+
+let gen_run_cmd =
+  let action s size sampling seed verify =
+    let spec = parse_gen_spec s in
+    let w = Wgen.workload spec in
+    let size = Option.value ~default:w.Workload.default_size size in
+    let env = Exp_harness.make_env ~size ~seed w in
+    let base = Exp_harness.replay env Exp_harness.default in
+    let run =
+      Exp_harness.replay env
+        {
+          Exp_harness.default with
+          Exp_harness.profiling =
+            Exp_harness.Pep_profiled
+              { sampling; zero = `Hottest; numbering = `Smart };
+        }
+    in
+    Printf.printf
+      "%s (size %d): base %.2f Mcycles, %s %.2f Mcycles (%+.2f%%)\n"
+      w.Workload.name size
+      (float_of_int base.Exp_harness.meas.iter2 /. 1e6)
+      (Sampling.name sampling)
+      (float_of_int run.Exp_harness.meas.iter2 /. 1e6)
+      (Exp_report.overhead ~base:base.Exp_harness.meas.iter2
+         run.Exp_harness.meas.iter2);
+    Option.iter (print_profiles env.Exp_harness.program) run.Exp_harness.pep;
+    if verify then begin
+      let diags =
+        Pep_check.check_program_static env.Exp_harness.program
+        @ base.Exp_harness.checks @ run.Exp_harness.checks
+      in
+      Fmt.pr "%a@." Pep_check.pp_report diags;
+      if Pep_check.has_errors diags then exit 1
+    end
+  in
+  Cmd.v
+    (Cmd.info "run" ~doc:"Run a generated workload under PEP")
+    Term.(
+      const action $ gen_spec_arg $ Cli.size_arg $ Cli.sampling_arg
+      $ Cli.seed_arg $ Cli.verify_arg)
+
+let gen_accuracy_cmd =
+  let threshold_arg =
+    Arg.(
+      value & opt float Exp_drift.default_threshold
+      & info [ "threshold" ] ~docv:"F"
+          ~doc:"Stale-accuracy level a post-shift window must recover to.")
+  in
+  let strict_arg =
+    Arg.(
+      value & flag
+      & info [ "strict" ]
+          ~doc:"Exit 1 unless accuracy recovers after every phase shift.")
+  in
+  let action s windows size seed threshold strict out =
+    let spec = parse_gen_spec s in
+    let windows = gen_windows spec windows in
+    let series = Exp_drift.run_spec ~windows ~threshold ?size ~seed spec in
+    Exp_figures.print (Exp_drift.figure series);
+    (match out with
+    | None -> ()
+    | Some file ->
+        Out_channel.with_open_text file (fun oc ->
+            Out_channel.output_string oc (Exp_drift.to_json series);
+            Out_channel.output_char oc '\n'));
+    if strict && not series.Exp_drift.recovered then begin
+      Printf.eprintf
+        "accuracy did not recover to %.2f after every phase shift\n" threshold;
+      exit 1
+    end
+  in
+  Cmd.v
+    (Cmd.info "accuracy"
+       ~doc:
+         "Windowed accuracy-over-time of PEP vs ground truth under the \
+          spec's drift schedule")
+    Term.(
+      const action $ gen_spec_arg $ gen_windows_arg $ Cli.size_arg
+      $ Cli.seed_arg $ threshold_arg $ strict_arg
+      $ Cli.out_arg ~docv:"FILE" ~doc:"Also write the series as JSON to FILE.")
+
+let gen_corpus_cmd =
+  let n_arg =
+    Arg.(
+      value & opt int 20
+      & info [ "count"; "n" ] ~docv:"N" ~doc:"Corpus size (specs generated).")
+  in
+  let action seed n jobs size =
+    let specs = Wgen.corpus ~n ~seed () in
+    let envs =
+      List.map
+        (fun spec ->
+          let w = Wgen.workload spec in
+          Exp_harness.make_env
+            ~size:(Option.value ~default:w.Workload.default_size size)
+            ~seed w)
+        specs
+    in
+    let config =
+      {
+        Exp_harness.default with
+        Exp_harness.profiling = Exp_harness.pep_default;
+      }
+    in
+    let runs =
+      Exp_pool.map ~jobs
+        (fun _sink env -> Exp_harness.replay env config)
+        envs
+    in
+    let failed = ref false in
+    List.iter2
+      (fun (env : Exp_harness.env) (r : Exp_harness.run) ->
+        let errors = List.length (Pep_check.errors r.Exp_harness.checks) in
+        if errors > 0 then failed := true;
+        Printf.printf "%s checksum=%d cycles=%d samples=%d errors=%d\n"
+          env.Exp_harness.workload.Workload.name r.Exp_harness.meas.checksum
+          r.Exp_harness.meas.iter2
+          (match r.Exp_harness.pep with Some p -> Pep.n_samples p | None -> 0)
+          errors)
+      envs runs;
+    if !failed then exit 1
+  in
+  Cmd.v
+    (Cmd.info "corpus"
+       ~doc:
+         "Replay a deterministic generated corpus under PEP and print one \
+          digest line per spec (byte-identical across $(b,--jobs))")
+    Term.(
+      const action $ Cli.seed_arg $ n_arg $ Cli.jobs_arg $ Cli.size_arg)
+
+let gen_cmd =
+  Cmd.group
+    (Cmd.info "gen"
+       ~doc:
+         "Seeded adversarial workload generator: describe/emit/run specs, \
+          corpus sweeps, accuracy-over-time under drift")
+    [ gen_describe_cmd; gen_emit_cmd; gen_run_cmd; gen_accuracy_cmd; gen_corpus_cmd ]
+
 let list_cmd =
   let action () =
     Printf.printf "workloads:\n";
@@ -1248,6 +1511,12 @@ let list_cmd =
         Printf.printf "  %-10s (default size %5d)  %s\n" w.name w.default_size
           w.description)
       Suite.all;
+    Printf.printf "\nphased workloads:\n  %s\n"
+      (String.concat " "
+         (List.map (fun (w : Workload.t) -> w.Workload.name) Phased.all));
+    Printf.printf
+      "\ngenerated workloads:\n\
+      \  gen:seed=..,bias=..,..  (any workload argument; see `pepsim gen`)\n";
     Printf.printf "\nexperiments:\n  %s\n" (String.concat " " Exp_figures.ids)
   in
   Cmd.v
@@ -1275,6 +1544,7 @@ let () =
            profiles_cmd;
            chaos_cmd;
            fleet_cmd;
+          gen_cmd;
            list_cmd;
          ])
   in

@@ -18,3 +18,22 @@ let all =
 
 let find name = List.find (fun (w : Workload.t) -> w.name = name) all
 let names = List.map (fun (w : Workload.t) -> w.name) all
+
+let resolve name =
+  match List.find_opt (fun (w : Workload.t) -> w.name = name) all with
+  | Some w -> Ok w
+  | None -> (
+      match Phased.find name with
+      | Some w -> Ok w
+      | None ->
+          if Wgen.is_spec name then
+            Result.map_error Wgen.error_to_string (Wgen.resolve name)
+          else
+            Error
+              (Fmt.str
+                 "unknown workload %S (expected one of %s, a phased workload \
+                  %s, or a gen: spec)"
+                 name
+                 (String.concat ", " names)
+                 (String.concat ", "
+                    (List.map (fun (w : Workload.t) -> w.name) Phased.all))))

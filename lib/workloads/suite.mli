@@ -8,3 +8,9 @@ val all : Workload.t list
 val find : string -> Workload.t
 
 val names : string list
+
+(** The full workload namespace: suite names, {!Phased} workloads, and
+    ["gen:…"] spec strings resolved through {!Wgen}.  [Error] carries a
+    human-readable message (unknown name, or a structured gen-spec
+    rejection rendered as text). *)
+val resolve : string -> (Workload.t, string) result

@@ -53,10 +53,12 @@ let observables (r : Exp_harness.run) =
   in
   (r.meas, profile_lines)
 
-let diff_workload name () =
-  let w = Suite.find name in
+(* Oracle-vs-threaded differential over an arbitrary workload (the
+   wgen suite reuses this for generated specs). *)
+let diff_of ?(seed = 11) (w : Workload.t) () =
+  let name = w.Workload.name in
   let size = max 4 (min 30 w.Workload.default_size) in
-  let env = Exp_harness.make_env ~size ~seed:11 w in
+  let env = Exp_harness.make_env ~size ~seed w in
   List.iter
     (fun (cname, config) ->
       let oracle = Exp_harness.replay env (with_engine `Oracle config) in
@@ -65,6 +67,8 @@ let diff_workload name () =
       check meas (name ^ "/" ^ cname ^ " measurement") om tm;
       check csl (name ^ "/" ^ cname ^ " profiles") op tp)
     configs
+
+let diff_workload name = diff_of (Suite.find name)
 
 (* The adaptive system promotes methods mid-execution (set_speed and
    recompilation from a timer-tick hook while frames of the method are

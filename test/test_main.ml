@@ -23,6 +23,7 @@ let () =
       ("telemetry", Test_telemetry.suite);
       ("pool", Test_pool.suite);
       ("fleet", Test_fleet.suite);
+      ("wgen", Test_wgen.suite);
       ("faults", Test_faults.suite);
       ("dataflow", Test_dataflow.suite);
       ("transval", Test_transval.suite);
