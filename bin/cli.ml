@@ -63,8 +63,11 @@ let faults_arg =
     "Deterministic fault plan: comma-separated clauses like \
      $(b,seed=7,path-cap=64,compile-fail=0.2,sample-overrun=0.1,corrupt=0.5) \
      (also $(b,noop), $(b,edge-cap=N), $(b,compile-retries=N), \
-     $(b,compile-backoff=N)); $(b,@FILE) reads clauses from a file.  The \
-     empty spec injects nothing and is bit-identical to omitting the flag."
+     $(b,compile-backoff=N)); fleet-level sites: $(b,crash=P), \
+     $(b,crash-restarts=N), $(b,torn-write=P), $(b,straggler=P), \
+     $(b,straggler-timeout=N), $(b,seg-corrupt=P), $(b,seg-retries=N); \
+     $(b,@FILE) reads clauses from a file.  The empty spec injects \
+     nothing and is bit-identical to omitting the flag."
   in
   Arg.(value & opt string "" & info [ "faults" ] ~docv:"SPEC" ~doc)
 

@@ -8,7 +8,8 @@
      top          render PEP's continuous profile as folded stacks
      check        run the static verifier and profile lint
      chaos        fault-injection sweep with degradation invariants
-     fleet        continuous profiling over a simulated fleet (run/query/diff)
+     fleet        continuous profiling over a simulated fleet
+                  (run/query/diff/watch/chaos)
      list         enumerate workloads and experiment ids
 
    Exit codes: 0 success; 1 a check, experiment or chaos invariant
@@ -993,16 +994,16 @@ let load_segments ~dir =
   end;
   segments
 
+let fleet_workload_arg =
+  Arg.(
+    value & opt string "drift"
+    & info [ "workload" ] ~docv:"NAME"
+        ~doc:
+          "Workload the instances run: $(b,drift) (the phased \
+           drift-detection workload), any suite benchmark, or a \
+           $(b,gen:) spec string.")
+
 let fleet_run_cmd =
-  let workload_arg =
-    Arg.(
-      value & opt string "drift"
-      & info [ "workload" ] ~docv:"NAME"
-          ~doc:
-            "Workload the instances run: $(b,drift) (the phased \
-             drift-detection workload), any suite benchmark, or a \
-             $(b,gen:) spec string.")
-  in
   let cohorts_arg =
     Arg.(
       value & opt_all string []
@@ -1064,7 +1065,25 @@ let fleet_run_cmd =
           ~doc:"Keep only each cohort's newest N windows after compaction.")
   in
   let action dir workload size seed samples stride jobs instances windows
-      tick_shrink drift_at keep_raw retain cohort_specs =
+      tick_shrink drift_at keep_raw retain cohort_specs faults_spec =
+    let require_pos name v =
+      if v < 1 then begin
+        Printf.eprintf "--%s: expected an integer >= 1, got %d\n" name v;
+        exit 2
+      end
+    in
+    require_pos "instances" instances;
+    require_pos "windows" windows;
+    require_pos "tick-shrink" tick_shrink;
+    Option.iter (require_pos "retain") retain;
+    let faults = Cli.parse_faults faults_spec in
+    if Fault_plan.perturbs_execution faults then begin
+      Printf.eprintf
+        "--faults: fleet runs only accept fleet-level sites (crash, \
+         torn-write, straggler, seg-corrupt); %s perturbs execution\n"
+        (Fault_plan.key faults);
+      exit 2
+    end;
     let w = Cli.find_workload workload in
     let at_window = Option.value ~default:(windows / 2) drift_at in
     let cohorts =
@@ -1086,7 +1105,8 @@ let fleet_run_cmd =
     in
     let spec =
       Fleet_collector.default_spec ?size ~seed ~samples ~stride ~instances
-        ~windows ~tick_shrink ~keep_raw ?retain_windows:retain ~cohorts w
+        ~windows ~tick_shrink ~keep_raw ?retain_windows:retain ~cohorts
+        ~faults w
     in
     match Fleet_collector.run ~jobs ~dir spec with
     | Error e ->
@@ -1104,6 +1124,24 @@ let fleet_run_cmd =
           r.Fleet_collector.skipped r.Fleet_collector.snapshots
           r.Fleet_collector.samples_taken r.Fleet_collector.merged
           r.Fleet_collector.store_bytes;
+        (match r.Fleet_collector.counts with
+        | Some c when not (Fault_plan.is_empty faults) ->
+            Printf.printf
+              "[fleet-faults] plan=%s healed_open=%d crash=%d torn=%d \
+               straggler=%d seg_corrupt=%d restarts=%d lost_instances=%d \
+               writes_recovered=%d catchups=%d quarantined=%d\n"
+              (Fault_plan.key faults) r.Fleet_collector.healed_open
+              c.Fault_injector.instance_crash c.Fault_injector.torn_write
+              c.Fault_injector.straggler c.Fault_injector.seg_corrupt
+              c.Fault_injector.restarts c.Fault_injector.lost_instances
+              c.Fault_injector.writes_recovered c.Fault_injector.catchups
+              c.Fault_injector.seg_quarantined
+        | Some _ | None -> ());
+        List.iter
+          (fun (cohort, window, reason) ->
+            Printf.printf "[fleet-degraded] cohort=%s window=%d reason=%s\n"
+              cohort window reason)
+          r.Fleet_collector.degraded;
         if r.Fleet_collector.diags <> [] then exit 1
   in
   Cmd.v
@@ -1112,10 +1150,10 @@ let fleet_run_cmd =
          "Simulate a fleet of VM instances and ingest their windowed \
           profile snapshots into the segment store")
     Term.(
-      const action $ fleet_dir_arg $ workload_arg $ Cli.size_arg $ Cli.seed_arg
+      const action $ fleet_dir_arg $ fleet_workload_arg $ Cli.size_arg $ Cli.seed_arg
       $ samples_arg $ stride_arg $ Cli.jobs_arg $ instances_arg $ windows_arg
       $ tick_shrink_arg $ drift_at_arg $ keep_raw_arg $ retain_arg
-      $ cohorts_arg)
+      $ cohorts_arg $ Cli.faults_arg)
 
 let fleet_query_cmd =
   let top_arg =
@@ -1273,13 +1311,201 @@ let fleet_diff_cmd =
       const action $ fleet_dir_arg $ cohort_arg $ baseline_cohort_arg
       $ split_arg $ new_share_arg $ edge_shift_arg)
 
+let fleet_watch_cmd =
+  let rules_file_arg =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "rules" ] ~docv:"FILE"
+          ~doc:
+            "Alert rules file: one rule per line, $(i,NAME \
+             [cohort=C] [family=F1,F2] [persist=N] [min-share=X] \
+             [min-shift=X]); $(b,#) comments.  Default: one catch-all \
+             rule over every cohort and finding family.")
+  in
+  let rule_arg =
+    Arg.(
+      value & opt_all string []
+      & info [ "rule" ] ~docv:"RULE"
+          ~doc:"Add one inline rule (repeatable; same grammar as --rules).")
+  in
+  let persist_arg =
+    Arg.(
+      value & opt int 1
+      & info [ "persist" ] ~docv:"N"
+          ~doc:
+            "Consecutive windows a finding must hold before the default \
+             rule fires (ignored when rules are given explicitly).")
+  in
+  let baseline_arg =
+    Arg.(
+      value & opt int 1
+      & info [ "baseline-windows" ] ~docv:"N"
+          ~doc:"Per-cohort baseline aggregate width, in windows.")
+  in
+  let new_share_arg =
+    Arg.(
+      value & opt float Fleet_query.default_thresholds.Fleet_query.new_share
+      & info [ "new-share" ] ~docv:"F"
+          ~doc:"Path share making an unseen path a new-hot-path finding.")
+  in
+  let edge_shift_arg =
+    Arg.(
+      value & opt float Fleet_query.default_thresholds.Fleet_query.edge_shift
+      & info [ "edge-shift" ] ~docv:"F"
+          ~doc:"Taken-bias delta flagging an edge-flow shift.")
+  in
+  let action dir rules_file inline_rules persist baseline_windows new_share
+      edge_shift =
+    if persist < 1 then begin
+      Printf.eprintf "--persist: expected an integer >= 1, got %d\n" persist;
+      exit 2
+    end;
+    if baseline_windows < 1 then begin
+      Printf.eprintf "--baseline-windows: expected an integer >= 1, got %d\n"
+        baseline_windows;
+      exit 2
+    end;
+    let from_file =
+      match rules_file with
+      | None -> []
+      | Some f -> (
+          match Fleet_watch.load_rules f with
+          | Ok rs -> rs
+          | Error m ->
+              Printf.eprintf "--rules: %s\n" m;
+              exit 2)
+    in
+    let inline =
+      List.map
+        (fun line ->
+          match Fleet_watch.parse_rule line with
+          | Ok r -> r
+          | Error m ->
+              Printf.eprintf "--rule: %s\n" m;
+              exit 2)
+        inline_rules
+    in
+    let rules =
+      match from_file @ inline with
+      | [] -> Fleet_watch.default_rules ~persist ()
+      | rs -> rs
+    in
+    let segments = load_segments ~dir in
+    let degraded = Fleet_store.load_degraded ~dir in
+    let thresholds =
+      { Fleet_query.default_thresholds with Fleet_query.new_share; edge_shift }
+    in
+    let report =
+      Fleet_watch.run ~thresholds ~baseline_windows ~rules ~degraded segments
+    in
+    Fmt.pr "%a@." Fleet_watch.pp_report report;
+    if report.Fleet_watch.alerts <> [] then exit 1
+  in
+  Cmd.v
+    (Cmd.info "watch"
+       ~doc:
+         "Evaluate standing alert rules over every stored window (with \
+          hysteresis, dedup and degraded-data annotation); exits 1 when \
+          any rule fires")
+    Term.(
+      const action $ fleet_dir_arg $ rules_file_arg $ rule_arg $ persist_arg
+      $ baseline_arg $ new_share_arg $ edge_shift_arg)
+
+let fleet_chaos_cmd =
+  let dir_arg =
+    Arg.(
+      value & opt string "_fleet_chaos"
+      & info [ "dir" ] ~docv:"DIR"
+          ~doc:"Root directory for the per-case segment stores.")
+  in
+  let instances_arg =
+    Arg.(
+      value & opt int 2
+      & info [ "instances" ] ~docv:"N" ~doc:"Simulated VM instances per cohort.")
+  in
+  let windows_arg =
+    Arg.(
+      value & opt int 3
+      & info [ "windows" ] ~docv:"N" ~doc:"Collection windows per instance.")
+  in
+  let case_arg =
+    Arg.(
+      value & opt_all string []
+      & info [ "case" ] ~docv:"LABEL"
+          ~doc:
+            "Run only this curated fleet plan (repeatable, \
+             comma-separable); default: all of them.")
+  in
+  let action dir workload size seed jobs instances windows case_labels =
+    let require_pos name v =
+      if v < 1 then begin
+        Printf.eprintf "--%s: expected an integer >= 1, got %d\n" name v;
+        exit 2
+      end
+    in
+    require_pos "instances" instances;
+    require_pos "windows" windows;
+    let cases =
+      match Cli.split_commas case_labels with
+      | [] -> Exp_chaos.fleet_curated
+      | labels ->
+          List.map
+            (fun l ->
+              match
+                List.find_opt
+                  (fun (c : Exp_chaos.fleet_case) -> c.Exp_chaos.flabel = l)
+                  Exp_chaos.fleet_curated
+              with
+              | Some c -> c
+              | None ->
+                  Printf.eprintf "unknown fleet chaos case %s; have: %s\n" l
+                    (String.concat " "
+                       (List.map
+                          (fun (c : Exp_chaos.fleet_case) -> c.Exp_chaos.flabel)
+                          Exp_chaos.fleet_curated));
+                  exit 2)
+            labels
+    in
+    let w = Cli.find_workload workload in
+    let spec =
+      Fleet_collector.default_spec ?size ~seed ~instances ~windows w
+    in
+    Printf.printf "fleet-chaos: seed %d, %d instances x %d windows, %d plans\n%!"
+      seed instances windows (List.length cases);
+    let reports = Fleet_chaos.sweep ~jobs ~cases ~dir spec in
+    List.iter (fun r -> Fmt.pr "%a@." Fleet_chaos.pp_report r) reports;
+    let failures =
+      List.length (List.filter (fun r -> r.Fleet_chaos.violations <> []) reports)
+    in
+    Printf.printf "fleet-chaos: %d/%d cases clean\n"
+      (List.length reports - failures)
+      (List.length reports);
+    if failures > 0 then exit 1
+  in
+  Cmd.v
+    (Cmd.info "chaos"
+       ~doc:
+         "Sweep the curated fleet fault plans (crash, torn write, \
+          straggler, segment corruption) and check byte-level recovery \
+          convergence against a healthy run")
+    Term.(
+      const action $ dir_arg $ fleet_workload_arg $ Cli.size_arg
+      $ Cli.seed_arg $ Cli.jobs_arg $ instances_arg $ windows_arg $ case_arg)
+
 let fleet_cmd =
   Cmd.group
     (Cmd.info "fleet"
        ~doc:
          "Continuous-profiling service over a simulated fleet: ingest, \
-          query, diff")
-    [ fleet_run_cmd; fleet_query_cmd; fleet_diff_cmd ]
+          query, diff, watch, chaos")
+    [
+      fleet_run_cmd;
+      fleet_query_cmd;
+      fleet_diff_cmd;
+      fleet_watch_cmd;
+      fleet_chaos_cmd;
+    ]
 
 (* --- gen ----------------------------------------------------------- *)
 

@@ -8,6 +8,13 @@ type t = {
   compile_backoff : int;
   sample_overrun : float;
   corrupt : float;
+  crash : float;
+  crash_restarts : int;
+  torn_write : float;
+  straggler : float;
+  straggler_timeout : int;
+  seg_corrupt : float;
+  seg_retries : int;
 }
 
 let empty =
@@ -21,6 +28,13 @@ let empty =
     compile_backoff = 50_000;
     sample_overrun = 0.;
     corrupt = 0.;
+    crash = 0.;
+    crash_restarts = 4;
+    torn_write = 0.;
+    straggler = 0.;
+    straggler_timeout = 2;
+    seg_corrupt = 0.;
+    seg_retries = 3;
   }
 
 let perturbs_execution t =
@@ -29,6 +43,15 @@ let perturbs_execution t =
   || t.compile_fail > 0.
   || t.sample_overrun > 0.
 
+(* Fleet faults live entirely on the host side of the collector: an
+   instance restart replays the same pure simulation, a torn or corrupt
+   write damages bytes after the snapshot was taken, and a straggler
+   only reorders when a finished window reaches the store.  None of
+   them touch the simulated machine, so [perturbs_execution] stays
+   false for a pure fleet plan. *)
+let perturbs_fleet t =
+  t.crash > 0. || t.torn_write > 0. || t.straggler > 0. || t.seg_corrupt > 0.
+
 let is_empty t =
   (not t.noop)
   && t.path_capacity = None
@@ -36,6 +59,10 @@ let is_empty t =
   && t.compile_fail = 0.
   && t.sample_overrun = 0.
   && t.corrupt = 0.
+  && t.crash = 0.
+  && t.torn_write = 0.
+  && t.straggler = 0.
+  && t.seg_corrupt = 0.
 
 (* Probabilities print with enough digits to round-trip exactly for the
    precisions specs use; %.12g keeps 0.1 as "0.1". *)
@@ -62,6 +89,22 @@ let key t =
     end;
     if t.sample_overrun > 0. then add "sample-overrun=%a" pp_prob t.sample_overrun;
     if t.corrupt > 0. then add "corrupt=%a" pp_prob t.corrupt;
+    if t.crash > 0. then begin
+      add "crash=%a" pp_prob t.crash;
+      if t.crash_restarts <> empty.crash_restarts then
+        add "crash-restarts=%d" t.crash_restarts
+    end;
+    if t.torn_write > 0. then add "torn-write=%a" pp_prob t.torn_write;
+    if t.straggler > 0. then begin
+      add "straggler=%a" pp_prob t.straggler;
+      if t.straggler_timeout <> empty.straggler_timeout then
+        add "straggler-timeout=%d" t.straggler_timeout
+    end;
+    if t.seg_corrupt > 0. then begin
+      add "seg-corrupt=%a" pp_prob t.seg_corrupt;
+      if t.seg_retries <> empty.seg_retries then
+        add "seg-retries=%d" t.seg_retries
+    end;
     Buffer.contents buf
   end
 
@@ -120,6 +163,26 @@ let parse_clauses clauses =
                     continue { t with sample_overrun = p })
             | "corrupt" ->
                 bind (prob_of clause v) (fun p -> continue { t with corrupt = p })
+            | "crash" ->
+                bind (prob_of clause v) (fun p -> continue { t with crash = p })
+            | "crash-restarts" ->
+                bind (int_of clause v ~min:0) (fun n ->
+                    continue { t with crash_restarts = n })
+            | "torn-write" ->
+                bind (prob_of clause v) (fun p ->
+                    continue { t with torn_write = p })
+            | "straggler" ->
+                bind (prob_of clause v) (fun p ->
+                    continue { t with straggler = p })
+            | "straggler-timeout" ->
+                bind (int_of clause v ~min:1) (fun n ->
+                    continue { t with straggler_timeout = n })
+            | "seg-corrupt" ->
+                bind (prob_of clause v) (fun p ->
+                    continue { t with seg_corrupt = p })
+            | "seg-retries" ->
+                bind (int_of clause v ~min:0) (fun n ->
+                    continue { t with seg_retries = n })
             | _ -> clause_err clause "unknown fault"))
   in
   go empty clauses

@@ -22,6 +22,13 @@
     compile-backoff=N    base virtual-cycle backoff before a retry (default 50000)
     sample-overrun=P     probability the sample handler overruns its budget
     corrupt=P            probability a persisted run-cache entry is written corrupted
+    crash=P              probability a fleet instance crashes in a given window
+    crash-restarts=N     seeded-restart cap before an instance is declared lost (default 4)
+    torn-write=P         probability a segment write is torn (partial bytes, no commit)
+    straggler=P          probability a finished window misses its write deadline
+    straggler-timeout=N  windows of delay before a straggler is force-collected (default 2)
+    seg-corrupt=P        probability a completed segment write is silently corrupted
+    seg-retries=N        re-collection rounds (injection live) before a forced clean write (default 3)
     v}
 
     A spec starting with [@] names a file holding clauses (one per line
@@ -41,6 +48,13 @@ type t = {
   compile_backoff : int;
   sample_overrun : float;
   corrupt : float;
+  crash : float;
+  crash_restarts : int;
+  torn_write : float;
+  straggler : float;
+  straggler_timeout : int;
+  seg_corrupt : float;
+  seg_retries : int;
 }
 
 val empty : t
@@ -56,6 +70,12 @@ val is_empty : t -> bool
     precompiles in method-index order, which would re-order the
     fault-decision stream relative to the live run's lazy compilation. *)
 val perturbs_execution : t -> bool
+
+(** The plan injects fleet-collector faults (instance crashes, torn or
+    corrupt segment writes, stragglers).  These are host-side only: the
+    simulated machines stay byte-deterministic, so a converging fleet
+    plan must heal back to the exact healthy store. *)
+val perturbs_fleet : t -> bool
 
 (** Parse a spec string ([@file] indirection included).
     [Error reason] pinpoints the offending clause. *)

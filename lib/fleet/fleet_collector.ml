@@ -41,6 +41,7 @@ type spec = {
   tick_shrink : int;
   keep_raw : bool;
   retain_windows : int option;
+  faults : Fault_plan.t;
 }
 
 let default_cohorts ~windows =
@@ -51,7 +52,7 @@ let default_cohorts ~windows =
 
 let default_spec ?size ?(seed = 42) ?(samples = 64) ?(stride = 17)
     ?(instances = 8) ?(windows = 4) ?(tick_shrink = 8) ?(keep_raw = false)
-    ?retain_windows ?cohorts workload =
+    ?retain_windows ?cohorts ?(faults = Fault_plan.empty) workload =
   {
     workload;
     size;
@@ -65,6 +66,7 @@ let default_spec ?size ?(seed = 42) ?(samples = 64) ?(stride = 17)
     tick_shrink;
     keep_raw;
     retain_windows;
+    faults;
   }
 
 type report = {
@@ -78,6 +80,9 @@ type report = {
   merged : int;  (* merged segments written by compaction *)
   retained_deleted : int;  (* segments dropped by retention *)
   store_bytes : int;
+  healed_open : int;  (* torn files removed by the recovery scan *)
+  counts : Fault_injector.counts option;  (* fault accounting, if a plan ran *)
+  degraded : (string * int * string) list;  (* degraded.log after this run *)
   diags : Dcg.parse_error list;
 }
 
@@ -188,66 +193,138 @@ let cumulative_edges (pep : Pep.t) =
 let cumulative_dcg dcg = List.sort compare (Dcg.edges dcg)
 
 (* Run one instance through every window, returning its raw segments
-   (worker-domain safe: touches only its own machine and tables). *)
-let run_instance spec ~program ~advice instance =
+   (worker-domain safe: touches only its own machine, tables and — when
+   a fault plan is live — its own injector's keyed streams).
+
+   Crash semantics: [fire_instance_crash] is consulted once per window;
+   a hit kills the instance mid-window, losing that window's snapshot.
+   A restart replays the pure simulation from scratch — byte-identical
+   snapshots — and re-draws from the same persistent keyed stream, so
+   it may crash at a different window.  Windows that completed in {e
+   any} attempt were already published to the collector (they survive,
+   exactly as a crashed production instance's flushed windows would);
+   once the restart cap is exhausted the never-completed tail is lost.
+   Returns the surviving snapshots in window order plus the first lost
+   window index, if any. *)
+let run_instance spec ~program ~advice ?faults instance =
   let cohort = instance.Fleet.Instance_id.cohort in
-  let st =
-    Machine.create ~cost:(cost_of spec)
-      ~seed:(Fleet.Instance_id.seed instance)
-      program
-  in
-  let driver =
-    Driver.create
+  let ikey = Fleet.Instance_id.key instance in
+  let attempt () =
+    let st =
+      Machine.create ~cost:(cost_of spec)
+        ~seed:(Fleet.Instance_id.seed instance)
+        program
+    in
+    let driver =
+      Driver.create
+        {
+          Driver.default_options with
+          Driver.mode = Driver.Replay advice;
+          pep =
+            Some
+              { Driver.sampling = sampling_of spec;
+                zero = `Hottest;
+                numbering = `Smart };
+          verify = false;
+        }
+        st
+    in
+    let pep = Option.get (Driver.pep driver) in
+    let methods =
+      Array.map (fun cm -> cm.Machine.meth.Method.name) st.Machine.methods
+    in
+    let cursors =
       {
-        Driver.default_options with
-        Driver.mode = Driver.Replay advice;
-        pep =
-          Some
-            { Driver.sampling = sampling_of spec;
-              zero = `Hottest;
-              numbering = `Smart };
-        verify = false;
+        c_paths = Hashtbl.create 256;
+        c_edges = Hashtbl.create 256;
+        c_dcg = Hashtbl.create 64;
+        c_samples = 0;
       }
-      st
+    in
+    let rec windows acc w =
+      if w >= spec.windows then `Done (List.rev acc)
+      else
+        let crashed =
+          match faults with
+          | Some inj -> Fault_injector.fire_instance_crash inj ~instance:ikey ~window:w
+          | None -> false
+        in
+        if crashed then `Crashed (List.rev acc)
+        else begin
+          (* the drift plan is applied between windows, like a deploy or
+             traffic shift landing in production *)
+          let phase = Fleet.Drift.phase cohort.Fleet.Cohort.drift ~window:w in
+          if Array.length st.Machine.globals > Phased.phase_global then
+            st.Machine.globals.(Phased.phase_global) <- phase;
+          let start_cycle = st.Machine.cycles in
+          ignore (Driver.run driver);
+          let end_cycle = st.Machine.cycles in
+          let paths = delta3 cursors.c_paths (cumulative_paths pep) in
+          let edges = delta4 cursors.c_edges (cumulative_edges pep) in
+          let dcg = delta3 cursors.c_dcg (cumulative_dcg (Driver.dcg driver)) in
+          let total_samples = Pep.n_samples pep in
+          let samples = max 0 (total_samples - cursors.c_samples) in
+          cursors.c_samples <- total_samples;
+          let s =
+            {
+              Fleet_store.cohort;
+              window = Fleet.Window.raw ~index:w ~start_cycle ~end_cycle;
+              origin = instance.Fleet.Instance_id.ordinal;
+              instances = 1;
+              samples;
+              methods;
+              paths;
+              edges;
+              dcg;
+            }
+          in
+          windows (s :: acc) (w + 1)
+        end
+    in
+    windows [] 0
   in
-  let pep = Option.get (Driver.pep driver) in
-  let methods =
-    Array.map (fun cm -> cm.Machine.meth.Method.name) st.Machine.methods
-  in
-  let cursors =
-    {
-      c_paths = Hashtbl.create 256;
-      c_edges = Hashtbl.create 256;
-      c_dcg = Hashtbl.create 64;
-      c_samples = 0;
-    }
-  in
-  List.init spec.windows (fun w ->
-      (* the drift plan is applied between windows, like a deploy or
-         traffic shift landing in production *)
-      let phase = Fleet.Drift.phase cohort.Fleet.Cohort.drift ~window:w in
-      if Array.length st.Machine.globals > Phased.phase_global then
-        st.Machine.globals.(Phased.phase_global) <- phase;
-      let start_cycle = st.Machine.cycles in
-      ignore (Driver.run driver);
-      let end_cycle = st.Machine.cycles in
-      let paths = delta3 cursors.c_paths (cumulative_paths pep) in
-      let edges = delta4 cursors.c_edges (cumulative_edges pep) in
-      let dcg = delta3 cursors.c_dcg (cumulative_dcg (Driver.dcg driver)) in
-      let total_samples = Pep.n_samples pep in
-      let samples = max 0 (total_samples - cursors.c_samples) in
-      cursors.c_samples <- total_samples;
-      {
-        Fleet_store.cohort;
-        window = Fleet.Window.raw ~index:w ~start_cycle ~end_cycle;
-        origin = instance.Fleet.Instance_id.ordinal;
-        instances = 1;
-        samples;
-        methods;
-        paths;
-        edges;
-        dcg;
-      })
+  match faults with
+  | None -> (
+      match attempt () with
+      | `Done snaps -> (snaps, None)
+      | `Crashed _ -> assert false)
+  | Some inj ->
+      let cap = (Fault_injector.plan inj).Fault_plan.crash_restarts in
+      (* published.(w) holds window w's snapshot once any attempt
+         completes it — identical bytes every attempt, so "published by
+         an earlier life of the instance" and "published now" agree *)
+      let published = Array.make spec.windows None in
+      let publish snaps =
+        List.iter
+          (fun (s : Fleet_store.segment) ->
+            published.(s.Fleet_store.window.Fleet.Window.lo) <- Some s)
+          snaps
+      in
+      let rec go attempt_no =
+        match attempt () with
+        | `Done snaps -> publish snaps
+        | `Crashed snaps ->
+            publish snaps;
+            if attempt_no < cap then begin
+              Fault_injector.note_instance_restart inj ~instance:ikey
+                ~attempt:(attempt_no + 1);
+              go (attempt_no + 1)
+            end
+            else Fault_injector.note_instance_lost inj ~instance:ikey
+      in
+      go 0;
+      let snaps =
+        List.filter_map Fun.id (Array.to_list published)
+      in
+      let lost_from =
+        let rec first w =
+          if w >= spec.windows then None
+          else if published.(w) = None then Some w
+          else first (w + 1)
+        in
+        first 0
+      in
+      (snaps, lost_from)
 
 (* --------------------------- the fleet run ------------------------- *)
 
@@ -271,11 +348,29 @@ let covered ~existing (spec : spec) cohort =
   List.for_all (fun w -> List.mem w windows)
     (List.init spec.windows (fun w -> w))
 
+let instance_key_of (s : Fleet_store.segment) =
+  Fleet.Instance_id.key
+    { Fleet.Instance_id.cohort = s.Fleet_store.cohort; ordinal = s.Fleet_store.origin }
+
 let run ?(jobs = 1) ~dir spec =
   match Fleet_store.open_ dir with
   | Error e -> Error e
-  | Ok () ->
+  | Ok recovery ->
       let existing, diags0 = Fleet_store.load_all ~dir in
+      let diags = ref diags0 in
+      (* Segments that fail decode without journal evidence are not
+         crash debris but silent damage: quarantine them so the store
+         is no longer poisoned and coverage gaps trigger re-collection
+         below.  The diagnostic still surfaces. *)
+      List.iter
+        (fun (e : Dcg.parse_error) ->
+          match e.Dcg.file with
+          | Some f when Filename.check_suffix f ".seg" && Sys.file_exists f -> (
+              match Fleet_store.quarantine f with
+              | Ok () -> ()
+              | Error qe -> diags := !diags @ [ qe ])
+          | _ -> ())
+        diags0;
       let program, advice = warmup_env spec in
       let cohorts = List.map (cohort_of spec) spec.cohorts in
       let cold =
@@ -284,6 +379,11 @@ let run ?(jobs = 1) ~dir spec =
       let skipped =
         (List.length cohorts - List.length cold) * spec.instances
       in
+      let plan = spec.faults in
+      let active = not (Fault_plan.is_empty plan) in
+      (* main-domain injector: write-side fault sites plus the absorbed
+         accounting of every worker-side injector *)
+      let fleet_inj = if active then Some (Fault_injector.create plan) else None in
       (* one flat instance list across cold cohorts: the pool shards
          round-robin, results come back in input order *)
       let instances =
@@ -293,20 +393,139 @@ let run ?(jobs = 1) ~dir spec =
                 { Fleet.Instance_id.cohort; ordinal }))
           cold
       in
-      let snapshots =
+      let results =
         Exp_pool.map ~jobs
-          (fun _sink inst -> run_instance spec ~program ~advice inst)
+          (fun _sink inst ->
+            if active then begin
+              (* per-instance injector: keyed streams make its decisions
+                 independent of which domain runs it *)
+              let inj = Fault_injector.create plan in
+              let snaps, lost = run_instance spec ~program ~advice ~faults:inj inst in
+              (inst, snaps, lost, Some (Fault_injector.counts inj))
+            end
+            else
+              let snaps, lost = run_instance spec ~program ~advice inst in
+              (inst, snaps, lost, None))
           instances
-        |> List.concat
       in
-      (* all writes from the main domain, in deterministic order *)
-      let diags = ref diags0 in
+      (* merge worker accounting on the main domain, in input order *)
+      (match fleet_inj with
+      | Some inj ->
+          List.iter
+            (fun (_, _, _, c) ->
+              match c with Some c -> Fault_injector.absorb inj c | None -> ())
+            results
+      | None -> ());
+      let note_degraded ~cohort ~window ~reason =
+        match Fleet_store.note_degraded ~dir ~cohort ~window ~reason with
+        | Ok () -> ()
+        | Error e -> diags := !diags @ [ e ]
+      in
+      (* windows a lost instance never completed: degraded for good *)
       List.iter
-        (fun s ->
-          match Fleet_store.save ~dir s with
-          | Ok () -> ()
-          | Error e -> diags := !diags @ [ e ])
-        snapshots;
+        (fun (inst, _, lost, _) ->
+          match lost with
+          | Some from_w ->
+              let name =
+                inst.Fleet.Instance_id.cohort.Fleet.Cohort.name
+              in
+              for w = from_w to spec.windows - 1 do
+                note_degraded ~cohort:name ~window:w ~reason:"lost"
+              done
+          | None -> ())
+        results;
+      let snapshots = List.concat_map (fun (_, s, _, _) -> s) results in
+      (* Stragglers: a window that misses its deadline arrives up to
+         straggler-timeout windows late; writes land in arrival order
+         (stable, so intra-window order is preserved).  All decisions
+         are per-instance keyed — the order is the same for any job
+         count. *)
+      let arrivals =
+        match fleet_inj with
+        | None -> List.map (fun s -> (s, 0)) snapshots
+        | Some inj ->
+            List.map
+              (fun (s : Fleet_store.segment) ->
+                let w = s.Fleet_store.window.Fleet.Window.lo in
+                match
+                  Fault_injector.fire_straggler inj
+                    ~instance:(instance_key_of s) ~window:w
+                with
+                | Some delay -> (s, delay)
+                | None -> (s, 0))
+              snapshots
+            |> List.stable_sort
+                 (fun ((a : Fleet_store.segment), da) (b, db) ->
+                   compare
+                     (a.Fleet_store.window.Fleet.Window.lo + da)
+                     (b.Fleet_store.window.Fleet.Window.lo + db))
+      in
+      (* Write pass with bounded re-collection: a torn or corrupt write
+         is detected (journal / digest), the debris removed or
+         quarantined, and the segment rewritten.  Injection stays live
+         for [seg-retries] rounds, then the final round is forced
+         clean, so every converging plan terminates at the healthy
+         bytes. *)
+      let rec write_round ~round pending =
+        let damaged = ref [] in
+        List.iter
+          (fun ((s : Fleet_store.segment), delay) ->
+            let file = Fleet_store.filename ~dir s in
+            let base = Filename.basename file in
+            (if delay > 0 then
+               match fleet_inj with
+               | Some inj ->
+                   Fault_injector.note_window_catchup inj
+                     ~instance:(instance_key_of s)
+                     ~window:s.Fleet_store.window.Fleet.Window.lo
+               | None -> ());
+            let inject =
+              match fleet_inj with
+              | Some inj when round <= (Fault_injector.plan inj).Fault_plan.seg_retries ->
+                  (match Fault_injector.fire_torn_write inj ~file:base with
+                  | Some draw -> Some (`Torn draw)
+                  | None -> (
+                      match Fault_injector.fire_segment_corrupt inj ~file:base with
+                      | Some draw -> Some (`Flip draw)
+                      | None -> None))
+              | _ -> None
+            in
+            (match Fleet_store.save ?inject ~dir s with
+            | Ok () -> ()
+            | Error e -> diags := !diags @ [ e ]);
+            match inject with
+            | Some (`Torn _) -> damaged := (s, `Torn) :: !damaged
+            | Some (`Flip _) -> damaged := (s, `Flip) :: !damaged
+            | None -> ())
+          pending;
+        match List.rev !damaged with
+        | [] -> ()
+        | dmg ->
+            let inj = Option.get fleet_inj in
+            List.iter
+              (fun ((s : Fleet_store.segment), kind) ->
+                let file = Fleet_store.filename ~dir s in
+                let base = Filename.basename file in
+                (match kind with
+                | `Torn ->
+                    (* what the recovery scan would do at next open:
+                       intent without commit, partial bytes -> discard *)
+                    (try Sys.remove file with Sys_error _ -> ());
+                    Fault_injector.note_write_recovered inj ~file:base
+                | `Flip -> (
+                    Fault_injector.note_segment_quarantined inj ~file:base
+                      ~reason:"digest mismatch";
+                    match Fleet_store.quarantine file with
+                    | Ok () -> ()
+                    | Error e -> diags := !diags @ [ e ]));
+                note_degraded ~cohort:s.Fleet_store.cohort.Fleet.Cohort.name
+                  ~window:s.Fleet_store.window.Fleet.Window.lo
+                  ~reason:"rebuilt")
+              dmg;
+            write_round ~round:(round + 1)
+              (List.map (fun (s, _) -> (s, 0)) dmg)
+      in
+      write_round ~round:0 arrivals;
       let merged, _deleted, cerrs =
         if spec.keep_raw then (0, 0, []) else Fleet_store.compact ~dir
       in
@@ -333,5 +552,8 @@ let run ?(jobs = 1) ~dir spec =
           merged;
           retained_deleted;
           store_bytes = Fleet_store.store_bytes ~dir;
+          healed_open = recovery.Fleet_store.healed;
+          counts = Option.map Fault_injector.counts fleet_inj;
+          degraded = Fleet_store.load_degraded ~dir;
           diags = !diags;
         }

@@ -26,6 +26,12 @@ type spec = {
   tick_shrink : int;  (** timer-period compression factor, >= 1 *)
   keep_raw : bool;  (** skip compaction (keep per-instance segments) *)
   retain_windows : int option;  (** keep only the newest N windows *)
+  faults : Fault_plan.t;
+      (** fleet fault plan ({!Fault_plan.perturbs_fleet} sites): crashes
+          and stragglers draw per-instance keyed streams in the
+          workers, write damage draws per-file streams on the main
+          domain — so injection preserves jobs-N byte-identity, and a
+          converging plan heals to the healthy store's exact bytes *)
 }
 
 (** A steady control plus a cohort whose workload phase shifts halfway
@@ -45,6 +51,7 @@ val default_spec :
   ?keep_raw:bool ->
   ?retain_windows:int ->
   ?cohorts:(string * Fleet.Drift.t) list ->
+  ?faults:Fault_plan.t ->
   Workload.t ->
   spec
 
@@ -59,6 +66,14 @@ type report = {
   merged : int;  (** merged segments written by compaction *)
   retained_deleted : int;  (** segments dropped by retention *)
   store_bytes : int;  (** store size after this run *)
+  healed_open : int;
+      (** torn files the recovery scan removed when the store opened *)
+  counts : Fault_injector.counts option;
+      (** full fault/degradation accounting (workers absorbed), when a
+          fault plan was active *)
+  degraded : (string * int * string) list;
+      (** the degraded-data log after this run: (cohort, window,
+          reason) for every window rebuilt from quarantine or lost *)
   diags : Dcg.parse_error list;  (** store I/O diagnostics, if any *)
 }
 

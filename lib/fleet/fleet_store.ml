@@ -37,8 +37,6 @@ let segment_key s =
 let filename ~dir s =
   Filename.concat dir (Digest.to_hex (Digest.string (segment_key s)) ^ ".seg")
 
-let open_ dir = Exp_store.prepare_dir dir
-
 let err ?(text = "") file reason =
   { Dcg.file = Some file; line = 0; text; reason }
 
@@ -193,9 +191,136 @@ let decode ~file contents =
   | Exp_codec.Bin.Malformed m ->
       Error (err file ("truncated fleet segment (" ^ m ^ ")"))
 
+(* ----------------------- journal & recovery ------------------------ *)
+
+(* Write-ahead journal: before a segment's bytes move toward their
+   final name an intent record ("W <basename> <md5 of bytes>") is
+   appended; after the atomic rename lands a commit record
+   ("C <basename>") follows.  On open, an intent without a commit
+   marks crash debris: if the named file is missing or fails decode it
+   is removed (the write was torn), if it decodes it merely missed its
+   commit line (crash between rename and append).  Either way the
+   store converges to decode-valid segments only, so a run killed at
+   any byte offset can be resumed to the healthy store's exact bytes.
+   A torn *journal* line (crash mid-append) is itself expected debris
+   and is skipped, never reported. *)
+
+let journal_file dir = Filename.concat dir "fleet.journal"
+
+let append_journal ~dir line =
+  let file = journal_file dir in
+  try
+    Out_channel.with_open_gen
+      [ Open_append; Open_creat; Open_binary ]
+      0o644 file
+      (fun oc -> Out_channel.output_string oc (line ^ "\n"));
+    Ok ()
+  with Sys_error m -> Error (err file ("journal append failed: " ^ m))
+
+type recovery = { healed : int; late_commits : int }
+
+let no_recovery = { healed = 0; late_commits = 0 }
+
+let scan_journal dir =
+  let file = journal_file dir in
+  if not (Sys.file_exists file) then no_recovery
+  else begin
+    let lines =
+      match Exp_store.read_file file with
+      | Ok contents -> String.split_on_char '\n' contents
+      | Error _ -> []
+    in
+    (* basename -> committed?  (insertion keeps only the last intent) *)
+    let pending = Hashtbl.create 8 in
+    List.iter
+      (fun line ->
+        match String.split_on_char ' ' line with
+        | [ "W"; base; _digest ] -> Hashtbl.replace pending base false
+        | [ "C"; base ] -> Hashtbl.replace pending base true
+        | _ -> ())
+      lines;
+    let healed = ref 0 and late = ref 0 in
+    Hashtbl.iter
+      (fun base committed ->
+        if not committed then begin
+          let f = Filename.concat dir base in
+          if Sys.file_exists f then begin
+            let valid =
+              match Exp_store.read_file f with
+              | Error _ -> false
+              | Ok contents -> Result.is_ok (decode ~file:f contents)
+            in
+            if valid then incr late
+            else begin
+              (try Sys.remove f with Sys_error _ -> ());
+              incr healed
+            end
+          end
+        end)
+      pending;
+    (* every intent is resolved; drop the journal so it cannot grow
+       without bound across runs *)
+    (try Sys.remove file with Sys_error _ -> ());
+    { healed = !healed; late_commits = !late }
+  end
+
+let open_ dir =
+  match Exp_store.prepare_dir dir with
+  | Error _ as e -> e
+  | Ok () -> Ok (scan_journal dir)
+
+(* Move a damaged segment aside (evidence preserved, store no longer
+   poisoned); content-addressed names mean a re-collected replacement
+   lands under the original name. *)
+let quarantine file =
+  try
+    Sys.rename file (file ^ ".quarantined");
+    Ok ()
+  with Sys_error m -> Error (err file ("quarantine failed: " ^ m))
+
+(* ------------------------- degraded-data log ----------------------- *)
+
+(* Windows rebuilt from quarantine or lost with an instance are
+   recorded in a sidecar, never in the segment format itself — a
+   healed store must stay byte-identical to a never-damaged one, so
+   provenance cannot live in the segments. *)
+
+let degraded_file dir = Filename.concat dir "degraded.log"
+
+let note_degraded ~dir ~cohort ~window ~reason =
+  let file = degraded_file dir in
+  if
+    String.exists (fun c -> c = '\t' || c = '\n' || c = '\r') cohort
+    || String.exists (fun c -> c = '\t' || c = '\n' || c = '\r') reason
+  then Error (err file "refusing to log: field contains a tab or newline")
+  else
+    try
+      Out_channel.with_open_gen
+        [ Open_append; Open_creat; Open_binary ]
+        0o644 file
+        (fun oc ->
+          Out_channel.output_string oc
+            (Fmt.str "%s\t%d\t%s\n" cohort window reason));
+      Ok ()
+    with Sys_error m -> Error (err file ("degraded log append failed: " ^ m))
+
+let load_degraded ~dir =
+  match Exp_store.read_file (degraded_file dir) with
+  | Error _ -> []
+  | Ok contents ->
+      String.split_on_char '\n' contents
+      |> List.filter_map (fun line ->
+             match String.split_on_char '\t' line with
+             | [ cohort; window; reason ] -> (
+                 match int_of_string_opt window with
+                 | Some w -> Some (cohort, w, reason)
+                 | None -> None)
+             | _ -> None)
+      |> List.sort_uniq compare
+
 (* ---------------------------- save / load -------------------------- *)
 
-let save ~dir s =
+let save ?inject ~dir s =
   let flat a = not (String.contains a '\n' || String.contains a '\r') in
   if
     not
@@ -204,7 +329,52 @@ let save ~dir s =
   then
     Error
       (err (filename ~dir s) "refusing to save: segment field contains a newline")
-  else Exp_store.write_file ~tmp_prefix:"fleet-" ~file:(filename ~dir s) (encode s)
+  else begin
+    let file = filename ~dir s in
+    let base = Filename.basename file in
+    let bytes = encode s in
+    let intent () =
+      append_journal ~dir
+        (Fmt.str "W %s %s" base (Digest.to_hex (Digest.string bytes)))
+    in
+    match inject with
+    | None -> (
+        match intent () with
+        | Error _ as e -> e
+        | Ok () -> (
+            match
+              Exp_store.write_file ~tmp_prefix:"fleet-" ~file bytes
+            with
+            | Error _ as e -> e
+            | Ok () -> append_journal ~dir ("C " ^ base)))
+    | Some (`Torn draw) -> (
+        (* simulate dying mid-write: a strict prefix lands under the
+           final name, the commit record never does *)
+        match intent () with
+        | Error _ as e -> e
+        | Ok () -> (
+            let cut = 1 + (draw mod max 1 (String.length bytes - 1)) in
+            try
+              Out_channel.with_open_bin file (fun oc ->
+                  Out_channel.output_string oc (String.sub bytes 0 cut));
+              Ok ()
+            with Sys_error m -> Error (err file ("write failed: " ^ m))))
+    | Some (`Flip draw) -> (
+        (* the write completes (intent + commit) but a byte is flipped:
+           silent corruption only the digest check can see *)
+        match intent () with
+        | Error _ as e -> e
+        | Ok () -> (
+            let b = Bytes.of_string bytes in
+            let pos = draw mod Bytes.length b in
+            Bytes.set b pos (Char.chr (Char.code (Bytes.get b pos) lxor 0xFF));
+            match
+              Exp_store.write_file ~tmp_prefix:"fleet-" ~file
+                (Bytes.to_string b)
+            with
+            | Error _ as e -> e
+            | Ok () -> append_journal ~dir ("C " ^ base)))
+  end
 
 let compare_segments a b =
   compare
@@ -302,21 +472,29 @@ let merge = function
       }
 
 (* Fold every (cohort, window)'s raw segments into one merged segment
-   and delete the raws.  Windows that already have a merged segment
-   keep it (their raws are stale leftovers and are still deleted).
-   Returns (merged written, raws deleted). *)
+   and delete the raws.  A window that already has a merged segment
+   keeps it only while the merged segment covers {e more} instances
+   than the fresh raws — a degraded merged window (instance lost,
+   quarantine rebuild) is replaced as soon as a full re-collection
+   lands, which is what lets a damaged store heal back to the healthy
+   bytes.  Returns (merged written, raws deleted). *)
 let compact ~dir =
   let segs, errs = load_all ~dir in
   let raws = List.filter (fun s -> s.origin >= 0) segs in
-  let merged_keys =
-    List.filter_map
-      (fun s ->
-        if s.origin < 0 then
-          Some (Fleet.Cohort.key s.cohort, s.window.Fleet.Window.lo,
-                s.window.Fleet.Window.hi)
-        else None)
-      segs
-  in
+  let merged_instances = Hashtbl.create 8 in
+  List.iter
+    (fun s ->
+      if s.origin < 0 then begin
+        let k =
+          (Fleet.Cohort.key s.cohort, s.window.Fleet.Window.lo,
+           s.window.Fleet.Window.hi)
+        in
+        let prev =
+          Option.value ~default:0 (Hashtbl.find_opt merged_instances k)
+        in
+        Hashtbl.replace merged_instances k (max prev s.instances)
+      end)
+    segs;
   let groups = Hashtbl.create 16 in
   let order = ref [] in
   List.iter
@@ -335,8 +513,14 @@ let compact ~dir =
   List.iter
     (fun k ->
       let group = List.rev (Hashtbl.find groups k) in
+      let raw_sum = List.fold_left (fun acc s -> acc + s.instances) 0 group in
+      let keep_merged =
+        match Hashtbl.find_opt merged_instances k with
+        | Some mi -> mi > raw_sum
+        | None -> false
+      in
       let ok =
-        if List.mem k merged_keys then true
+        if keep_merged then true
         else
           match save ~dir (merge group) with
           | Ok () ->

@@ -31,12 +31,56 @@ val segment_key : segment -> string
 (** [dir/<md5 of segment_key>.seg]. *)
 val filename : dir:string -> segment -> string
 
-(** Prepare the store directory ({!Exp_store.prepare_dir}: create,
-    sweep temp files, probe writability). *)
-val open_ : string -> (unit, Dcg.parse_error) result
+(** What the recovery scan on {!open_} found and fixed: [healed] files
+    were journal intents without commits whose bytes failed decode
+    (torn writes, removed); [late_commits] were decode-valid files that
+    merely missed their commit record (crash between rename and
+    journal append, kept). *)
+type recovery = { healed : int; late_commits : int }
 
-(** Atomic digest-protected write under the segment's identity name. *)
-val save : dir:string -> segment -> (unit, Dcg.parse_error) result
+val no_recovery : recovery
+
+(** Prepare the store directory ({!Exp_store.prepare_dir}: create,
+    sweep stale temp files, probe writability — mkdir and IO failures
+    come back as structured diagnostics) and run the write-ahead
+    journal recovery scan: crash debris is removed, resolved journal
+    entries are dropped.  After [open_] every [*.seg] present was
+    written to completion. *)
+val open_ : string -> (recovery, Dcg.parse_error) result
+
+(** Journaled, digest-protected write under the segment's identity
+    name: intent record, atomic tmp + rename, commit record.  A run
+    killed at any byte offset leaves either no file, a torn file the
+    next {!open_} removes, or the complete segment — never a silently
+    short one.  [inject] deterministically damages the write for chaos
+    runs: [`Torn draw] leaves a strict prefix under the final name
+    with no commit record (the simulated kill), [`Flip draw] completes
+    the write with one byte flipped (silent corruption only the digest
+    check can see). *)
+val save :
+  ?inject:[ `Torn of int | `Flip of int ] ->
+  dir:string ->
+  segment ->
+  (unit, Dcg.parse_error) result
+
+(** Rename a damaged segment to [<file>.quarantined]: evidence kept,
+    store no longer poisoned, identity name free for re-collection. *)
+val quarantine : string -> (unit, Dcg.parse_error) result
+
+(** Append to the degraded-data sidecar ([degraded.log]): [window] of
+    [cohort] was rebuilt from quarantine or lost outright.  Provenance
+    lives beside the segments, never inside them — a healed store must
+    stay byte-identical to a never-damaged one. *)
+val note_degraded :
+  dir:string ->
+  cohort:string ->
+  window:int ->
+  reason:string ->
+  (unit, Dcg.parse_error) result
+
+(** All degraded-data records, deduplicated and sorted:
+    [(cohort name, window index, reason)]. *)
+val load_degraded : dir:string -> (string * int * string) list
 
 (** Decode one segment's bytes: magic, version, digest, shape and
     identity self-check all validated before anything is returned. *)
@@ -52,9 +96,11 @@ val load_all : dir:string -> segment list * Dcg.parse_error list
     @raise Invalid_argument on an empty list or mixed cohorts. *)
 val merge : segment list -> segment
 
-(** Merge every (cohort, window)'s raw segments and delete them
-    (windows that already have a merged segment keep it); returns
-    (merged written, raws deleted, diagnostics). *)
+(** Merge every (cohort, window)'s raw segments and delete them.  A
+    pre-existing merged segment survives only while it covers more
+    instances than the fresh raws; otherwise it is rebuilt from them —
+    so a degraded window heals as soon as a full re-collection lands.
+    Returns (merged written, raws deleted, diagnostics). *)
 val compact : dir:string -> int * int * Dcg.parse_error list
 
 (** Delete segments older than the newest [max_windows] window indexes

@@ -169,7 +169,9 @@ let seg ~cohort_name ~window ~origin rows =
 
 let test_segment_roundtrip () =
   let dir = fresh_dir () in
-  Alcotest.(check (result unit reject)) "open" (Ok ()) (Fleet_store.open_ dir);
+  (match Fleet_store.open_ dir with
+  | Ok r -> check ci "clean open heals nothing" 0 r.Fleet_store.healed
+  | Error e -> Alcotest.failf "open: %a" Dcg.pp_parse_error e);
   let s = seg ~cohort_name:"a" ~window:2 ~origin:3 [ (0, 1, 42); (1, 9, 7) ] in
   (match Fleet_store.save ~dir s with
   | Ok () -> ()
@@ -316,6 +318,278 @@ let test_select_prefers_merged () =
   check ci "raw shadowed" 1 (List.length picked);
   check ci "merged picked" (-1) (List.hd picked).Fleet_store.origin
 
+(* --------------------- fault tolerance & healing ------------------ *)
+
+(* The tentpole invariant, byte-level: any converging fault plan's
+   store must fingerprint identically to the healthy shared run, and
+   every injection must be accounted. *)
+
+let healthy_fp = lazy (store_fingerprint (Lazy.force shared_dir))
+
+let run_faulted ?jobs ~faults dir =
+  let spec = { spec with Fleet_collector.faults = Fault_plan.parse_exn faults } in
+  match Fleet_collector.run ?jobs ~dir spec with
+  | Ok r -> r
+  | Error e -> Alcotest.failf "faulted fleet run: %a" Dcg.pp_parse_error e
+
+let counts_of (r : Fleet_collector.report) =
+  match r.Fleet_collector.counts with
+  | Some c -> c
+  | None -> Alcotest.fail "active plan reported no fault accounting"
+
+let check_accounted c =
+  match Fault_injector.accounted c with
+  | Ok () -> ()
+  | Error m -> Alcotest.failf "unaccounted degradation: %s" m
+
+let check_identical what dir =
+  Alcotest.(check (list (pair string string)))
+    what (Lazy.force healthy_fp) (store_fingerprint dir)
+
+let test_noop_plan_identity () =
+  let dir = fresh_dir () in
+  let r = run_faulted ~faults:"noop" dir in
+  let c = counts_of r in
+  check ci "no crashes" 0 c.Fault_injector.instance_crash;
+  check ci "no torn writes" 0 c.Fault_injector.torn_write;
+  check ci "no stragglers" 0 c.Fault_injector.straggler;
+  check ci "no corruption" 0 c.Fault_injector.seg_corrupt;
+  check ci "nothing degraded" 0 (List.length r.Fleet_collector.degraded);
+  check_identical "noop store byte-identical" dir
+
+let test_crash_restart_converges () =
+  let dir = fresh_dir () in
+  let r = run_faulted ~faults:"seed=11,crash=0.3,crash-restarts=10" dir in
+  let c = counts_of r in
+  check_accounted c;
+  check cb "crashes fired" true (c.Fault_injector.instance_crash > 0);
+  check ci "every crash restarted" c.Fault_injector.instance_crash
+    c.Fault_injector.restarts;
+  check ci "no instance lost" 0 c.Fault_injector.lost_instances;
+  check_identical "crashed store byte-identical" dir
+
+let test_torn_write_heals () =
+  let dir = fresh_dir () in
+  let r = run_faulted ~faults:"seed=23,torn-write=0.6,seg-retries=4" dir in
+  let c = counts_of r in
+  check_accounted c;
+  check cb "torn writes fired" true (c.Fault_injector.torn_write > 0);
+  check ci "every torn write recovered" c.Fault_injector.torn_write
+    c.Fault_injector.writes_recovered;
+  check cb "rebuilds recorded" true
+    (List.exists (fun (_, _, reason) -> reason = "rebuilt")
+       r.Fleet_collector.degraded);
+  check_identical "torn store byte-identical" dir
+
+let test_seg_corrupt_quarantines () =
+  let dir = fresh_dir () in
+  let r = run_faulted ~faults:"seed=47,seg-corrupt=0.5,seg-retries=4" dir in
+  let c = counts_of r in
+  check_accounted c;
+  check cb "corruption fired" true (c.Fault_injector.seg_corrupt > 0);
+  check ci "every flip quarantined" c.Fault_injector.seg_corrupt
+    c.Fault_injector.seg_quarantined;
+  check cb "quarantine evidence kept" true
+    (List.exists
+       (fun f -> Filename.check_suffix f ".quarantined")
+       (Array.to_list (Sys.readdir dir)));
+  check_identical "quarantined store byte-identical" dir
+
+let test_straggler_catches_up () =
+  let dir = fresh_dir () in
+  let r =
+    run_faulted ~faults:"seed=31,straggler=0.7,straggler-timeout=3" dir
+  in
+  let c = counts_of r in
+  check_accounted c;
+  check cb "stragglers fired" true (c.Fault_injector.straggler > 0);
+  check ci "every straggler caught up" c.Fault_injector.straggler
+    c.Fault_injector.catchups;
+  check ci "nothing degraded" 0 (List.length r.Fleet_collector.degraded);
+  check_identical "straggling store byte-identical" dir
+
+let test_doomed_loses_then_heals () =
+  let dir = fresh_dir () in
+  let r = run_faulted ~faults:"seed=3,crash=1,crash-restarts=0" dir in
+  let c = counts_of r in
+  check_accounted c;
+  check ci "every instance lost"
+    (r.Fleet_collector.cohorts * spec.Fleet_collector.instances)
+    c.Fault_injector.lost_instances;
+  check ci "no segments survive" 0 (List.length (segments_of dir));
+  let lost =
+    List.filter (fun (_, _, reason) -> reason = "lost")
+      r.Fleet_collector.degraded
+  in
+  check ci "every window accounted lost"
+    (r.Fleet_collector.cohorts * spec.Fleet_collector.windows)
+    (List.length lost);
+  (* one clean rerun re-collects the lost windows to the healthy bytes,
+     and the loss history stays in the sidecar *)
+  ignore (run_ok dir);
+  check_identical "healed store byte-identical" dir;
+  check cb "loss history preserved" true
+    (List.exists (fun (_, _, reason) -> reason = "lost")
+       (Fleet_store.load_degraded ~dir))
+
+let test_jobs_identity_under_faults () =
+  let faults =
+    "seed=13,crash=0.2,crash-restarts=10,torn-write=0.3,straggler=0.3,\
+     seg-corrupt=0.2"
+  in
+  let d1 = fresh_dir () and d4 = fresh_dir () in
+  let r1 = run_faulted ~jobs:1 ~faults d1 in
+  let r4 = run_faulted ~jobs:4 ~faults d4 in
+  check cb "faults fired" true
+    ((counts_of r1).Fault_injector.instance_crash
+     + (counts_of r1).Fault_injector.torn_write
+     + (counts_of r1).Fault_injector.straggler
+     + (counts_of r1).Fault_injector.seg_corrupt
+     > 0);
+  check cb "identical accounting" true (counts_of r1 = counts_of r4);
+  Alcotest.(check (list (pair string string)))
+    "identical stores under injection" (store_fingerprint d1)
+    (store_fingerprint d4)
+
+(* Crash consistency, property-style: copy the healthy store, damage
+   one segment at an arbitrary byte offset (torn prefix or flipped
+   byte, with or without a forged journal intent for it), reopen and
+   re-run — the store must converge back to the healthy bytes. *)
+let prop_crash_consistency =
+  QCheck.Test.make ~count:15
+    ~name:"crash consistency: damaged store heals byte-for-byte"
+    QCheck.(quad small_nat small_nat bool bool)
+    (fun (vi, off, flip, forge) ->
+      let healthy = Lazy.force shared_dir in
+      let fp = Lazy.force healthy_fp in
+      let dir = fresh_dir () in
+      ignore (Fleet_store.open_ dir);
+      List.iter
+        (fun (f, _) ->
+          write_all (Filename.concat dir f)
+            (read_all (Filename.concat healthy f)))
+        fp;
+      let victim, _ = List.nth fp (vi mod List.length fp) in
+      let path = Filename.concat dir victim in
+      let bytes = read_all path in
+      let len = String.length bytes in
+      (if flip then begin
+         let i = off mod len in
+         let b = Bytes.of_string bytes in
+         Bytes.set b i (Char.chr (Char.code bytes.[i] lxor 0x55));
+         write_all path (Bytes.to_string b)
+       end
+       else write_all path (String.sub bytes 0 (1 + (off mod (len - 1)))));
+      if forge then
+        (* a crash between rename and commit: intent without commit *)
+        Out_channel.with_open_gen
+          [ Open_append; Open_creat; Open_binary ]
+          0o644
+          (Filename.concat dir "fleet.journal")
+          (fun oc ->
+            Out_channel.output_string oc
+              ("W " ^ victim ^ " "
+              ^ Digest.to_hex (Digest.string bytes)
+              ^ "\n"));
+      ignore (run_ok dir);
+      if store_fingerprint dir <> fp then
+        QCheck.Test.fail_report "damaged store did not converge"
+      else true)
+
+let test_fleet_chaos_mini () =
+  let dir = fresh_dir () in
+  let cases =
+    [
+      Exp_chaos.fleet_case "noop" "noop" true;
+      Exp_chaos.fleet_case "doomed" "seed=3,crash=1,crash-restarts=0" false;
+    ]
+  in
+  let reports = Fleet_chaos.sweep ~jobs:2 ~cases ~dir spec in
+  check ci "two reports" 2 (List.length reports);
+  List.iter
+    (fun (r : Fleet_chaos.report) ->
+      check csl (r.Fleet_chaos.flabel ^ " clean") [] r.Fleet_chaos.violations)
+    reports
+
+(* ------------------------------ watch ----------------------------- *)
+
+let wseg ~window rows = seg ~cohort_name:"w" ~window ~origin:0 rows
+let base_rows = [ (0, 1, 100) ]
+let hot_rows = [ (0, 1, 100); (1, 7, 50) ]
+
+let watch_rule ?(persist = 2) () =
+  {
+    Fleet_watch.name = "hot";
+    cohort = Some "w";
+    families = [ Fleet_watch.New_hot_path ];
+    persist;
+    min_share = None;
+    min_shift = None;
+  }
+
+let run_watch ?persist ?(degraded = []) windows =
+  Fleet_watch.run
+    ~rules:[ watch_rule ?persist () ]
+    ~degraded
+    (List.mapi (fun i rows -> wseg ~window:i rows) windows)
+
+let test_watch_fires_once_then_dedups () =
+  let r = run_watch [ base_rows; hot_rows; hot_rows; hot_rows ] in
+  (match r.Fleet_watch.alerts with
+  | [ a ] ->
+      check ci "fires at the second hot window" 2 a.Fleet_watch.window;
+      check ci "after a 2-window streak" 2 a.Fleet_watch.streak;
+      check cb "not degraded" false a.Fleet_watch.degraded;
+      check cb "renders as an ALERT line" true
+        (String.length (Fleet_watch.render_alert a) > 0
+        && String.sub (Fleet_watch.render_alert a) 0 15 = "ALERT rule=hot ")
+  | l -> Alcotest.failf "expected 1 alert, got %d" (List.length l));
+  check ci "third hot window deduped" 1 r.Fleet_watch.deduped;
+  check ci "no flaps" 0 r.Fleet_watch.flapped
+
+let test_watch_flap_suppressed () =
+  let r = run_watch [ base_rows; hot_rows; base_rows; hot_rows ] in
+  check ci "no alert from a broken streak" 0
+    (List.length r.Fleet_watch.alerts);
+  check ci "the break is counted as a flap" 1 r.Fleet_watch.flapped
+
+let test_watch_persist_one_is_immediate () =
+  let r = run_watch ~persist:1 [ base_rows; hot_rows ] in
+  check ci "fires on first sight" 1 (List.length r.Fleet_watch.alerts)
+
+let test_watch_degraded_annotation () =
+  let degraded = [ ("w", 2, "rebuilt") ] in
+  let r = run_watch ~degraded [ base_rows; hot_rows; hot_rows ] in
+  (match r.Fleet_watch.alerts with
+  | [ a ] -> check cb "degraded-data flagged" true a.Fleet_watch.degraded
+  | l -> Alcotest.failf "expected 1 alert, got %d" (List.length l));
+  (* a degraded baseline window taints every alert of the cohort *)
+  let r2 =
+    run_watch ~degraded:[ ("w", 0, "lost") ] [ base_rows; hot_rows; hot_rows ]
+  in
+  match r2.Fleet_watch.alerts with
+  | [ a ] -> check cb "degraded baseline flagged" true a.Fleet_watch.degraded
+  | l -> Alcotest.failf "expected 1 alert, got %d" (List.length l)
+
+let test_watch_rule_grammar () =
+  let line = "hot cohort=shift family=new-hot-path,edge-shift persist=3 min-share=0.05" in
+  (match Fleet_watch.parse_rule line with
+  | Error m -> Alcotest.failf "parse_rule: %s" m
+  | Ok r ->
+      check Alcotest.string "round-trips" line (Fleet_watch.rule_to_line r);
+      check cb "families parsed" true
+        (r.Fleet_watch.families
+        = [ Fleet_watch.New_hot_path; Fleet_watch.Edge_shift ]));
+  List.iter
+    (fun bad ->
+      check cb (Fmt.str "rejects %S" bad) true
+        (Result.is_error (Fleet_watch.parse_rule bad)))
+    [ ""; "cohort=c"; "x persist=0"; "x family=bogus"; "x frob"; "x min-share=2" ];
+  match Fleet_watch.parse_rules "# standing rules\nhot cohort=w persist=2\n\ndrift\n" with
+  | Ok [ _; _ ] -> ()
+  | Ok l -> Alcotest.failf "expected 2 rules, got %d" (List.length l)
+  | Error m -> Alcotest.failf "parse_rules: %s" m
+
 (* ----------------------------- suite ------------------------------ *)
 
 let qcheck = QCheck_alcotest.to_alcotest
@@ -341,4 +615,28 @@ let suite =
     Alcotest.test_case "compact then retain" `Quick test_compact_and_retain;
     Alcotest.test_case "query prefers merged segments" `Quick
       test_select_prefers_merged;
+    Alcotest.test_case "noop fault plan is byte-identical" `Slow
+      test_noop_plan_identity;
+    Alcotest.test_case "crash + restart converges" `Slow
+      test_crash_restart_converges;
+    Alcotest.test_case "torn writes heal" `Slow test_torn_write_heals;
+    Alcotest.test_case "corrupt segments quarantine + rebuild" `Slow
+      test_seg_corrupt_quarantines;
+    Alcotest.test_case "stragglers catch up" `Slow test_straggler_catches_up;
+    Alcotest.test_case "doomed plan loses, clean rerun heals" `Slow
+      test_doomed_loses_then_heals;
+    Alcotest.test_case "jobs 1 = jobs 4 under injection" `Slow
+      test_jobs_identity_under_faults;
+    qcheck prop_crash_consistency;
+    Alcotest.test_case "fleet chaos mini sweep" `Slow test_fleet_chaos_mini;
+    Alcotest.test_case "watch fires once then dedups" `Quick
+      test_watch_fires_once_then_dedups;
+    Alcotest.test_case "watch suppresses flaps" `Quick
+      test_watch_flap_suppressed;
+    Alcotest.test_case "watch persist=1 fires immediately" `Quick
+      test_watch_persist_one_is_immediate;
+    Alcotest.test_case "watch annotates degraded data" `Quick
+      test_watch_degraded_annotation;
+    Alcotest.test_case "watch rule grammar round-trips" `Quick
+      test_watch_rule_grammar;
   ]
